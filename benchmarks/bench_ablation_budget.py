@@ -1,0 +1,56 @@
+"""Ablation: splitting the selection budget between Stage-1 and Stage-2.
+
+The paper's sweeps fix eps_CandSet = eps_TopComb = eps/2.  This ablation
+scans the split ratio at constant total to show the even split is a sensible
+default (quality should peak away from the extreme allocations, where one of
+the two selection stages is starved).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counts import ClusteredCounts
+from repro.core.dpclustx import DPClustX
+from repro.core.quality.scores import Weights
+from repro.evaluation.quality import QualityEvaluator
+from repro.experiments.common import fit_clustering, load_dataset
+from repro.privacy.budget import ExplanationBudget
+
+from conftest import BENCH_ROWS, show
+
+TOTAL_EPS = 0.2
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)  # fraction of budget given to Stage-1
+N_RUNS = 6
+
+
+def test_budget_split_ablation(benchmark):
+    data = load_dataset("Diabetes", BENCH_ROWS["Diabetes"], n_groups=5, seed=0)
+    clustering = fit_clustering("k-means", data, 5, rng=0)
+    counts = ClusteredCounts(data, clustering)
+    evaluator = QualityEvaluator(counts, Weights(), 0)
+
+    def run():
+        results = {}
+        for ratio in RATIOS:
+            budget = ExplanationBudget(
+                eps_cand_set=TOTAL_EPS * ratio,
+                eps_top_comb=TOTAL_EPS * (1 - ratio),
+                eps_hist=0.1,
+            )
+            explainer = DPClustX(budget=budget)
+            vals = [
+                evaluator.quality(
+                    tuple(explainer.select_combination(counts, rng=s).combination)
+                )
+                for s in range(N_RUNS)
+            ]
+            results[ratio] = float(np.mean(vals))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = " | ".join(f"{r:.1f}->{q:.4f}" for r, q in results.items())
+    show("Ablation — Stage-1/Stage-2 budget split (ratio -> quality)", table)
+    # The even split should not be dominated by either extreme.
+    assert results[0.5] >= min(results[0.1], results[0.9]) - 0.02
+    benchmark.extra_info["quality_by_ratio"] = results

@@ -1,0 +1,63 @@
+"""Ablation: Geometric vs Laplace histogram mechanism inside DPClustX.
+
+The framework is mechanism-agnostic (Section 2.1); the paper defaults to the
+Geometric mechanism [26].  This bench compares the two instantiations' L1
+reconstruction error on the selected explanation histograms at equal budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counts import ClusteredCounts
+from repro.core.dpclustx import DPClustX
+from repro.experiments.common import fit_clustering, load_dataset
+from repro.privacy.hierarchical import HierarchicalHistogram
+from repro.privacy.histograms import GeometricHistogram, LaplaceHistogram
+
+from conftest import BENCH_ROWS, show
+
+
+def _setup():
+    data = load_dataset("Diabetes", BENCH_ROWS["Diabetes"], n_groups=5, seed=0)
+    clustering = fit_clustering("k-means", data, 5, rng=0)
+    return data, clustering, ClusteredCounts(data, clustering)
+
+
+def _avg_l1(data, clustering, counts, mechanism, seeds=range(5)) -> float:
+    errs = []
+    for s in seeds:
+        expl = DPClustX(histogram_mechanism=mechanism).explain(
+            data, clustering, rng=s, counts=counts
+        )
+        for c, e in enumerate(expl.per_cluster):
+            truth = counts.cluster(e.attribute.name, c)
+            errs.append(float(np.abs(e.hist_cluster - truth).sum()))
+    return float(np.mean(errs))
+
+
+def test_histogram_mechanism_ablation(benchmark):
+    data, clustering, counts = _setup()
+
+    def run():
+        return {
+            "geometric": _avg_l1(data, clustering, counts, GeometricHistogram(1.0)),
+            "laplace": _avg_l1(data, clustering, counts, LaplaceHistogram(1.0)),
+            "hierarchical": _avg_l1(
+                data, clustering, counts, HierarchicalHistogram(1.0)
+            ),
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Ablation — histogram mechanism (avg L1 error of cluster histograms)",
+        f"geometric: {errors['geometric']:.1f} | laplace: {errors['laplace']:.1f}"
+        f" | hierarchical [29]: {errors['hierarchical']:.1f}",
+    )
+    # All finite; geometric and laplace within the same order of magnitude at
+    # equal epsilon (hierarchical trades leaf error for range-query accuracy,
+    # so it may sit above on the pure-L1 metric — see test_hierarchical.py).
+    assert all(v > 0 for v in errors.values())
+    ratio = errors["geometric"] / errors["laplace"]
+    assert 0.3 < ratio < 3.0
+    benchmark.extra_info.update(errors)

@@ -1,0 +1,27 @@
+"""Future-work ablation (Section 8, #3): binning granularity vs quality."""
+
+from __future__ import annotations
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import binning
+from repro.experiments.common import ExperimentConfig
+
+from conftest import BENCH_ROWS, show
+
+_CFG = ExperimentConfig(
+    datasets=("Diabetes",), methods=("k-means",), n_runs=4, rows=dict(BENCH_ROWS)
+)
+
+
+def test_binning_granularity_ablation(benchmark):
+    rows = benchmark.pedantic(binning.run, args=(_CFG,), rounds=1, iterations=1)
+    show("Section 8 #3 — binning ablation", format_results_table(rows, binning.COLUMNS))
+    by_factor = {r["merge_factor"]: r for r in rows if r["dataset"] == "Diabetes"}
+    # Structural checks: coarsening shrinks domains and keeps DPClustX within
+    # a sane band of the non-private reference at every granularity.
+    assert by_factor[4]["avg_domain_size"] < by_factor[1]["avg_domain_size"]
+    for r in rows:
+        assert 0.4 <= r["quality_vs_tabee"] <= 1.05
+    benchmark.extra_info["quality_by_factor"] = {
+        k: v["quality"] for k, v in by_factor.items()
+    }

@@ -1,0 +1,41 @@
+"""Section 6.2 bench: robustness to injected correlated attributes.
+
+The paper reports <2% average Quality difference when every attribute gets a
+Cramér's-V-0.85 correlated copy (and <0.1% when only interestingness +
+sufficiency are scored).  Those numbers hold at ~100k rows; at this bench's
+reduced scale DP selection noise inflates the run-to-run spread, so we only
+assert a lenient cap and report the measured gaps — the full-scale harness is
+``python -m repro.experiments.correlations``.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import correlations
+from repro.experiments.common import ExperimentConfig
+
+from conftest import show
+
+_CFG = ExperimentConfig(
+    datasets=("Diabetes",),
+    methods=("k-means",),
+    n_runs=6,
+    rows={"Diabetes": 20_000, "Census": 20_000, "StackOverflow": 20_000},
+)
+
+
+def test_correlated_attributes_change_quality_little(benchmark):
+    rows = benchmark.pedantic(
+        correlations.run, args=(_CFG,), rounds=1, iterations=1
+    )
+    show(
+        "Section 6.2 — correlation robustness",
+        format_results_table(rows, correlations.COLUMNS),
+    )
+    by_weights = {
+        r["weights"]: r["diff_pct"] for r in rows if r["dataset"] == "Diabetes"
+    }
+    # Lenient cap at bench scale; the paper-scale harness lands <2%.
+    assert by_weights["equal"] < 20.0
+    assert by_weights["int+suf only"] < 20.0
+    benchmark.extra_info["diff_pct"] = by_weights

@@ -1,0 +1,53 @@
+"""Appendix Figures 11-12 bench: Quality / MAE sweeps at 3 and 7 clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import fig5_quality, fig6_mae
+
+from conftest import show
+
+
+def test_fig11_quality_at_3_and_7_clusters(benchmark, bench_config):
+    def run_both():
+        return {
+            k: fig5_quality.run(bench_config, n_clusters=k) for k in (3, 7)
+        }
+
+    by_clusters = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for k, rows in by_clusters.items():
+        show(
+            f"Figure 11 — Quality vs epsilon ({k} clusters)",
+            format_results_table(rows, fig5_quality.COLUMNS),
+        )
+        eps_hi = max(r["epsilon"] for r in rows)
+        q = {
+            r["explainer"]: r["quality"]
+            for r in rows
+            if np.isclose(r["epsilon"], eps_hi)
+        }
+        assert q["DPClustX"] >= q["DP-TabEE"] - 0.02
+
+
+def test_fig12_mae_at_3_and_7_clusters(benchmark, bench_config):
+    def run_both():
+        return {k: fig6_mae.run(bench_config, n_clusters=k) for k in (3, 7)}
+
+    by_clusters = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for k, rows in by_clusters.items():
+        show(
+            f"Figure 12 — MAE vs epsilon ({k} clusters)",
+            format_results_table(rows, fig6_mae.COLUMNS),
+        )
+        eps = sorted({r["epsilon"] for r in rows})
+
+        def m(explainer, e):
+            return next(
+                r["mae"]
+                for r in rows
+                if r["explainer"] == explainer and np.isclose(r["epsilon"], e)
+            )
+
+        assert m("DPClustX", eps[-1]) <= m("DPClustX", eps[0]) + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 5 bench: Quality vs epsilon for the four explainers.
+
+Regenerates the Figure 5 series at reduced scale and checks the paper's
+qualitative shape: DPClustX improves with epsilon and beats the DP baselines
+at the top of the swept range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import fig5_quality
+
+from conftest import show
+
+
+def test_fig5_quality_vs_epsilon(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        fig5_quality.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show("Figure 5 — Quality vs epsilon", format_results_table(rows, fig5_quality.COLUMNS))
+
+    def q(explainer: str, eps: float) -> float:
+        return next(
+            r["quality"]
+            for r in rows
+            if r["explainer"] == explainer and np.isclose(r["epsilon"], eps)
+        )
+
+    eps_grid = sorted({r["epsilon"] for r in rows})
+    lo, hi = eps_grid[0], eps_grid[-1]
+    # Paper shape: DPClustX rises with eps ...
+    assert q("DPClustX", hi) >= q("DPClustX", lo)
+    # ... and dominates both DP baselines at the top of the range.
+    assert q("DPClustX", hi) > q("DP-Naive", hi)
+    assert q("DPClustX", hi) > q("DP-TabEE", hi)
+    # Non-private TabEE upper-bounds everything (within averaging noise).
+    assert q("TabEE", hi) >= q("DPClustX", hi) - 0.02
+    benchmark.extra_info["dpclustx_hi"] = q("DPClustX", hi)
+    benchmark.extra_info["tabee"] = q("TabEE", hi)

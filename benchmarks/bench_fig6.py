@@ -1,0 +1,31 @@
+"""Figure 6 bench: MAE vs epsilon against the non-private TabEE combination."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import fig6_mae
+
+from conftest import show
+
+
+def test_fig6_mae_vs_epsilon(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        fig6_mae.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show("Figure 6 — MAE vs epsilon", format_results_table(rows, fig6_mae.COLUMNS))
+
+    def m(explainer: str, eps: float) -> float:
+        return next(
+            r["mae"]
+            for r in rows
+            if r["explainer"] == explainer and np.isclose(r["epsilon"], eps)
+        )
+
+    eps_grid = sorted({r["epsilon"] for r in rows})
+    lo, hi = eps_grid[0], eps_grid[-1]
+    # Paper shape: DPClustX's MAE falls with epsilon and undercuts DP-TabEE.
+    assert m("DPClustX", hi) <= m("DPClustX", lo)
+    assert m("DPClustX", hi) <= m("DP-TabEE", hi)
+    benchmark.extra_info["dpclustx_mae_hi"] = m("DPClustX", hi)

@@ -1,0 +1,22 @@
+"""Figure 7 bench: Quality vs Stage-1 candidate-set size k (1..5)."""
+
+from __future__ import annotations
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import fig7_candidates
+
+from conftest import show
+
+
+def test_fig7_quality_vs_candidates(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        fig7_candidates.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show("Figure 7 — Quality vs k", format_results_table(rows, fig7_candidates.COLUMNS))
+
+    by_k = {r["k"]: r["quality"] for r in rows if r["dataset"] == "Diabetes"}
+    # Paper shape: quality is (weakly) improving from k=1 to k=3 and
+    # stabilises after — no collapse at larger k.
+    assert by_k[3] >= by_k[1] - 0.05
+    assert by_k[5] >= by_k[3] - 0.05
+    benchmark.extra_info["quality_by_k"] = by_k

@@ -1,0 +1,56 @@
+"""Figure 8 bench: Quality vs number of clusters (8a) and cluster size (8b)."""
+
+from __future__ import annotations
+
+import repro.experiments.fig8_clusters as fig8
+from repro.evaluation.runner import format_results_table
+
+from conftest import show
+
+
+def test_fig8a_quality_vs_num_clusters(benchmark, bench_config):
+    old = fig8.CLUSTER_GRID
+    fig8.CLUSTER_GRID = (3, 5, 7)  # reduced sweep for the bench
+    try:
+        rows = benchmark.pedantic(
+            fig8.run_num_clusters, args=(bench_config,), rounds=1, iterations=1
+        )
+    finally:
+        fig8.CLUSTER_GRID = old
+    show("Figure 8a — Quality vs |C|", format_results_table(rows, fig8.COLUMNS_8A))
+
+    def q(explainer: str, k: int) -> float:
+        return next(
+            r["quality"] for r in rows
+            if r["explainer"] == explainer and r["n_clusters"] == k
+        )
+
+    # DPClustX tracks TabEE and beats DP-TabEE at every |C| in the sweep.
+    for k in (3, 5, 7):
+        assert q("DPClustX", k) >= q("DP-TabEE", k) - 0.02
+    benchmark.extra_info["dpclustx_by_k"] = {k: q("DPClustX", k) for k in (3, 5, 7)}
+
+
+def test_fig8b_quality_vs_cluster_size(benchmark, bench_config):
+    old = fig8.ETA_GRID
+    fig8.ETA_GRID = (0.01, 0.1, 1.0)
+    try:
+        rows = benchmark.pedantic(
+            fig8.run_cluster_size, args=(bench_config,), rounds=1, iterations=1
+        )
+    finally:
+        fig8.ETA_GRID = old
+    show("Figure 8b — Quality vs sampling rate", format_results_table(rows, fig8.COLUMNS_8B))
+
+    def q(explainer: str, eta: float) -> float:
+        return next(
+            r["quality"] for r in rows
+            if r["explainer"] == explainer and r["eta"] == eta
+        )
+
+    # Paper shape: TabEE is stable under subsampling while DPClustX degrades
+    # as clusters shrink (small counts drown in the fixed noise scale).
+    assert abs(q("TabEE", 1.0) - q("TabEE", 0.01)) < 0.15
+    assert q("DPClustX", 1.0) >= q("DPClustX", 0.01)
+    benchmark.extra_info["dpclustx_full"] = q("DPClustX", 1.0)
+    benchmark.extra_info["dpclustx_small"] = q("DPClustX", 0.01)

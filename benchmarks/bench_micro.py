@@ -1,0 +1,61 @@
+"""Micro-benchmarks for the hot paths of the framework.
+
+These pin the costs the complexity analysis of Section 5.2 talks about:
+single-cluster score evaluation (two group-by queries), the Stage-2 score
+tensor (O(k^|C|) global evaluations), and group-by count materialisation.
+"""
+
+from __future__ import annotations
+
+from repro.core.counts import ClusteredCounts
+from repro.core.dpclustx import combination_score_tensor
+from repro.core.quality.scores import Weights, single_cluster_scores_matrix
+from repro.core.select_candidates import select_candidates
+from repro.experiments.common import fit_clustering, load_dataset
+
+from conftest import BENCH_ROWS
+
+
+def _counts(n_clusters: int = 5) -> ClusteredCounts:
+    data = load_dataset("Diabetes", BENCH_ROWS["Diabetes"], n_groups=n_clusters, seed=0)
+    clustering = fit_clustering("k-means", data, n_clusters, rng=0)
+    return ClusteredCounts(data, clustering)
+
+
+def test_counts_materialisation(benchmark):
+    data = load_dataset("Diabetes", BENCH_ROWS["Diabetes"], n_groups=5, seed=0)
+    clustering = fit_clustering("k-means", data, 5, rng=0)
+
+    def run():
+        counts = ClusteredCounts(data, clustering)
+        for name in counts.names:
+            counts.by_cluster(name)
+        return counts
+
+    benchmark(run)
+
+
+def test_score_matrix_all_attributes(benchmark):
+    counts = _counts()
+
+    def run():
+        return single_cluster_scores_matrix(counts, 0.5, 0.5)
+
+    out = benchmark(run)
+    assert out.shape == (5, 47)
+
+
+def test_stage1_selection(benchmark):
+    counts = _counts()
+    benchmark(lambda: select_candidates(counts, (0.5, 0.5), 0.1, 3, rng=0))
+
+
+def test_stage2_score_tensor(benchmark):
+    counts = _counts()
+    sets = tuple(tuple(counts.names[i : i + 3]) for i in range(0, 15, 3))
+
+    def run():
+        return combination_score_tensor(counts, sets, Weights())
+
+    out = benchmark(run)
+    assert out.shape == (3, 3, 3, 3, 3)

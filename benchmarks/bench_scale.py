@@ -1,0 +1,32 @@
+"""Scale bench: the DP-vs-non-private gap must close as rows grow.
+
+The quantitative backbone of EXPERIMENTS.md's scale disclaimer — the
+low-sensitivity scores grow with |D_c| under a constant noise scale, so
+DPClustX's relative Quality at fixed epsilon improves monotonically (up to
+run noise) with dataset size.
+"""
+
+from __future__ import annotations
+
+import repro.experiments.scale as scale
+from repro.evaluation.runner import format_results_table
+from repro.experiments.common import ExperimentConfig
+
+from conftest import show
+
+_CFG = ExperimentConfig(datasets=("Diabetes",), methods=("k-means",), n_runs=4)
+
+
+def test_gap_closes_with_scale(benchmark):
+    rows = benchmark.pedantic(
+        scale.run,
+        args=(_CFG,),
+        kwargs={"row_grid": (5_000, 20_000, 50_000)},
+        rounds=1,
+        iterations=1,
+    )
+    show("Scale — DPClustX/TabEE ratio vs rows", format_results_table(rows, scale.COLUMNS))
+    ratios = {r["n_rows"]: r["ratio"] for r in rows}
+    assert ratios[50_000] > ratios[5_000]
+    assert ratios[50_000] > 0.9  # near-TabEE at scale, as the paper reports
+    benchmark.extra_info["ratio_by_rows"] = ratios

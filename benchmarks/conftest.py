@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper at a
+reduced scale (so the whole suite stays minutes, not hours) and prints the
+same rows/series the paper reports.  Key shape metrics also land in
+``benchmark.extra_info`` so they appear in pytest-benchmark's JSON output.
+
+Full-scale runs: ``python -m repro.experiments.<harness>`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+BENCH_ROWS = {"Diabetes": 8_000, "Census": 8_000, "StackOverflow": 8_000}
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced-scale configuration used across benches."""
+    return ExperimentConfig(
+        datasets=("Diabetes",),
+        methods=("k-means",),
+        n_runs=3,
+        rows=dict(BENCH_ROWS),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config_two_datasets() -> ExperimentConfig:
+    return ExperimentConfig(
+        datasets=("Diabetes", "Census"),
+        methods=("k-means",),
+        n_runs=3,
+        rows=dict(BENCH_ROWS),
+    )
+
+
+def show(title: str, table: str) -> None:
+    """Print a paper-style table (visible with ``pytest -s`` and in captured
+    output on failures)."""
+    print(f"\n=== {title} ===")
+    print(table)

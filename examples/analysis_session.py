@@ -1,0 +1,53 @@
+"""A capped analyst session: cluster, explain, drill down — one budget.
+
+The deployment story the paper opens with: an analyst has a total privacy
+budget for a whole investigation.  :class:`repro.PrivateAnalysisSession`
+enforces the cap at run time — the final, over-budget request is *refused
+before touching the data*.
+
+Run: python examples/analysis_session.py
+"""
+
+from __future__ import annotations
+
+from repro import PrivateAnalysisSession, describe, stackoverflow_like
+from repro.core import io
+from repro.privacy.budget import BudgetError, ExplanationBudget
+
+
+def main() -> None:
+    data = stackoverflow_like(n_rows=25_000, n_groups=4, seed=13)
+    session = PrivateAnalysisSession(data, total_epsilon=1.6, seed=0)
+    print(f"session opened: eps cap = {session.total_epsilon}")
+
+    # Step 1 — private clustering (DP-k-means at the paper's eps = 1).
+    session.cluster_dp_kmeans(n_clusters=4, epsilon=1.0)
+    print(f"after clustering: spent {session.spent:.2f}, remaining {session.remaining:.2f}")
+
+    # Step 2 — the global explanation (Theorem 5.3 total: 0.3).
+    explanation = session.explain(ExplanationBudget(0.1, 0.1, 0.1))
+    print(f"explanation attributes: {tuple(explanation.combination)}")
+    print(describe(explanation).splitlines()[0])
+    print(f"after explanation: spent {session.spent:.2f}, remaining {session.remaining:.2f}")
+
+    # Persist the released explanation — post-processing, costs nothing.
+    io.save(explanation, "/tmp/session_explanation.json")
+    reloaded = io.load("/tmp/session_explanation.json")
+    print(f"round-tripped to JSON: {tuple(reloaded.combination)}")
+
+    # Step 3 — one ad-hoc drill-down histogram.
+    session.release_histogram("YearsCoding", epsilon=0.2)
+    print(f"after ad-hoc histogram: spent {session.spent:.2f}, remaining {session.remaining:.2f}")
+
+    # Step 4 — a second full explanation would exceed the cap: refused.
+    try:
+        session.explain(ExplanationBudget(0.1, 0.1, 0.1))
+    except BudgetError as exc:
+        print(f"refused as expected: {exc}")
+
+    print("\nfinal ledger:")
+    print(session.ledger())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""The Census case study of Section 6.4 / Figure 10.
+
+Clusters Census-like data into 3 groups with k-means and compares the
+DPClustX explanation against the non-private TabEE one.  The point the paper
+makes — reproduced here — is that the two may *disagree on attributes*
+(MAE up to 2/3) while conveying the *same insight*, because the employment
+attributes (iRlabor, iWork89, dHours, iYearwrk, iMeans) are correlated
+encodings of one latent fact: who works, who is under 16, who is out of the
+labor force.
+
+Run: python examples/census_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusteredCounts,
+    DPClustX,
+    KMeans,
+    QualityEvaluator,
+    TabEE,
+    Weights,
+    census_like,
+    describe,
+    mae,
+)
+
+
+def main() -> None:
+    data = census_like(n_rows=40_000, n_groups=3, seed=11)
+    clustering = KMeans(n_clusters=3).fit(data, rng=0)
+    counts = ClusteredCounts(data, clustering)
+
+    dp_expl = DPClustX().explain(data, clustering, rng=0, counts=counts)
+    tabee_expl = TabEE().explain(data, clustering, counts=counts)
+
+    print("(a) DPClustX explanation (eps_total = 0.3):")
+    for c, attr in enumerate(dp_expl.combination):
+        print(f"  Cluster {c + 1}: {attr}")
+    print("\n(b) Non-private TabEE explanation:")
+    for c, attr in enumerate(tabee_expl.combination):
+        print(f"  Cluster {c + 1}: {attr}")
+
+    evaluator = QualityEvaluator(counts, Weights(), 0)
+    q_dp = evaluator.quality(tuple(dp_expl.combination))
+    q_ref = evaluator.quality(tuple(tabee_expl.combination))
+    error = mae(dp_expl.combination, tabee_expl.combination)
+    gap = 100.0 * (q_ref - q_dp) / q_ref if q_ref else 0.0
+    print(f"\nMAE = {error:.3f}  (attributes may differ ...)")
+    print(f"Quality: DPClustX {q_dp:.4f} vs TabEE {q_ref:.4f} (gap {gap:.2f}%)")
+    print("(... but the quality gap stays negligible — Section 6.4's finding.)")
+
+    print("\nHistograms for Cluster 1 (DPClustX):")
+    print(dp_expl.per_cluster[0].render(width=32))
+    print("\nWhat the histograms say:")
+    print(describe(dp_expl))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Ad-hoc private queries around an explanation (PINQ-style layer).
+
+After DPClustX surfaces *which* attribute characterises a cluster, an
+analyst often wants follow-up numbers: how many such patients are there, how
+does the attribute distribute inside a sub-population?  The
+:class:`repro.privacy.queries.QueryEngine` answers these under the same
+accountant, so the combined bill of explanation + drill-down is one number.
+
+Run: python examples/dp_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import DPClustX, KMeans, PrivacyAccountant, diabetes_like
+from repro.privacy.queries import Predicate, QueryEngine
+
+
+def main() -> None:
+    data = diabetes_like(n_rows=30_000, n_groups=4, seed=7)
+    clustering = KMeans(4).fit(data, rng=0)
+
+    accountant = PrivacyAccountant(limit=1.0)  # one bill for everything
+
+    # 1. The explanation (eps 0.3).
+    explanation = DPClustX().explain(data, clustering, rng=0, accountant=accountant)
+    top_attr = explanation.combination[0]
+    print(f"Cluster 1 is explained by {top_attr!r}")
+
+    # 2. Drill-downs through the query layer, charged to the same ledger.
+    engine = QueryEngine(data, accountant, rng=1)
+
+    n = engine.total(epsilon=0.05)
+    print(f"noisy |D| ~ {n:,.0f}")
+
+    by_gender = engine.group_by_count("gender", epsilon=0.05)
+    print("noisy counts by gender:", {k: round(v) for k, v in by_gender.items()})
+
+    # Conjunctive predicate: elderly females.
+    elderly_female = Predicate(
+        {"age": ("[70, 80)", "[80, 90)", "[90, 100)"), "gender": ("Female",)}
+    )
+    cnt = engine.count(elderly_female, epsilon=0.1)
+    print(f"noisy count of elderly females ~ {cnt:,.0f}")
+
+    # Partition + per-part histograms: one parallel charge, not one per part.
+    per_gender = engine.partitioned_histograms("gender", top_attr, epsilon=0.2)
+    for gender, hist in per_gender.items():
+        print(f"{gender:>7}: noisy {top_attr} histogram = {hist.astype(int).tolist()}")
+
+    print("\n" + accountant.summary())
+    print(f"remaining under the 1.0 cap: {accountant.remaining():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Healthcare scenario: comparing explainers on patient cohorts.
+
+The motivating workload of the paper's introduction: a hospital analyst has
+DP cluster labels over diabetic-patient records and wants to know *why* the
+cohorts differ — without a privacy-budget-hungry manual exploration.  This
+example runs all four explainers of Section 6.1 on the same clustering and
+reports the evaluation measures (sensitive Quality, MAE vs the non-private
+reference) across a small epsilon sweep, reproducing the Figure 5/6 story in
+miniature.
+
+Run: python examples/healthcare_cohorts.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ClusteredCounts,
+    DPClustX,
+    DPNaive,
+    DPTabEE,
+    ExplanationBudget,
+    KMeans,
+    QualityEvaluator,
+    TabEE,
+    Weights,
+    diabetes_like,
+    mae,
+)
+
+
+def main() -> None:
+    data = diabetes_like(n_rows=30_000, n_groups=5, seed=7)
+    clustering = KMeans(n_clusters=5).fit(data, rng=0)
+    counts = ClusteredCounts(data, clustering)
+    evaluator = QualityEvaluator(counts, Weights(), 0)
+
+    reference = TabEE().select_combination(counts)
+    ref_quality = evaluator.quality(tuple(reference))
+    print("non-private TabEE reference:")
+    print(f"  attributes: {tuple(reference)}")
+    print(f"  quality:    {ref_quality:.4f}\n")
+
+    print(f"{'epsilon':>8} {'explainer':<10} {'quality':>8} {'mae':>6}")
+    for eps in (0.02, 0.1, 0.5, 1.0):
+        budget = ExplanationBudget.split_selection(eps)
+        explainers = {
+            "DPClustX": lambda rng: DPClustX(budget=budget)
+            .select_combination(counts, rng)
+            .combination,
+            "DP-TabEE": lambda rng: DPTabEE(budget=budget).select_combination(
+                counts, rng
+            ),
+            "DP-Naive": lambda rng: DPNaive(epsilon=eps).select_combination(
+                counts, rng
+            ),
+        }
+        for name, select in explainers.items():
+            qs, ms = [], []
+            for seed in range(5):
+                combo = select(np.random.default_rng(seed))
+                qs.append(evaluator.quality(tuple(combo)))
+                ms.append(mae(combo, reference))
+            print(
+                f"{eps:>8.2f} {name:<10} {np.mean(qs):>8.4f} {np.mean(ms):>6.2f}"
+            )
+    print(
+        "\nExpected shape (the paper's Figures 5-6): DPClustX climbs toward"
+        "\nthe TabEE reference as epsilon grows, DP-Naive trails it, and"
+        "\nDP-TabEE stays flat — its noise is calibrated to scores in [0, 1]."
+    )
+
+
+if __name__ == "__main__":
+    main()

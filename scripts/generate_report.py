@@ -1,0 +1,103 @@
+"""Generate the measured numbers recorded in EXPERIMENTS.md.
+
+Runs every experiment harness at report scale (20-30k rows, 5-10 runs) and
+writes one text file per experiment under experiment_results/.
+
+Usage: python scripts/generate_report.py [outdir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments import (
+    correlations,
+    fig5_quality,
+    fig6_mae,
+    fig7_candidates,
+    fig8_clusters,
+    fig9_performance,
+    fig10_case_study,
+    table1_weights,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.core.textual import describe
+
+OUT = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "experiment_results")
+OUT.mkdir(exist_ok=True)
+
+ROWS = {"Diabetes": 25_000, "Census": 25_000, "StackOverflow": 25_000}
+FULL = ExperimentConfig(n_runs=10, rows=dict(ROWS))
+TWO = ExperimentConfig(n_runs=10, rows=dict(ROWS), datasets=("Diabetes", "Census"))
+
+
+def emit(name: str, text: str, t0: float) -> None:
+    path = OUT / f"{name}.txt"
+    path.write_text(text + f"\n\n[elapsed {time.time() - t0:.1f}s]\n")
+    print(f"wrote {path} ({time.time() - t0:.1f}s)", flush=True)
+
+
+def main() -> None:
+    t = time.time()
+    rows = fig5_quality.run(FULL)
+    emit("fig5_quality", format_results_table(rows, fig5_quality.COLUMNS), t)
+
+    t = time.time()
+    rows = fig6_mae.run(FULL)
+    emit("fig6_mae", format_results_table(rows, fig6_mae.COLUMNS), t)
+
+    t = time.time()
+    rows = fig7_candidates.run(TWO)
+    emit("fig7_candidates", format_results_table(rows, fig7_candidates.COLUMNS), t)
+
+    t = time.time()
+    rows = fig8_clusters.run_num_clusters(TWO)
+    emit("fig8a_clusters", format_results_table(rows, fig8_clusters.COLUMNS_8A), t)
+
+    t = time.time()
+    rows = fig8_clusters.run_cluster_size(TWO)
+    emit("fig8b_cluster_size", format_results_table(rows, fig8_clusters.COLUMNS_8B), t)
+
+    t = time.time()
+    perf_cfg = ExperimentConfig(n_runs=3, rows=dict(ROWS))
+    rows = fig9_performance.run(perf_cfg)
+    emit("fig9_performance", format_results_table(rows, fig9_performance.COLUMNS), t)
+
+    t = time.time()
+    case = fig10_case_study.run(ExperimentConfig(rows=dict(ROWS)))
+    text = (
+        "DPClustX:  " + str(tuple(case.dp_explanation.combination)) + "\n"
+        "TabEE:     " + str(tuple(case.tabee_explanation.combination)) + "\n"
+        f"MAE = {case.mae:.3f}  quality: DPClustX {case.dp_quality:.4f} "
+        f"vs TabEE {case.tabee_quality:.4f} (gap {case.quality_gap_pct:.3f}%)\n\n"
+        + describe(case.dp_explanation)
+    )
+    emit("fig10_case_study", text, t)
+
+    t = time.time()
+    rows = table1_weights.run(TWO)
+    emit("table1_weights", format_results_table(rows, table1_weights.COLUMNS), t)
+
+    t = time.time()
+    rows = correlations.run(FULL)
+    emit("correlations", format_results_table(rows, correlations.COLUMNS), t)
+
+    t = time.time()
+    # appendix figures 11-12: three and seven clusters on Diabetes
+    diab = ExperimentConfig(n_runs=10, rows=dict(ROWS), datasets=("Diabetes",))
+    parts = []
+    for k in (3, 7):
+        rows = fig5_quality.run(diab, n_clusters=k)
+        parts.append(f"--- quality, {k} clusters ---")
+        parts.append(format_results_table(rows, fig5_quality.COLUMNS))
+        rows = fig6_mae.run(diab, n_clusters=k)
+        parts.append(f"--- mae, {k} clusters ---")
+        parts.append(format_results_table(rows, fig6_mae.COLUMNS))
+    emit("fig11_12_appendix", "\n".join(parts), t)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy entry point for editable installs in offline environments.
+
+The container has no network and no ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e .`` falls back to ``setup.py develop`` when a
+``setup.py`` exists and ``pyproject.toml`` declares no build-system.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DPClustX: Differentially Private Explanations for Clusters "
+        "(SIGMOD 2025) — full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

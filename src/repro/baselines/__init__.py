@@ -1,0 +1,14 @@
+"""Comparison explainers: TabEE, its DP adaptations, and manual-EDA sessions."""
+
+from .dp_naive import DPNaive
+from .dp_tabee import DPTabEE
+from .manual_eda import ManualEDASession
+from .tabee import TabEE, rank_attributes_sensitive
+
+__all__ = [
+    "DPNaive",
+    "DPTabEE",
+    "ManualEDASession",
+    "TabEE",
+    "rank_attributes_sensitive",
+]

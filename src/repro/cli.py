@@ -1,0 +1,91 @@
+"""Unified command-line interface: ``python -m repro <command> [options]``.
+
+Commands map one-to-one onto the experiment harnesses (``fig5`` .. ``table1``,
+``correlations``, ``binning``) plus ``demo`` (the quickstart pipeline) and
+``list`` (show the experiment index).  Every experiment is also runnable as
+``python -m repro.experiments.<module>``; this front door just saves typing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+COMMANDS: dict[str, tuple[str, str]] = {
+    # command -> (module, paper artifact)
+    "fig5": ("repro.experiments.fig5_quality", "Figure 5 — Quality vs epsilon"),
+    "fig6": ("repro.experiments.fig6_mae", "Figure 6 — MAE vs epsilon"),
+    "fig7": ("repro.experiments.fig7_candidates", "Figure 7 — Quality vs k"),
+    "fig8": ("repro.experiments.fig8_clusters", "Figure 8 — clusters / sizes"),
+    "fig9": ("repro.experiments.fig9_performance", "Figure 9 — runtimes"),
+    "fig10": ("repro.experiments.fig10_case_study", "Figure 10 — case study"),
+    "table1": ("repro.experiments.table1_weights", "Table 1 — weight configs"),
+    "correlations": ("repro.experiments.correlations", "Sec. 6.2 — correlations"),
+    "binning": ("repro.experiments.binning", "Sec. 8 — binning ablation"),
+    "eda": ("repro.experiments.eda_comparison", "Sec. 1 — manual EDA comparison"),
+    "scale": ("repro.experiments.scale", "repro — quality gap vs dataset size"),
+}
+
+
+def _run_demo(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro demo", description="Run the quickstart pipeline."
+    )
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--clusters", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(list(argv))
+
+    from . import DPKMeans, PrivacyAccountant, describe, diabetes_like
+    from .core.dpclustx import DPClustX
+
+    data = diabetes_like(n_rows=args.rows, n_groups=args.clusters, seed=7)
+    acc = PrivacyAccountant()
+    clustering = DPKMeans(args.clusters, epsilon=1.0).fit(
+        data, rng=args.seed, accountant=acc
+    )
+    expl = DPClustX().explain(data, clustering, rng=args.seed, accountant=acc)
+    print("selected attributes:", tuple(expl.combination))
+    print(describe(expl))
+    print(acc.summary())
+    return 0
+
+
+def _run_list(argv: Sequence[str]) -> int:
+    print("available commands (paper artifact each regenerates):")
+    for name, (module, artifact) in COMMANDS.items():
+        print(f"  {name:<13} {artifact:<38} [{module}]")
+    print("  demo          quickstart pipeline")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        _run_list([])
+        print("\nusage: python -m repro <command> [command options]")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "demo":
+        return _run_demo(rest)
+    if command == "list":
+        return _run_list(rest)
+    if command not in COMMANDS:
+        print(f"unknown command {command!r}; try `python -m repro list`")
+        return 2
+    module_name, _ = COMMANDS[command]
+    import importlib
+
+    module = importlib.import_module(module_name)
+    old_argv = sys.argv
+    try:
+        sys.argv = [f"repro {command}"] + rest
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Clustering substrate: black-box clustering functions ``f : dom(R) -> C``."""
+
+from .agglomerative import Agglomerative, ward_labels
+from .base import (
+    CenterBasedClustering,
+    ClusteringFunction,
+    GaussianMixtureClustering,
+    ModeBasedClustering,
+    PredicateClustering,
+    nearest_center,
+    nearest_mode,
+)
+from .dp_kmeans import DPKMeans
+from .dp_kmodes import DPKModes
+from .encode import IdentityEncoder, MinMaxEncoder, StandardEncoder
+from .gmm import GaussianMixture
+from .kmeans import KMeans, inertia, kmeans_pp_init
+from .kmodes import KModes
+
+CLUSTERING_METHODS = {
+    "k-means": KMeans,
+    "DP-k-means": DPKMeans,
+    "k-modes": KModes,
+    "GMMs": GaussianMixture,
+    "Agglomerative": Agglomerative,
+}
+
+__all__ = [
+    "Agglomerative",
+    "ward_labels",
+    "CenterBasedClustering",
+    "ClusteringFunction",
+    "GaussianMixtureClustering",
+    "ModeBasedClustering",
+    "PredicateClustering",
+    "nearest_center",
+    "nearest_mode",
+    "DPKMeans",
+    "DPKModes",
+    "IdentityEncoder",
+    "MinMaxEncoder",
+    "StandardEncoder",
+    "GaussianMixture",
+    "KMeans",
+    "inertia",
+    "kmeans_pp_init",
+    "KModes",
+    "CLUSTERING_METHODS",
+]

@@ -1,0 +1,64 @@
+"""Diagonal-covariance Gaussian mixture models fitted by EM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import logsumexp
+
+from ..dataset.table import Dataset
+from ..privacy.rng import ensure_rng
+from .base import GaussianMixtureClustering
+from .encode import StandardEncoder
+from .kmeans import kmeans_pp_init, lloyd_iterations
+
+
+@dataclass(frozen=True)
+class GaussianMixture:
+    """EM-fitted GMM; assignment is by maximum posterior responsibility."""
+
+    n_clusters: int
+    max_iter: int = 50
+    tol: float = 1e-4
+    var_floor: float = 1e-6
+
+    def fit(
+        self, dataset: Dataset, rng: np.random.Generator | int | None = None
+    ) -> GaussianMixtureClustering:
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        gen = ensure_rng(rng)
+        encoder = StandardEncoder.fit(dataset)
+        points = encoder.transform(dataset)
+        n, d = points.shape
+        if n < self.n_clusters:
+            raise ValueError(f"dataset has {n} rows < {self.n_clusters} clusters")
+
+        # Warm-start means with a short k-means run for stable convergence.
+        means = kmeans_pp_init(points, self.n_clusters, gen)
+        means = lloyd_iterations(points, means, 10, 1e-4, gen)
+        variances = np.full((self.n_clusters, d), max(points.var(), self.var_floor))
+        log_weights = np.full(self.n_clusters, -np.log(self.n_clusters))
+
+        prev_ll = -np.inf
+        for _ in range(self.max_iter):
+            model = GaussianMixtureClustering(encoder, means, variances, log_weights)
+            log_joint = model.log_joint(points)  # (n, k)
+            log_norm = logsumexp(log_joint, axis=1)
+            ll = float(log_norm.mean())
+            resp = np.exp(log_joint - log_norm[:, None])  # responsibilities
+
+            nk = resp.sum(axis=0) + 1e-12
+            means = (resp.T @ points) / nk[:, None]
+            diff_sq = (
+                points[:, None, :] - means[None, :, :]
+            ) ** 2  # (n, k, d)
+            variances = np.einsum("nk,nkd->kd", resp, diff_sq) / nk[:, None]
+            variances = np.maximum(variances, self.var_floor)
+            log_weights = np.log(nk / nk.sum())
+
+            if abs(ll - prev_ll) <= self.tol:
+                break
+            prev_ll = ll
+        return GaussianMixtureClustering(encoder, means, variances, log_weights)

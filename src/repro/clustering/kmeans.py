@@ -1,0 +1,91 @@
+"""Lloyd's k-means with k-means++ seeding (non-private baseline clusterer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from ..privacy.rng import ensure_rng
+from .base import CenterBasedClustering, nearest_center
+from .encode import StandardEncoder
+
+
+def kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: iteratively sample centers ∝ squared distance."""
+    n = points.shape[0]
+    if n < k:
+        raise ValueError(f"cannot seed {k} centers from {n} points")
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    centers[0] = points[rng.integers(n)]
+    closest = np.full(n, np.inf)
+    for i in range(1, k):
+        diff = points - centers[i - 1]
+        closest = np.minimum(closest, np.einsum("ij,ij->i", diff, diff))
+        total = closest.sum()
+        if total <= 0:
+            centers[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probs = closest / total
+        centers[i] = points[rng.choice(n, p=probs)]
+    return centers
+
+
+def lloyd_iterations(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Run Lloyd updates, re-seeding empty clusters from random points."""
+    k = centers.shape[0]
+    for _ in range(max_iter):
+        labels = nearest_center(points, centers)
+        new_centers = centers.copy()
+        for c in range(k):
+            members = points[labels == c]
+            if len(members) == 0:
+                new_centers[c] = points[rng.integers(points.shape[0])]
+            else:
+                new_centers[c] = members.mean(axis=0)
+        shift = float(np.max(np.abs(new_centers - centers)))
+        centers = new_centers
+        if shift <= tol:
+            break
+    return centers
+
+
+@dataclass(frozen=True)
+class KMeans:
+    """Fit nearest-center clusters; returns a ``dom(R) -> C`` function."""
+
+    n_clusters: int
+    max_iter: int = 50
+    tol: float = 1e-6
+
+    def fit(
+        self, dataset: Dataset, rng: np.random.Generator | int | None = None
+    ) -> CenterBasedClustering:
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        gen = ensure_rng(rng)
+        encoder = StandardEncoder.fit(dataset)
+        points = encoder.transform(dataset)
+        if points.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"dataset has {points.shape[0]} rows < {self.n_clusters} clusters"
+            )
+        centers = kmeans_pp_init(points, self.n_clusters, gen)
+        centers = lloyd_iterations(points, centers, self.max_iter, self.tol, gen)
+        return CenterBasedClustering(encoder, centers)
+
+
+def inertia(points: np.ndarray, centers: np.ndarray) -> float:
+    """Sum of squared distances to the closest center (fit diagnostics)."""
+    labels = nearest_center(points, centers)
+    diff = points - centers[labels]
+    return float(np.einsum("ij,ij->", diff, diff))

@@ -1,0 +1,50 @@
+"""DPClustX core: HBE structures, quality functions and Algorithms 1-2."""
+
+from . import diagnostics, io, svg
+from .counts import ClusteredCounts, CountsProvider, NoisyCounts
+from .diagnostics import reliability_report, render_report
+from .dpclustx import DPClustX, SelectionResult, combination_score_tensor
+from .pairs import ProductCounts, explain_with_pairs
+from .svg import render_global_svg, render_svg, save_svg
+from .hbe import (
+    AttributeCombination,
+    GlobalExplanation,
+    MultiAttributeCombination,
+    MultiGlobalExplanation,
+    SingleClusterExplanation,
+)
+from .multi import MultiDPClustX, multi_global_score
+from .quality import Weights
+from .select_candidates import CandidateSelection, select_candidates
+from .textual import describe, describe_single
+
+__all__ = [
+    "diagnostics",
+    "io",
+    "svg",
+    "reliability_report",
+    "render_report",
+    "render_global_svg",
+    "render_svg",
+    "save_svg",
+    "ProductCounts",
+    "explain_with_pairs",
+    "ClusteredCounts",
+    "CountsProvider",
+    "NoisyCounts",
+    "DPClustX",
+    "SelectionResult",
+    "combination_score_tensor",
+    "AttributeCombination",
+    "GlobalExplanation",
+    "MultiAttributeCombination",
+    "MultiGlobalExplanation",
+    "SingleClusterExplanation",
+    "MultiDPClustX",
+    "multi_global_score",
+    "Weights",
+    "CandidateSelection",
+    "select_candidates",
+    "describe",
+    "describe_single",
+]

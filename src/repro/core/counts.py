@@ -1,0 +1,198 @@
+"""Count providers: the group-by machinery behind every quality function.
+
+All quality functions of Section 4 are functions of ``cnt_{A=a}(D)`` and
+``cnt_{A=a}(D_c)``.  :class:`ClusteredCounts` materialises those counts from a
+dataset and a clustering function (two group-by queries per attribute, as the
+complexity analysis in Section 5.2 counts them).  :class:`NoisyCounts` serves
+the same interface from pre-released noisy histograms — this is what the
+DP-Naive baseline post-processes — with ``|D|`` / ``|D_c|`` proxied by the
+per-attribute noisy totals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from ..clustering.base import ClusteringFunction
+
+
+class CountsProvider(Protocol):
+    """Structural interface consumed by the quality functions."""
+
+    @property
+    def names(self) -> tuple[str, ...]: ...
+
+    @property
+    def n_clusters(self) -> int: ...
+
+    def domain_size(self, name: str) -> int: ...
+
+    def full(self, name: str) -> np.ndarray:
+        """``h_A(D)`` — counts over ``dom(A)`` for the whole dataset."""
+        ...
+
+    def cluster(self, name: str, c: int) -> np.ndarray:
+        """``h_A(D_c)`` — counts over ``dom(A)`` for cluster ``c``."""
+        ...
+
+    def total(self, name: str) -> float:
+        """``|D|`` (or its noisy proxy for the given attribute)."""
+        ...
+
+    def cluster_size(self, name: str, c: int) -> float:
+        """``|D_c|`` (or its noisy proxy for the given attribute)."""
+        ...
+
+
+class ClusteredCounts:
+    """Exact counts from a dataset + clustering function, lazily cached.
+
+    Parameters
+    ----------
+    dataset:
+        The sensitive dataset ``D``.
+    clustering:
+        Either a :class:`~repro.clustering.base.ClusteringFunction` or a
+        pre-computed integer label array of length ``|D|``.
+    n_clusters:
+        Required when ``clustering`` is a label array.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        clustering: "ClusteringFunction | np.ndarray",
+        n_clusters: int | None = None,
+    ):
+        self._dataset = dataset
+        if isinstance(clustering, np.ndarray):
+            if n_clusters is None:
+                raise ValueError("n_clusters is required with a label array")
+            labels = clustering.astype(np.int64)
+            self._n_clusters = int(n_clusters)
+        else:
+            labels = clustering.assign(dataset)
+            self._n_clusters = clustering.n_clusters
+        if len(labels) != len(dataset):
+            raise ValueError("label array length must equal |D|")
+        if len(labels) and (labels.min() < 0 or labels.max() >= self._n_clusters):
+            raise ValueError("labels out of range")
+        self._labels = labels
+        self._sizes = np.bincount(labels, minlength=self._n_clusters).astype(np.int64)
+        self._by_cluster: dict[str, np.ndarray] = {}
+        self._full: dict[str, np.ndarray] = {}
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._dataset.schema.names
+
+    @property
+    def n_clusters(self) -> int:
+        return self._n_clusters
+
+    @property
+    def n(self) -> int:
+        return len(self._dataset)
+
+    def domain_size(self, name: str) -> int:
+        return self._dataset.schema.attribute(name).domain_size
+
+    def sizes(self) -> np.ndarray:
+        """``(|D_c|)_c`` as an int vector."""
+        return self._sizes.copy()
+
+    def by_cluster(self, name: str) -> np.ndarray:
+        """The ``(n_clusters, |dom(A)|)`` matrix of per-cluster counts."""
+        cached = self._by_cluster.get(name)
+        if cached is None:
+            m = self.domain_size(name)
+            codes = np.asarray(self._dataset.column(name))
+            flat = self._labels * m + codes
+            cached = (
+                np.bincount(flat, minlength=self._n_clusters * m)
+                .reshape(self._n_clusters, m)
+                .astype(np.int64)
+            )
+            self._by_cluster[name] = cached
+        return cached
+
+    def full(self, name: str) -> np.ndarray:
+        cached = self._full.get(name)
+        if cached is None:
+            cached = self.by_cluster(name).sum(axis=0)
+            self._full[name] = cached
+        return cached
+
+    def cluster(self, name: str, c: int) -> np.ndarray:
+        return self.by_cluster(name)[c]
+
+    def total(self, name: str) -> float:
+        return float(self.n)
+
+    def cluster_size(self, name: str, c: int) -> float:
+        return float(self._sizes[c])
+
+
+class NoisyCounts:
+    """Counts served from released noisy histograms (post-processing only).
+
+    ``full_hists[name]`` is the noisy full-data histogram; ``cluster_hists``
+    maps a name to the ``(n_clusters, m)`` noisy per-cluster matrix.  Totals
+    and cluster sizes are the corresponding noisy sums, clamped to a minimum
+    of 1 to keep the quality formulas finite.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        full_hists: Mapping[str, np.ndarray],
+        cluster_hists: Mapping[str, np.ndarray],
+        n_clusters: int,
+    ):
+        self._names = tuple(names)
+        self._n_clusters = int(n_clusters)
+        self._full = {n: np.asarray(full_hists[n], dtype=np.float64) for n in names}
+        self._clusters = {
+            n: np.asarray(cluster_hists[n], dtype=np.float64) for n in names
+        }
+        for n in names:
+            mat = self._clusters[n]
+            if mat.shape != (self._n_clusters, self._full[n].shape[0]):
+                raise ValueError(f"shape mismatch for attribute {n!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def n_clusters(self) -> int:
+        return self._n_clusters
+
+    def domain_size(self, name: str) -> int:
+        return int(self._full[name].shape[0])
+
+    def full(self, name: str) -> np.ndarray:
+        return self._full[name]
+
+    def cluster(self, name: str, c: int) -> np.ndarray:
+        return self._clusters[name][c]
+
+    def by_cluster(self, name: str) -> np.ndarray:
+        return self._clusters[name]
+
+    def total(self, name: str) -> float:
+        return max(float(self._full[name].sum()), 1.0)
+
+    def cluster_size(self, name: str, c: int) -> float:
+        return max(float(self._clusters[name][c].sum()), 0.0)

@@ -1,0 +1,122 @@
+"""Released-explanation diagnostics (post-processing, zero privacy cost).
+
+Noisy histograms can mislead: a small cluster at a small eps_Hist may
+produce bars that are mostly noise.  Because the *noise distribution* of the
+release mechanism is public, the consumer can assess reliability without
+touching the data again.  These helpers compute signal-to-noise summaries
+per released explanation and flag unreliable components, complementing the
+textual descriptions of :mod:`repro.core.textual`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..privacy.budget import ExplanationBudget
+from ..privacy.postprocess import uniformity_distance
+from .hbe import GlobalExplanation, SingleClusterExplanation
+
+DEFAULT_SNR_THRESHOLD = 3.0
+
+
+@dataclass(frozen=True)
+class ClusterDiagnostics:
+    """Reliability summary for one released single-cluster explanation."""
+
+    cluster: int
+    attribute: str
+    cluster_mass: float
+    expected_noise_l1: float
+    snr: float
+    uniformity: float
+    reliable: bool
+
+    def describe(self) -> str:
+        status = "ok" if self.reliable else "LOW SIGNAL"
+        return (
+            f"Cluster {self.cluster + 1} ({self.attribute!r}): "
+            f"mass={self.cluster_mass:.0f}, expected noise L1="
+            f"{self.expected_noise_l1:.1f}, SNR={self.snr:.1f} [{status}]"
+        )
+
+
+def expected_noise_l1(eps_per_bin: float, domain_size: int) -> float:
+    """Expected L1 noise mass of a per-bin geometric release at ``eps_per_bin``.
+
+    E|Z| for the two-sided geometric with decay ``alpha = e^-eps`` is
+    ``2 alpha / (1 - alpha^2)`` per bin.
+    """
+    if eps_per_bin <= 0:
+        raise ValueError("eps_per_bin must be positive")
+    if domain_size < 1:
+        raise ValueError("domain_size must be >= 1")
+    a = float(np.exp(-eps_per_bin))
+    return domain_size * 2.0 * a / (1.0 - a * a)
+
+
+def cluster_diagnostics(
+    explanation: SingleClusterExplanation,
+    eps_hist: float,
+    snr_threshold: float = DEFAULT_SNR_THRESHOLD,
+) -> ClusterDiagnostics:
+    """Assess one released histogram pair against its known noise level.
+
+    ``eps_hist`` is Algorithm 2's histogram budget; the cluster histogram was
+    released at ``eps_hist / 2``.  SNR is released cluster mass over the
+    expected L1 noise of its release.
+    """
+    m = explanation.attribute.domain_size
+    mass = float(np.asarray(explanation.hist_cluster, dtype=np.float64).sum())
+    noise = expected_noise_l1(eps_hist / 2.0, m)
+    snr = mass / noise if noise > 0 else np.inf
+    return ClusterDiagnostics(
+        cluster=explanation.cluster,
+        attribute=explanation.attribute.name,
+        cluster_mass=mass,
+        expected_noise_l1=noise,
+        snr=snr,
+        uniformity=uniformity_distance(np.asarray(explanation.hist_cluster)),
+        reliable=snr >= snr_threshold,
+    )
+
+
+def reliability_report(
+    explanation: GlobalExplanation,
+    budget: "ExplanationBudget | float | None" = None,
+    snr_threshold: float = DEFAULT_SNR_THRESHOLD,
+) -> list[ClusterDiagnostics]:
+    """Per-cluster diagnostics for a released global explanation.
+
+    The histogram budget is read from the explanation's metadata when not
+    supplied (DPClustX records it there).
+    """
+    if budget is None:
+        meta_budget = explanation.metadata.get("budget")
+        if not isinstance(meta_budget, ExplanationBudget):
+            raise ValueError(
+                "histogram budget unavailable: pass budget= explicitly"
+            )
+        eps_hist = meta_budget.eps_hist
+    elif isinstance(budget, ExplanationBudget):
+        eps_hist = budget.eps_hist
+    else:
+        eps_hist = float(budget)
+    return [
+        cluster_diagnostics(e, eps_hist, snr_threshold)
+        for e in explanation.per_cluster
+    ]
+
+
+def render_report(report: list[ClusterDiagnostics]) -> str:
+    """Human-readable reliability report."""
+    lines = ["explanation reliability report:"]
+    lines.extend("  " + d.describe() for d in report)
+    unreliable = [d for d in report if not d.reliable]
+    if unreliable:
+        lines.append(
+            f"  WARNING: {len(unreliable)} cluster(s) below SNR threshold — "
+            "consider a larger eps_Hist or coarser bins (rebin_histogram)."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Algorithm 2 — the DPClustX framework (Section 5.2).
+
+Pipeline (Figure 3): Stage-1 candidate sets via Algorithm 1; Stage-2 selects
+one attribute combination out of the ``k^|C|`` candidates with the
+exponential mechanism over ``GlScore_lambda``; noisy histograms are generated
+*only* for the selected attributes.  The whole run is
+``(eps_CandSet + eps_TopComb + eps_Hist)``-DP (Theorem 5.3), which the
+optional :class:`~repro.privacy.budget.PrivacyAccountant` verifies at runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering.base import ClusteringFunction
+from ..dataset.table import Dataset
+from ..privacy.budget import ExplanationBudget, PrivacyAccountant
+from ..privacy.exponential import ExponentialMechanism
+from ..privacy.histograms import GeometricHistogram, HistogramMechanism
+from ..privacy.rng import ensure_rng
+from .counts import ClusteredCounts, CountsProvider
+from .hbe import AttributeCombination, GlobalExplanation, SingleClusterExplanation
+from .quality.diversity import pair_diversity_low_sens
+from .quality.interestingness import interestingness_low_sens
+from .quality.scores import SCORE_SENSITIVITY, Weights
+from .quality.sufficiency import sufficiency_low_sens
+from .select_candidates import CandidateSelection, select_candidates
+
+_MAX_COMBINATIONS = 50_000_000
+"""Guard against enumerating more global candidates than memory allows."""
+
+
+def combination_score_tensor(
+    counts: CountsProvider,
+    candidate_sets: "tuple[tuple[str, ...], ...]",
+    weights: Weights,
+) -> np.ndarray:
+    """``GlScore_lambda`` for *every* candidate combination, as a tensor.
+
+    The global score decomposes into per-cluster terms (interestingness,
+    sufficiency) plus pairwise terms (diversity), so the full
+    ``k_1 x ... x k_|C|`` score tensor is assembled from ``|C|`` vectors and
+    ``C(|C|, 2)`` small matrices broadcast into place — the same
+    ``O(k^|C|)`` evaluation count as the paper's complexity analysis, without
+    Python-loop overhead.
+    """
+    n_clusters = counts.n_clusters
+    if len(candidate_sets) != n_clusters:
+        raise ValueError("need one candidate set per cluster")
+    shape = tuple(len(s) for s in candidate_sets)
+    total = math.prod(shape)
+    if total > _MAX_COMBINATIONS:
+        raise ValueError(
+            f"{total} candidate combinations exceed the enumeration guard "
+            f"({_MAX_COMBINATIONS}); reduce k or |C|"
+        )
+    tensor = np.zeros(shape, dtype=np.float64)
+
+    # Additive per-cluster part: (lInt * Int_p + lSuf * Suf_p) / |C|.
+    for c, attrs in enumerate(candidate_sets):
+        vec = np.empty(len(attrs))
+        for j, a in enumerate(attrs):
+            v = 0.0
+            if weights.lambda_int:
+                v += weights.lambda_int * interestingness_low_sens(counts, c, a)
+            if weights.lambda_suf:
+                v += weights.lambda_suf * sufficiency_low_sens(counts, c, a)
+            vec[j] = v / n_clusters
+        view = [None] * n_clusters
+        view[c] = slice(None)
+        tensor += vec[tuple(view)]
+
+    # Pairwise diversity part: lDiv * d(c, c') / C(|C|, 2).
+    if weights.lambda_div and n_clusters >= 2:
+        n_pairs = math.comb(n_clusters, 2)
+        for c, c2 in itertools.combinations(range(n_clusters), 2):
+            mat = np.empty((len(candidate_sets[c]), len(candidate_sets[c2])))
+            for j, a in enumerate(candidate_sets[c]):
+                for j2, a2 in enumerate(candidate_sets[c2]):
+                    mat[j, j2] = pair_diversity_low_sens(counts, c, c2, a, a2)
+            view = [None] * n_clusters
+            view[c] = slice(None)
+            view[c2] = slice(None)
+            # mat is indexed (axis c, axis c2); place accordingly.
+            expand = mat[tuple(view[i] for i in range(n_clusters))]
+            tensor += weights.lambda_div * expand / n_pairs
+    return tensor
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Stage-1 + Stage-2 outcome before histogram generation."""
+
+    combination: AttributeCombination
+    candidates: CandidateSelection
+
+
+@dataclass(frozen=True)
+class DPClustX:
+    """The DPClustX explainer (Figure 3).
+
+    Parameters
+    ----------
+    n_candidates:
+        ``k`` — candidate attributes per cluster from Stage-1 (default 3, the
+        paper's ablation-supported choice, Figure 7).
+    weights:
+        ``lambda`` hyperparameters (default equal thirds, Section 4.4).
+    budget:
+        The three-way privacy budget (defaults 0.1 / 0.1 / 0.1, Section 6.1).
+    histogram_mechanism:
+        Prototype ``M_hist``; its epsilon is re-derived per Algorithm 2's
+        allocation.  Defaults to the Geometric mechanism (Section 6.1).
+    """
+
+    n_candidates: int = 3
+    weights: Weights = field(default_factory=Weights)
+    budget: ExplanationBudget = field(default_factory=ExplanationBudget)
+    histogram_mechanism: HistogramMechanism = field(
+        default_factory=lambda: GeometricHistogram(1.0)
+    )
+
+    # ------------------------------------------------------------------ #
+    # attribute selection (Stages 1-2)
+    # ------------------------------------------------------------------ #
+
+    def select_combination(
+        self,
+        counts: CountsProvider,
+        rng: np.random.Generator | int | None = None,
+        accountant: PrivacyAccountant | None = None,
+        names: tuple[str, ...] | None = None,
+    ) -> SelectionResult:
+        """Run Lines 1-6 of Algorithm 2: pick the attribute combination."""
+        gen = ensure_rng(rng)
+        gamma = self.weights.gamma()  # Line 1
+        candidates = select_candidates(  # Line 3
+            counts,
+            gamma,
+            self.budget.eps_cand_set,
+            self.n_candidates,
+            gen,
+            accountant,
+            names=names,
+        )
+        # Lines 5-6: EM over the candidate combinations with GlScore.
+        tensor = combination_score_tensor(
+            counts, candidates.candidate_sets, self.weights
+        )
+        em = ExponentialMechanism(self.budget.eps_top_comb, SCORE_SENSITIVITY)
+        flat_index = em.select_index(tensor.reshape(-1), gen)
+        picks = np.unravel_index(flat_index, tensor.shape)
+        combination = AttributeCombination(
+            tuple(
+                candidates.candidate_sets[c][int(j)] for c, j in enumerate(picks)
+            )
+        )
+        if accountant is not None:
+            accountant.spend(
+                self.budget.eps_top_comb, "stage2: combination (exponential mech.)"
+            )
+        return SelectionResult(combination, candidates)
+
+    # ------------------------------------------------------------------ #
+    # full pipeline (Algorithm 2)
+    # ------------------------------------------------------------------ #
+
+    def explain(
+        self,
+        dataset: Dataset,
+        clustering: ClusteringFunction,
+        rng: np.random.Generator | int | None = None,
+        accountant: PrivacyAccountant | None = None,
+        counts: ClusteredCounts | None = None,
+    ) -> GlobalExplanation:
+        """Run Algorithm 2 end to end and return the global explanation."""
+        gen = ensure_rng(rng)
+        if counts is None:
+            counts = ClusteredCounts(dataset, clustering)
+        selection = self.select_combination(counts, gen, accountant)
+        combination = selection.combination
+
+        # Lines 8-9: budget allocation for histograms.
+        distinct = combination.distinct_attributes()
+        eps_hist_all = self.budget.eps_hist / (2.0 * len(distinct))
+        eps_hist_cluster = self.budget.eps_hist / 2.0
+
+        # Lines 10-12: full-dataset histograms (sequential composition).
+        full_mech = self.histogram_mechanism.with_epsilon(eps_hist_all)
+        noisy_full: dict[str, np.ndarray] = {}
+        for a in distinct:
+            noisy_full[a] = full_mech.release(counts.full(a), gen)
+        if accountant is not None:
+            accountant.spend(
+                eps_hist_all * len(distinct), "histograms: full dataset"
+            )
+
+        # Lines 14-19: per-cluster histograms (parallel composition) and
+        # out-of-cluster histograms by post-processing (Line 17).
+        cluster_mech = self.histogram_mechanism.with_epsilon(eps_hist_cluster)
+        explanations: list[SingleClusterExplanation] = []
+        for c in range(counts.n_clusters):
+            a_c = combination[c]
+            noisy_c = cluster_mech.release(counts.cluster(a_c, c), gen)
+            noisy_rest = np.maximum(noisy_full[a_c] - noisy_c, 0.0)
+            explanations.append(
+                SingleClusterExplanation(
+                    cluster=c,
+                    attribute=dataset.schema.attribute(a_c),
+                    hist_rest=noisy_rest,
+                    hist_cluster=noisy_c,
+                )
+            )
+        if accountant is not None:
+            accountant.parallel(
+                [eps_hist_cluster] * counts.n_clusters,
+                "histograms: clusters (parallel)",
+            )
+
+        return GlobalExplanation(
+            per_cluster=tuple(explanations),
+            combination=combination,
+            metadata={
+                "framework": "DPClustX",
+                "budget": self.budget,
+                "n_candidates": self.n_candidates,
+                "weights": self.weights,
+                "candidate_sets": selection.candidates.candidate_sets,
+                "epsilon_total": self.budget.total,
+            },
+        )

@@ -1,0 +1,194 @@
+"""Histogram-based explanation (HBE) data structures — Definitions 2.2 & 2.4.
+
+A *single-cluster HBE candidate* is ``(c, A, h_A(D \\ D_c), h_A(D_c))``; a
+*global HBE candidate* holds one per cluster.  An *attribute combination*
+``AC : C -> A`` names the attribute explaining each cluster — the object the
+selection mechanisms actually search over (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..dataset.schema import Attribute
+
+
+@dataclass(frozen=True)
+class AttributeCombination:
+    """``AC : C -> A`` as a tuple of attribute names indexed by cluster label."""
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("an attribute combination needs at least one cluster")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, str]) -> "AttributeCombination":
+        if set(mapping) != set(range(len(mapping))):
+            raise ValueError("mapping must cover cluster labels 0..|C|-1")
+        return cls(tuple(mapping[c] for c in range(len(mapping))))
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.attributes)
+
+    def __getitem__(self, c: int) -> str:
+        return self.attributes[c]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def distinct_attributes(self) -> tuple[str, ...]:
+        """``A'`` — attributes appearing at least once (Algorithm 2, Line 8)."""
+        seen: dict[str, None] = {}
+        for a in self.attributes:
+            seen.setdefault(a, None)
+        return tuple(seen)
+
+    def explained_by(self, attribute: str) -> tuple[int, ...]:
+        """``ExpBy(AC, A)`` — cluster labels assigned to ``attribute``."""
+        return tuple(c for c, a in enumerate(self.attributes) if a == attribute)
+
+
+@dataclass(frozen=True)
+class SingleClusterExplanation:
+    """Definition 2.2: ``e_c = (c, A, h_A(D \\ D_c), h_A(D_c))``.
+
+    Histogram vectors are aligned with ``attribute.domain`` and may be noisy
+    (floats) when produced under DP.
+    """
+
+    cluster: int
+    attribute: Attribute
+    hist_rest: np.ndarray
+    hist_cluster: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = self.attribute.domain_size
+        if self.hist_rest.shape != (m,) or self.hist_cluster.shape != (m,):
+            raise ValueError(
+                f"histograms for {self.attribute.name!r} must have length {m}"
+            )
+
+    def normalized(self) -> tuple[np.ndarray, np.ndarray]:
+        """Frequency (proportion) histograms for visualisation (Section 2)."""
+
+        def norm(h: np.ndarray) -> np.ndarray:
+            s = float(h.sum())
+            return h / s if s > 0 else np.zeros_like(h, dtype=np.float64)
+
+        return norm(self.hist_rest.astype(np.float64)), norm(
+            self.hist_cluster.astype(np.float64)
+        )
+
+    def render(self, width: int = 40, cluster_name: str | None = None) -> str:
+        """ASCII rendering of the paired histogram (Figure 2a style)."""
+        rest, clus = self.normalized()
+        label = cluster_name or f"Cluster {self.cluster + 1}"
+        lines = [f"'{self.attribute.name}' — {label} vs Rest (frequency %)"]
+        peak = max(float(rest.max(initial=0.0)), float(clus.max(initial=0.0)), 1e-12)
+        for a, value in enumerate(self.attribute.domain):
+            bar_c = "#" * int(round(width * clus[a] / peak))
+            bar_r = "." * int(round(width * rest[a] / peak))
+            lines.append(f"  {value:>16s} | {100*clus[a]:5.1f}% {bar_c}")
+            lines.append(f"  {'':>16s} | {100*rest[a]:5.1f}% {bar_r}")
+        lines.append(f"  ({'#'} = {label}, {'.'} = Rest)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GlobalExplanation:
+    """Definition 2.4: one single-cluster explanation per cluster.
+
+    ``metadata`` records provenance (budgets, mechanism, selection scores) so
+    downstream consumers can audit how the explanation was produced.
+    """
+
+    per_cluster: tuple[SingleClusterExplanation, ...]
+    combination: AttributeCombination
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.per_cluster) != self.combination.n_clusters:
+            raise ValueError("one explanation per cluster is required")
+        for c, e in enumerate(self.per_cluster):
+            if e.cluster != c:
+                raise ValueError("explanations must be ordered by cluster label")
+            if e.attribute.name != self.combination[c]:
+                raise ValueError("explanation attribute disagrees with combination")
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.per_cluster)
+
+    def __iter__(self) -> Iterator[SingleClusterExplanation]:
+        return iter(self.per_cluster)
+
+    def __getitem__(self, c: int) -> SingleClusterExplanation:
+        return self.per_cluster[c]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering of the full explanation."""
+        parts = [e.render(width) for e in self.per_cluster]
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class MultiAttributeCombination:
+    """Appendix B: ``AC : C -> {S ⊆ A, |S| = ell}`` (ell attributes per cluster)."""
+
+    attribute_sets: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.attribute_sets:
+            raise ValueError("need at least one cluster")
+        sizes = {len(s) for s in self.attribute_sets}
+        if len(sizes) != 1:
+            raise ValueError("all clusters must receive the same number of attributes")
+        for s in self.attribute_sets:
+            if len(set(s)) != len(s):
+                raise ValueError("attribute sets must not repeat attributes")
+
+    @property
+    def ell(self) -> int:
+        return len(self.attribute_sets[0])
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.attribute_sets)
+
+    def __getitem__(self, c: int) -> tuple[str, ...]:
+        return self.attribute_sets[c]
+
+    def candidates(self) -> tuple[tuple[int, str], ...]:
+        """``Cand(AC) = {(c, A) | c in C, A in AC(c)}`` (Appendix B)."""
+        return tuple(
+            (c, a) for c, attrs in enumerate(self.attribute_sets) for a in attrs
+        )
+
+    def distinct_attributes(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for attrs in self.attribute_sets:
+            for a in attrs:
+                seen.setdefault(a, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class MultiGlobalExplanation:
+    """Appendix B output: ``ell`` single-cluster explanations per cluster."""
+
+    per_cluster: tuple[tuple[SingleClusterExplanation, ...], ...]
+    combination: MultiAttributeCombination
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.per_cluster)
+
+    def __getitem__(self, c: int) -> tuple[SingleClusterExplanation, ...]:
+        return self.per_cluster[c]

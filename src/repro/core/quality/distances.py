@@ -1,0 +1,78 @@
+"""Distribution distances over histograms: TVD and Jensen-Shannon.
+
+Equation (1) defines the total variation distance between the value
+distributions of ``pi_A(D)`` and ``pi_A(D_c)``; Appendix A additionally
+analyses the Jensen-Shannon distance [41].  Both are shown to be too
+sensitive for direct DP use (Propositions 4.1, A.5) but remain the basis of
+the *evaluation* metrics of Section 6.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_counts(counts: np.ndarray) -> np.ndarray:
+    """Counts -> probability vector; the empty histogram maps to all-zeros."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.zeros_like(counts)
+    return counts / total
+
+
+def tvd_probs(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance ``(1/2) * ||p - q||_1`` between distributions."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must share a domain")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def tvd_counts(h1: np.ndarray, h2: np.ndarray) -> float:
+    """TVD between the distributions induced by two count vectors (Eq. 1).
+
+    Either histogram being empty yields 0 (the convention the sensitive
+    interestingness adopts for empty clusters; such candidates carry no
+    signal either way).
+    """
+    p = normalize_counts(h1)
+    q = normalize_counts(h2)
+    if p.sum() == 0 or q.sum() == 0:
+        return 0.0
+    return tvd_probs(p, q)
+
+
+def _entropy(p: np.ndarray) -> float:
+    """Shannon entropy in bits (base 2), with the 0 log 0 = 0 convention.
+
+    Base 2 gives the Jensen-Shannon divergence the range [0, 1] claimed by
+    Proposition A.5 (natural logs would cap it at ln 2).
+    """
+    mask = p > 0
+    return -float(np.sum(p[mask] * np.log2(p[mask])))
+
+
+def jensen_shannon_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """JSD(p, q) = H((p+q)/2) - H(p)/2 - H(q)/2 (Definition A.4), in bits."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must share a domain")
+    mix = 0.5 * (p + q)
+    return max(_entropy(mix) - 0.5 * _entropy(p) - 0.5 * _entropy(q), 0.0)
+
+
+def jensen_shannon_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``d_JS`` — the square root of the Jensen-Shannon divergence."""
+    return float(np.sqrt(jensen_shannon_divergence(p, q)))
+
+
+def jsd_counts(h1: np.ndarray, h2: np.ndarray) -> float:
+    """Jensen-Shannon distance between distributions of two count vectors."""
+    p = normalize_counts(h1)
+    q = normalize_counts(h2)
+    if p.sum() == 0 or q.sum() == 0:
+        return 0.0
+    return jensen_shannon_distance(p, q)

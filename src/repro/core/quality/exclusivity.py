@@ -1,0 +1,72 @@
+"""Exclusivity — an additional low-sensitivity quality function (future work #4).
+
+Section 8 suggests extending DPClustX "to different score functions that
+emphasize different facets of explainability".  This module contributes one
+such facet with the same formal guarantees as the paper's scores:
+
+``Exc_p(D, f, c, A) = sum_{a in dom(A)} max(2 * cnt_{A=a}(D_c) - cnt_{A=a}(D), 0)``
+
+i.e. the amount of *majority mass*: how many cluster tuples sit in bins where
+the cluster holds the strict majority of the dataset.  It rewards attributes
+whose values are not merely shifted (interestingness) or predictive
+(sufficiency) but *dominated* by the cluster — the bins a human would point
+at and say "these are basically all cluster-c patients".
+
+Formal properties (proved in the docstrings below, property-tested in
+``tests/test_exclusivity.py``):
+
+* **Range** ``[0, |D_c|]`` — matching ``Int_p`` / ``Suf_p`` so the scores are
+  directly comparable and mixable (the Section 4.2 design requirement).
+* **Sensitivity <= 1** — adding one tuple changes exactly one bin ``a``:
+  if the tuple joins ``D_c``, the bin's term ``max(2 c_a - d_a, 0)`` moves by
+  at most ``|2(c_a+1) - (d_a+1) - (2 c_a - d_a)| = 1``; if it joins outside
+  ``D_c``, by at most ``|-(1)| = 1``; clamping at 0 only shrinks changes.
+  Hence ``Exc_p`` plugs into Algorithm 1's Gumbel noise unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counts import CountsProvider
+
+
+def exclusivity_low_sens(counts: CountsProvider, c: int, name: str) -> float:
+    """``Exc_p``: cluster mass in bins where the cluster holds the majority."""
+    h = np.asarray(counts.full(name), dtype=np.float64)
+    h_c = np.asarray(counts.cluster(name, c), dtype=np.float64)
+    return float(np.maximum(2.0 * h_c - h, 0.0).sum())
+
+
+def exclusivity_range(counts: CountsProvider, c: int, name: str) -> float:
+    """The range upper bound ``|D_c|`` (attained when D_c's values are unique)."""
+    return counts.cluster_size(name, c)
+
+
+def mixed_score(
+    counts: CountsProvider,
+    c: int,
+    name: str,
+    gamma_int: float,
+    gamma_suf: float,
+    gamma_exc: float,
+) -> float:
+    """A 3-way convex mix of Int_p, Suf_p and Exc_p.
+
+    By Lemma A.3, a convex combination of sensitivity-1 functions has
+    sensitivity <= 1, so this is a drop-in Stage-1 score.
+    """
+    total = gamma_int + gamma_suf + gamma_exc
+    if total <= 0 or min(gamma_int, gamma_suf, gamma_exc) < 0:
+        raise ValueError("gammas must be non-negative and not all zero")
+    from .interestingness import interestingness_low_sens
+    from .sufficiency import sufficiency_low_sens
+
+    score = 0.0
+    if gamma_int:
+        score += gamma_int * interestingness_low_sens(counts, c, name)
+    if gamma_suf:
+        score += gamma_suf * sufficiency_low_sens(counts, c, name)
+    if gamma_exc:
+        score += gamma_exc * exclusivity_low_sens(counts, c, name)
+    return score / total

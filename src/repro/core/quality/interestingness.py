@@ -1,0 +1,69 @@
+"""Interestingness: sensitive TVD form (Eq. 1) and the low-sensitivity
+``Int_p`` of Definition 4.3.
+
+``Int_p(D, f, c, A) = (1/2) * sum_a |cnt_{A=a}(D_c) - (|D_c|/|D|) cnt_{A=a}(D)|
+                    = |D_c| * TVD(pi_A(D), pi_A(D_c))``
+
+has sensitivity 1 and range ``[0, |D_c|]`` (Proposition 4.4) and preserves
+the per-cluster TVD ranking of attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counts import CountsProvider
+from .distances import jsd_counts, tvd_counts
+
+
+def interestingness_tvd(counts: CountsProvider, c: int, name: str) -> float:
+    """Sensitive interestingness: ``TVD(pi_A(D), pi_A(D_c))`` (Eq. 1).
+
+    Range [0, 1]; sensitivity at least 1/2 (Proposition 4.1) — *not* used
+    inside DP selection, only for evaluation and the DP-TabEE baseline.
+    """
+    return tvd_counts(counts.full(name), counts.cluster(name, c))
+
+
+def interestingness_jsd(counts: CountsProvider, c: int, name: str) -> float:
+    """Sensitive Jensen-Shannon interestingness (Appendix A, Prop. A.5)."""
+    from .distances import normalize_counts
+
+    p = normalize_counts(counts.full(name))
+    q = normalize_counts(counts.cluster(name, c))
+    if p.sum() == 0 or q.sum() == 0:
+        return 0.0
+    return jsd_counts(counts.full(name), counts.cluster(name, c))
+
+
+def interestingness_low_sens(counts: CountsProvider, c: int, name: str) -> float:
+    """``Int_p`` (Definition 4.3): sensitivity-1, range ``[0, |D_c|]``."""
+    h = np.asarray(counts.full(name), dtype=np.float64)
+    h_c = np.asarray(counts.cluster(name, c), dtype=np.float64)
+    n = counts.total(name)
+    n_c = counts.cluster_size(name, c)
+    if n <= 0:
+        return 0.0
+    return 0.5 * float(np.abs(h_c - (n_c / n) * h).sum())
+
+
+def global_interestingness_low_sens(
+    counts: CountsProvider, attributes: "tuple[str, ...] | list[str]"
+) -> float:
+    """``Int_p(D, f, AC) = (1/|C|) * sum_c Int_p(D, f, c, AC(c))`` (Def. 4.13)."""
+    k = counts.n_clusters
+    if len(attributes) != k:
+        raise ValueError("need one attribute per cluster")
+    return sum(
+        interestingness_low_sens(counts, c, a) for c, a in enumerate(attributes)
+    ) / float(k)
+
+
+def global_interestingness_tvd(
+    counts: CountsProvider, attributes: "tuple[str, ...] | list[str]"
+) -> float:
+    """Sensitive global interestingness: average per-cluster TVD (Section 4.1)."""
+    k = counts.n_clusters
+    if len(attributes) != k:
+        raise ValueError("need one attribute per cluster")
+    return sum(interestingness_tvd(counts, c, a) for c, a in enumerate(attributes)) / float(k)

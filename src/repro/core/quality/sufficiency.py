@@ -1,0 +1,74 @@
+"""Sufficiency: the tuple-averaged ``Suf`` of [8, 10] and the
+low-sensitivity ``Suf_p`` of Definition 4.6.
+
+``Suf_p(D, f, c, A) = sum_{a in dom_{D_c}(A)} cnt_{A=a}(D_c)^2 / cnt_{A=a}(D)``
+
+has sensitivity 1 and range ``[0, |D_c|]`` (Proposition 4.7(2)), and relates
+to the sensitive global sufficiency by
+``|D| * Suf(D, f, AC) = sum_c Suf_p(D, f, c, AC(c))`` (Proposition 4.7(1)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counts import CountsProvider
+
+
+def sufficiency_low_sens(counts: CountsProvider, c: int, name: str) -> float:
+    """``Suf_p`` (Definition 4.6); maximal when cluster values are exclusive."""
+    h = np.asarray(counts.full(name), dtype=np.float64)
+    h_c = np.asarray(counts.cluster(name, c), dtype=np.float64)
+    mask = h_c > 0
+    if not np.any(mask):
+        return 0.0
+    denom = np.maximum(h[mask], h_c[mask])  # exact counts: h >= h_c always;
+    # noisy providers may violate that, so clamp to keep the ratio <= count.
+    return float(np.sum(h_c[mask] * h_c[mask] / np.maximum(denom, 1e-12)))
+
+
+def global_sufficiency_low_sens(
+    counts: CountsProvider, attributes: "tuple[str, ...] | list[str]"
+) -> float:
+    """``Suf_p(D, f, AC) = (1/|C|) * sum_c Suf_p(D, f, c, AC(c))`` (Def. 4.13)."""
+    k = counts.n_clusters
+    if len(attributes) != k:
+        raise ValueError("need one attribute per cluster")
+    return sum(sufficiency_low_sens(counts, c, a) for c, a in enumerate(attributes)) / float(k)
+
+
+def global_sufficiency_sensitive(
+    counts: CountsProvider, attributes: "tuple[str, ...] | list[str]"
+) -> float:
+    """Sensitive ``Suf(D, f, AC)`` in [0, 1] via Proposition 4.7(1).
+
+    Equals the tuple-average of local sufficiencies ``ms_AC(t)`` (Eqs. 2-3);
+    computed as ``(1/|D|) * sum_c Suf_p`` which is exactly the identity the
+    proposition proves.  With noisy counts the per-attribute noisy total
+    stands in for ``|D|``.
+    """
+    k = counts.n_clusters
+    if len(attributes) != k:
+        raise ValueError("need one attribute per cluster")
+    acc = 0.0
+    for c, a in enumerate(attributes):
+        n = counts.total(a)
+        if n > 0:
+            acc += sufficiency_low_sens(counts, c, a) / n
+    return acc
+
+
+def cluster_sufficiency_normalized(
+    counts: CountsProvider, c: int, name: str
+) -> float:
+    """``Suf_p / |D_c|`` in [0, 1] — the per-cluster average local sufficiency.
+
+    Used by the TabEE baseline's single-cluster ranking so that the
+    interestingness (TVD, range [0,1]) and sufficiency terms are comparable,
+    mirroring how the low-sensitivity variants share the range [0, |D_c|]
+    (Section 4.2, third motivation).
+    """
+    n_c = counts.cluster_size(name, c)
+    if n_c <= 0:
+        return 0.0
+    return sufficiency_low_sens(counts, c, name) / n_c

@@ -1,0 +1,122 @@
+"""Algorithm 1 — Select-Candidates: private per-cluster top-k attributes.
+
+For each cluster the single-cluster score (Definition 4.11) of every
+attribute is perturbed once with ``Gumbel(sigma)``, ``sigma = 2k /
+eps_Topk`` where ``eps_Topk = eps_CandSet / |C|``; the k noisy-best
+attributes form the cluster's candidate set ``S_c``.  The procedure is the
+One-shot Top-k mechanism [15] applied per cluster, and satisfies
+``eps_CandSet``-DP overall (Proposition 5.1) — parallel composition does
+*not* apply because each score reads the full dataset, not just the cluster
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..privacy.budget import PrivacyAccountant, check_epsilon
+from ..privacy.rng import ensure_rng
+from ..privacy.topk import OneShotTopK
+from .counts import CountsProvider
+from .quality.scores import SCORE_SENSITIVITY, single_cluster_score
+
+ScoreFn = Callable[[CountsProvider, int, str], float]
+"""A single-cluster quality score ``(counts, cluster, attribute) -> float``.
+
+Custom scores (Section 8's future work #4) plug into Algorithm 1 through the
+``score_fn`` parameter; the caller must supply a valid sensitivity upper
+bound via ``score_sensitivity`` for the DP guarantee to hold.
+"""
+
+
+@dataclass(frozen=True)
+class CandidateSelection:
+    """Output of Algorithm 1: the per-cluster candidate sets ``S_c``.
+
+    ``candidate_sets[c]`` lists attribute names in descending noisy-score
+    order; ``noisy_scores[c]`` holds the matching noisy scores (released
+    alongside by post-processing of the same mechanism output).
+    """
+
+    candidate_sets: tuple[tuple[str, ...], ...]
+    noisy_scores: tuple[tuple[float, ...], ...]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.candidate_sets)
+
+    @property
+    def k(self) -> int:
+        return len(self.candidate_sets[0]) if self.candidate_sets else 0
+
+
+def select_candidates(
+    counts: CountsProvider,
+    gamma: tuple[float, float],
+    eps_cand_set: float,
+    k: int,
+    rng: np.random.Generator | int | None = None,
+    accountant: PrivacyAccountant | None = None,
+    names: tuple[str, ...] | None = None,
+    score_sensitivity: float = SCORE_SENSITIVITY,
+    score_fn: ScoreFn | None = None,
+) -> CandidateSelection:
+    """Run Algorithm 1 and return the candidate sets ``S_{c_1}, ..., S_{c_|C|}``.
+
+    Parameters
+    ----------
+    counts:
+        Group-by counts of the sensitive dataset under the clustering.
+    gamma:
+        ``(gamma_Int, gamma_Suf)`` — non-negative, summing to 1.
+    eps_cand_set:
+        Stage-1 privacy budget ``eps_CandSet``.
+    k:
+        Candidate-set cardinality.
+    names:
+        Attribute pool ``A`` (defaults to every attribute of the dataset).
+    score_sensitivity:
+        Sensitivity bound used to scale the Gumbel noise; 1 for
+        ``Score_gamma`` (Proposition 4.12).
+    score_fn:
+        Optional custom single-cluster score replacing ``Score_gamma``
+        (future work #4); ``gamma`` is ignored when provided, and
+        ``score_sensitivity`` must upper-bound the custom score's
+        sensitivity.
+    """
+    check_epsilon(eps_cand_set, name="eps_cand_set")
+    gamma_int, gamma_suf = gamma
+    if gamma_int < 0 or gamma_suf < 0 or not np.isclose(gamma_int + gamma_suf, 1.0):
+        raise ValueError("gamma must be non-negative and sum to 1")
+    names = names if names is not None else counts.names
+    if k < 1 or k > len(names):
+        raise ValueError(f"k must be in [1, |A|] = [1, {len(names)}], got {k}")
+
+    gen = ensure_rng(rng)
+    n_clusters = counts.n_clusters
+    eps_topk = eps_cand_set / n_clusters  # Line 1
+    mechanism = OneShotTopK(eps_topk, k, score_sensitivity)  # Line 2: sigma = 2k/eps
+
+    sets: list[tuple[str, ...]] = []
+    released_scores: list[tuple[float, ...]] = []
+    for c in range(n_clusters):  # Line 3
+        if score_fn is None:
+            scores = np.array(
+                [
+                    single_cluster_score(counts, c, a, gamma_int, gamma_suf)
+                    for a in names
+                ]
+            )  # Line 5 (true part)
+        else:
+            scores = np.array([score_fn(counts, c, a) for a in names])
+        noisy = mechanism.noisy_scores(scores, gen)  # Line 5 (noise)
+        order = np.argsort(-noisy, kind="stable")  # Line 7
+        top = order[:k]  # Lines 8-9
+        sets.append(tuple(names[i] for i in top))
+        released_scores.append(tuple(float(noisy[i]) for i in top))
+    if accountant is not None:
+        accountant.spend(eps_cand_set, "stage1: candidate sets (one-shot top-k)")
+    return CandidateSelection(tuple(sets), tuple(released_scores))  # Line 11

@@ -1,0 +1,143 @@
+"""Dependency-free SVG rendering of histogram explanations (Figure 2a style).
+
+Produces the paper's paired-bar visualisation — blue bars for the cluster,
+red for the rest — as standalone SVG text.  Pure post-processing of released
+histograms; no plotting libraries required.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from .hbe import GlobalExplanation, SingleClusterExplanation
+
+CLUSTER_COLOR = "#4C72B0"  # blue, as in Figure 2a
+REST_COLOR = "#C44E52"  # red
+
+
+def _bar(x: float, y: float, w: float, h: float, color: str, title: str) -> str:
+    return (
+        f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+        f'fill="{color}"><title>{escape(title)}</title></rect>'
+    )
+
+
+def render_svg(
+    explanation: SingleClusterExplanation,
+    width: int = 640,
+    height: int = 360,
+    cluster_name: str | None = None,
+) -> str:
+    """Render one paired histogram as an SVG document string."""
+    if width < 100 or height < 80:
+        raise ValueError("canvas too small")
+    rest, cluster = explanation.normalized()
+    domain = explanation.attribute.domain
+    m = len(domain)
+    label = cluster_name or f"Cluster {explanation.cluster + 1}"
+
+    margin_l, margin_r, margin_t, margin_b = 48, 12, 34, 84
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    peak = max(float(cluster.max(initial=0.0)), float(rest.max(initial=0.0)), 1e-9)
+    group_w = plot_w / m
+    bar_w = group_w * 0.38
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">'
+        f"{escape(repr(explanation.attribute.name))} — {escape(label)} vs Rest</text>",
+    ]
+    # y axis: 0..peak as frequency (%)
+    for frac in (0.0, 0.5, 1.0):
+        y = margin_t + plot_h * (1 - frac)
+        value = 100.0 * peak * frac
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.0f}%</text>'
+        )
+    for i, value in enumerate(domain):
+        gx = margin_l + i * group_w
+        h_c = plot_h * float(cluster[i]) / peak
+        h_r = plot_h * float(rest[i]) / peak
+        parts.append(
+            _bar(
+                gx + group_w * 0.08,
+                margin_t + plot_h - h_c,
+                bar_w,
+                h_c,
+                CLUSTER_COLOR,
+                f"{label} {value}: {100 * cluster[i]:.1f}%",
+            )
+        )
+        parts.append(
+            _bar(
+                gx + group_w * 0.54,
+                margin_t + plot_h - h_r,
+                bar_w,
+                h_r,
+                REST_COLOR,
+                f"Rest {value}: {100 * rest[i]:.1f}%",
+            )
+        )
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" y="{margin_t + plot_h + 12:.0f}" '
+            f'text-anchor="end" font-family="sans-serif" font-size="9" '
+            f'transform="rotate(-40 {gx + group_w / 2:.1f} '
+            f'{margin_t + plot_h + 12:.0f})">{escape(value)}</text>'
+        )
+    # legend
+    ly = height - 18
+    parts.append(f'<rect x="{margin_l}" y="{ly - 9}" width="10" height="10" fill="{CLUSTER_COLOR}"/>')
+    parts.append(
+        f'<text x="{margin_l + 14}" y="{ly}" font-family="sans-serif" '
+        f'font-size="11">{escape(label)}</text>'
+    )
+    parts.append(f'<rect x="{margin_l + 110}" y="{ly - 9}" width="10" height="10" fill="{REST_COLOR}"/>')
+    parts.append(
+        f'<text x="{margin_l + 124}" y="{ly}" font-family="sans-serif" '
+        f'font-size="11">Rest</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_global_svg(
+    explanation: GlobalExplanation, width: int = 640, height: int = 360
+) -> str:
+    """Stack all per-cluster panels into one vertical SVG document."""
+    panels = [
+        render_svg(e, width, height) for e in explanation.per_cluster
+    ]
+    total_h = height * len(panels)
+    inner = []
+    for i, panel in enumerate(panels):
+        body = panel.split(">", 1)[1].rsplit("</svg>", 1)[0]
+        inner.append(f'<g transform="translate(0 {i * height})">{body}</g>')
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{total_h}" viewBox="0 0 {width} {total_h}">'
+        + "".join(inner)
+        + "</svg>"
+    )
+
+
+def save_svg(
+    explanation: "GlobalExplanation | SingleClusterExplanation", path: str
+) -> None:
+    """Write an explanation's SVG rendering to ``path``."""
+    if isinstance(explanation, GlobalExplanation):
+        text = render_global_svg(explanation)
+    else:
+        text = render_svg(explanation)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

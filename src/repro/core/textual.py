@@ -1,0 +1,77 @@
+"""Rule-based textual descriptions of histogram explanations (Figure 2b).
+
+The paper attaches an LLM-generated description to each histogram pair "for
+simplicity" — the description is presentational, not part of the mechanism.
+We generate the same kind of statement deterministically: find the domain
+split that maximises the cumulative-mass contrast between the cluster and the
+rest, and phrase both sides of it.  Operating on the *released* noisy
+histograms, this is pure post-processing and costs no privacy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hbe import GlobalExplanation, SingleClusterExplanation
+
+
+def best_split(cluster_freq: np.ndarray, rest_freq: np.ndarray) -> tuple[int, float]:
+    """Index ``s`` maximising ``|F_cluster(s) - F_rest(s)|`` over prefixes.
+
+    Returns ``(split, contrast)`` where the prefix is ``domain[:split + 1]``.
+    This is the (discrete) Kolmogorov-Smirnov statistic of the two released
+    distributions, pointing at the most contrastive threshold.
+    """
+    cum_c = np.cumsum(cluster_freq)
+    cum_r = np.cumsum(rest_freq)
+    gaps = np.abs(cum_c - cum_r)
+    if gaps.size <= 1:
+        return 0, 0.0
+    split = int(np.argmax(gaps[:-1]))  # the final prefix has zero contrast
+    return split, float(gaps[split])
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:.0f}%"
+
+
+def describe_single(
+    explanation: SingleClusterExplanation, cluster_name: str | None = None
+) -> str:
+    """One-paragraph description in the style of Figure 2b."""
+    rest, cluster = explanation.normalized()
+    name = explanation.attribute.name
+    label = cluster_name or f"Cluster {explanation.cluster + 1}"
+    if cluster.sum() == 0 or rest.sum() == 0:
+        return (
+            f"The '{name}' histogram for {label} is empty after noise; "
+            "no distributional statement can be made."
+        )
+    split, contrast = best_split(cluster, rest)
+    domain = explanation.attribute.domain
+    low_side = domain[split]
+    cum_c = float(np.cumsum(cluster)[split])
+    cum_r = float(np.cumsum(rest)[split])
+    if contrast < 0.05:
+        return (
+            f"The '{name}' column values are similar inside and outside "
+            f"{label} (maximum cumulative gap {_pct(contrast)})."
+        )
+    if cum_r > cum_c:
+        return (
+            f"The '{name}' column values differ significantly. Values outside "
+            f"{label} are concentrated at or below {low_side!r} "
+            f"({_pct(cum_r)} of the rest), while {label} contains mainly "
+            f"higher values ({_pct(1.0 - cum_c)} above {low_side!r})."
+        )
+    return (
+        f"The '{name}' column values differ significantly. {label} is "
+        f"concentrated at or below {low_side!r} ({_pct(cum_c)} of the "
+        f"cluster), while values outside peak higher "
+        f"({_pct(1.0 - cum_r)} above {low_side!r})."
+    )
+
+
+def describe(explanation: GlobalExplanation) -> str:
+    """Concatenated per-cluster descriptions of a global explanation."""
+    return "\n".join(describe_single(e) for e in explanation.per_cluster)

@@ -1,0 +1,17 @@
+"""Tabular substrate: schemas with finite domains and coded columnar datasets."""
+
+from .schema import Attribute, Schema, SchemaError, binned_domain
+from .table import Dataset
+from .binning import bin_numeric, categorize, equal_width_edges, quantile_edges
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "SchemaError",
+    "binned_domain",
+    "Dataset",
+    "bin_numeric",
+    "categorize",
+    "equal_width_edges",
+    "quantile_edges",
+]

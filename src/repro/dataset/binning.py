@@ -1,0 +1,78 @@
+"""Discretization of numeric columns into interval-labelled finite domains.
+
+The paper requires every attribute to have a *discrete, finite,
+data-independent* domain; numeric and large-domain categorical attributes are
+binned "to ensure interpretable histograms" (Section 6.1, Appendix C).  These
+helpers turn raw numeric arrays into coded columns over interval domains and
+are used by the synthetic data generators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .schema import Attribute, SchemaError, binned_domain
+
+
+def bin_numeric(
+    values: np.ndarray,
+    edges: Sequence[float],
+    name: str,
+    *,
+    closed_last: bool = False,
+    fmt: str = "g",
+) -> tuple[Attribute, np.ndarray]:
+    """Bin ``values`` by ``edges`` and return ``(attribute, codes)``.
+
+    ``edges`` must be strictly increasing.  Values below ``edges[0]`` clamp to
+    the first bin; values at or above the last finite edge go to the last bin
+    (which is ``[e, inf)`` when ``closed_last`` is false).
+    """
+    edges = list(edges)
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        raise SchemaError("bin edges must be strictly increasing")
+    domain = binned_domain(edges, closed_last=closed_last, fmt=fmt)
+    attr = Attribute(name, domain)
+    interior = np.asarray(edges[1:-1] if closed_last else edges[1:-1], dtype=float)
+    codes = np.searchsorted(interior, np.asarray(values, dtype=float), side="right")
+    codes = np.clip(codes, 0, len(domain) - 1)
+    return attr, codes.astype(np.int64)
+
+
+def equal_width_edges(lo: float, hi: float, bins: int) -> list[float]:
+    """``bins + 1`` equally spaced edges on ``[lo, hi]``."""
+    if bins < 1:
+        raise SchemaError("need at least one bin")
+    if hi <= lo:
+        raise SchemaError("hi must exceed lo")
+    return list(np.linspace(lo, hi, bins + 1))
+
+
+def quantile_edges(values: np.ndarray, bins: int) -> list[float]:
+    """Approximately equal-mass edges; duplicates collapsed."""
+    if bins < 1:
+        raise SchemaError("need at least one bin")
+    qs = np.quantile(np.asarray(values, dtype=float), np.linspace(0, 1, bins + 1))
+    edges = [float(qs[0])]
+    for q in qs[1:]:
+        if q > edges[-1]:
+            edges.append(float(q))
+    if len(edges) < 2:
+        edges.append(edges[0] + 1.0)
+    return edges
+
+
+def categorize(
+    values: Sequence[str], name: str, *, domain: Sequence[str] | None = None
+) -> tuple[Attribute, np.ndarray]:
+    """Code a raw categorical column, inferring the domain if not given."""
+    if domain is None:
+        seen: dict[str, None] = {}
+        for v in values:
+            seen.setdefault(v, None)
+        domain = tuple(seen)
+    attr = Attribute(name, tuple(domain))
+    codes = np.asarray([attr.code_of(v) for v in values], dtype=np.int64)
+    return attr, codes

@@ -1,0 +1,201 @@
+"""CSV on-ramp: load real tabular files into the finite-domain data model.
+
+The paper's pipeline assumes attributes with discrete, finite,
+data-independent domains (Section 2), produced by binning numeric columns
+and mapping large categorical domains to broader categories (Appendix C).
+``load_csv`` automates that preprocessing for arbitrary CSV files:
+
+* numeric columns (every non-missing value parses as a float) are binned
+  into ``numeric_bins`` quantile intervals;
+* categorical columns keep their distinct values, capped at
+  ``max_categories`` with the tail collapsed into ``OTHER_LABEL`` —
+  mirroring Appendix C's treatment of `medical_specialty` etc.;
+* missing entries map to ``MISSING_LABEL`` (its own domain value, so the
+  histograms expose missingness rather than silently dropping rows).
+
+Caveat: inferring domains from the data makes them *data-dependent*; for a
+strict DP deployment the schema (bin edges, category lists) must be fixed
+from public knowledge or a separate budget.  ``load_csv`` is the convenience
+path for experimentation; ``load_csv_with_schema`` is the deployment path,
+coding a file against a pre-agreed public schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .binning import quantile_edges
+from .schema import Attribute, Schema, SchemaError, binned_domain
+from .table import Dataset
+
+MISSING_LABEL = "<missing>"
+OTHER_LABEL = "<other>"
+_MISSING_TOKENS = {"", "na", "n/a", "nan", "null", "?", "none"}
+
+
+def _is_missing(token: str) -> bool:
+    return token.strip().lower() in _MISSING_TOKENS
+
+
+def _try_float(token: str) -> float | None:
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def read_rows(path: str, delimiter: str = ",") -> tuple[list[str], list[list[str]]]:
+    """Read a headered CSV into (column names, raw string rows)."""
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path!r} is empty") from None
+        rows = [row for row in reader if row]
+    if len(set(header)) != len(header):
+        raise SchemaError("duplicate column names in CSV header")
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise SchemaError(f"row {i + 2} has {len(row)} fields, expected {len(header)}")
+    return header, rows
+
+
+def _infer_numeric(values: list[str]) -> "list[float | None] | None":
+    """Floats per entry (None for missing) if the column is numeric, else None."""
+    out: list[float | None] = []
+    seen_number = False
+    for v in values:
+        if _is_missing(v):
+            out.append(None)
+            continue
+        f = _try_float(v)
+        if f is None:
+            return None
+        seen_number = True
+        out.append(f)
+    return out if seen_number else None
+
+
+def _encode_numeric(
+    name: str, floats: "list[float | None]", numeric_bins: int
+) -> tuple[Attribute, np.ndarray]:
+    present = np.array([f for f in floats if f is not None], dtype=float)
+    edges = quantile_edges(present, numeric_bins)
+    domain = binned_domain(edges, closed_last=True, fmt="g")
+    has_missing = any(f is None for f in floats)
+    if has_missing:
+        domain = domain + (MISSING_LABEL,)
+    attr = Attribute(name, domain)
+    interior = np.asarray(edges[1:-1], dtype=float)
+    codes = np.empty(len(floats), dtype=np.int64)
+    n_bins = len(edges) - 1
+    for i, f in enumerate(floats):
+        if f is None:
+            codes[i] = n_bins  # the missing bin
+        else:
+            codes[i] = min(int(np.searchsorted(interior, f, side="right")), n_bins - 1)
+    return attr, codes
+
+
+def _encode_categorical(
+    name: str, values: list[str], max_categories: int
+) -> tuple[Attribute, np.ndarray]:
+    cleaned = [MISSING_LABEL if _is_missing(v) else v.strip() for v in values]
+    counts: dict[str, int] = {}
+    for v in cleaned:
+        counts[v] = counts.get(v, 0) + 1
+    ordered = sorted(counts, key=lambda v: (-counts[v], v))
+    if len(ordered) > max_categories:
+        kept = [v for v in ordered[: max_categories - 1] if v != OTHER_LABEL]
+        domain = tuple(kept) + (OTHER_LABEL,)
+        lookup = {v: i for i, v in enumerate(kept)}
+        other = len(kept)
+        codes = np.array([lookup.get(v, other) for v in cleaned], dtype=np.int64)
+    else:
+        domain = tuple(ordered)
+        lookup = {v: i for i, v in enumerate(domain)}
+        codes = np.array([lookup[v] for v in cleaned], dtype=np.int64)
+    return Attribute(name, domain), codes
+
+
+def load_csv(
+    path: str,
+    numeric_bins: int = 8,
+    max_categories: int = 30,
+    delimiter: str = ",",
+    exclude: Iterable[str] = (),
+) -> Dataset:
+    """Load a CSV file, inferring a finite-domain schema (see module docs)."""
+    if numeric_bins < 1:
+        raise SchemaError("numeric_bins must be >= 1")
+    if max_categories < 2:
+        raise SchemaError("max_categories must be >= 2")
+    header, rows = read_rows(path, delimiter)
+    excluded = set(exclude)
+    attrs: list[Attribute] = []
+    cols: dict[str, np.ndarray] = {}
+    for j, name in enumerate(header):
+        if name in excluded:
+            continue
+        values = [row[j] for row in rows]
+        floats = _infer_numeric(values)
+        if floats is not None:
+            attr, codes = _encode_numeric(name, floats, numeric_bins)
+        else:
+            attr, codes = _encode_categorical(name, values, max_categories)
+        attrs.append(attr)
+        cols[name] = codes
+    if not attrs:
+        raise SchemaError("no usable columns in CSV")
+    return Dataset(Schema(tuple(attrs)), cols)
+
+
+def load_csv_with_schema(
+    path: str, schema: Schema, delimiter: str = ","
+) -> Dataset:
+    """Code a CSV against a pre-agreed *public* schema (the strict-DP path).
+
+    Every value must be a member of its attribute's domain; missing tokens
+    map to ``MISSING_LABEL`` if the domain declares it, and unknown values
+    map to ``OTHER_LABEL`` if declared — otherwise loading fails loudly.
+    """
+    header, rows = read_rows(path, delimiter)
+    positions = {}
+    for attr in schema:
+        if attr.name not in header:
+            raise SchemaError(f"CSV is missing schema attribute {attr.name!r}")
+        positions[attr.name] = header.index(attr.name)
+    cols: dict[str, np.ndarray] = {}
+    for attr in schema:
+        j = positions[attr.name]
+        codes = np.empty(len(rows), dtype=np.int64)
+        has_missing = MISSING_LABEL in attr.domain
+        has_other = OTHER_LABEL in attr.domain
+        for i, row in enumerate(rows):
+            token = row[j].strip()
+            if _is_missing(token) and has_missing:
+                codes[i] = attr.code_of(MISSING_LABEL)
+            elif token in attr._index:  # noqa: SLF001 - hot loop, public-equivalent
+                codes[i] = attr.code_of(token)
+            elif has_other:
+                codes[i] = attr.code_of(OTHER_LABEL)
+            else:
+                raise SchemaError(
+                    f"value {token!r} not in dom({attr.name}) and no "
+                    f"{OTHER_LABEL!r} bucket declared"
+                )
+        cols[attr.name] = codes
+    return Dataset(schema, cols)
+
+
+def save_csv(dataset: Dataset, path: str, delimiter: str = ",") -> None:
+    """Write a dataset back to CSV with decoded domain values."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(dataset.schema.names)
+        for i in range(len(dataset)):
+            writer.writerow(dataset.row(i))

@@ -1,0 +1,91 @@
+"""Re-binning released or raw domains — the paper's future work #3.
+
+Section 8: "it would be intriguing to examine the impact of different
+discretization and binning approaches on the performance of our system."
+These helpers coarsen attribute domains by merging adjacent bins, enabling
+that ablation: re-bin the dataset at several granularities and compare the
+selected attributes' quality (see ``benchmarks/bench_binning.py``).
+
+Merging is a pure function of the (public, data-independent) domain, so
+re-binning a dataset costs no privacy; merging the bins of an already
+*released* histogram is post-processing.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .schema import Attribute, SchemaError
+from .table import Dataset
+
+_INTERVAL = re.compile(r"^\[\s*(?P<lo>[^,]+),\s*(?P<hi>[^)\]]+)(?P<close>[)\]])$")
+
+
+def _merge_labels(labels: "tuple[str, ...]") -> str:
+    """Human-readable label for merged bins; interval labels stay intervals."""
+    first = _INTERVAL.match(labels[0])
+    last = _INTERVAL.match(labels[-1])
+    if first and last:
+        return f"[{first.group('lo')}, {last.group('hi')}{last.group('close')}"
+    return " + ".join(labels)
+
+
+def merge_adjacent_bins(attribute: Attribute, factor: int) -> Attribute:
+    """A coarsened attribute whose bins group ``factor`` adjacent values."""
+    if factor < 1:
+        raise SchemaError("factor must be >= 1")
+    if factor == 1:
+        return attribute
+    domain = attribute.domain
+    merged = tuple(
+        _merge_labels(domain[i : i + factor]) for i in range(0, len(domain), factor)
+    )
+    if len(set(merged)) != len(merged):  # pathological labels; disambiguate
+        merged = tuple(f"{label} #{i}" for i, label in enumerate(merged))
+    return Attribute(attribute.name, merged)
+
+
+def rebin_column(codes: np.ndarray, factor: int) -> np.ndarray:
+    """Codes under the coarsened domain: integer division by ``factor``."""
+    if factor < 1:
+        raise SchemaError("factor must be >= 1")
+    return np.asarray(codes, dtype=np.int64) // factor
+
+
+def rebin_dataset(
+    dataset: Dataset,
+    factor: int,
+    names: "list[str] | None" = None,
+    min_domain: int = 2,
+) -> Dataset:
+    """Coarsen selected attributes of a dataset by ``factor``.
+
+    Attributes whose coarsened domain would drop below ``min_domain`` values
+    are left untouched (a one-bin histogram explains nothing).
+    """
+    names = list(names) if names is not None else list(dataset.schema.names)
+    new_attrs = []
+    new_cols = {}
+    for attr in dataset.schema:
+        if attr.name in names and -(-attr.domain_size // factor) >= min_domain:
+            new_attrs.append(merge_adjacent_bins(attr, factor))
+            new_cols[attr.name] = rebin_column(dataset.column(attr.name), factor)
+        else:
+            new_attrs.append(attr)
+            new_cols[attr.name] = np.asarray(dataset.column(attr.name))
+    from .schema import Schema
+
+    return Dataset(Schema(tuple(new_attrs)), new_cols)
+
+
+def rebin_histogram(hist: np.ndarray, factor: int) -> np.ndarray:
+    """Merge adjacent bins of a (possibly released noisy) histogram."""
+    if factor < 1:
+        raise SchemaError("factor must be >= 1")
+    hist = np.asarray(hist, dtype=np.float64)
+    pad = (-len(hist)) % factor
+    if pad:
+        hist = np.concatenate([hist, np.zeros(pad)])
+    return hist.reshape(-1, factor).sum(axis=1)

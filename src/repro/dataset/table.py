@@ -1,0 +1,231 @@
+"""Columnar, integer-coded implementation of the paper's dataset model.
+
+A dataset ``D`` is a bag (multiset) of tuples over ``dom(A_1) x ... x dom(A_d)``
+(Section 2).  We store it column-wise: one ``numpy`` integer array of domain
+codes per attribute.  This gives:
+
+* ``pi_A(D)`` — projection — as a single array lookup,
+* ``h_A(D)`` — the histogram of counts over ``dom(A)`` — as ``np.bincount``,
+* cluster-restricted histograms as boolean-mask bincounts,
+* and the add/remove-one-tuple operations that define *neighboring datasets*
+  (Definition 2.5), which the test-suite uses to verify sensitivity bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .schema import Attribute, Schema, SchemaError
+
+CODE_DTYPE = np.int64
+
+
+class Dataset:
+    """A bag of tuples over a :class:`~repro.dataset.schema.Schema`.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema.
+    columns:
+        ``{attribute name: int array of domain codes}``; every column must
+        have the same length and codes within the attribute's domain.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        self._schema = schema
+        if set(columns) != set(schema.names):
+            missing = set(schema.names) - set(columns)
+            extra = set(columns) - set(schema.names)
+            raise SchemaError(
+                f"columns do not match schema (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        lengths = {len(columns[n]) for n in schema.names}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self._n = lengths.pop() if lengths else 0
+        self._columns: dict[str, np.ndarray] = {}
+        for attr in schema:
+            col = np.asarray(columns[attr.name], dtype=CODE_DTYPE)
+            if col.ndim != 1:
+                raise SchemaError(f"column {attr.name!r} must be one-dimensional")
+            if col.size and (col.min() < 0 or col.max() >= attr.domain_size):
+                raise SchemaError(
+                    f"column {attr.name!r} contains codes outside "
+                    f"[0, {attr.domain_size})"
+                )
+            self._columns[attr.name] = col
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[str]]) -> "Dataset":
+        """Build a dataset from value tuples in schema attribute order."""
+        rows = list(rows)
+        cols: dict[str, list[int]] = {n: [] for n in schema.names}
+        for row in rows:
+            if len(row) != schema.width:
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema width {schema.width}"
+                )
+            for attr, value in zip(schema, row):
+                cols[attr.name].append(attr.code_of(value))
+        return cls(schema, {n: np.asarray(v, dtype=CODE_DTYPE) for n, v in cols.items()})
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Dataset":
+        """An empty bag over ``schema``."""
+        zero = {n: np.empty(0, dtype=CODE_DTYPE) for n in schema.names}
+        return cls(schema, zero)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        """``|D|`` — number of tuples."""
+        return self._n
+
+    def column(self, name: str) -> np.ndarray:
+        """``pi_A(D)`` as a read-only code array."""
+        col = self._columns[name]
+        view = col.view()
+        view.flags.writeable = False
+        return view
+
+    def row(self, i: int) -> tuple[str, ...]:
+        """The ``i``-th tuple, decoded to domain values."""
+        return tuple(
+            attr.value_of(int(self._columns[attr.name][i])) for attr in self._schema
+        )
+
+    def row_codes(self, i: int) -> tuple[int, ...]:
+        """The ``i``-th tuple as raw codes in schema order."""
+        return tuple(int(self._columns[n][i]) for n in self._schema.names)
+
+    # ------------------------------------------------------------------ #
+    # histograms & projections
+    # ------------------------------------------------------------------ #
+
+    def histogram(self, name: str, mask: np.ndarray | None = None) -> np.ndarray:
+        """``h_A(D)`` (or ``h_A(D[mask])``) — counts over ``dom(A)``.
+
+        The returned vector has length ``|dom(A)|`` and its ``a``-th entry is
+        ``cnt_{A=a}``; its L1 norm equals the number of selected tuples
+        (Corollary A.1's histogram-vector view).
+        """
+        attr = self._schema.attribute(name)
+        codes = self._columns[name]
+        if mask is not None:
+            codes = codes[mask]
+        return np.bincount(codes, minlength=attr.domain_size).astype(np.int64)
+
+    def count(self, name: str, value: str) -> int:
+        """``cnt_{A=a}(D)`` for a decoded value."""
+        attr = self._schema.attribute(name)
+        return int(np.count_nonzero(self._columns[name] == attr.code_of(value)))
+
+    def active_domain(self, name: str) -> tuple[str, ...]:
+        """``dom_D(A)`` — values occurring at least once in ``pi_A(D)``."""
+        attr = self._schema.attribute(name)
+        present = np.flatnonzero(self.histogram(name) > 0)
+        return tuple(attr.domain[i] for i in present)
+
+    # ------------------------------------------------------------------ #
+    # bag operations (neighboring datasets, subsets)
+    # ------------------------------------------------------------------ #
+
+    def subset(self, mask: np.ndarray) -> "Dataset":
+        """Return the sub-bag selected by a boolean mask or index array."""
+        return Dataset(
+            self._schema, {n: self._columns[n][mask] for n in self._schema.names}
+        )
+
+    def sample(self, fraction: float, rng: np.random.Generator) -> "Dataset":
+        """Uniformly sample ``round(fraction * |D|)`` tuples without replacement."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        m = int(round(fraction * self._n))
+        idx = rng.choice(self._n, size=m, replace=False)
+        return self.subset(np.sort(idx))
+
+    def with_tuple(self, row_codes: Sequence[int]) -> "Dataset":
+        """``D ∪ {t}`` — the neighboring dataset with one tuple added."""
+        if len(row_codes) != self._schema.width:
+            raise SchemaError("tuple arity does not match schema")
+        cols = {}
+        for attr, code in zip(self._schema, row_codes):
+            if not 0 <= code < attr.domain_size:
+                raise SchemaError(f"code {code} outside dom({attr.name})")
+            cols[attr.name] = np.append(self._columns[attr.name], CODE_DTYPE(code))
+        return Dataset(self._schema, cols)
+
+    def without_index(self, i: int) -> "Dataset":
+        """``D \\ {t_i}`` — the neighboring dataset with tuple ``i`` removed."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"row {i} out of range")
+        keep = np.ones(self._n, dtype=bool)
+        keep[i] = False
+        return self.subset(keep)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Bag union of two datasets over the same schema."""
+        if other._schema != self._schema:
+            raise SchemaError("cannot concat datasets with different schemas")
+        cols = {
+            n: np.concatenate([self._columns[n], other._columns[n]])
+            for n in self._schema.names
+        }
+        return Dataset(self._schema, cols)
+
+    # ------------------------------------------------------------------ #
+    # schema surgery
+    # ------------------------------------------------------------------ #
+
+    def project(self, names: Iterable[str]) -> "Dataset":
+        """Restrict to the given attributes (relational projection, bag kept)."""
+        names = list(names)
+        return Dataset(
+            self._schema.project(names), {n: self._columns[n] for n in names}
+        )
+
+    def with_column(self, attribute: Attribute, codes: np.ndarray) -> "Dataset":
+        """Append a new attribute column (used for correlation injection)."""
+        if attribute.name in self._schema:
+            raise SchemaError(f"attribute {attribute.name!r} already exists")
+        if len(codes) != self._n:
+            raise SchemaError("new column length does not match dataset size")
+        schema = self._schema.with_attributes([attribute])
+        cols = dict(self._columns)
+        cols[attribute.name] = np.asarray(codes, dtype=CODE_DTYPE)
+        return Dataset(schema, cols)
+
+    # ------------------------------------------------------------------ #
+    # numeric encoding for clustering substrates
+    # ------------------------------------------------------------------ #
+
+    def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Encode tuples as a float matrix of domain codes (n x d).
+
+        This mirrors the paper's preprocessing for clustering: "categorical
+        attributes are transformed into equivalent numerical data by mapping
+        each domain value to a unique integer" (Section 6.1).
+        """
+        names = list(names) if names is not None else list(self._schema.names)
+        if not names:
+            return np.empty((self._n, 0), dtype=np.float64)
+        return np.stack(
+            [self._columns[n].astype(np.float64) for n in names], axis=1
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset(n={self._n}, d={self._schema.width})"

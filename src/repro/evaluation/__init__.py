@@ -1,0 +1,34 @@
+"""Evaluation measures (Section 6.1): sensitive Quality and discrete MAE."""
+
+from .mae import mae
+from .quality import QualityEvaluator, quality
+from .stats import (
+    PairedComparison,
+    Summary,
+    bootstrap_mean,
+    paired_bootstrap,
+    relative_gap,
+)
+from .runner import (
+    Selector,
+    TrialResult,
+    format_results_table,
+    make_selectors,
+    run_trials,
+)
+
+__all__ = [
+    "mae",
+    "QualityEvaluator",
+    "quality",
+    "PairedComparison",
+    "Summary",
+    "bootstrap_mean",
+    "paired_bootstrap",
+    "relative_gap",
+    "Selector",
+    "TrialResult",
+    "format_results_table",
+    "make_selectors",
+    "run_trials",
+]

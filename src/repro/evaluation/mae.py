@@ -1,0 +1,26 @@
+"""Discrete mean absolute error between attribute combinations (Section 6.1).
+
+``MAE(AC) = (1/|C|) * sum_c 1{AC(c) != AC*(c)}`` where ``AC*`` is the
+combination chosen by the non-private TabEE baseline.  All attributes count
+as distinct regardless of correlation; MAE = 0 means an identical choice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.hbe import AttributeCombination
+
+
+def mae(
+    combination: "AttributeCombination | Sequence[str]",
+    reference: "AttributeCombination | Sequence[str]",
+) -> float:
+    """Fraction of clusters whose selected attribute differs from the reference."""
+    a = list(combination)
+    b = list(reference)
+    if len(a) != len(b):
+        raise ValueError("combinations must cover the same clusters")
+    if not a:
+        raise ValueError("combinations must be non-empty")
+    return sum(1 for x, y in zip(a, b) if x != y) / len(a)

@@ -1,0 +1,165 @@
+"""The sensitive ``Quality`` metric of Section 6.1, with memoisation.
+
+``Quality = lambda_Int * Int + lambda_Suf * Suf + lambda_Div * Div`` where the
+three terms are the *original, sensitive* quality functions of [8] — per the
+paper, the low-sensitivity variants drive the DP algorithm, but evaluation is
+always against the sensitive originals.  ``Div`` is the permutation-based
+diversity normalised by ``|C|`` (footnote 6), so Quality lands in [0, 1].
+
+:class:`QualityEvaluator` caches the per-(cluster, attribute) terms and the
+per-(attribute, cluster-group) permutation diversities, which is what makes
+TabEE-style exhaustive Stage-2 scans over ``k^|C|`` combinations affordable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..core.counts import CountsProvider
+from ..core.quality.distances import normalize_counts, tvd_probs
+from ..core.quality.diversity import _avg_perm_div
+from ..core.quality.interestingness import interestingness_tvd
+from ..core.quality.scores import Weights
+from ..core.quality.sufficiency import sufficiency_low_sens
+from ..privacy.rng import ensure_rng
+
+
+class QualityEvaluator:
+    """Memoised evaluator of the sensitive Quality metric over combinations."""
+
+    def __init__(
+        self,
+        counts: CountsProvider,
+        weights: Weights,
+        rng: np.random.Generator | int | None = 0,
+    ):
+        self._counts = counts
+        self._weights = weights
+        self._rng = ensure_rng(rng)
+        self._int_cache: dict[tuple[int, str], float] = {}
+        self._sufp_cache: dict[tuple[int, str], float] = {}
+        self._tvd_matrix_cache: dict[str, np.ndarray] = {}
+        self._group_div_cache: dict[tuple[str, tuple[int, ...]], float] = {}
+
+    @property
+    def counts(self) -> CountsProvider:
+        return self._counts
+
+    @property
+    def weights(self) -> Weights:
+        return self._weights
+
+    # -- cached primitives ------------------------------------------------ #
+
+    def _int(self, c: int, a: str) -> float:
+        key = (c, a)
+        if key not in self._int_cache:
+            self._int_cache[key] = interestingness_tvd(self._counts, c, a)
+        return self._int_cache[key]
+
+    def _suf_p(self, c: int, a: str) -> float:
+        key = (c, a)
+        if key not in self._sufp_cache:
+            self._sufp_cache[key] = sufficiency_low_sens(self._counts, c, a)
+        return self._sufp_cache[key]
+
+    def _tvd_matrix(self, a: str) -> np.ndarray:
+        """Pairwise TVDs between all cluster distributions on attribute ``a``."""
+        if a not in self._tvd_matrix_cache:
+            k = self._counts.n_clusters
+            dists = [normalize_counts(self._counts.cluster(a, c)) for c in range(k)]
+            mat = np.zeros((k, k))
+            for i in range(k):
+                for j in range(i + 1, k):
+                    mat[i, j] = mat[j, i] = tvd_probs(dists[i], dists[j])
+            self._tvd_matrix_cache[a] = mat
+        return self._tvd_matrix_cache[a]
+
+    def _group_diversity(self, a: str, group: tuple[int, ...]) -> float:
+        """Average ``PermDiv_A`` over the clusters in ``group`` (Appendix A.3)."""
+        key = (a, group)
+        if key not in self._group_div_cache:
+            if len(group) == 1:
+                value = 1.0
+            else:
+                sub = self._tvd_matrix(a)[np.ix_(group, group)]
+                value = _avg_perm_div(sub, self._rng)
+            self._group_div_cache[key] = value
+        return self._group_div_cache[key]
+
+    # -- metric components ------------------------------------------------ #
+
+    def interestingness(self, attributes: Sequence[str]) -> float:
+        """Sensitive global interestingness: average per-cluster TVD."""
+        k = self._counts.n_clusters
+        return sum(self._int(c, a) for c, a in enumerate(attributes)) / k
+
+    def sufficiency(self, attributes: Sequence[str]) -> float:
+        """Sensitive global sufficiency via Proposition 4.7(1)."""
+        acc = 0.0
+        for c, a in enumerate(attributes):
+            n = self._counts.total(a)
+            if n > 0:
+                acc += self._suf_p(c, a) / n
+        return acc
+
+    def diversity(self, attributes: Sequence[str]) -> float:
+        """Sensitive permutation diversity, normalised by ``|C|``."""
+        by_attr: dict[str, list[int]] = {}
+        for c, a in enumerate(attributes):
+            by_attr.setdefault(a, []).append(c)
+        total = sum(
+            self._group_diversity(a, tuple(g)) for a, g in by_attr.items()
+        )
+        return total / self._counts.n_clusters
+
+    def quality(self, attributes: Sequence[str]) -> float:
+        """The combined Quality score in [0, 1]."""
+        if len(attributes) != self._counts.n_clusters:
+            raise ValueError("need one attribute per cluster")
+        w = self._weights
+        score = 0.0
+        if w.lambda_int:
+            score += w.lambda_int * self.interestingness(attributes)
+        if w.lambda_suf:
+            score += w.lambda_suf * self.sufficiency(attributes)
+        if w.lambda_div:
+            score += w.lambda_div * self.diversity(attributes)
+        return score
+
+    # -- exhaustive search (TabEE Stage-2) --------------------------------- #
+
+    def best_combination(
+        self, candidate_sets: Sequence[Sequence[str]]
+    ) -> tuple[tuple[str, ...], float]:
+        """Arg-max Quality over the product of per-cluster candidate sets."""
+        best: tuple[str, ...] | None = None
+        best_score = -np.inf
+        for combo in itertools.product(*candidate_sets):
+            s = self.quality(combo)
+            if s > best_score:
+                best, best_score = combo, s
+        if best is None:
+            raise ValueError("no candidate combinations")
+        return best, float(best_score)
+
+    def all_scores(
+        self, candidate_sets: Sequence[Sequence[str]]
+    ) -> tuple[list[tuple[str, ...]], np.ndarray]:
+        """All combinations with their Quality scores (for EM baselines)."""
+        combos = list(itertools.product(*candidate_sets))
+        scores = np.array([self.quality(c) for c in combos])
+        return combos, scores
+
+
+def quality(
+    counts: CountsProvider,
+    attributes: Sequence[str],
+    weights: Weights | None = None,
+    rng: np.random.Generator | int | None = 0,
+) -> float:
+    """Convenience one-shot Quality evaluation."""
+    return QualityEvaluator(counts, weights or Weights(), rng).quality(attributes)

@@ -1,0 +1,129 @@
+"""Repeated-trial infrastructure shared by the experiment harnesses.
+
+The paper averages every measurement over 10 runs (Section 6.2).  A *trial*
+fixes the dataset + clustering (hence the :class:`ClusteredCounts`), runs
+each explainer with a fresh seed, and scores the selected attribute
+combination with the sensitive ``Quality`` metric and the MAE against the
+non-private TabEE reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.counts import ClusteredCounts, CountsProvider
+from ..core.dpclustx import DPClustX
+from ..core.hbe import AttributeCombination
+from ..core.quality.scores import Weights
+from ..privacy.budget import ExplanationBudget
+from ..privacy.rng import ensure_rng, spawn
+from .mae import mae
+from .quality import QualityEvaluator
+
+Selector = Callable[[CountsProvider, np.random.Generator], AttributeCombination]
+
+
+def make_selectors(
+    eps_selection: float,
+    n_candidates: int = 3,
+    weights: Weights | None = None,
+) -> dict[str, Selector]:
+    """The four explainers of Section 6.1 at a given *selection* budget.
+
+    Following the paper's sweeps, ``eps_CandSet = eps_TopComb = eps/2`` for
+    DPClustX and DP-TabEE, and DP-Naive gets the whole ``eps`` for its
+    histogram releases.  TabEE ignores the budget.
+    """
+    # Imported here: baselines import the quality evaluator from this
+    # package, so a module-level import would be circular.
+    from ..baselines.dp_naive import DPNaive
+    from ..baselines.dp_tabee import DPTabEE
+    from ..baselines.tabee import TabEE
+
+    w = weights or Weights()
+    budget = ExplanationBudget.split_selection(eps_selection)
+    dpclustx = DPClustX(n_candidates, w, budget)
+    dp_tabee = DPTabEE(n_candidates, w, budget)
+    dp_naive = DPNaive(eps_selection, n_candidates, w)
+    tabee = TabEE(n_candidates, w)
+    return {
+        "DPClustX": lambda counts, rng: dpclustx.select_combination(counts, rng).combination,
+        "TabEE": lambda counts, rng: tabee.select_combination(counts, rng),
+        "DP-TabEE": lambda counts, rng: dp_tabee.select_combination(counts, rng),
+        "DP-Naive": lambda counts, rng: dp_naive.select_combination(counts, rng),
+    }
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Aggregated measurements for one explainer at one configuration."""
+
+    explainer: str
+    quality_mean: float
+    quality_std: float
+    mae_mean: float
+    n_runs: int
+
+
+def run_trials(
+    counts: ClusteredCounts,
+    selectors: Mapping[str, Selector],
+    n_runs: int = 10,
+    weights: Weights | None = None,
+    rng: np.random.Generator | int | None = 0,
+    reference: "AttributeCombination | None" = None,
+) -> list[TrialResult]:
+    """Average Quality and MAE of each selector over ``n_runs`` fresh seeds."""
+    w = weights or Weights()
+    gen = ensure_rng(rng)
+    evaluator = QualityEvaluator(counts, w, 0)
+    if reference is None:
+        from ..baselines.tabee import TabEE
+
+        reference = TabEE(weights=w).select_combination(counts, 0)
+
+    results = []
+    for name, selector in selectors.items():
+        qualities = []
+        errors = []
+        for child in spawn(gen, n_runs):
+            combination = selector(counts, child)
+            qualities.append(evaluator.quality(tuple(combination)))
+            errors.append(mae(combination, reference))
+        results.append(
+            TrialResult(
+                explainer=name,
+                quality_mean=float(np.mean(qualities)),
+                quality_std=float(np.std(qualities)),
+                mae_mean=float(np.mean(errors)),
+                n_runs=n_runs,
+            )
+        )
+    return results
+
+
+def format_results_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> str:
+    """Fixed-width table used by every experiment's console output."""
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

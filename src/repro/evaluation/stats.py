@@ -1,0 +1,97 @@
+"""Statistical helpers for experiment reporting.
+
+The paper averages each measurement over 10 runs; when *comparing* two
+explainers on the same clustering, run-to-run noise is shared (the counts
+are fixed, only the mechanisms' coins differ), so paired statistics are the
+right tool.  These helpers provide bootstrap confidence intervals and a
+paired sign/bootstrap comparison used by tests and report tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..privacy.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a bootstrap percentile confidence interval."""
+
+    mean: float
+    lo: float
+    hi: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} [{self.lo:.4f}, {self.hi:.4f}] (n={self.n})"
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    rng: np.random.Generator | int | None = 0,
+) -> Summary:
+    """Percentile-bootstrap CI of the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    gen = ensure_rng(rng)
+    if arr.size == 1:
+        return Summary(float(arr[0]), float(arr[0]), float(arr[0]), 1)
+    idx = gen.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return Summary(float(arr.mean()), float(lo), float(hi), int(arr.size))
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired bootstrap comparison of two samples."""
+
+    mean_diff: float
+    lo: float
+    hi: float
+    prob_first_better: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI of the paired difference excludes zero."""
+        return self.lo > 0.0 or self.hi < 0.0
+
+
+def paired_bootstrap(
+    first: Sequence[float],
+    second: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    rng: np.random.Generator | int | None = 0,
+) -> PairedComparison:
+    """Bootstrap the mean of paired differences ``first - second``.
+
+    Pairs must come from matched runs (same seed/clustering per index).
+    ``prob_first_better`` is the fraction of pairs where ``first`` wins
+    (ties count half).
+    """
+    a = np.asarray(list(first), dtype=np.float64)
+    b = np.asarray(list(second), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("need equally many paired values")
+    diffs = a - b
+    summary = bootstrap_mean(diffs, confidence, n_resamples, rng)
+    wins = float(np.mean((diffs > 0) + 0.5 * (diffs == 0)))
+    return PairedComparison(summary.mean, summary.lo, summary.hi, wins)
+
+
+def relative_gap(value: float, reference: float) -> float:
+    """``(reference - value) / reference`` — the paper's percentage phrasing."""
+    if reference == 0:
+        return 0.0
+    return (reference - value) / reference

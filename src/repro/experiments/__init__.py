@@ -1,0 +1,46 @@
+"""Experiment harnesses — one module per figure/table of the paper.
+
+Each module exposes ``run(config) -> rows`` and a CLI ``main()``:
+
+* ``fig5_quality``   — Fig. 5 / Fig. 11: Quality vs epsilon
+* ``fig6_mae``       — Fig. 6 / Fig. 12: MAE vs epsilon
+* ``fig7_candidates``— Fig. 7: Quality vs candidate-set size k
+* ``fig8_clusters``  — Fig. 8a/8b: Quality vs |C| and cluster size
+* ``fig9_performance`` — Fig. 9a-d: execution-time trends
+* ``fig10_case_study`` — Fig. 10 / Sec. 6.4: Census case study
+* ``table1_weights`` — Table 1: Quality per weight configuration
+* ``correlations``   — Sec. 6.2: correlated-attribute robustness
+"""
+
+from . import (
+    binning,
+    common,
+    correlations,
+    eda_comparison,
+    fig5_quality,
+    fig6_mae,
+    fig7_candidates,
+    fig8_clusters,
+    fig9_performance,
+    fig10_case_study,
+    scale,
+    table1_weights,
+)
+from .common import ExperimentConfig, quick_config
+
+__all__ = [
+    "binning",
+    "common",
+    "correlations",
+    "eda_comparison",
+    "fig5_quality",
+    "fig6_mae",
+    "fig7_candidates",
+    "fig8_clusters",
+    "fig9_performance",
+    "fig10_case_study",
+    "scale",
+    "table1_weights",
+    "ExperimentConfig",
+    "quick_config",
+]

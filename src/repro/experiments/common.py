@@ -1,0 +1,134 @@
+"""Shared configuration and plumbing for the experiment harnesses.
+
+Every harness exposes ``run(config) -> list[dict]`` returning the rows the
+paper's corresponding figure/table plots, and a ``main()`` that prints them.
+Scales default to laptop-friendly sizes; ``paper_scale=True`` switches to the
+paper's row counts (Section 6.1) where that is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..clustering import (
+    Agglomerative,
+    ClusteringFunction,
+    DPKMeans,
+    GaussianMixture,
+    KMeans,
+    KModes,
+)
+from ..core.counts import ClusteredCounts
+from ..dataset.table import Dataset
+from ..privacy.rng import ensure_rng
+from ..synth import census_like, diabetes_like, stackoverflow_like
+
+DP_KMEANS_EPSILON = 1.0  # "The budget for DP-k-means is set to eps = 1" (6.1)
+
+DEFAULT_EPS_GRID = (0.01, 0.0316, 0.1, 0.316, 1.0)  # 1e-2 .. 1e0, log-spaced
+CENSUS_EPS_GRID = (0.001, 0.00316, 0.01, 0.0316, 0.1)  # 1e-3 .. 1e-1
+
+DATASET_ROWS = {"Diabetes": 20_000, "Census": 30_000, "StackOverflow": 20_000}
+DATASET_ROWS_PAPER = {
+    "Diabetes": 101_766,
+    "Census": 2_458_285,
+    "StackOverflow": 98_855,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all harnesses (paper defaults from Section 6.1)."""
+
+    datasets: tuple[str, ...] = ("Diabetes", "Census", "StackOverflow")
+    methods: tuple[str, ...] = (
+        "k-means",
+        "DP-k-means",
+        "k-modes",
+        "GMMs",
+        "Agglomerative",
+    )
+    n_clusters: int = 5
+    n_candidates: int = 3
+    n_runs: int = 10
+    seed: int = 0
+    rows: dict[str, int] = field(default_factory=lambda: dict(DATASET_ROWS))
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """Shrink row counts uniformly (used by the pytest-benchmark wrappers)."""
+        rows = {k: max(2_000, int(v * factor)) for k, v in self.rows.items()}
+        return replace(self, rows=rows)
+
+
+def quick_config(n_runs: int = 2) -> ExperimentConfig:
+    """A small configuration for smoke tests and benchmarks."""
+    return ExperimentConfig(
+        datasets=("Diabetes",),
+        methods=("k-means",),
+        n_runs=n_runs,
+        rows={"Diabetes": 6_000, "Census": 6_000, "StackOverflow": 6_000},
+    )
+
+
+def load_dataset(name: str, n_rows: int, n_groups: int = 5, seed: int = 0) -> Dataset:
+    """Materialise one of the three synthetic stand-in datasets."""
+    factories = {
+        "Diabetes": diabetes_like,
+        "Census": census_like,
+        "StackOverflow": stackoverflow_like,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}") from None
+    return factory(n_rows=n_rows, n_groups=n_groups, seed=seed)
+
+
+def fit_clustering(
+    method: str,
+    dataset: Dataset,
+    n_clusters: int,
+    rng: np.random.Generator | int | None = 0,
+) -> ClusteringFunction:
+    """Fit one of the five clustering methods of Section 6.1."""
+    gen = ensure_rng(rng)
+    if method == "k-means":
+        return KMeans(n_clusters).fit(dataset, gen)
+    if method == "DP-k-means":
+        return DPKMeans(n_clusters, epsilon=DP_KMEANS_EPSILON).fit(dataset, gen)
+    if method == "k-modes":
+        return KModes(n_clusters).fit(dataset, gen)
+    if method == "GMMs":
+        return GaussianMixture(n_clusters, max_iter=25).fit(dataset, gen)
+    if method == "Agglomerative":
+        return Agglomerative(n_clusters).fit(dataset, gen)
+    raise ValueError(f"unknown clustering method {method!r}")
+
+
+def clustered_counts(
+    dataset_name: str,
+    method: str,
+    config: ExperimentConfig,
+    n_clusters: int | None = None,
+) -> ClusteredCounts:
+    """Dataset + clustering + counts for one experimental cell."""
+    k = n_clusters if n_clusters is not None else config.n_clusters
+    dataset = load_dataset(
+        dataset_name, config.rows[dataset_name], n_groups=k, seed=config.seed
+    )
+    clustering = fit_clustering(method, dataset, k, config.seed)
+    return ClusteredCounts(dataset, clustering)
+
+
+def methods_for(dataset_name: str, methods: tuple[str, ...]) -> tuple[str, ...]:
+    """Agglomerative is skipped on Census (Section 6.1's scalability note)."""
+    if dataset_name == "Census":
+        return tuple(m for m in methods if m != "Agglomerative")
+    return methods
+
+
+def eps_grid_for(dataset_name: str) -> tuple[float, ...]:
+    """Census sweeps 1e-3..1e-1; the other datasets sweep 1e-2..1 (Fig. 5)."""
+    return CENSUS_EPS_GRID if dataset_name == "Census" else DEFAULT_EPS_GRID

@@ -1,0 +1,72 @@
+"""Figure 5 (and appendix Figure 11): Quality vs. total selection budget eps.
+
+For each dataset x clustering method, sweep the selection budget
+``eps = eps_CandSet + eps_TopComb`` (split evenly, Section 6.2) and measure
+the sensitive Quality of the attribute combination selected by DPClustX,
+TabEE, DP-TabEE and DP-Naive, averaged over ``n_runs`` runs.  Histogram
+generation is skipped — "this experiment examines the attribute choice".
+
+Run: ``python -m repro.experiments.fig5_quality``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..evaluation.runner import format_results_table, make_selectors, run_trials
+from .common import (
+    ExperimentConfig,
+    clustered_counts,
+    eps_grid_for,
+    methods_for,
+)
+
+COLUMNS = ("dataset", "method", "epsilon", "explainer", "quality", "quality_std", "mae")
+
+
+def run(
+    config: ExperimentConfig | None = None, n_clusters: int | None = None
+) -> list[dict]:
+    """Produce the Figure 5 series (appendix Fig. 11 via ``n_clusters``)."""
+    config = config or ExperimentConfig()
+    rows: list[dict] = []
+    for dataset_name in config.datasets:
+        for method in methods_for(dataset_name, config.methods):
+            counts = clustered_counts(dataset_name, method, config, n_clusters)
+            for eps in eps_grid_for(dataset_name):
+                selectors = make_selectors(eps, config.n_candidates)
+                results = run_trials(
+                    counts, selectors, config.n_runs, rng=config.seed
+                )
+                for r in results:
+                    rows.append(
+                        {
+                            "dataset": dataset_name,
+                            "method": method,
+                            "epsilon": eps,
+                            "explainer": r.explainer,
+                            "quality": r.quality_mean,
+                            "quality_std": r.quality_std,
+                            "mae": r.mae_mean,
+                        }
+                    )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--clusters", type=int, default=None,
+                        help="override |C| (appendix Figure 11 uses 3 and 7)")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    args = parser.parse_args()
+    config = ExperimentConfig(n_runs=args.runs)
+    if args.datasets:
+        config = ExperimentConfig(n_runs=args.runs, datasets=tuple(args.datasets))
+    rows = run(config, n_clusters=args.clusters)
+    print("Figure 5 — Quality of the selected attribute combination vs epsilon")
+    print(format_results_table(rows, COLUMNS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Figure 6 (and appendix Figure 12): MAE of the selected combination vs eps.
+
+Same sweep as Figure 5, reporting the discrete MAE against the non-private
+TabEE reference combination.  MAE 0 means an identical attribute choice; all
+attributes count as distinct even when correlated (Section 6.2).
+
+Run: ``python -m repro.experiments.fig6_mae``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..evaluation.runner import format_results_table, make_selectors, run_trials
+from .common import (
+    ExperimentConfig,
+    clustered_counts,
+    eps_grid_for,
+    methods_for,
+)
+
+COLUMNS = ("dataset", "method", "epsilon", "explainer", "mae")
+DP_EXPLAINERS = ("DPClustX", "DP-TabEE", "DP-Naive")
+
+
+def run(
+    config: ExperimentConfig | None = None, n_clusters: int | None = None
+) -> list[dict]:
+    """Produce the Figure 6 series (appendix Fig. 12 via ``n_clusters``)."""
+    config = config or ExperimentConfig()
+    rows: list[dict] = []
+    for dataset_name in config.datasets:
+        for method in methods_for(dataset_name, config.methods):
+            counts = clustered_counts(dataset_name, method, config, n_clusters)
+            for eps in eps_grid_for(dataset_name):
+                selectors = {
+                    name: sel
+                    for name, sel in make_selectors(eps, config.n_candidates).items()
+                    if name in DP_EXPLAINERS
+                }
+                results = run_trials(counts, selectors, config.n_runs, rng=config.seed)
+                for r in results:
+                    rows.append(
+                        {
+                            "dataset": dataset_name,
+                            "method": method,
+                            "epsilon": eps,
+                            "explainer": r.explainer,
+                            "mae": r.mae_mean,
+                        }
+                    )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--clusters", type=int, default=None,
+                        help="override |C| (appendix Figure 12 uses 3/5/7)")
+    args = parser.parse_args()
+    rows = run(ExperimentConfig(n_runs=args.runs), n_clusters=args.clusters)
+    print("Figure 6 — MAE vs the non-private TabEE combination")
+    print(format_results_table(rows, COLUMNS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 7: Quality as the Stage-1 candidate-set size k varies (1..5).
+
+The paper finds quality peaks by k = 3 and stabilises (k-modes on Diabetes
+gains ~8% from 1 to 3; GMMs on Census gains ~40% from 1 to 2), supporting
+the default k = 3 — larger k only inflates Stage-2's k^|C| search
+(Figure 9b).
+
+Run: ``python -m repro.experiments.fig7_candidates``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..core.dpclustx import DPClustX
+from ..evaluation.quality import QualityEvaluator
+from ..evaluation.runner import format_results_table
+from ..privacy.budget import ExplanationBudget
+from ..privacy.rng import ensure_rng, spawn
+from .common import ExperimentConfig, clustered_counts, methods_for
+
+COLUMNS = ("dataset", "method", "k", "quality")
+K_GRID = (1, 2, 3, 4, 5)
+
+
+def run(config: ExperimentConfig | None = None) -> list[dict]:
+    """Quality of DPClustX's selection for each candidate-set size k."""
+    config = config or ExperimentConfig(datasets=("Diabetes", "Census"))
+    rows: list[dict] = []
+    for dataset_name in config.datasets:
+        for method in methods_for(dataset_name, config.methods):
+            counts = clustered_counts(dataset_name, method, config)
+            evaluator = QualityEvaluator(counts, DPClustX().weights, 0)
+            for k in K_GRID:
+                explainer = DPClustX(n_candidates=k, budget=ExplanationBudget())
+                gen = ensure_rng(config.seed)
+                qualities = []
+                for child in spawn(gen, config.n_runs):
+                    combo = explainer.select_combination(counts, child).combination
+                    qualities.append(evaluator.quality(tuple(combo)))
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "method": method,
+                        "k": k,
+                        "quality": float(np.mean(qualities)),
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10)
+    args = parser.parse_args()
+    rows = run(ExperimentConfig(n_runs=args.runs, datasets=("Diabetes", "Census")))
+    print("Figure 7 — Quality vs candidate-set size k (DPClustX)")
+    print(format_results_table(rows, COLUMNS))
+
+
+if __name__ == "__main__":
+    main()

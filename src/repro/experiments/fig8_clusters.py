@@ -1,0 +1,111 @@
+"""Figure 8: Quality vs number of clusters (8a) and vs cluster size (8b).
+
+8a sweeps ``|C| in {3, 5, 7, 9, 11}`` under k-means; 8b subsamples an
+``eta``-fraction of every cluster (eta in 1e-3..1) and explains the sampled
+data.  Expected shapes: quality decreases with more clusters even without
+privacy; DP methods degrade as clusters shrink while TabEE stays stable, with
+DPClustX dominating the DP baselines throughout (Section 6.2).
+
+Run: ``python -m repro.experiments.fig8_clusters``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..core.counts import ClusteredCounts
+from ..evaluation.runner import format_results_table, make_selectors, run_trials
+from ..privacy.rng import ensure_rng
+from .common import (
+    ExperimentConfig,
+    clustered_counts,
+    fit_clustering,
+    load_dataset,
+)
+
+CLUSTER_GRID = (3, 5, 7, 9, 11)
+ETA_GRID = (0.001, 0.00316, 0.01, 0.0316, 0.1, 0.316, 1.0)
+DEFAULT_EPS = 0.2  # eps_CandSet = eps_TopComb = 0.1 (Section 6.1 defaults)
+
+COLUMNS_8A = ("dataset", "n_clusters", "explainer", "quality")
+COLUMNS_8B = ("dataset", "eta", "avg_cluster_size", "explainer", "quality")
+
+
+def run_num_clusters(
+    config: ExperimentConfig | None = None, method: str = "k-means"
+) -> list[dict]:
+    """Figure 8a: Quality vs |C| for all four explainers."""
+    config = config or ExperimentConfig(datasets=("Diabetes", "Census"))
+    rows: list[dict] = []
+    for dataset_name in config.datasets:
+        for n_clusters in CLUSTER_GRID:
+            counts = clustered_counts(dataset_name, method, config, n_clusters)
+            selectors = make_selectors(DEFAULT_EPS, config.n_candidates)
+            for r in run_trials(counts, selectors, config.n_runs, rng=config.seed):
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "n_clusters": n_clusters,
+                        "explainer": r.explainer,
+                        "quality": r.quality_mean,
+                    }
+                )
+    return rows
+
+
+def run_cluster_size(
+    config: ExperimentConfig | None = None, method: str = "k-means"
+) -> list[dict]:
+    """Figure 8b: Quality vs per-cluster sampling rate eta."""
+    config = config or ExperimentConfig(datasets=("Diabetes", "Census"))
+    rows: list[dict] = []
+    for dataset_name in config.datasets:
+        dataset = load_dataset(
+            dataset_name, config.rows[dataset_name],
+            n_groups=config.n_clusters, seed=config.seed,
+        )
+        clustering = fit_clustering(method, dataset, config.n_clusters, config.seed)
+        labels = clustering.assign(dataset)
+        gen = ensure_rng(config.seed)
+        for eta in ETA_GRID:
+            keep = np.zeros(len(dataset), dtype=bool)
+            for c in range(config.n_clusters):  # sample eta within each cluster
+                members = np.flatnonzero(labels == c)
+                m = max(int(round(eta * len(members))), 1) if len(members) else 0
+                if m:
+                    keep[gen.choice(members, size=m, replace=False)] = True
+            sampled = dataset.subset(keep)
+            counts = ClusteredCounts(sampled, clustering)
+            avg_size = float(counts.sizes().mean())
+            selectors = make_selectors(DEFAULT_EPS, config.n_candidates)
+            for r in run_trials(counts, selectors, config.n_runs, rng=config.seed):
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "eta": eta,
+                        "avg_cluster_size": avg_size,
+                        "explainer": r.explainer,
+                        "quality": r.quality_mean,
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--part", choices=("a", "b", "both"), default="both")
+    args = parser.parse_args()
+    config = ExperimentConfig(n_runs=args.runs, datasets=("Diabetes", "Census"))
+    if args.part in ("a", "both"):
+        print("Figure 8a — Quality vs number of clusters (k-means)")
+        print(format_results_table(run_num_clusters(config), COLUMNS_8A))
+    if args.part in ("b", "both"):
+        print("\nFigure 8b — Quality vs per-cluster sampling rate (k-means)")
+        print(format_results_table(run_cluster_size(config), COLUMNS_8B))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Figure 9: DPClustX execution-time trends (a: |C|, b: k, c: %attrs, d: %rows).
+
+The paper's absolute numbers come from a 24-core Xeon; ours from this
+container — the *trends* are what reproduce: Stage-2 enumerates k^|C|
+combinations, so runtime grows exponentially in |C| (9a) and k (9b), while
+the Stage-1 score evaluations are linear in attributes (9c) and rows (9d).
+Timings measure the full selection (Stages 1-2) plus histogram generation,
+i.e. a complete Algorithm 2 run.
+
+Run: ``python -m repro.experiments.fig9_performance``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from ..core.counts import ClusteredCounts
+from ..core.dpclustx import DPClustX
+from ..evaluation.runner import format_results_table
+from ..privacy.rng import ensure_rng, spawn
+from .common import ExperimentConfig, fit_clustering, load_dataset
+
+COLUMNS = ("dataset", "method", "parameter", "value", "seconds")
+CLUSTER_GRID = (3, 5, 7, 9, 11)
+CANDIDATE_GRID = (1, 2, 3, 4, 5)
+FRACTION_GRID = (0.2, 0.4, 0.6, 0.8, 1.0)
+PERF_METHODS = ("k-means", "GMMs")  # the two that scale (Section 6.3)
+
+
+def _timed_explains(
+    counts: ClusteredCounts, explainer: DPClustX, n_runs: int, seed: int
+) -> float:
+    gen = ensure_rng(seed)
+    times = []
+    dataset = counts.dataset
+    children = spawn(gen, n_runs + 1)
+    # Warm-up run (not timed): populates the counts caches so every timed
+    # configuration measures the algorithm, not allocator/cache effects.
+    explainer.explain(dataset, _Precomputed(counts), children[0], counts=counts)
+    for child in children[1:]:
+        start = time.perf_counter()
+        explainer.explain(dataset, _Precomputed(counts), child, counts=counts)
+        times.append(time.perf_counter() - start)
+    return float(np.mean(times))
+
+
+class _Precomputed:
+    """Adapter: counts already hold the labels; explain() never re-assigns."""
+
+    def __init__(self, counts: ClusteredCounts):
+        self._counts = counts
+
+    @property
+    def n_clusters(self) -> int:
+        return self._counts.n_clusters
+
+    def assign(self, dataset) -> np.ndarray:  # pragma: no cover - not reached
+        return self._counts.labels
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    parts: tuple[str, ...] = ("a", "b", "c", "d"),
+) -> list[dict]:
+    """Produce Figure 9's four timing series."""
+    config = config or ExperimentConfig(n_runs=3)
+    rows: list[dict] = []
+    for dataset_name in config.datasets:
+        dataset = load_dataset(
+            dataset_name, config.rows[dataset_name], n_groups=9, seed=config.seed
+        )
+        for method in PERF_METHODS:
+            if "a" in parts:  # time vs number of clusters, k = 3
+                for n_clusters in CLUSTER_GRID:
+                    clustering = fit_clustering(method, dataset, n_clusters, config.seed)
+                    counts = ClusteredCounts(dataset, clustering)
+                    sec = _timed_explains(counts, DPClustX(3), config.n_runs, config.seed)
+                    rows.append(_row(dataset_name, method, "n_clusters", n_clusters, sec))
+            clustering9 = fit_clustering(method, dataset, 9, config.seed)
+            counts9 = ClusteredCounts(dataset, clustering9)
+            if "b" in parts:  # time vs candidate-set size, 9 clusters
+                for k in CANDIDATE_GRID:
+                    sec = _timed_explains(counts9, DPClustX(k), config.n_runs, config.seed)
+                    rows.append(_row(dataset_name, method, "n_candidates", k, sec))
+            if "c" in parts:  # time vs % of attributes sampled
+                all_names = dataset.schema.names
+                gen = ensure_rng(config.seed)
+                for frac in FRACTION_GRID:
+                    m = max(int(round(frac * len(all_names))), 9)
+                    names = tuple(
+                        all_names[i]
+                        for i in sorted(gen.choice(len(all_names), m, replace=False))
+                    )
+                    projected = dataset.project(names)
+                    counts = ClusteredCounts(projected, clustering9.assign(dataset), 9)
+                    sec = _timed_explains(counts, DPClustX(3), config.n_runs, config.seed)
+                    rows.append(_row(dataset_name, method, "attr_fraction", frac, sec))
+            if "d" in parts:  # time vs % of rows sampled
+                gen = ensure_rng(config.seed)
+                for frac in FRACTION_GRID:
+                    sampled = dataset.sample(frac, gen)
+                    counts = ClusteredCounts(sampled, clustering9)
+                    sec = _timed_explains(counts, DPClustX(3), config.n_runs, config.seed)
+                    rows.append(_row(dataset_name, method, "row_fraction", frac, sec))
+    return rows
+
+
+def _row(dataset: str, method: str, parameter: str, value, seconds: float) -> dict:
+    return {
+        "dataset": dataset,
+        "method": method,
+        "parameter": parameter,
+        "value": value,
+        "seconds": seconds,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--parts", default="abcd", help="subset of 'abcd'")
+    args = parser.parse_args()
+    config = ExperimentConfig(n_runs=args.runs)
+    rows = run(config, parts=tuple(args.parts))
+    print("Figure 9 — DPClustX execution time trends")
+    print(format_results_table(rows, COLUMNS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Differential-privacy substrate: budgets, noise mechanisms, selection, histograms."""
+
+from .bounds import (
+    SelectionPlan,
+    histogram_error_bound,
+    plan_selection_budget,
+    stage1_error_bound,
+    stage2_error_bound,
+)
+from .budget import (
+    BudgetError,
+    Charge,
+    ExplanationBudget,
+    PrivacyAccountant,
+    check_epsilon,
+)
+from .postprocess import (
+    clamp_nonnegative,
+    normalize_pair,
+    project_to_simplex_total,
+    round_to_integers,
+    uniformity_distance,
+)
+from .exponential import ExponentialMechanism
+from .hierarchical import HierarchicalHistogram
+from .histograms import (
+    GeometricHistogram,
+    HistogramMechanism,
+    LaplaceHistogram,
+    epsilon_for_l1_error,
+)
+from .mechanisms import GeometricMechanism, LaplaceMechanism, gumbel_noise
+from .rng import ensure_rng, spawn
+from .topk import OneShotTopK, iterated_em_topk
+
+__all__ = [
+    "SelectionPlan",
+    "histogram_error_bound",
+    "plan_selection_budget",
+    "stage1_error_bound",
+    "stage2_error_bound",
+    "clamp_nonnegative",
+    "normalize_pair",
+    "project_to_simplex_total",
+    "round_to_integers",
+    "uniformity_distance",
+    "BudgetError",
+    "Charge",
+    "ExplanationBudget",
+    "PrivacyAccountant",
+    "check_epsilon",
+    "ExponentialMechanism",
+    "HierarchicalHistogram",
+    "GeometricHistogram",
+    "HistogramMechanism",
+    "LaplaceHistogram",
+    "epsilon_for_l1_error",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "gumbel_noise",
+    "ensure_rng",
+    "spawn",
+    "OneShotTopK",
+    "iterated_em_topk",
+]

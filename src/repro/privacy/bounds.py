@@ -1,0 +1,146 @@
+"""Utility-bound calculators and budget planning.
+
+The paper's mechanisms come with analytic utility guarantees — Theorem 2.10
+for the exponential mechanism, Proposition 5.1(2) for Algorithm 1, the EM
+bound quoted in Appendix B for Stage-2 — and Section 2.1 notes that such
+bounds "enable accuracy control by translating accuracy requirements into
+the required privacy budget".  This module makes that translation concrete:
+given workload parameters (|A|, |C|, k, domain sizes) and an accuracy target,
+compute the bound, or invert it for the necessary epsilon.
+
+All bounds are additive errors on the *score scale* ``[0, |D_c|]`` — callers
+typically normalise by the expected cluster size to reason in relative terms
+(see :func:`plan_selection_budget`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .budget import check_epsilon
+
+
+def stage1_error_bound(
+    eps_cand_set: float,
+    n_clusters: int,
+    k: int,
+    n_attributes: int,
+    confidence: float = 0.95,
+    sensitivity: float = 1.0,
+) -> float:
+    """Proposition 5.1(2): Stage-1 per-rank additive error.
+
+    With probability at least ``confidence``, each released candidate's true
+    score is within the returned bound of the true rank-matched optimum:
+    ``(2 |C| k Delta / eps_CandSet) * (ln |A| + t)`` with ``t = ln(1/(1-conf))``.
+    """
+    check_epsilon(eps_cand_set, name="eps_cand_set")
+    _check_counts(n_clusters, k, n_attributes)
+    t = _t_for_confidence(confidence)
+    return (
+        2.0 * n_clusters * k * sensitivity / eps_cand_set
+    ) * (math.log(n_attributes) + t)
+
+
+def stage2_error_bound(
+    eps_top_comb: float,
+    n_clusters: int,
+    k: int,
+    confidence: float = 0.95,
+    sensitivity: float = 1.0,
+    ell: int = 1,
+) -> float:
+    """Theorem 2.10 applied to Stage-2's candidate space.
+
+    The EM runs over ``C(k, ell)^|C|`` combinations (``k^|C|`` when ell = 1),
+    so ``ln |R| = |C| * ln C(k, ell)`` and the bound is
+    ``(2 Delta / eps) * (|C| ln C(k, ell) + t)`` — the Appendix B expression.
+    """
+    check_epsilon(eps_top_comb, name="eps_top_comb")
+    _check_counts(n_clusters, k, k)
+    if not 1 <= ell <= k:
+        raise ValueError("ell must be in [1, k]")
+    t = _t_for_confidence(confidence)
+    log_choices = n_clusters * math.log(math.comb(k, ell))
+    return (2.0 * sensitivity / eps_top_comb) * (log_choices + t)
+
+
+def histogram_error_bound(
+    eps_hist: float, n_selected_attributes: int, domain_size: int
+) -> dict[str, float]:
+    """Expected L1 error of Algorithm 2's released histograms (Laplace scale).
+
+    Full-data histograms get ``eps_Hist / (2 |A'|)`` each; cluster histograms
+    ``eps_Hist / 2``.  Expected per-histogram L1 error of per-bin Laplace
+    noise at budget ``e`` is ``m / e`` — the Geometric mechanism's is
+    slightly smaller, so this is a safe planning estimate.
+    """
+    check_epsilon(eps_hist, name="eps_hist")
+    if n_selected_attributes < 1 or domain_size < 1:
+        raise ValueError("counts must be >= 1")
+    eps_full = eps_hist / (2.0 * n_selected_attributes)
+    eps_cluster = eps_hist / 2.0
+    return {
+        "full_histogram_l1": domain_size / eps_full,
+        "cluster_histogram_l1": domain_size / eps_cluster,
+    }
+
+
+@dataclass(frozen=True)
+class SelectionPlan:
+    """Output of :func:`plan_selection_budget`."""
+
+    eps_cand_set: float
+    eps_top_comb: float
+    stage1_bound: float
+    stage2_bound: float
+
+    @property
+    def eps_selection(self) -> float:
+        return self.eps_cand_set + self.eps_top_comb
+
+
+def plan_selection_budget(
+    target_relative_error: float,
+    expected_cluster_size: float,
+    n_clusters: int,
+    k: int = 3,
+    n_attributes: int = 47,
+    confidence: float = 0.95,
+) -> SelectionPlan:
+    """Invert the selection bounds: accuracy target -> required budget.
+
+    ``target_relative_error`` is the tolerated additive score error as a
+    fraction of the expected cluster size (the score range); e.g. 0.1 means
+    "selected attributes within 10% of optimal score, w.p. >= confidence".
+    The budget is split evenly between the stages (the paper's convention),
+    each stage sized for the target independently.
+    """
+    if not 0.0 < target_relative_error < 1.0:
+        raise ValueError("target_relative_error must be in (0, 1)")
+    if expected_cluster_size <= 0:
+        raise ValueError("expected_cluster_size must be positive")
+    target = target_relative_error * expected_cluster_size
+    t = _t_for_confidence(confidence)
+    eps1 = 2.0 * n_clusters * k * (math.log(n_attributes) + t) / target
+    eps2 = 2.0 * (n_clusters * math.log(k) + t) / target
+    return SelectionPlan(
+        eps_cand_set=eps1,
+        eps_top_comb=eps2,
+        stage1_bound=stage1_error_bound(eps1, n_clusters, k, n_attributes, confidence),
+        stage2_bound=stage2_error_bound(eps2, n_clusters, k, confidence),
+    )
+
+
+def _t_for_confidence(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    return math.log(1.0 / (1.0 - confidence))
+
+
+def _check_counts(n_clusters: int, k: int, n_attributes: int) -> None:
+    if n_clusters < 1 or k < 1 or n_attributes < 1:
+        raise ValueError("counts must be >= 1")
+    if k > n_attributes:
+        raise ValueError("k cannot exceed |A|")

@@ -1,0 +1,147 @@
+"""Privacy budgets and the composition calculus of Proposition 2.7.
+
+:class:`PrivacyAccountant` is a run-time ledger for pure epsilon-DP.  Charges
+are recorded with a label and combined under:
+
+* **sequential composition** — epsilons add;
+* **parallel composition** — the *max* epsilon over charges against disjoint
+  input partitions counts once (modelled by :meth:`PrivacyAccountant.parallel`);
+* **post-processing** — free, therefore never charged.
+
+The DPClustX facade threads an accountant through Algorithms 1-2 so the
+end-to-end guarantee of Theorem 5.3 — ``eps_CandSet + eps_TopComb + eps_Hist``
+— is checked at run time rather than only on paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class BudgetError(ValueError):
+    """Raised on non-positive epsilons or ledger misuse."""
+
+
+def check_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate that an epsilon is a positive finite float and return it."""
+    eps = float(epsilon)
+    if not eps > 0.0:
+        raise BudgetError(f"{name} must be positive, got {epsilon!r}")
+    if not eps < float("inf"):
+        raise BudgetError(f"{name} must be finite, got {epsilon!r}")
+    return eps
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One recorded privacy expenditure."""
+
+    label: str
+    epsilon: float
+    composition: str = "sequential"  # "sequential" | "parallel-group"
+
+
+@dataclass
+class PrivacyAccountant:
+    """Pure-epsilon ledger with sequential and parallel composition.
+
+    Parameters
+    ----------
+    limit:
+        Optional hard cap; :meth:`spend` raises once the sequential total
+        would exceed it (within a small float tolerance).
+    """
+
+    limit: float | None = None
+    _charges: list[Charge] = field(default_factory=list)
+
+    TOLERANCE = 1e-9
+
+    def spend(self, epsilon: float, label: str) -> None:
+        """Record a sequentially-composed charge of ``epsilon``."""
+        eps = check_epsilon(epsilon, name=f"charge {label!r}")
+        if self.limit is not None and self.total() + eps > self.limit + self.TOLERANCE:
+            raise BudgetError(
+                f"charge {label!r} of {eps} would exceed the budget limit "
+                f"{self.limit} (already spent {self.total()})"
+            )
+        self._charges.append(Charge(label, eps, "sequential"))
+
+    def parallel(self, epsilons: list[float], label: str) -> None:
+        """Record charges against *disjoint* partitions; only max(eps) counts.
+
+        This implements parallel composition (Proposition 2.7): mechanisms
+        applied to disjoint subsets of the input domain jointly satisfy
+        ``max_i eps_i``-DP.  Callers are responsible for the disjointness
+        claim (e.g. per-cluster histograms in Algorithm 2, Line 16).
+        """
+        if not epsilons:
+            raise BudgetError(f"parallel charge {label!r} needs at least one epsilon")
+        eps = max(check_epsilon(e, name=f"parallel charge {label!r}") for e in epsilons)
+        if self.limit is not None and self.total() + eps > self.limit + self.TOLERANCE:
+            raise BudgetError(
+                f"parallel charge {label!r} of {eps} would exceed the budget "
+                f"limit {self.limit} (already spent {self.total()})"
+            )
+        self._charges.append(Charge(label, eps, "parallel-group"))
+
+    def total(self) -> float:
+        """Total epsilon under sequential composition of recorded charges."""
+        return float(sum(c.epsilon for c in self._charges))
+
+    def remaining(self) -> float:
+        """Remaining budget, ``inf`` when no limit was set."""
+        if self.limit is None:
+            return float("inf")
+        return self.limit - self.total()
+
+    def charges(self) -> tuple[Charge, ...]:
+        return tuple(self._charges)
+
+    def __iter__(self) -> Iterator[Charge]:
+        return iter(self._charges)
+
+    def summary(self) -> str:
+        """Human-readable ledger dump."""
+        lines = [f"privacy ledger (total eps = {self.total():.6g})"]
+        for c in self._charges:
+            lines.append(f"  {c.label:<40s} eps={c.epsilon:<10.6g} [{c.composition}]")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExplanationBudget:
+    """The three-way budget of Algorithm 2 / Theorem 5.3.
+
+    ``eps_cand_set`` funds Stage-1 candidate selection, ``eps_top_comb`` the
+    Stage-2 exponential mechanism, ``eps_hist`` the noisy histograms.  The
+    paper's default is 0.1 each (Section 6.1).
+    """
+
+    eps_cand_set: float = 0.1
+    eps_top_comb: float = 0.1
+    eps_hist: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.eps_cand_set, name="eps_cand_set")
+        check_epsilon(self.eps_top_comb, name="eps_top_comb")
+        check_epsilon(self.eps_hist, name="eps_hist")
+
+    @property
+    def total(self) -> float:
+        """``eps_CandSet + eps_TopComb + eps_Hist`` (Theorem 5.3)."""
+        return self.eps_cand_set + self.eps_top_comb + self.eps_hist
+
+    @property
+    def selection_total(self) -> float:
+        """Budget spent on attribute *selection* only (Figures 5-6 x-axis)."""
+        return self.eps_cand_set + self.eps_top_comb
+
+    @classmethod
+    def split_selection(
+        cls, eps_selection: float, *, eps_hist: float = 0.1
+    ) -> "ExplanationBudget":
+        """Paper sweep convention: ``eps_CandSet = eps_TopComb = eps/2``."""
+        eps = check_epsilon(eps_selection, name="eps_selection")
+        return cls(eps / 2.0, eps / 2.0, eps_hist)

@@ -1,0 +1,159 @@
+"""Hierarchical DP histograms with constrained inference (Hay et al. [29]).
+
+The paper's reference [29] ("Boosting the Accuracy of Differentially Private
+Histograms Through Consistency") releases a *tree* of noisy interval counts
+over the domain and post-processes it into a consistent estimate.  Compared
+to the flat per-bin mechanisms, leaves get noisier (the budget splits across
+``h`` levels) but *range queries* — sums over contiguous bins, e.g. "how many
+patients with lab_proc >= 50", precisely the cumulative statements our
+textual descriptions make — improve from ``Theta(r)`` noise terms to
+``O(log r)``.
+
+Mechanism.  Build a ``b``-ary interval tree over the (padded) domain.  Each
+*level* is a partition of the domain, so releases within a level compose in
+parallel; the ``h`` levels compose sequentially, giving each node Laplace
+noise at ``eps / h``.  Constrained inference is Hay et al.'s two-pass
+weighted least squares:
+
+* upward: ``z[v] = ((b^l - b^(l-1)) / (b^l - 1)) * noisy[v]
+  + ((b^(l-1) - 1) / (b^l - 1)) * sum(z[children])`` (leaves: ``z = noisy``),
+  where ``l`` is the node's height (leaves at ``l = 1``);
+* downward: ``hbar[root] = z[root]``; for a child ``u`` of ``v``:
+  ``hbar[u] = z[u] + (hbar[v] - sum(z[siblings incl. u])) / b``.
+
+The released histogram is the leaf vector of ``hbar`` (consistent by
+construction: children sum to parents).  All inference is post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from .budget import check_epsilon
+from .mechanisms import LaplaceMechanism
+from .rng import ensure_rng
+
+
+def _tree_shape(n_bins: int, branching: int) -> tuple[int, int]:
+    """(padded leaf count, number of levels) for the interval tree."""
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    if branching < 2:
+        raise ValueError("branching factor must be >= 2")
+    height = 1
+    leaves = 1
+    while leaves < n_bins:
+        leaves *= branching
+        height += 1
+    return leaves, height
+
+
+@dataclass(frozen=True)
+class HierarchicalHistogram:
+    """Tree-structured DP histogram release with consistency post-processing.
+
+    Implements the same protocol as the flat mechanisms
+    (:class:`~repro.privacy.histograms.GeometricHistogram`), so it drops into
+    ``DPClustX(histogram_mechanism=HierarchicalHistogram(1.0))`` unchanged.
+    """
+
+    epsilon: float
+    branching: int = 2
+    clamp_negative: bool = True
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        if self.branching < 2:
+            raise ValueError("branching factor must be >= 2")
+
+    def release(
+        self, counts: np.ndarray, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Release a consistent noisy histogram over ``len(counts)`` bins."""
+        gen = ensure_rng(rng)
+        counts = np.asarray(counts, dtype=np.float64)
+        m = counts.shape[0]
+        leaves, height = _tree_shape(m, self.branching)
+        if height == 1:  # single bin: flat Laplace release
+            mech = LaplaceMechanism(self.epsilon, 1.0)
+            out = np.asarray(mech.randomise(counts, gen), dtype=np.float64)
+            return np.maximum(out, 0.0) if self.clamp_negative else out
+
+        padded = np.zeros(leaves)
+        padded[:m] = counts
+
+        # levels[0] = leaves ... levels[-1] = root; true interval sums.
+        levels = [padded]
+        while levels[-1].shape[0] > 1:
+            levels.append(levels[-1].reshape(-1, self.branching).sum(axis=1))
+
+        eps_level = self.epsilon / height
+        mech = LaplaceMechanism(eps_level, 1.0)
+        noisy = [np.asarray(mech.randomise(level, gen)) for level in levels]
+
+        z = self._upward_pass(noisy)
+        hbar = self._downward_pass(z)
+        out = hbar[0][:m]
+        if self.clamp_negative:
+            out = np.maximum(out, 0.0)
+        return out
+
+    def _upward_pass(self, noisy: list[np.ndarray]) -> list[np.ndarray]:
+        b = float(self.branching)
+        z: list[np.ndarray] = [noisy[0].copy()]
+        for l in range(1, len(noisy)):  # height l+1 in Hay et al.'s indexing
+            child_sums = z[l - 1].reshape(-1, self.branching).sum(axis=1)
+            bl = b ** (l + 1)
+            bl1 = b**l
+            alpha = (bl - bl1) / (bl - 1.0)
+            beta = (bl1 - 1.0) / (bl - 1.0)
+            z.append(alpha * noisy[l] + beta * child_sums)
+        return z
+
+    def _downward_pass(self, z: list[np.ndarray]) -> list[np.ndarray]:
+        b = float(self.branching)
+        hbar: list[np.ndarray] = [None] * len(z)  # type: ignore[list-item]
+        hbar[-1] = z[-1].copy()
+        for l in range(len(z) - 2, -1, -1):
+            parents = hbar[l + 1]
+            child_z = z[l].reshape(-1, self.branching)
+            correction = (parents - child_z.sum(axis=1)) / b
+            hbar[l] = (child_z + correction[:, None]).reshape(-1)
+        return hbar
+
+    def release_column(
+        self,
+        dataset: Dataset,
+        attribute: str,
+        rng: np.random.Generator | int | None = None,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``M_hist(pi_A(D), eps)`` with the hierarchical mechanism."""
+        return self.release(dataset.histogram(attribute, mask=mask), rng)
+
+    def with_epsilon(self, epsilon: float) -> "HierarchicalHistogram":
+        return HierarchicalHistogram(epsilon, self.branching, self.clamp_negative)
+
+    def range_query(
+        self,
+        released: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> float:
+        """Sum of released bins ``[lo, hi)`` (pure post-processing)."""
+        if not 0 <= lo <= hi <= len(released):
+            raise ValueError("invalid range")
+        return float(np.asarray(released)[lo:hi].sum())
+
+    def expected_leaf_variance(self, n_bins: int) -> float:
+        """Upper bound on per-leaf variance before inference: ``2 (h/eps)^2``.
+
+        Constrained inference only reduces it; used by tests as a sanity
+        ceiling.
+        """
+        _, height = _tree_shape(n_bins, self.branching)
+        scale = height / self.epsilon
+        return 2.0 * scale * scale

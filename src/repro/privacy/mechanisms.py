@@ -1,0 +1,134 @@
+"""Noise primitives: Laplace, two-sided Geometric, and Gumbel perturbation.
+
+These are the building blocks used throughout the framework:
+
+* :class:`LaplaceMechanism` — the classical calibrated-noise mechanism of
+  Dwork et al. [18]; used by our DP-k-means substrate.
+* :class:`GeometricMechanism` — the universally utility-maximising integer
+  mechanism of Ghosh et al. [26]; the paper's default histogram mechanism
+  ("We use the Geometric mechanism [26] for DP histogram generation",
+  Section 6.1).
+* :func:`gumbel_noise` — Gumbel(sigma) perturbation, the engine of both the
+  exponential mechanism (via the Gumbel-max trick) and the One-shot Top-k
+  mechanism [15] (Section 2.1, footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .budget import check_epsilon
+from .rng import ensure_rng
+
+
+def _check_sensitivity(sensitivity: float) -> float:
+    s = float(sensitivity)
+    if not s > 0.0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity!r}")
+    return s
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """Add ``Laplace(sensitivity / epsilon)`` noise to a numeric query answer.
+
+    Satisfies ``epsilon``-DP for queries with L1 sensitivity ``sensitivity``.
+    """
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        _check_sensitivity(self.sensitivity)
+
+    @property
+    def scale(self) -> float:
+        """Noise scale ``b = sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    def randomise(
+        self, values: np.ndarray | float, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray | float:
+        """Return ``values + Laplace(0, b)`` (element-wise for arrays)."""
+        gen = ensure_rng(rng)
+        arr = np.asarray(values, dtype=np.float64)
+        noisy = arr + gen.laplace(loc=0.0, scale=self.scale, size=arr.shape)
+        if np.isscalar(values) or arr.shape == ():
+            return float(noisy)
+        return noisy
+
+    def error_bound(self, beta: float = 0.05) -> float:
+        """``alpha`` s.t. ``P(|noise| > alpha) <= beta`` (per coordinate)."""
+        if not 0.0 < beta < 1.0:
+            raise ValueError("beta must be in (0, 1)")
+        return self.scale * float(np.log(1.0 / beta))
+
+
+@dataclass(frozen=True)
+class GeometricMechanism:
+    """Two-sided geometric noise for integer-valued queries [26].
+
+    The output is ``value + Z`` where ``P(Z = z) ∝ alpha^|z|`` with
+    ``alpha = exp(-epsilon / sensitivity)``.  ``Z`` is sampled as the
+    difference of two i.i.d. geometric variables, which realises exactly that
+    law.  Satisfies ``epsilon``-DP for integer queries of the stated L1
+    sensitivity, and is the default histogram mechanism (Section 6.1).
+    """
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        _check_sensitivity(self.sensitivity)
+
+    @property
+    def alpha(self) -> float:
+        """The decay parameter ``exp(-epsilon / sensitivity)``."""
+        return float(np.exp(-self.epsilon / self.sensitivity))
+
+    def sample_noise(
+        self, size: int | tuple[int, ...], rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw two-sided geometric noise of the given shape."""
+        gen = ensure_rng(rng)
+        p = 1.0 - self.alpha
+        # rng.geometric has support {1, 2, ...}; shift to {0, 1, ...}.
+        g1 = gen.geometric(p, size=size) - 1
+        g2 = gen.geometric(p, size=size) - 1
+        return (g1 - g2).astype(np.int64)
+
+    def randomise(
+        self, values: np.ndarray | int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray | int:
+        """Return ``values + Z`` with two-sided geometric ``Z``."""
+        arr = np.asarray(values, dtype=np.int64)
+        noise = self.sample_noise(arr.shape if arr.shape else 1, rng)
+        noisy = arr + (noise if arr.shape else noise[0])
+        if np.isscalar(values) or arr.shape == ():
+            return int(noisy)
+        return noisy
+
+    def variance(self) -> float:
+        """Noise variance ``2 alpha / (1 - alpha)^2``."""
+        a = self.alpha
+        return 2.0 * a / (1.0 - a) ** 2
+
+
+def gumbel_noise(
+    sigma: float,
+    size: int | tuple[int, ...],
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw Gumbel(sigma) noise: CDF ``F(z) = exp(-exp(-z / sigma))``.
+
+    This is the noise distribution of the One-shot Top-k mechanism [15]
+    (Section 2.1, footnote 1).  ``sigma`` must be positive.
+    """
+    if not sigma > 0.0:
+        raise ValueError(f"gumbel scale must be positive, got {sigma!r}")
+    gen = ensure_rng(rng)
+    return gen.gumbel(loc=0.0, scale=sigma, size=size)

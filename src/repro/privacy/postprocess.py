@@ -1,0 +1,77 @@
+"""Free post-processing transforms for released noisy histograms.
+
+Everything here consumes already-released values, so by the post-processing
+property of DP (Proposition 2.7) none of it costs privacy budget.  These are
+standard clean-up steps from the DP-histogram literature [29, 40]: clamping,
+integer rounding, and projection back onto a consistency constraint (the
+histogram should be a non-negative vector with a given total).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clamp_nonnegative(hist: np.ndarray) -> np.ndarray:
+    """Zero out negative noisy counts (Algorithm 2, Line 17 uses this)."""
+    return np.maximum(np.asarray(hist, dtype=np.float64), 0.0)
+
+
+def round_to_integers(hist: np.ndarray) -> np.ndarray:
+    """Round released counts to the nearest non-negative integers."""
+    return np.maximum(np.rint(np.asarray(hist, dtype=np.float64)), 0.0)
+
+
+def project_to_simplex_total(hist: np.ndarray, total: float) -> np.ndarray:
+    """L2-project a noisy histogram onto ``{h >= 0, sum(h) = total}``.
+
+    The classical scaled-simplex projection: sort, find the threshold tau
+    such that ``sum(max(h - tau, 0)) = total``, subtract and clamp.  Useful
+    when a (noisy or public) total is known and per-bin noise should be
+    redistributed consistently.
+    """
+    hist = np.asarray(hist, dtype=np.float64)
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if hist.ndim != 1:
+        raise ValueError("hist must be one-dimensional")
+    if total == 0:
+        return np.zeros_like(hist)
+    u = np.sort(hist)[::-1]
+    css = np.cumsum(u)
+    ks = np.arange(1, len(u) + 1)
+    thresholds = (css - total) / ks
+    valid = u - thresholds > 0
+    k = int(np.max(ks[valid]))
+    tau = (css[k - 1] - total) / k
+    return np.maximum(hist - tau, 0.0)
+
+
+def normalize_pair(
+    hist_cluster: np.ndarray, hist_full: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reconcile a released (cluster, full) histogram pair.
+
+    Enforces the structural facts that hold for exact counts: both vectors
+    non-negative, and the cluster histogram never exceeds the full one
+    bin-wise.  Returns ``(cluster, rest)`` where ``rest = full - cluster``.
+    """
+    full = clamp_nonnegative(hist_full)
+    cluster = np.minimum(clamp_nonnegative(hist_cluster), full)
+    return cluster, full - cluster
+
+
+def uniformity_distance(hist: np.ndarray) -> float:
+    """TVD of the released histogram from the uniform distribution.
+
+    A cheap released-data diagnostic: explanations whose *cluster* histogram
+    is near-uniform carry little signal (their textual description will say
+    "similar"), which usually indicates the histogram budget was too small.
+    """
+    hist = clamp_nonnegative(hist)
+    total = hist.sum()
+    if total <= 0:
+        return 0.0
+    p = hist / total
+    uniform = 1.0 / len(hist)
+    return 0.5 * float(np.abs(p - uniform).sum())

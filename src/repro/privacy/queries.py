@@ -1,0 +1,209 @@
+"""A PINQ-style private query layer over coded datasets.
+
+Section 7 situates DPClustX among interactive DP analysis systems — PINQ
+[48], PrivateSQL [36], FLEX [34], Chorus [33].  This module provides the
+minimal such layer for our data model: counting, group-by and histogram
+queries with explicit per-query budgets, charged to a shared accountant.
+It is what a "manual EDA session" (Example 1.1) would actually run on, and
+it powers ad-hoc drill-downs after an explanation
+(:meth:`repro.session.PrivateAnalysisSession.release_histogram` is the
+session-level wrapper).
+
+Predicates are restricted to per-attribute value tests combined
+conjunctively — a deliberately small language whose row-masks are cheap and
+whose sensitivity story is trivial (every query touches each tuple at most
+once, so counts have sensitivity 1; ``partition`` splits the data by an
+attribute's value, enabling parallel composition exactly as in PINQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from .budget import PrivacyAccountant, check_epsilon
+from .histograms import GeometricHistogram, HistogramMechanism
+from .mechanisms import LaplaceMechanism
+from .rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Conjunction of per-attribute membership tests.
+
+    ``Predicate({"age": ("[60, 70)", "[70, 80)"), "gender": ("Female",)})``
+    selects tuples whose ``age`` is one of the two bins *and* whose gender is
+    Female.  An empty predicate selects everything; ``impossible`` marks a
+    contradictory conjunction that selects nothing.
+    """
+
+    tests: Mapping[str, tuple[str, ...]]
+    impossible: bool = False
+
+    def __post_init__(self) -> None:
+        for name, values in self.tests.items():
+            if not values:
+                raise ValueError(f"test on {name!r} must list at least one value")
+
+    @classmethod
+    def true(cls) -> "Predicate":
+        return cls({})
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        if self.impossible:
+            return np.zeros(len(dataset), dtype=bool)
+        out = np.ones(len(dataset), dtype=bool)
+        for name, values in self.tests.items():
+            attr = dataset.schema.attribute(name)
+            codes = {attr.code_of(v) for v in values}
+            out &= np.isin(np.asarray(dataset.column(name)), list(codes))
+        return out
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        if self.impossible or other.impossible:
+            return Predicate({}, impossible=True)
+        merged: dict[str, tuple[str, ...]] = dict(self.tests)
+        for name, values in other.tests.items():
+            if name in merged:
+                both = tuple(v for v in merged[name] if v in set(values))
+                if not both:  # contradictory conjunction selects nothing
+                    return Predicate({}, impossible=True)
+                merged[name] = both
+            else:
+                merged[name] = tuple(values)
+        return Predicate(merged)
+
+
+class QueryEngine:
+    """Interactive eps-DP queries over one dataset, with shared accounting."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        accountant: PrivacyAccountant | None = None,
+        rng: np.random.Generator | int | None = None,
+        histogram_mechanism: HistogramMechanism | None = None,
+    ):
+        self._dataset = dataset
+        self._accountant = accountant if accountant is not None else PrivacyAccountant()
+        self._rng = ensure_rng(rng)
+        self._hist_mech = histogram_mechanism or GeometricHistogram(1.0)
+
+    @property
+    def accountant(self) -> PrivacyAccountant:
+        return self._accountant
+
+    @property
+    def spent(self) -> float:
+        return self._accountant.total()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def count(self, predicate: Predicate, epsilon: float) -> float:
+        """Noisy count of tuples satisfying ``predicate`` (sensitivity 1)."""
+        check_epsilon(epsilon)
+        true_count = float(predicate.mask(self._dataset).sum())
+        mech = LaplaceMechanism(epsilon, sensitivity=1.0)
+        self._accountant.spend(epsilon, f"count({dict(predicate.tests)})")
+        return float(mech.randomise(true_count, self._rng))
+
+    def total(self, epsilon: float) -> float:
+        """Noisy dataset cardinality ``|D|``."""
+        return self.count(Predicate.true(), epsilon)
+
+    def histogram(
+        self,
+        attribute: str,
+        epsilon: float,
+        predicate: Predicate | None = None,
+    ) -> np.ndarray:
+        """Noisy histogram of ``attribute`` over the selected sub-bag.
+
+        One tuple lands in exactly one bin, so releasing the whole vector
+        has sensitivity 1 and costs ``epsilon`` once (not per bin).
+        """
+        check_epsilon(epsilon)
+        mask = predicate.mask(self._dataset) if predicate is not None else None
+        counts = self._dataset.histogram(attribute, mask=mask)
+        mech = self._hist_mech.with_epsilon(epsilon)
+        self._accountant.spend(epsilon, f"histogram({attribute})")
+        return mech.release(counts, self._rng)
+
+    def group_by_count(
+        self, attribute: str, epsilon: float, predicate: Predicate | None = None
+    ) -> dict[str, float]:
+        """Noisy counts per domain value, keyed by the decoded value."""
+        hist = self.histogram(attribute, epsilon, predicate)
+        domain = self._dataset.schema.attribute(attribute).domain
+        return {v: float(hist[i]) for i, v in enumerate(domain)}
+
+    def mean(self, attribute: str, epsilon: float) -> float:
+        """Noisy mean of an attribute's *codes* (bounded by the domain).
+
+        The budget splits evenly between a noisy sum (sensitivity
+        ``|dom(A)| - 1``, the max code) and a noisy count; the ratio is
+        post-processing.  A crude but classic recipe.
+        """
+        check_epsilon(epsilon)
+        attr = self._dataset.schema.attribute(attribute)
+        codes = np.asarray(self._dataset.column(attribute), dtype=np.float64)
+        sum_mech = LaplaceMechanism(
+            epsilon / 2.0, sensitivity=float(max(attr.domain_size - 1, 1))
+        )
+        cnt_mech = LaplaceMechanism(epsilon / 2.0, sensitivity=1.0)
+        noisy_sum = float(sum_mech.randomise(float(codes.sum()), self._rng))
+        noisy_cnt = float(cnt_mech.randomise(float(len(codes)), self._rng))
+        self._accountant.spend(epsilon, f"mean({attribute})")
+        return noisy_sum / max(noisy_cnt, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # partition (parallel composition)
+    # ------------------------------------------------------------------ #
+
+    def partition(self, attribute: str) -> dict[str, "QueryEngine"]:
+        """Split into per-value engines sharing THIS engine's accountant.
+
+        The partitions are disjoint, so a round of same-epsilon queries — one
+        against each part — costs max(eps) = eps, not the sum (PINQ's
+        parallel-composition operator).  Callers should issue such rounds via
+        :meth:`partitioned_histograms` to get the parallel charge; using the
+        returned engines individually charges sequentially (safe, just
+        conservative).
+        """
+        attr = self._dataset.schema.attribute(attribute)
+        parts: dict[str, QueryEngine] = {}
+        codes = np.asarray(self._dataset.column(attribute))
+        for i, value in enumerate(attr.domain):
+            sub = self._dataset.subset(codes == i)
+            parts[value] = QueryEngine(
+                sub, self._accountant, self._rng, self._hist_mech
+            )
+        return parts
+
+    def partitioned_histograms(
+        self, partition_attribute: str, target_attribute: str, epsilon: float
+    ) -> dict[str, np.ndarray]:
+        """Per-partition histograms of ``target_attribute`` at parallel cost.
+
+        Releases one noisy histogram of ``target_attribute`` inside every
+        value-group of ``partition_attribute``; disjointness makes the whole
+        round ``epsilon``-DP (a single parallel charge).
+        """
+        check_epsilon(epsilon)
+        attr = self._dataset.schema.attribute(partition_attribute)
+        codes = np.asarray(self._dataset.column(partition_attribute))
+        mech = self._hist_mech.with_epsilon(epsilon)
+        out: dict[str, np.ndarray] = {}
+        for i, value in enumerate(attr.domain):
+            counts = self._dataset.histogram(target_attribute, mask=codes == i)
+            out[value] = mech.release(counts, self._rng)
+        self._accountant.parallel(
+            [epsilon] * attr.domain_size,
+            f"partitioned histograms({partition_attribute} -> {target_attribute})",
+        )
+        return out

@@ -1,0 +1,26 @@
+"""Randomness plumbing for DP mechanisms.
+
+Every mechanism in :mod:`repro.privacy` takes an explicit
+``numpy.random.Generator`` so that experiments are reproducible run-to-run and
+tests can pin seeds.  ``ensure_rng`` normalises the accepted spellings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "np.random.Generator | int | None"
+
+
+def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce ``None`` / seed / generator into a ``numpy.random.Generator``."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

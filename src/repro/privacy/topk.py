@@ -1,0 +1,120 @@
+"""The One-shot Top-k mechanism of Durfee & Rogers [15] (Section 2.1).
+
+To release the ``k`` highest-quality candidates under ``eps``-DP the naive
+route applies the exponential mechanism ``k`` times, re-scoring the shrinking
+candidate pool each round.  One-shot Top-k instead adds independent
+``Gumbel(sigma)`` noise with ``sigma = 2 * Delta * k / eps`` to every true
+score *once*, sorts, and releases the top ``k`` — a distribution identical to
+the iterated EM (each round at ``eps / k``), hence ``eps``-DP by sequential
+composition.  DPClustX uses it in Stage-1 (Algorithm 1) both for the privacy
+guarantee and for the ~k-fold speedup it reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .budget import check_epsilon
+from .mechanisms import gumbel_noise
+from .rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class OneShotTopK:
+    """Release the indices of the noisy top-``k`` scores.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget of the k-fold selection.
+    k:
+        Number of candidates to release.
+    sensitivity:
+        Upper bound on the score function's sensitivity ``Delta``.
+    """
+
+    epsilon: float
+    k: int
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not self.sensitivity > 0.0:
+            raise ValueError("sensitivity must be positive")
+
+    @property
+    def sigma(self) -> float:
+        """Gumbel scale ``2 * Delta * k / eps`` (Algorithm 1, Line 2)."""
+        return 2.0 * self.sensitivity * self.k / self.epsilon
+
+    def noisy_scores(
+        self, scores: np.ndarray, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """``scores + Gumbel(sigma)`` — Line 5 of Algorithm 1."""
+        scores = np.asarray(scores, dtype=np.float64)
+        return scores + gumbel_noise(self.sigma, scores.shape, rng)
+
+    def select(
+        self, scores: np.ndarray, rng: np.random.Generator | int | None = None
+    ) -> list[int]:
+        """Return the ``k`` candidate indices with highest noisy scores.
+
+        The order of the returned list is the descending noisy-score order
+        (Lines 7-9 of Algorithm 1), i.e. the first element is the noisy-best.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise ValueError("scores must be a 1-D array")
+        if scores.size < self.k:
+            raise ValueError(
+                f"cannot select top-{self.k} from {scores.size} candidates"
+            )
+        gen = ensure_rng(rng)
+        noisy = self.noisy_scores(scores, gen)
+        order = np.argsort(-noisy, kind="stable")
+        return [int(i) for i in order[: self.k]]
+
+    def utility_bound(self, n_candidates: int, t: float) -> float:
+        """Per-rank additive error bound used in Proposition 5.1(2).
+
+        With probability ``>= 1 - e^{-t}`` the ell-th released candidate
+        scores within ``(2 Delta k / eps) * (ln |A| + t)`` of the true ell-th
+        best.
+        """
+        if n_candidates < 1:
+            raise ValueError("need at least one candidate")
+        return (2.0 * self.sensitivity * self.k / self.epsilon) * (
+            np.log(n_candidates) + t
+        )
+
+
+def iterated_em_topk(
+    scores: np.ndarray,
+    k: int,
+    epsilon: float,
+    sensitivity: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Reference implementation: ``k`` rounds of EM at ``eps / k`` each.
+
+    Used by tests and the ablation bench to check the One-shot mechanism's
+    distributional equivalence and speed advantage.  Each round removes the
+    selected candidate, exactly the procedure One-shot Top-k collapses.
+    """
+    from .exponential import ExponentialMechanism
+
+    gen = ensure_rng(rng)
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size < k:
+        raise ValueError(f"cannot select top-{k} from {scores.size} candidates")
+    em = ExponentialMechanism(epsilon / k, sensitivity)
+    remaining = list(range(scores.size))
+    chosen: list[int] = []
+    for _ in range(k):
+        idx = em.select_index(scores[remaining], gen)
+        chosen.append(remaining.pop(idx))
+    return chosen

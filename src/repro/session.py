@@ -1,0 +1,180 @@
+"""Analyst sessions: one privacy budget across clustering and explanations.
+
+The paper's deployment story (Sections 1, 3) is an analyst holding a global
+privacy budget who clusters privately, explains privately, and must not
+overspend across the whole interaction.  :class:`PrivateAnalysisSession`
+packages that workflow: it owns a capped
+:class:`~repro.privacy.budget.PrivacyAccountant`, threads it through every
+operation, and refuses operations that would exceed the cap — turning
+Theorem 5.3's arithmetic into an enforced runtime contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .clustering.base import ClusteringFunction
+from .clustering.dp_kmeans import DPKMeans
+from .clustering.dp_kmodes import DPKModes
+from .core.counts import ClusteredCounts
+from .core.dpclustx import DPClustX
+from .core.hbe import GlobalExplanation
+from .core.multi import MultiDPClustX, MultiGlobalExplanation
+from .core.quality.scores import Weights
+from .dataset.table import Dataset
+from .privacy.budget import BudgetError, ExplanationBudget, PrivacyAccountant
+from .privacy.rng import ensure_rng
+
+
+@dataclass
+class PrivateAnalysisSession:
+    """A budget-capped analysis session over one sensitive dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The sensitive dataset; never released, only queried through DP
+        mechanisms.
+    total_epsilon:
+        The session-wide privacy cap.  Every operation draws from it;
+        operations that would exceed it raise
+        :class:`~repro.privacy.budget.BudgetError` *before* touching data.
+    seed:
+        Seed for the session's random generator (reproducible sessions).
+    """
+
+    dataset: Dataset
+    total_epsilon: float
+    seed: int | None = None
+    _accountant: PrivacyAccountant = field(init=False)
+    _rng: np.random.Generator = field(init=False)
+    _clustering: ClusteringFunction | None = field(init=False, default=None)
+    _counts: ClusteredCounts | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self._accountant = PrivacyAccountant(limit=self.total_epsilon)
+        self._rng = ensure_rng(self.seed)
+
+    # -- budget introspection ------------------------------------------- #
+
+    @property
+    def spent(self) -> float:
+        """Total epsilon consumed so far."""
+        return self._accountant.total()
+
+    @property
+    def remaining(self) -> float:
+        """Budget left under the session cap."""
+        return self._accountant.remaining()
+
+    def ledger(self) -> str:
+        """Human-readable charge-by-charge budget report."""
+        return self._accountant.summary()
+
+    # -- clustering ------------------------------------------------------ #
+
+    def cluster_dp_kmeans(
+        self, n_clusters: int, epsilon: float, n_iterations: int = 5
+    ) -> ClusteringFunction:
+        """Privately cluster with DP-k-means [64], charging ``epsilon``."""
+        self._require(epsilon)
+        clustering = DPKMeans(n_clusters, epsilon, n_iterations).fit(
+            self.dataset, self._rng, accountant=self._accountant
+        )
+        self._set_clustering(clustering)
+        return clustering
+
+    def cluster_dp_kmodes(
+        self, n_clusters: int, epsilon: float, n_iterations: int = 5
+    ) -> ClusteringFunction:
+        """Privately cluster with DP-k-modes [53], charging ``epsilon``."""
+        self._require(epsilon)
+        clustering = DPKModes(n_clusters, epsilon, n_iterations).fit(
+            self.dataset, self._rng, accountant=self._accountant
+        )
+        self._set_clustering(clustering)
+        return clustering
+
+    def use_clustering(self, clustering: ClusteringFunction) -> None:
+        """Adopt an externally-supplied clustering function.
+
+        The function must be data-independent (user predicates) or have been
+        computed under DP elsewhere — the session cannot verify this, so the
+        charge, if any, is the caller's responsibility (Definition 3.1's
+        black-box setting).
+        """
+        self._set_clustering(clustering)
+
+    # -- explanation ------------------------------------------------------ #
+
+    def explain(
+        self,
+        budget: ExplanationBudget | None = None,
+        n_candidates: int = 3,
+        weights: Weights | None = None,
+    ) -> GlobalExplanation:
+        """Run DPClustX (Algorithm 2) against the session clustering."""
+        clustering, counts = self._require_clustering()
+        budget = budget or ExplanationBudget()
+        self._require(budget.total)
+        explainer = DPClustX(n_candidates, weights or Weights(), budget)
+        return explainer.explain(
+            self.dataset,
+            clustering,
+            self._rng,
+            accountant=self._accountant,
+            counts=counts,
+        )
+
+    def explain_multi(
+        self,
+        ell: int = 2,
+        budget: ExplanationBudget | None = None,
+        n_candidates: int = 3,
+        weights: Weights | None = None,
+    ) -> MultiGlobalExplanation:
+        """Run the Appendix-B extension (ell explanations per cluster)."""
+        clustering, counts = self._require_clustering()
+        budget = budget or ExplanationBudget()
+        self._require(budget.total)
+        explainer = MultiDPClustX(ell, n_candidates, weights or Weights(), budget)
+        return explainer.explain(
+            self.dataset,
+            clustering,
+            self._rng,
+            accountant=self._accountant,
+            counts=counts,
+        )
+
+    def release_histogram(self, attribute: str, epsilon: float) -> np.ndarray:
+        """Release one ad-hoc noisy histogram (manual EDA step)."""
+        from .privacy.histograms import GeometricHistogram
+
+        self._require(epsilon)
+        mech = GeometricHistogram(epsilon)
+        out = mech.release_column(self.dataset, attribute, self._rng)
+        self._accountant.spend(epsilon, f"ad-hoc histogram: {attribute}")
+        return out
+
+    # -- internals --------------------------------------------------------
+
+    def _require(self, epsilon: float) -> None:
+        if epsilon > self.remaining + PrivacyAccountant.TOLERANCE:
+            raise BudgetError(
+                f"operation needs eps={epsilon:.4g} but only "
+                f"{self.remaining:.4g} of {self.total_epsilon:.4g} remains"
+            )
+
+    def _set_clustering(self, clustering: ClusteringFunction) -> None:
+        self._clustering = clustering
+        self._counts = ClusteredCounts(self.dataset, clustering)
+
+    def _require_clustering(self) -> tuple[ClusteringFunction, ClusteredCounts]:
+        if self._clustering is None or self._counts is None:
+            raise RuntimeError(
+                "no clustering in the session; call cluster_dp_kmeans/"
+                "cluster_dp_kmodes or use_clustering first"
+            )
+        return self._clustering, self._counts

@@ -1,0 +1,49 @@
+"""Synthetic data generators standing in for the paper's three datasets."""
+
+from .census import census_generator, census_like
+from .correlation import (
+    add_correlated_attributes,
+    contingency_table,
+    correlated_column,
+    cramers_v,
+    perturbed_copy,
+)
+from .diabetes import diabetes_generator, diabetes_like
+from .generator import (
+    AttributeModel,
+    PlantedClusterGenerator,
+    build_generator,
+    generic_domain,
+    noise_model,
+    peaked_distribution,
+    signal_model,
+)
+from .stackoverflow import stackoverflow_generator, stackoverflow_like
+
+DATASETS = {
+    "Diabetes": diabetes_like,
+    "Census": census_like,
+    "StackOverflow": stackoverflow_like,
+}
+
+__all__ = [
+    "census_generator",
+    "census_like",
+    "add_correlated_attributes",
+    "contingency_table",
+    "correlated_column",
+    "cramers_v",
+    "perturbed_copy",
+    "diabetes_generator",
+    "diabetes_like",
+    "AttributeModel",
+    "PlantedClusterGenerator",
+    "build_generator",
+    "generic_domain",
+    "noise_model",
+    "peaked_distribution",
+    "signal_model",
+    "stackoverflow_generator",
+    "stackoverflow_like",
+    "DATASETS",
+]

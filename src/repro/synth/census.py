@@ -1,0 +1,127 @@
+"""Census-like synthetic dataset (US Census 1990 PUMS stand-in).
+
+The real dataset [49] has 2,458,285 tuples and 68 attributes.  We reproduce
+the 68-attribute shape and plant the employment-status signal the paper's
+case study (Section 6.4, Figure 10) revolves around: ``iRlabor`` (employment
+status), ``iWork89`` (worked in 1989), ``dHours`` (hours worked last week),
+``iYearwrk`` (last year worked) and ``iMeans`` (transport to work) are
+mutually correlated signal attributes, so — as in the paper — several
+near-optimal attribute combinations exist and DP selection may pick
+correlated stand-ins without losing quality.
+
+Row count defaults to a laptop-scale 50k (the paper itself subsamples Census
+down to eta = 1e-3 in Figure 8b); pass ``n_rows`` for other scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataset.schema import Attribute
+from ..dataset.table import Dataset
+from ..privacy.rng import ensure_rng
+from .generator import (
+    AttributeModel,
+    PlantedClusterGenerator,
+    generic_domain,
+    noise_model,
+    peaked_distribution,
+    signal_model,
+)
+
+N_ROWS_PAPER = 2_458_285
+N_ATTRIBUTES = 68
+
+IRLABOR = ("Civ Emp, At Work", "N/A < 16", "Not in Labor", "Unemployed", "Armed Forces")
+IWORK89 = ("N/A < 16", "No", "Yes")
+DHOURS = ("[0, 0]", "(0, 30)", "[30, 40)", "[40, 41)", "[41, 50)", "[51, inf)")
+IYEARWRK = ("1979", "1980-1984", "1985-1987", "1989-1990", "N/A < 16", "Never Worked")
+IMEANS = ("At Home", "Car/Truck/Van", "Not a Worker", "Walked", "Transit")
+
+
+def _employment_block(n_groups: int, rng: np.random.Generator) -> list[AttributeModel]:
+    """Correlated employment attributes driving the Figure 10 case study.
+
+    Group 0 = adults not working, group 1 = under-16, group 2 = workers;
+    further groups (if any) get interpolated profiles.  The per-group peaks
+    are chosen so that iRlabor / iWork89 / dHours / iYearwrk / iMeans carry
+    the *same* latent signal through different encodings — reproducing the
+    paper's observation that DPClustX and TabEE may explain the same cluster
+    with different but correlated attributes.
+    """
+
+    def profile(peaks: list[int], domain: tuple[str, ...], name: str) -> AttributeModel:
+        probs = np.empty((n_groups, len(domain)))
+        for g in range(n_groups):
+            peak = peaks[g % len(peaks)]
+            probs[g] = peaked_distribution(len(domain), peak, 0.35, 0.08)
+        return AttributeModel(Attribute(name, domain), probs, is_signal=True)
+
+    return [
+        # group0 -> "Not in Labor"(2), group1 -> "N/A < 16"(1), group2 -> "At Work"(0)
+        profile([2, 1, 0, 3, 4], IRLABOR, "iRlabor"),
+        profile([1, 0, 2, 1, 2], IWORK89, "iWork89"),
+        profile([0, 0, 3, 1, 4], DHOURS, "dHours"),
+        profile([0, 4, 3, 5, 2], IYEARWRK, "iYearwrk"),
+        profile([2, 2, 1, 0, 3], IMEANS, "iMeans"),
+    ]
+
+
+def census_generator(
+    n_groups: int = 5, seed: int | np.random.Generator | None = 11
+) -> PlantedClusterGenerator:
+    """Build the Census-like generator (68 attributes)."""
+    rng = ensure_rng(seed)
+    models = _employment_block(n_groups, rng)
+
+    extra_signal = [
+        ("dAge", generic_domain("age", 8)),
+        ("iSchool", generic_domain("sch", 10)),
+        ("dIncome1", generic_domain("inc", 12)),
+        ("iClass", generic_domain("cls", 9)),
+        ("iFertil", generic_domain("fert", 13)),
+    ]
+    for name, domain in extra_signal:
+        models.append(signal_model(name, domain, n_groups, rng, 0.5, 0.12))
+
+    noise_names = [
+        ("iSex", 2), ("iMarital", 5), ("iCitizen", 4), ("iEnglish", 4),
+        ("iImmigr", 10), ("iLang1", 2), ("iLooking", 3), ("iMay75880", 3),
+        ("iMilitary", 4), ("iMobility", 2), ("iMobillim", 3), ("dOccup", 9),
+        ("iOthrserv", 3), ("iPerscare", 3), ("dPOB", 17), ("dPoverty", 3),
+        ("dPwgt1", 5), ("iRagechld", 4), ("dRearning", 8), ("iRelat1", 13),
+        ("iRelat2", 2), ("iRemplpar", 6), ("iRiders", 8), ("iRownchld", 2),
+        ("dRpincome", 9), ("iRPOB", 9), ("iRrelchld", 2), ("iRspouse", 6),
+        ("iRvetserv", 8), ("iSept80", 3), ("iSubfam1", 4), ("iSubfam2", 3),
+        ("iTmpabsnt", 4), ("dTravtime", 7), ("iVietnam", 3), ("dWeek89", 4),
+        ("iWWII", 3), ("iYearsch", 17), ("dAncstry1", 12), ("dAncstry2", 12),
+        ("dDepart", 6), ("iDisabl1", 3), ("iDisabl2", 3), ("iFeb55", 3),
+        ("dHispanic", 4), ("dHour89", 6), ("iKorean", 3), ("dIndustry", 13),
+        ("iAvail", 5), ("iCitizen2", 3), ("dRace", 5), ("iRlabor2", 4),
+        ("iMeans2", 5), ("dIncome2", 8), ("dIncome3", 6), ("dIncome4", 5),
+        ("dIncome5", 4), ("dIncome6", 4),
+    ]
+    n_needed = N_ATTRIBUTES - len(models)
+    for name, size in noise_names[:n_needed]:
+        models.append(noise_model(name, generic_domain(name[:4], size), n_groups, rng))
+
+    base = np.array([0.30, 0.25, 0.45], dtype=np.float64)
+    if n_groups <= 3:
+        weights = base[:n_groups] / base[:n_groups].sum()
+    else:
+        tail = rng.dirichlet(np.full(n_groups - 3, 6.0)) * 0.25
+        weights = np.concatenate([base * 0.75, tail])
+        weights = weights / weights.sum()
+    return PlantedClusterGenerator(tuple(models), weights)
+
+
+def census_like(
+    n_rows: int = 50_000,
+    n_groups: int = 5,
+    seed: int | np.random.Generator | None = 11,
+) -> Dataset:
+    """Sample a Census-like dataset (68 attributes, employment signal)."""
+    rng = ensure_rng(seed)
+    generator = census_generator(n_groups, rng)
+    dataset, _ = generator.generate(n_rows, rng)
+    return dataset

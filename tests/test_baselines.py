@@ -1,0 +1,159 @@
+"""Tests for the TabEE / DP-TabEE / DP-Naive baselines (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dp_naive import DPNaive
+from repro.baselines.dp_tabee import DPTabEE
+from repro.baselines.tabee import TabEE, rank_attributes_sensitive
+from repro.core.counts import ClusteredCounts
+from repro.core.quality.scores import Weights, sensitive_single_cluster_score
+from repro.evaluation.quality import QualityEvaluator
+from repro.privacy.budget import ExplanationBudget, PrivacyAccountant
+
+
+class TestTabEE:
+    def test_ranking_is_descending_sensitive_score(self, counts):
+        ranked = rank_attributes_sensitive(counts, 0, (0.5, 0.5))
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        direct = {
+            a: sensitive_single_cluster_score(counts, 0, a, 0.5, 0.5)
+            for a in counts.names
+        }
+        assert ranked[0][1] == pytest.approx(max(direct.values()))
+
+    def test_candidate_sets_are_top_k(self, diabetes_counts):
+        tabee = TabEE(n_candidates=3)
+        sets = tabee.candidate_sets(diabetes_counts)
+        gamma = tabee.weights.gamma()
+        for c, s in enumerate(sets):
+            ranked = [a for a, _ in rank_attributes_sensitive(diabetes_counts, c, gamma)]
+            assert list(s) == ranked[:3]
+
+    def test_selection_maximises_quality_over_pool(self, counts):
+        tabee = TabEE(n_candidates=2)
+        combo = tabee.select_combination(counts)
+        ev = QualityEvaluator(counts, tabee.weights, 0)
+        best, best_score = ev.best_combination(tabee.candidate_sets(counts))
+        assert ev.quality(tuple(combo)) == pytest.approx(best_score)
+
+    def test_deterministic(self, counts):
+        assert TabEE().select_combination(counts) == TabEE().select_combination(counts)
+
+    def test_explain_histograms_are_exact(self, dataset, clustering):
+        counts = ClusteredCounts(dataset, clustering)
+        expl = TabEE(n_candidates=2).explain(dataset, clustering, counts=counts)
+        for c, e in enumerate(expl.per_cluster):
+            full = counts.full(e.attribute.name)
+            assert np.array_equal(e.hist_cluster + e.hist_rest, full)
+            assert np.array_equal(e.hist_cluster, counts.cluster(e.attribute.name, c))
+
+    def test_picks_the_planted_signal(self, diabetes_counts):
+        # The clearly-separating attributes must dominate random noise ones.
+        combo = TabEE().select_combination(diabetes_counts)
+        signal = {"lab_proc", "time_in_hospital", "num_medications", "age",
+                  "diag_1", "discharge_disp", "num_procedures", "number_inpatient"}
+        assert sum(a in signal for a in combo) >= diabetes_counts.n_clusters - 1
+
+
+class TestDPTabEE:
+    def test_combination_shape(self, counts):
+        combo = DPTabEE(n_candidates=2).select_combination(counts, rng=0)
+        assert combo.n_clusters == counts.n_clusters
+        for a in combo:
+            assert a in counts.names
+
+    def test_selection_accounting(self, counts):
+        acc = PrivacyAccountant()
+        budget = ExplanationBudget(0.4, 0.6, 0.1)
+        DPTabEE(budget=budget).select_combination(counts, rng=0, accountant=acc)
+        assert acc.total() == pytest.approx(1.0)
+
+    def test_explain_accounting_matches_total(self, dataset, clustering):
+        acc = PrivacyAccountant()
+        budget = ExplanationBudget(0.1, 0.2, 0.3)
+        DPTabEE(n_candidates=2, budget=budget).explain(
+            dataset, clustering, rng=0, accountant=acc
+        )
+        assert acc.total() == pytest.approx(budget.total)
+
+    def test_noise_dominates_at_realistic_budgets(self, diabetes_counts):
+        # The paper's finding: DP-TabEE's sensitive-score noise swamps the
+        # [0,1] signal, so selections are near-random even at eps = 1 —
+        # quality well below the non-private baseline.
+        ev = QualityEvaluator(diabetes_counts, Weights(), 0)
+        ref = ev.quality(tuple(TabEE().select_combination(diabetes_counts)))
+        budget = ExplanationBudget.split_selection(1.0)
+        got = np.mean(
+            [
+                ev.quality(
+                    tuple(DPTabEE(budget=budget).select_combination(diabetes_counts, rng=s))
+                )
+                for s in range(5)
+            ]
+        )
+        assert got < 0.95 * ref
+
+
+class TestDPNaive:
+    def test_accounting_equals_epsilon(self, counts):
+        acc = PrivacyAccountant()
+        DPNaive(epsilon=0.8).select_combination(counts, rng=0, accountant=acc)
+        # |A| full hists at eps/(2|A|) + per-attribute parallel cluster hists
+        # at eps/(2|A|) each -> eps/2 + eps/2 = eps.
+        assert acc.total() == pytest.approx(0.8)
+
+    def test_noisy_counts_structure(self, counts):
+        noisy = DPNaive(epsilon=1.0).release_noisy_counts(counts, rng=0)
+        assert noisy.names == counts.names
+        assert noisy.n_clusters == counts.n_clusters
+        for a in counts.names:
+            assert noisy.full(a).shape == counts.full(a).shape
+
+    def test_huge_epsilon_matches_tabee(self, counts):
+        combo = DPNaive(epsilon=1e9).select_combination(counts, rng=0)
+        ref = TabEE().select_combination(counts)
+        assert tuple(combo) == tuple(ref)
+
+    def test_explain_reuses_released_histograms(self, dataset, clustering):
+        acc = PrivacyAccountant()
+        expl = DPNaive(epsilon=0.5).explain(
+            dataset, clustering, rng=0, accountant=acc
+        )
+        # No extra charge beyond the up-front releases (post-processing only).
+        assert acc.total() == pytest.approx(0.5)
+        assert expl.n_clusters == clustering.n_clusters
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(Exception):
+            DPNaive(epsilon=0.0)
+
+    def test_wastes_budget_relative_to_dpclustx(self, diabetes_counts):
+        # The motivating comparison of Section 5: at equal eps, DPClustX's
+        # select-then-release order beats releasing all histograms first.
+        from repro.core.dpclustx import DPClustX
+
+        ev = QualityEvaluator(diabetes_counts, Weights(), 0)
+        eps = 0.2
+        q_x = np.mean(
+            [
+                ev.quality(
+                    tuple(
+                        DPClustX(budget=ExplanationBudget.split_selection(eps))
+                        .select_combination(diabetes_counts, rng=s)
+                        .combination
+                    )
+                )
+                for s in range(5)
+            ]
+        )
+        q_naive = np.mean(
+            [
+                ev.quality(
+                    tuple(DPNaive(epsilon=eps).select_combination(diabetes_counts, rng=s))
+                )
+                for s in range(5)
+            ]
+        )
+        assert q_x > q_naive

@@ -1,0 +1,74 @@
+"""Unit tests for repro.dataset.binning."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.binning import (
+    bin_numeric,
+    categorize,
+    equal_width_edges,
+    quantile_edges,
+)
+from repro.dataset.schema import SchemaError
+
+
+class TestBinNumeric:
+    def test_basic_binning(self):
+        attr, codes = bin_numeric(np.array([0, 5, 10, 15, 99]), [0, 10, 20], "x", fmt=".0f")
+        assert attr.domain == ("[0, 10)", "[10, inf)")
+        assert codes.tolist() == [0, 0, 1, 1, 1]
+
+    def test_clamps_below_range(self):
+        attr, codes = bin_numeric(np.array([-5.0]), [0, 10, 20], "x")
+        assert codes.tolist() == [0]
+
+    def test_closed_last(self):
+        attr, codes = bin_numeric(
+            np.array([25.0]), [0, 10, 20], "x", closed_last=True, fmt=".0f"
+        )
+        assert attr.domain[-1] == "[10, 20)"
+        assert codes.tolist() == [1]
+
+    def test_non_increasing_edges_raise(self):
+        with pytest.raises(SchemaError, match="strictly increasing"):
+            bin_numeric(np.array([1.0]), [0, 0, 5], "x")
+
+    def test_boundary_goes_right(self):
+        _, codes = bin_numeric(np.array([10.0]), [0, 10, 20], "x")
+        assert codes.tolist() == [1]
+
+
+class TestEdges:
+    def test_equal_width(self):
+        edges = equal_width_edges(0, 10, 5)
+        assert edges == [0, 2, 4, 6, 8, 10]
+
+    def test_equal_width_validation(self):
+        with pytest.raises(SchemaError):
+            equal_width_edges(0, 10, 0)
+        with pytest.raises(SchemaError):
+            equal_width_edges(5, 5, 2)
+
+    def test_quantile_edges_monotone(self):
+        rng = np.random.default_rng(0)
+        edges = quantile_edges(rng.normal(size=500), 4)
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+    def test_quantile_edges_collapse_duplicates(self):
+        edges = quantile_edges(np.zeros(100), 4)
+        assert len(edges) == 2  # constant column collapses to one bin
+
+
+class TestCategorize:
+    def test_inferred_domain_keeps_first_seen_order(self):
+        attr, codes = categorize(["b", "a", "b", "c"], "x")
+        assert attr.domain == ("b", "a", "c")
+        assert codes.tolist() == [0, 1, 0, 2]
+
+    def test_explicit_domain(self):
+        attr, codes = categorize(["a", "b"], "x", domain=["b", "a", "z"])
+        assert codes.tolist() == [1, 0]
+
+    def test_value_outside_explicit_domain_raises(self):
+        with pytest.raises(SchemaError):
+            categorize(["q"], "x", domain=["a"])

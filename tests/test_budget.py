@@ -1,0 +1,85 @@
+"""Unit tests for repro.privacy.budget (Proposition 2.7 calculus)."""
+
+import pytest
+
+from repro.privacy.budget import (
+    BudgetError,
+    ExplanationBudget,
+    PrivacyAccountant,
+    check_epsilon,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_non_positive_or_non_finite(self, bad):
+        with pytest.raises(BudgetError):
+            check_epsilon(bad)
+
+
+class TestAccountant:
+    def test_sequential_composition_adds(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1, "a")
+        acc.spend(0.2, "b")
+        assert acc.total() == pytest.approx(0.3)
+
+    def test_parallel_composition_takes_max(self):
+        acc = PrivacyAccountant()
+        acc.parallel([0.05, 0.2, 0.1], "clusters")
+        assert acc.total() == pytest.approx(0.2)
+
+    def test_parallel_needs_epsilons(self):
+        with pytest.raises(BudgetError):
+            PrivacyAccountant().parallel([], "empty")
+
+    def test_limit_enforced(self):
+        acc = PrivacyAccountant(limit=0.25)
+        acc.spend(0.2, "a")
+        with pytest.raises(BudgetError, match="exceed"):
+            acc.spend(0.1, "b")
+
+    def test_limit_tolerates_float_noise(self):
+        acc = PrivacyAccountant(limit=0.3)
+        for _ in range(3):
+            acc.spend(0.1, "x")  # 0.1 * 3 != 0.3 exactly in floats
+        assert acc.remaining() == pytest.approx(0.0, abs=1e-9)
+
+    def test_remaining_without_limit(self):
+        assert PrivacyAccountant().remaining() == float("inf")
+
+    def test_charges_recorded_in_order(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1, "first")
+        acc.parallel([0.2], "second")
+        labels = [c.label for c in acc]
+        assert labels == ["first", "second"]
+        assert acc.charges()[1].composition == "parallel-group"
+
+    def test_summary_mentions_total(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1, "x")
+        assert "0.1" in acc.summary()
+
+
+class TestExplanationBudget:
+    def test_total_matches_theorem_5_3(self):
+        b = ExplanationBudget(0.1, 0.2, 0.3)
+        assert b.total == pytest.approx(0.6)
+        assert b.selection_total == pytest.approx(0.3)
+
+    def test_paper_defaults(self):
+        b = ExplanationBudget()
+        assert b.eps_cand_set == b.eps_top_comb == b.eps_hist == 0.1
+
+    def test_split_selection_even(self):
+        b = ExplanationBudget.split_selection(0.2)
+        assert b.eps_cand_set == pytest.approx(0.1)
+        assert b.eps_top_comb == pytest.approx(0.1)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(BudgetError):
+            ExplanationBudget(eps_cand_set=0.0)

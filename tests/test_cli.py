@@ -1,0 +1,41 @@
+"""Tests for the unified CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestDispatch:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_all_commands_resolve_to_importable_modules(self):
+        import importlib
+
+        for module_name, _ in COMMANDS.values():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "main")
+            has_runner = hasattr(module, "run") or (
+                hasattr(module, "run_num_clusters")
+                and hasattr(module, "run_cluster_size")
+            )
+            assert has_runner
+
+
+class TestDemo:
+    def test_demo_runs_small(self, capsys):
+        assert main(["demo", "--rows", "1500", "--clusters", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "selected attributes" in out
+        assert "privacy ledger" in out

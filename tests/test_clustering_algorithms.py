@@ -1,0 +1,197 @@
+"""Tests for the five clustering substrates on separable planted data."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    Agglomerative,
+    DPKMeans,
+    GaussianMixture,
+    KMeans,
+    KModes,
+)
+from repro.clustering.agglomerative import ward_labels
+from repro.clustering.kmeans import inertia, kmeans_pp_init
+from repro.privacy.budget import PrivacyAccountant
+from repro.synth.generator import build_generator, generic_domain
+
+
+def planted(n_rows: int, n_groups: int, seed: int = 0, sharpness: float = 0.25):
+    """Well-separated categorical blobs with known latent groups."""
+    signal = [(f"s{i}", generic_domain(f"s{i}", 8)) for i in range(4)]
+    noise = [(f"n{i}", generic_domain(f"n{i}", 3)) for i in range(2)]
+    gen = build_generator(
+        signal, noise, n_groups, rng=seed,
+        group_weights=np.full(n_groups, 1.0 / n_groups),
+        sharpness=sharpness, background=0.02,
+    )
+    return gen.generate(n_rows, rng=seed)
+
+
+def purity(labels: np.ndarray, truth: np.ndarray, k: int) -> float:
+    """Fraction of points whose cluster's majority truth-group matches."""
+    correct = 0
+    for c in range(k):
+        members = truth[labels == c]
+        if len(members):
+            correct += int(np.bincount(members).max())
+    return correct / len(truth)
+
+
+class TestKMeans:
+    def test_recovers_planted_groups(self):
+        data, truth = planted(3000, 3)
+        f = KMeans(3).fit(data, rng=0)
+        assert purity(f.assign(data), truth, 3) > 0.85
+
+    def test_labels_in_range(self):
+        data, _ = planted(500, 4)
+        f = KMeans(4).fit(data, rng=0)
+        labels = f.assign(data)
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_more_clusters_than_rows_raises(self):
+        data, _ = planted(3, 2)
+        with pytest.raises(ValueError):
+            KMeans(10).fit(data, rng=0)
+
+    def test_invalid_k(self):
+        data, _ = planted(10, 2)
+        with pytest.raises(ValueError):
+            KMeans(0).fit(data, rng=0)
+
+    def test_deterministic_given_seed(self):
+        data, _ = planted(800, 3)
+        f1 = KMeans(3).fit(data, rng=5)
+        f2 = KMeans(3).fit(data, rng=5)
+        assert np.array_equal(f1.assign(data), f2.assign(data))
+
+    def test_kmeans_pp_spreads_centers(self):
+        rng = np.random.default_rng(0)
+        pts = np.concatenate([rng.normal(0, 0.1, (50, 2)), rng.normal(5, 0.1, (50, 2))])
+        centers = kmeans_pp_init(pts, 2, rng)
+        assert np.linalg.norm(centers[0] - centers[1]) > 2.0
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data, _ = planted(1000, 4)
+        from repro.clustering.encode import StandardEncoder
+
+        enc = StandardEncoder.fit(data)
+        pts = enc.transform(data)
+        f2 = KMeans(2).fit(data, rng=0)
+        f6 = KMeans(6).fit(data, rng=0)
+        assert inertia(pts, f6.centers) < inertia(pts, f2.centers)
+
+
+class TestDPKMeans:
+    def test_high_epsilon_recovers_structure(self):
+        data, truth = planted(4000, 3)
+        f = DPKMeans(3, epsilon=50.0, n_iterations=5).fit(data, rng=0)
+        assert purity(f.assign(data), truth, 3) > 0.7
+
+    def test_centers_stay_in_cube(self):
+        data, _ = planted(500, 3)
+        f = DPKMeans(3, epsilon=0.5).fit(data, rng=0)
+        assert np.abs(f.centers).max() <= 1.0
+
+    def test_accountant_charged_epsilon(self):
+        data, _ = planted(300, 2)
+        acc = PrivacyAccountant()
+        DPKMeans(2, epsilon=1.0, n_iterations=4).fit(data, rng=0, accountant=acc)
+        assert acc.total() == pytest.approx(1.0)
+
+    def test_empty_dataset_raises(self):
+        data, _ = planted(10, 2)
+        empty = data.subset(np.zeros(len(data), dtype=bool))
+        with pytest.raises(ValueError):
+            DPKMeans(2).fit(empty, rng=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(Exception):
+            DPKMeans(2, epsilon=0.0)
+        with pytest.raises(ValueError):
+            DPKMeans(0)
+        with pytest.raises(ValueError):
+            DPKMeans(2, n_iterations=0)
+
+    def test_noise_perturbs_centers(self):
+        data, _ = planted(500, 2)
+        f_low = DPKMeans(2, epsilon=0.1).fit(data, rng=7)
+        f_high = DPKMeans(2, epsilon=100.0).fit(data, rng=7)
+        assert not np.allclose(f_low.centers, f_high.centers)
+
+
+class TestKModes:
+    def test_recovers_planted_groups(self):
+        data, truth = planted(2500, 3)
+        f = KModes(3).fit(data, rng=0)
+        assert purity(f.assign(data), truth, 3) > 0.75
+
+    def test_modes_are_valid_codes(self):
+        data, _ = planted(400, 3)
+        f = KModes(3).fit(data, rng=0)
+        for j, name in enumerate(f.names):
+            m = data.schema.attribute(name).domain_size
+            assert (f.modes[:, j] >= 0).all() and (f.modes[:, j] < m).all()
+
+    def test_too_few_rows_raises(self):
+        data, _ = planted(2, 2)
+        with pytest.raises(ValueError):
+            KModes(5).fit(data, rng=0)
+
+    def test_invalid_k(self):
+        data, _ = planted(10, 2)
+        with pytest.raises(ValueError):
+            KModes(0).fit(data, rng=0)
+
+
+class TestGaussianMixture:
+    def test_recovers_planted_groups(self):
+        data, truth = planted(3000, 3)
+        f = GaussianMixture(3).fit(data, rng=0)
+        assert purity(f.assign(data), truth, 3) > 0.8
+
+    def test_variances_positive(self):
+        data, _ = planted(600, 2)
+        f = GaussianMixture(2).fit(data, rng=0)
+        assert (f.variances > 0).all()
+
+    def test_log_weights_normalised(self):
+        data, _ = planted(600, 3)
+        f = GaussianMixture(3).fit(data, rng=0)
+        assert np.exp(f.log_weights).sum() == pytest.approx(1.0)
+
+    def test_too_few_rows_raises(self):
+        data, _ = planted(2, 2)
+        with pytest.raises(ValueError):
+            GaussianMixture(5).fit(data, rng=0)
+
+
+class TestAgglomerative:
+    def test_ward_labels_on_obvious_blobs(self):
+        rng = np.random.default_rng(0)
+        pts = np.concatenate(
+            [rng.normal(0, 0.2, (30, 2)), rng.normal(8, 0.2, (30, 2))]
+        )
+        labels = ward_labels(pts, 2)
+        assert len(set(labels[:30].tolist())) == 1
+        assert len(set(labels[30:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_ward_labels_count(self):
+        rng = np.random.default_rng(1)
+        labels = ward_labels(rng.normal(size=(40, 3)), 5)
+        assert len(set(labels.tolist())) == 5
+
+    def test_ward_validation(self):
+        with pytest.raises(ValueError):
+            ward_labels(np.zeros((3, 2)), 5)
+        with pytest.raises(ValueError):
+            ward_labels(np.zeros((3, 2)), 0)
+
+    def test_fit_extends_to_full_dataset(self):
+        data, truth = planted(2000, 3)
+        f = Agglomerative(3, max_fit_rows=400).fit(data, rng=0)
+        labels = f.assign(data)  # assigns all rows, not just the subsample
+        assert len(labels) == len(data)
+        assert purity(labels, truth, 3) > 0.7

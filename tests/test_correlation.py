@@ -1,0 +1,113 @@
+"""Tests for Cramér's V and correlated-attribute injection (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.synth.correlation import (
+    add_correlated_attributes,
+    contingency_table,
+    correlated_column,
+    cramers_v,
+    perturbed_copy,
+)
+
+from conftest import make_dataset
+
+
+class TestContingencyTable:
+    def test_counts(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        t = contingency_table(a, b, 2, 2)
+        assert t.tolist() == [[1, 1], [1, 1]]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.zeros(2, int), np.zeros(3, int), 2, 2)
+
+
+class TestCramersV:
+    def test_perfect_association_is_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 2000)
+        assert cramers_v(a, a, 4, 4) == pytest.approx(1.0)
+
+    def test_independence_is_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 20_000)
+        b = rng.integers(0, 4, 20_000)
+        assert cramers_v(a, b, 4, 4) < 0.05
+
+    def test_constant_column_is_zero(self):
+        a = np.zeros(100, dtype=int)
+        b = np.arange(100) % 3
+        assert cramers_v(a, b, 2, 3) == 0.0
+
+    def test_empty_is_zero(self):
+        assert cramers_v(np.empty(0, int), np.empty(0, int), 2, 2) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, 5000)
+        b = (a + rng.integers(0, 2, 5000)) % 3
+        assert cramers_v(a, b, 3, 3) == pytest.approx(cramers_v(b, a, 3, 3))
+
+
+class TestPerturbedCopy:
+    def test_zero_fraction_is_identity(self):
+        a = np.arange(10) % 3
+        out = perturbed_copy(a, 3, 0.0, np.random.default_rng(0))
+        assert np.array_equal(out, a)
+
+    def test_full_fraction_replaces_everything_marked(self):
+        a = np.zeros(1000, dtype=int)
+        rng = np.random.default_rng(0)
+        out = perturbed_copy(a, 5, 1.0, rng)
+        assert (out != 0).mean() == pytest.approx(0.8, abs=0.05)  # 1/5 stay 0
+
+
+class TestCorrelatedColumn:
+    def test_hits_target_v(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 6, 20_000)
+        new, achieved = correlated_column(codes, 6, target_v=0.85, rng=0)
+        assert achieved == pytest.approx(0.85, abs=0.02)
+        assert cramers_v(codes, new, 6, 6) == pytest.approx(achieved)
+
+    def test_constant_column_returns_copy(self):
+        codes = np.zeros(100, dtype=int)
+        new, achieved = correlated_column(codes, 3, target_v=0.85, rng=0)
+        assert np.array_equal(new, codes)
+        assert achieved == 0.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            correlated_column(np.zeros(5, int), 2, target_v=0.0)
+
+
+class TestAddCorrelatedAttributes:
+    def test_doubles_selected_attributes(self):
+        d = make_dataset()
+        out = add_correlated_attributes(d, 0.85, rng=0, names=["color"])
+        assert "color_corr" in out.schema
+        assert out.schema.width == d.schema.width + 1
+        assert len(out) == len(d)
+
+    def test_all_attributes_by_default(self):
+        d = make_dataset()
+        out = add_correlated_attributes(d, 0.85, rng=0)
+        assert out.schema.width == 2 * d.schema.width
+
+    def test_injected_correlation_is_high_on_large_data(self):
+        from repro.synth import diabetes_like
+
+        d = diabetes_like(n_rows=8_000, seed=3)
+        out = add_correlated_attributes(d, 0.85, rng=0, names=["lab_proc"])
+        attr = d.schema.attribute("lab_proc")
+        v = cramers_v(
+            np.asarray(out.column("lab_proc")),
+            np.asarray(out.column("lab_proc_corr")),
+            attr.domain_size,
+            attr.domain_size,
+        )
+        assert v == pytest.approx(0.85, abs=0.03)

@@ -1,0 +1,104 @@
+"""Unit tests for the count providers (repro.core.counts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import ClusteredCounts, NoisyCounts
+
+from conftest import CodeModuloClustering, make_dataset
+
+
+class TestClusteredCounts:
+    def test_from_clustering_function(self, counts):
+        assert counts.n_clusters == 3
+        assert counts.n == 8
+        assert int(counts.sizes().sum()) == 8
+
+    def test_cluster_histograms_partition_full(self, counts):
+        for name in counts.names:
+            assert np.array_equal(
+                counts.by_cluster(name).sum(axis=0), counts.full(name)
+            )
+
+    def test_full_histogram_matches_dataset(self, counts, dataset):
+        for name in counts.names:
+            assert np.array_equal(counts.full(name), dataset.histogram(name))
+
+    def test_cluster_histogram_row_sums_are_sizes(self, counts):
+        sizes = counts.sizes()
+        for name in counts.names:
+            assert np.array_equal(counts.by_cluster(name).sum(axis=1), sizes)
+
+    def test_hand_computed_cluster_counts(self):
+        d = make_dataset()
+        f = CodeModuloClustering("color", 3)
+        cc = ClusteredCounts(d, f)
+        # cluster 0 = red rows: sizes S,S,M -> [2, 1, 0, 0]
+        assert cc.cluster("size", 0).tolist() == [2, 1, 0, 0]
+
+    def test_from_label_array(self, dataset):
+        labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        cc = ClusteredCounts(dataset, labels, 2)
+        assert cc.sizes().tolist() == [4, 4]
+
+    def test_label_array_requires_n_clusters(self, dataset):
+        with pytest.raises(ValueError, match="n_clusters"):
+            ClusteredCounts(dataset, np.zeros(8, dtype=np.int64))
+
+    def test_label_length_mismatch(self, dataset):
+        with pytest.raises(ValueError, match="length"):
+            ClusteredCounts(dataset, np.zeros(3, dtype=np.int64), 2)
+
+    def test_labels_out_of_range(self, dataset):
+        with pytest.raises(ValueError, match="out of range"):
+            ClusteredCounts(dataset, np.full(8, 5, dtype=np.int64), 2)
+
+    def test_total_and_cluster_size_ignore_attribute(self, counts):
+        assert counts.total("color") == counts.total("flag") == 8.0
+        assert counts.cluster_size("color", 0) == counts.cluster_size("flag", 0)
+
+    def test_caching_returns_same_array(self, counts):
+        a = counts.by_cluster("size")
+        b = counts.by_cluster("size")
+        assert a is b
+
+    def test_empty_cluster_allowed(self, dataset):
+        labels = np.zeros(8, dtype=np.int64)
+        cc = ClusteredCounts(dataset, labels, 3)
+        assert cc.cluster_size("color", 2) == 0.0
+        assert cc.cluster("color", 2).sum() == 0
+
+
+class TestNoisyCounts:
+    def _make(self):
+        names = ("a", "b")
+        full = {"a": np.array([10.0, 5.0]), "b": np.array([3.0, 6.0, 6.0])}
+        clusters = {
+            "a": np.array([[6.0, 2.0], [4.0, 3.0]]),
+            "b": np.array([[1.0, 3.0, 2.0], [2.0, 3.0, 4.0]]),
+        }
+        return NoisyCounts(names, full, clusters, 2)
+
+    def test_accessors(self):
+        nc = self._make()
+        assert nc.domain_size("a") == 2
+        assert nc.full("b").tolist() == [3.0, 6.0, 6.0]
+        assert nc.cluster("a", 1).tolist() == [4.0, 3.0]
+
+    def test_totals_are_per_attribute_sums(self):
+        nc = self._make()
+        assert nc.total("a") == 15.0
+        assert nc.total("b") == 15.0
+        assert nc.cluster_size("a", 0) == 8.0
+
+    def test_total_clamped_to_one(self):
+        nc = NoisyCounts(
+            ("a",), {"a": np.zeros(2)}, {"a": np.zeros((1, 2))}, 1
+        )
+        assert nc.total("a") == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            NoisyCounts(
+                ("a",), {"a": np.zeros(2)}, {"a": np.zeros((3, 2))}, 2
+            )

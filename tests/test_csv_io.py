@@ -1,0 +1,163 @@
+"""Tests for the CSV loader/saver (repro.dataset.csv_io)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Schema, SchemaError
+from repro.dataset.csv_io import (
+    MISSING_LABEL,
+    OTHER_LABEL,
+    load_csv,
+    load_csv_with_schema,
+    read_rows,
+    save_csv,
+)
+
+from conftest import make_dataset
+
+
+def write(tmp_path, text: str, name: str = "data.csv") -> str:
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestReadRows:
+    def test_basic(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,x\n2,y\n")
+        header, rows = read_rows(path)
+        assert header == ["a", "b"]
+        assert rows == [["1", "x"], ["2", "y"]]
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(SchemaError, match="empty"):
+            read_rows(write(tmp_path, ""))
+
+    def test_duplicate_header(self, tmp_path):
+        with pytest.raises(SchemaError, match="duplicate"):
+            read_rows(write(tmp_path, "a,a\n1,2\n"))
+
+    def test_ragged_row(self, tmp_path):
+        with pytest.raises(SchemaError, match="fields"):
+            read_rows(write(tmp_path, "a,b\n1\n"))
+
+
+class TestLoadCSV:
+    def test_numeric_column_binned(self, tmp_path):
+        values = "\n".join(str(i) for i in range(100))
+        path = write(tmp_path, "x\n" + values + "\n")
+        d = load_csv(path, numeric_bins=4)
+        attr = d.schema.attribute("x")
+        assert attr.domain_size == 4
+        assert len(d) == 100
+        # quantile bins are roughly balanced
+        assert d.histogram("x").min() >= 20
+
+    def test_categorical_column(self, tmp_path):
+        path = write(tmp_path, "c\nred\nblue\nred\ngreen\n")
+        d = load_csv(path)
+        attr = d.schema.attribute("c")
+        assert set(attr.domain) == {"red", "blue", "green"}
+        assert d.count("c", "red") == 2
+
+    def test_missing_numeric_gets_own_bin(self, tmp_path):
+        path = write(tmp_path, "x\n1\n2\n?\n3\nNA\n")
+        d = load_csv(path, numeric_bins=2)
+        attr = d.schema.attribute("x")
+        assert attr.domain[-1] == MISSING_LABEL
+        assert d.count("x", MISSING_LABEL) == 2
+
+    def test_missing_categorical(self, tmp_path):
+        path = write(tmp_path, "c\na\n?\nb\nnull\n")
+        d = load_csv(path)
+        assert d.count("c", MISSING_LABEL) == 2
+
+    def test_category_cap_collapses_tail(self, tmp_path):
+        rows = "\n".join(f"v{i % 10}" for i in range(100))
+        path = write(tmp_path, "c\n" + rows + "\n")
+        d = load_csv(path, max_categories=4)
+        attr = d.schema.attribute("c")
+        assert attr.domain_size == 4
+        assert attr.domain[-1] == OTHER_LABEL
+        assert d.count("c", OTHER_LABEL) == 70  # 7 of 10 values collapsed
+
+    def test_exclude_columns(self, tmp_path):
+        path = write(tmp_path, "id,c\n1,a\n2,b\n")
+        d = load_csv(path, exclude=["id"])
+        assert d.schema.names == ("c",)
+
+    def test_mixed_types_column_is_categorical(self, tmp_path):
+        path = write(tmp_path, "c\n1\nx\n2\n")
+        d = load_csv(path)
+        assert set(d.schema.attribute("c").domain) == {"1", "x", "2"}
+
+    def test_validation(self, tmp_path):
+        path = write(tmp_path, "a\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path, numeric_bins=0)
+        with pytest.raises(SchemaError):
+            load_csv(path, max_categories=1)
+
+    def test_loaded_dataset_is_explainable(self, tmp_path):
+        # End-to-end: CSV -> Dataset -> DPClustX.
+        rng = np.random.default_rng(0)
+        lines = ["income,job"]
+        for _ in range(300):
+            seg = rng.integers(2)
+            inc = rng.normal(30_000 if seg == 0 else 90_000, 5_000)
+            job = "clerk" if seg == 0 else "exec"
+            lines.append(f"{inc:.0f},{job}")
+        path = write(tmp_path, "\n".join(lines) + "\n")
+        d = load_csv(path, numeric_bins=6)
+        from repro.clustering import KMeans
+        from repro.core.dpclustx import DPClustX
+
+        f = KMeans(2).fit(d, rng=0)
+        expl = DPClustX(n_candidates=2).explain(d, f, rng=0)
+        assert expl.n_clusters == 2
+
+
+class TestSchemaPath:
+    def _schema(self):
+        return Schema(
+            (
+                Attribute("c", ("a", "b", OTHER_LABEL)),
+                Attribute("m", ("x", MISSING_LABEL)),
+            )
+        )
+
+    def test_known_values(self, tmp_path):
+        path = write(tmp_path, "c,m\na,x\nb,x\n")
+        d = load_csv_with_schema(path, self._schema())
+        assert d.count("c", "a") == 1
+
+    def test_unknown_maps_to_other(self, tmp_path):
+        path = write(tmp_path, "c,m\nzzz,x\n")
+        d = load_csv_with_schema(path, self._schema())
+        assert d.count("c", OTHER_LABEL) == 1
+
+    def test_missing_maps_to_missing(self, tmp_path):
+        path = write(tmp_path, "c,m\na,\n")
+        d = load_csv_with_schema(path, self._schema())
+        assert d.count("m", MISSING_LABEL) == 1
+
+    def test_unknown_without_other_fails(self, tmp_path):
+        schema = Schema((Attribute("c", ("a", "b")),))
+        path = write(tmp_path, "c\nzzz\n")
+        with pytest.raises(SchemaError, match="not in dom"):
+            load_csv_with_schema(path, schema)
+
+    def test_missing_column_fails(self, tmp_path):
+        path = write(tmp_path, "other\n1\n")
+        with pytest.raises(SchemaError, match="missing schema attribute"):
+            load_csv_with_schema(path, self._schema())
+
+
+class TestSaveCSV:
+    def test_round_trip_with_schema(self, tmp_path):
+        d = make_dataset()
+        path = str(tmp_path / "out.csv")
+        save_csv(d, path)
+        back = load_csv_with_schema(path, d.schema)
+        for name in d.schema.names:
+            assert np.array_equal(back.column(name), d.column(name))

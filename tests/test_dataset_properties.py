@@ -1,0 +1,134 @@
+"""Property-based tests for the dataset substrate's bag semantics.
+
+The quality functions' sensitivity analysis rests on structural facts about
+bags and histograms (||h_A(D)||_1 = |D|, counts partition across disjoint
+subsets, add-then-remove is identity, ...).  These tests pin those facts
+down over random datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import Attribute, Dataset, Schema
+
+DOMS = (3, 4, 2)
+
+
+def build(rows: list[tuple[int, ...]]) -> Dataset:
+    schema = Schema(
+        tuple(
+            Attribute(f"a{i}", tuple(f"v{j}" for j in range(m)))
+            for i, m in enumerate(DOMS)
+        )
+    )
+    return Dataset(
+        schema,
+        {
+            f"a{i}": np.array([r[i] for r in rows], dtype=np.int64)
+            for i in range(len(DOMS))
+        },
+    )
+
+
+row_st = st.tuples(*(st.integers(0, m - 1) for m in DOMS))
+rows_st = st.lists(row_st, min_size=0, max_size=30)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st)
+def test_histogram_l1_norm_is_cardinality(rows):
+    d = build(rows)
+    for name in d.schema.names:
+        assert int(d.histogram(name).sum()) == len(d)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st, row_st)
+def test_add_then_remove_is_identity(rows, extra):
+    d = build(rows)
+    d2 = d.with_tuple(extra).without_index(len(rows))
+    for name in d.schema.names:
+        assert np.array_equal(d.histogram(name), d2.histogram(name))
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st, row_st)
+def test_adding_tuple_changes_exactly_one_bin_per_attribute(rows, extra):
+    """The fact behind every sensitivity-1 proof: one tuple, one bin."""
+    d = build(rows)
+    d2 = d.with_tuple(extra)
+    for i, name in enumerate(d.schema.names):
+        diff = d2.histogram(name) - d.histogram(name)
+        assert diff.sum() == 1
+        assert np.count_nonzero(diff) == 1
+        assert diff[extra[i]] == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st)
+def test_complementary_masks_partition_histograms(rows):
+    d = build(rows)
+    mask = np.arange(len(d)) % 2 == 0
+    for name in d.schema.names:
+        left = d.histogram(name, mask)
+        right = d.histogram(name, ~mask)
+        assert np.array_equal(left + right, d.histogram(name))
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st, rows_st)
+def test_concat_adds_histograms(rows_a, rows_b):
+    a, b = build(rows_a), build(rows_b)
+    both = a.concat(b)
+    assert len(both) == len(a) + len(b)
+    for name in a.schema.names:
+        assert np.array_equal(
+            both.histogram(name), a.histogram(name) + b.histogram(name)
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st)
+def test_projection_preserves_columns(rows):
+    d = build(rows)
+    p = d.project(["a2", "a0"])
+    assert p.schema.names == ("a2", "a0")
+    assert np.array_equal(p.column("a0"), d.column("a0"))
+    assert len(p) == len(d)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_st)
+def test_active_domain_matches_nonzero_bins(rows):
+    d = build(rows)
+    for name in d.schema.names:
+        attr = d.schema.attribute(name)
+        active = set(d.active_domain(name))
+        nonzero = {
+            attr.domain[i] for i in np.flatnonzero(d.histogram(name) > 0)
+        }
+        assert active == nonzero
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_st, st.integers(1, 3))
+def test_rebin_preserves_mass(rows, factor):
+    from repro.dataset.rebin import rebin_dataset
+
+    d = build(rows)
+    out = rebin_dataset(d, factor)
+    for name in d.schema.names:
+        assert int(out.histogram(name).sum()) == len(d)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_st)
+def test_row_roundtrip(rows):
+    d = build(rows)
+    rebuilt = Dataset.from_rows(d.schema, [d.row(i) for i in range(len(d))])
+    for name in d.schema.names:
+        assert np.array_equal(rebuilt.column(name), d.column(name))

@@ -1,0 +1,126 @@
+"""Tests for explanation diagnostics and SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    cluster_diagnostics,
+    expected_noise_l1,
+    reliability_report,
+    render_report,
+)
+from repro.core.dpclustx import DPClustX
+from repro.core.hbe import SingleClusterExplanation
+from repro.core.svg import render_global_svg, render_svg, save_svg
+from repro.dataset import Attribute
+from repro.privacy.budget import ExplanationBudget
+
+
+def make_expl(mass: float = 1000.0, m: int = 4) -> SingleClusterExplanation:
+    attr = Attribute("x", tuple(f"v{i}" for i in range(m)))
+    cluster = np.zeros(m)
+    cluster[0] = mass
+    rest = np.full(m, mass)
+    return SingleClusterExplanation(0, attr, rest, cluster)
+
+
+class TestExpectedNoise:
+    def test_formula(self):
+        a = np.exp(-0.5)
+        assert expected_noise_l1(0.5, 10) == pytest.approx(10 * 2 * a / (1 - a * a))
+
+    def test_monotone(self):
+        assert expected_noise_l1(0.1, 8) > expected_noise_l1(1.0, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_noise_l1(0.0, 5)
+        with pytest.raises(ValueError):
+            expected_noise_l1(0.5, 0)
+
+
+class TestClusterDiagnostics:
+    def test_large_mass_is_reliable(self):
+        d = cluster_diagnostics(make_expl(mass=10_000), eps_hist=0.1)
+        assert d.reliable
+        assert d.snr > 3
+
+    def test_tiny_mass_is_flagged(self):
+        d = cluster_diagnostics(make_expl(mass=3.0), eps_hist=0.05)
+        assert not d.reliable
+        assert "LOW SIGNAL" in d.describe()
+
+    def test_uniformity_captured(self):
+        d = cluster_diagnostics(make_expl(), eps_hist=0.1)
+        assert d.uniformity == pytest.approx(0.75)  # point mass on 4 bins
+
+
+class TestReliabilityReport:
+    def test_reads_budget_from_metadata(self, dataset, clustering):
+        expl = DPClustX(budget=ExplanationBudget(0.1, 0.1, 0.5)).explain(
+            dataset, clustering, rng=0
+        )
+        report = reliability_report(expl)
+        assert len(report) == expl.n_clusters
+        text = render_report(report)
+        assert "reliability report" in text
+
+    def test_explicit_budget_overrides(self, dataset, clustering):
+        expl = DPClustX().explain(dataset, clustering, rng=0)
+        report = reliability_report(expl, budget=5.0)
+        assert len(report) == expl.n_clusters
+
+    def test_missing_budget_raises(self, dataset, clustering):
+        from repro.baselines.tabee import TabEE
+
+        expl = TabEE(n_candidates=2).explain(dataset, clustering)
+        with pytest.raises(ValueError, match="budget"):
+            reliability_report(expl)
+
+    def test_warning_rendered_for_unreliable(self):
+        from repro.core.diagnostics import ClusterDiagnostics
+
+        bad = ClusterDiagnostics(0, "x", 1.0, 100.0, 0.01, 0.0, False)
+        assert "WARNING" in render_report([bad])
+
+
+class TestSVG:
+    def test_well_formed_xml(self):
+        svg = render_svg(make_expl())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_bars_for_every_bin(self):
+        svg = render_svg(make_expl(m=5))
+        root = ET.fromstring(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        # background + legend swatches (2) + 2 bars per bin
+        assert len(rects) >= 2 * 5
+
+    def test_escapes_labels(self):
+        attr = Attribute("a<b", ("x&y", "z"))
+        e = SingleClusterExplanation(0, attr, np.ones(2), np.ones(2))
+        svg = render_svg(e)
+        ET.fromstring(svg)  # parses despite special characters
+
+    def test_canvas_validation(self):
+        with pytest.raises(ValueError):
+            render_svg(make_expl(), width=10, height=10)
+
+    def test_global_rendering_stacks_panels(self, dataset, clustering):
+        expl = DPClustX(n_candidates=2).explain(dataset, clustering, rng=0)
+        svg = render_global_svg(expl, height=200)
+        root = ET.fromstring(svg)
+        groups = root.findall("{http://www.w3.org/2000/svg}g")
+        assert len(groups) == expl.n_clusters
+        assert root.get("height") == str(200 * expl.n_clusters)
+
+    def test_save_svg(self, tmp_path, dataset, clustering):
+        expl = DPClustX(n_candidates=2).explain(dataset, clustering, rng=0)
+        path = tmp_path / "expl.svg"
+        save_svg(expl, str(path))
+        ET.parse(path)
+        save_svg(expl.per_cluster[0], str(tmp_path / "single.svg"))
+        ET.parse(tmp_path / "single.svg")

@@ -1,0 +1,100 @@
+"""Unit tests for distribution distances (Eq. 1, Definition A.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality.distances import (
+    jensen_shannon_distance,
+    jensen_shannon_divergence,
+    jsd_counts,
+    normalize_counts,
+    tvd_counts,
+    tvd_probs,
+)
+
+
+class TestNormalize:
+    def test_probability_vector(self):
+        p = normalize_counts(np.array([2, 3, 5]))
+        assert p.tolist() == [0.2, 0.3, 0.5]
+
+    def test_empty_maps_to_zeros(self):
+        assert normalize_counts(np.zeros(3)).tolist() == [0.0, 0.0, 0.0]
+
+
+class TestTVD:
+    def test_identical_is_zero(self):
+        p = np.array([0.5, 0.5])
+        assert tvd_probs(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert tvd_probs(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_hand_computed(self):
+        # (1/2)(|0.6-0.2| + |0.4-0.8|) = 0.4
+        assert tvd_probs(np.array([0.6, 0.4]), np.array([0.2, 0.8])) == pytest.approx(0.4)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        p = rng.dirichlet(np.ones(5))
+        q = rng.dirichlet(np.ones(5))
+        assert tvd_probs(p, q) == pytest.approx(tvd_probs(q, p))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            tvd_probs(np.ones(2), np.ones(3))
+
+    def test_counts_variant_normalizes(self):
+        assert tvd_counts(np.array([6, 4]), np.array([1, 4])) == pytest.approx(
+            tvd_probs(np.array([0.6, 0.4]), np.array([0.2, 0.8]))
+        )
+
+    def test_empty_histogram_yields_zero(self):
+        assert tvd_counts(np.array([1, 1]), np.zeros(2)) == 0.0
+
+
+class TestJSD:
+    def test_identical_is_zero(self):
+        p = np.array([0.3, 0.7])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_is_one_in_bits(self):
+        # Max JSD = 1 bit, giving the [0, 1] range of Proposition A.5.
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(1.0)
+        assert jensen_shannon_distance(p, q) == pytest.approx(1.0)
+
+    def test_appendix_a5_limit_value(self):
+        # Proof of Prop. A.5: JSD -> H_b(1/4) - 1/2 ~ 0.311 as n -> inf.
+        n = 10_000_000
+        p = np.array([n / (n + 1), 1 / (n + 1)])
+        q = np.array([0.5, 0.5])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(0.311, abs=0.002)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        p = rng.dirichlet(np.ones(4))
+        q = rng.dirichlet(np.ones(4))
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_distance_is_sqrt(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.4, 0.6])
+        assert jensen_shannon_distance(p, q) == pytest.approx(
+            np.sqrt(jensen_shannon_divergence(p, q))
+        )
+
+    def test_counts_variant(self):
+        assert jsd_counts(np.array([9, 1]), np.array([4, 6])) == pytest.approx(
+            jensen_shannon_distance(np.array([0.9, 0.1]), np.array([0.4, 0.6]))
+        )
+
+    def test_empty_histogram_yields_zero(self):
+        assert jsd_counts(np.zeros(2), np.array([1, 1])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence(np.ones(2), np.ones(3))

@@ -1,0 +1,60 @@
+"""Tests for the DP-k-modes clustering substrate."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.dp_kmodes import DPKModes
+from repro.privacy.budget import PrivacyAccountant
+
+from test_clustering_algorithms import planted, purity
+
+
+class TestDPKModes:
+    def test_high_epsilon_recovers_structure(self):
+        data, truth = planted(3000, 3)
+        f = DPKModes(3, epsilon=100.0, n_iterations=5).fit(data, rng=0)
+        assert purity(f.assign(data), truth, 3) > 0.6
+
+    def test_modes_within_domains(self):
+        data, _ = planted(500, 3)
+        f = DPKModes(3, epsilon=1.0).fit(data, rng=0)
+        for j, name in enumerate(f.names):
+            m = data.schema.attribute(name).domain_size
+            assert (f.modes[:, j] >= 0).all()
+            assert (f.modes[:, j] < m).all()
+
+    def test_accountant_charged_epsilon(self):
+        data, _ = planted(400, 2)
+        acc = PrivacyAccountant()
+        DPKModes(2, epsilon=0.8, n_iterations=4).fit(data, rng=0, accountant=acc)
+        assert acc.total() == pytest.approx(0.8)
+
+    def test_low_epsilon_is_noisier_than_high(self):
+        data, truth = planted(3000, 3)
+        high = purity(DPKModes(3, 100.0).fit(data, rng=1).assign(data), truth, 3)
+        lows = [
+            purity(DPKModes(3, 0.01).fit(data, rng=s).assign(data), truth, 3)
+            for s in range(3)
+        ]
+        assert high >= np.mean(lows)
+
+    def test_empty_dataset_raises(self):
+        data, _ = planted(10, 2)
+        empty = data.subset(np.zeros(len(data), dtype=bool))
+        with pytest.raises(ValueError):
+            DPKModes(2).fit(empty, rng=0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DPKModes(0)
+        with pytest.raises(Exception):
+            DPKModes(2, epsilon=-1.0)
+        with pytest.raises(ValueError):
+            DPKModes(2, n_iterations=0)
+
+    def test_is_value_based_clustering_function(self):
+        data, _ = planted(300, 2)
+        f = DPKModes(2, epsilon=1.0).fit(data, rng=0)
+        labels1 = f.assign(data)
+        labels2 = f.assign(data)
+        assert np.array_equal(labels1, labels2)  # deterministic given modes

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 2 / the DPClustX framework."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.counts import ClusteredCounts
+from repro.core.dpclustx import DPClustX, combination_score_tensor
+from repro.core.quality.scores import Weights, global_score
+from repro.privacy.budget import ExplanationBudget, PrivacyAccountant
+from repro.privacy.histograms import LaplaceHistogram
+
+from conftest import CodeModuloClustering
+
+
+class TestScoreTensor:
+    def test_matches_direct_global_score(self, counts):
+        sets = (("color", "size"), ("size", "flag"), ("color", "flag"))
+        w = Weights()
+        tensor = combination_score_tensor(counts, sets, w)
+        assert tensor.shape == (2, 2, 2)
+        for idx in itertools.product(range(2), repeat=3):
+            combo = tuple(sets[c][j] for c, j in enumerate(idx))
+            assert tensor[idx] == pytest.approx(global_score(counts, combo, w))
+
+    def test_respects_zero_weights(self, counts):
+        sets = (("color",), ("size",), ("flag",))
+        tensor = combination_score_tensor(counts, sets, Weights(0.0, 0.0, 1.0))
+        combo = ("color", "size", "flag")
+        assert tensor.flat[0] == pytest.approx(
+            global_score(counts, combo, Weights(0.0, 0.0, 1.0))
+        )
+
+    def test_wrong_number_of_sets(self, counts):
+        with pytest.raises(ValueError):
+            combination_score_tensor(counts, (("color",),), Weights())
+
+    def test_enumeration_guard(self, diabetes_counts):
+        from repro.core import dpclustx
+
+        sets = tuple(
+            tuple(diabetes_counts.names[:40]) for _ in range(diabetes_counts.n_clusters)
+        )
+        old = dpclustx._MAX_COMBINATIONS
+        try:
+            dpclustx._MAX_COMBINATIONS = 1000
+            with pytest.raises(ValueError, match="guard"):
+                combination_score_tensor(diabetes_counts, sets, Weights())
+        finally:
+            dpclustx._MAX_COMBINATIONS = old
+
+
+class TestSelection:
+    def test_combination_drawn_from_candidate_sets(self, counts):
+        explainer = DPClustX(n_candidates=2)
+        result = explainer.select_combination(counts, rng=0)
+        for c, a in enumerate(result.combination):
+            assert a in result.candidates.candidate_sets[c]
+
+    def test_huge_budget_selects_tensor_argmax(self, counts):
+        budget = ExplanationBudget(1e9, 1e9, 0.1)
+        explainer = DPClustX(n_candidates=2, budget=budget)
+        result = explainer.select_combination(counts, rng=0)
+        tensor = combination_score_tensor(
+            counts, result.candidates.candidate_sets, explainer.weights
+        )
+        best_idx = np.unravel_index(np.argmax(tensor), tensor.shape)
+        expected = tuple(
+            result.candidates.candidate_sets[c][j] for c, j in enumerate(best_idx)
+        )
+        assert result.combination.attributes == expected
+
+    def test_selection_accountant(self, counts):
+        acc = PrivacyAccountant()
+        DPClustX().select_combination(counts, rng=0, accountant=acc)
+        assert acc.total() == pytest.approx(0.2)  # eps_CandSet + eps_TopComb
+
+
+class TestExplain:
+    def test_structure_and_theorem_5_3_accounting(self, dataset, clustering):
+        acc = PrivacyAccountant()
+        explainer = DPClustX(n_candidates=2, budget=ExplanationBudget(0.3, 0.2, 0.4))
+        expl = explainer.explain(dataset, clustering, rng=0, accountant=acc)
+        assert expl.n_clusters == clustering.n_clusters
+        assert acc.total() == pytest.approx(0.3 + 0.2 + 0.4)
+        for c, e in enumerate(expl.per_cluster):
+            assert e.cluster == c
+            assert (e.hist_cluster >= 0).all()
+            assert (e.hist_rest >= 0).all()
+
+    def test_histograms_close_to_truth_at_high_eps(self, dataset, clustering):
+        counts = ClusteredCounts(dataset, clustering)
+        budget = ExplanationBudget(1e6, 1e6, 1e6)
+        expl = DPClustX(n_candidates=2, budget=budget).explain(
+            dataset, clustering, rng=0, counts=counts
+        )
+        for c, e in enumerate(expl.per_cluster):
+            true_cluster = counts.cluster(e.attribute.name, c)
+            assert np.abs(e.hist_cluster - true_cluster).max() <= 1
+
+    def test_metadata_records_provenance(self, dataset, clustering):
+        expl = DPClustX().explain(dataset, clustering, rng=0)
+        assert expl.metadata["framework"] == "DPClustX"
+        assert expl.metadata["epsilon_total"] == pytest.approx(0.3)
+        assert len(expl.metadata["candidate_sets"]) == clustering.n_clusters
+
+    def test_accepts_precomputed_counts(self, dataset, clustering):
+        counts = ClusteredCounts(dataset, clustering)
+        e1 = DPClustX().explain(dataset, clustering, rng=7, counts=counts)
+        e2 = DPClustX().explain(dataset, clustering, rng=7)
+        assert e1.combination == e2.combination
+
+    def test_custom_histogram_mechanism(self, dataset, clustering):
+        explainer = DPClustX(histogram_mechanism=LaplaceHistogram(1.0))
+        expl = explainer.explain(dataset, clustering, rng=0)
+        assert expl.n_clusters == 3
+
+    def test_deterministic_given_seed(self, dataset, clustering):
+        e1 = DPClustX().explain(dataset, clustering, rng=11)
+        e2 = DPClustX().explain(dataset, clustering, rng=11)
+        assert e1.combination == e2.combination
+        for a, b in zip(e1.per_cluster, e2.per_cluster):
+            assert np.array_equal(a.hist_cluster, b.hist_cluster)
+
+
+class TestEndToEndQuality:
+    def test_high_budget_approaches_tabee(self, diabetes_counts):
+        # The paper's headline: at eps = 1 DPClustX matches the non-private
+        # baseline on Diabetes-like data.
+        from repro.baselines.tabee import TabEE
+        from repro.evaluation.quality import QualityEvaluator
+
+        budget = ExplanationBudget.split_selection(1.0)
+        combo = (
+            DPClustX(budget=budget)
+            .select_combination(diabetes_counts, rng=0)
+            .combination
+        )
+        ref = TabEE().select_combination(diabetes_counts, 0)
+        ev = QualityEvaluator(diabetes_counts, Weights(), 0)
+        assert ev.quality(tuple(combo)) >= 0.9 * ev.quality(tuple(ref))

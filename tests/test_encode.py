@@ -1,0 +1,78 @@
+"""Unit tests for the clustering encoders."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.encode import IdentityEncoder, MinMaxEncoder, StandardEncoder
+
+from conftest import make_dataset
+
+
+class TestStandardEncoder:
+    def test_zero_mean_unit_std(self):
+        d = make_dataset()
+        enc = StandardEncoder.fit(d)
+        x = enc.transform(d)
+        assert np.allclose(x.mean(axis=0), 0.0, atol=1e-12)
+        for j in range(x.shape[1]):
+            col = x[:, j]
+            if col.std() > 0:
+                assert col.std() == pytest.approx(1.0)
+
+    def test_constant_column_passes_through(self):
+        d = make_dataset([("red", "S", "no"), ("red", "M", "no")])
+        enc = StandardEncoder.fit(d)
+        x = enc.transform(d)
+        assert np.isfinite(x).all()
+
+    def test_subset_of_names(self):
+        d = make_dataset()
+        enc = StandardEncoder.fit(d, names=["flag"])
+        assert enc.dim == 1
+        assert enc.transform(d).shape == (len(d), 1)
+
+    def test_transform_new_data_uses_fitted_stats(self):
+        d = make_dataset()
+        enc = StandardEncoder.fit(d)
+        single = d.subset(np.array([0]))
+        x = enc.transform(single)
+        full = enc.transform(d)
+        assert np.allclose(x[0], full[0])
+
+
+class TestMinMaxEncoder:
+    def test_range_is_minus_one_to_one(self):
+        d = make_dataset()
+        enc = MinMaxEncoder.fit(d)
+        x = enc.transform(d)
+        assert x.min() >= -1.0 - 1e-12
+        assert x.max() <= 1.0 + 1e-12
+
+    def test_bounds_are_data_independent(self):
+        # The encoder must use domain bounds, not data min/max, so that
+        # DP-k-means noise calibration does not leak (Section 2's
+        # data-independent domains).
+        d_full = make_dataset()
+        d_sub = d_full.subset(np.array([0]))  # single row
+        enc_full = MinMaxEncoder.fit(d_full)
+        enc_sub = MinMaxEncoder.fit(d_sub)
+        assert np.allclose(enc_full.highs, enc_sub.highs)
+        assert np.allclose(
+            enc_full.transform(d_sub), enc_sub.transform(d_sub)
+        )
+
+    def test_extremes_map_to_bounds(self):
+        d = make_dataset()
+        enc = MinMaxEncoder.fit(d, names=["size"])
+        x = enc.transform(d)
+        # "S" (code 0) -> -1; "XL" (code 3 = |dom|-1) -> +1.
+        assert x.min() == pytest.approx(-1.0)
+        assert x.max() == pytest.approx(1.0)
+
+
+class TestIdentityEncoder:
+    def test_returns_raw_codes(self):
+        d = make_dataset()
+        enc = IdentityEncoder.fit(d)
+        assert np.array_equal(enc.transform(d), d.to_matrix())
+        assert enc.dim == 3

@@ -1,0 +1,141 @@
+"""Tests for the evaluation measures and trial runner (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbe import AttributeCombination
+from repro.core.quality.scores import Weights
+from repro.evaluation.mae import mae
+from repro.evaluation.quality import QualityEvaluator, quality
+from repro.evaluation.runner import (
+    format_results_table,
+    make_selectors,
+    run_trials,
+)
+
+
+class TestMAE:
+    def test_identical_is_zero(self):
+        assert mae(("a", "b"), ("a", "b")) == 0.0
+
+    def test_fully_different_is_one(self):
+        assert mae(("a", "b"), ("c", "d")) == 1.0
+
+    def test_partial(self):
+        assert mae(("a", "b", "c"), ("a", "x", "c")) == pytest.approx(1 / 3)
+
+    def test_accepts_attribute_combinations(self):
+        a = AttributeCombination(("x", "y"))
+        b = AttributeCombination(("x", "z"))
+        assert mae(a, b) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(("a",), ("a", "b"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae((), ())
+
+
+class TestQualityEvaluator:
+    def test_in_unit_interval(self, counts):
+        ev = QualityEvaluator(counts, Weights(), 0)
+        for combo in [("color", "size", "flag"), ("size", "size", "size")]:
+            assert 0.0 <= ev.quality(combo) <= 1.0
+
+    def test_matches_component_combination(self, counts):
+        w = Weights(0.2, 0.3, 0.5)
+        ev = QualityEvaluator(counts, w, 0)
+        combo = ("color", "size", "flag")
+        expected = (
+            0.2 * ev.interestingness(combo)
+            + 0.3 * ev.sufficiency(combo)
+            + 0.5 * ev.diversity(combo)
+        )
+        assert ev.quality(combo) == pytest.approx(expected)
+
+    def test_memoisation_is_consistent(self, counts):
+        ev = QualityEvaluator(counts, Weights(), 0)
+        combo = ("size", "size", "flag")
+        assert ev.quality(combo) == pytest.approx(ev.quality(combo))
+
+    def test_matches_module_level_functions(self, counts):
+        # The evaluator must agree with the un-memoised implementations.
+        from repro.core.quality.diversity import global_diversity_sensitive
+        from repro.core.quality.interestingness import global_interestingness_tvd
+        from repro.core.quality.sufficiency import global_sufficiency_sensitive
+
+        ev = QualityEvaluator(counts, Weights(), 0)
+        combo = ("color", "size", "size")
+        assert ev.interestingness(combo) == pytest.approx(
+            global_interestingness_tvd(counts, combo)
+        )
+        assert ev.sufficiency(combo) == pytest.approx(
+            global_sufficiency_sensitive(counts, combo)
+        )
+        assert ev.diversity(combo) == pytest.approx(
+            global_diversity_sensitive(counts, combo, 0)
+        )
+
+    def test_best_combination_is_exhaustive_argmax(self, counts):
+        ev = QualityEvaluator(counts, Weights(), 0)
+        sets = [("color", "size"), ("size", "flag"), ("color", "flag")]
+        best, score = ev.best_combination(sets)
+        import itertools
+
+        brute = max(
+            (ev.quality(c) for c in itertools.product(*sets))
+        )
+        assert score == pytest.approx(brute)
+
+    def test_all_scores_shapes(self, counts):
+        ev = QualityEvaluator(counts, Weights(), 0)
+        combos, scores = ev.all_scores([("color",), ("size", "flag"), ("flag",)])
+        assert len(combos) == 2
+        assert scores.shape == (2,)
+
+    def test_arity_check(self, counts):
+        ev = QualityEvaluator(counts, Weights(), 0)
+        with pytest.raises(ValueError):
+            ev.quality(("color",))
+
+    def test_convenience_function(self, counts):
+        combo = ("color", "size", "flag")
+        assert quality(counts, combo) == pytest.approx(
+            QualityEvaluator(counts, Weights(), 0).quality(combo)
+        )
+
+
+class TestRunner:
+    def test_make_selectors_names(self):
+        sel = make_selectors(0.2)
+        assert set(sel) == {"DPClustX", "TabEE", "DP-TabEE", "DP-Naive"}
+
+    def test_run_trials_output(self, counts):
+        selectors = {
+            name: s
+            for name, s in make_selectors(0.5, n_candidates=2).items()
+            if name in ("DPClustX", "TabEE")
+        }
+        results = run_trials(counts, selectors, n_runs=3, rng=0)
+        assert {r.explainer for r in results} == {"DPClustX", "TabEE"}
+        for r in results:
+            assert r.n_runs == 3
+            assert 0.0 <= r.quality_mean <= 1.0
+            assert 0.0 <= r.mae_mean <= 1.0
+
+    def test_tabee_reference_has_zero_mae(self, counts):
+        selectors = {
+            "TabEE": make_selectors(0.5, n_candidates=2)["TabEE"],
+        }
+        results = run_trials(counts, selectors, n_runs=2, rng=0)
+        assert results[0].mae_mean == 0.0
+
+    def test_format_results_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 20, "b": None}]
+        table = format_results_table(rows, ("a", "b"))
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "0.5000" in table
+        assert len(lines) == 4

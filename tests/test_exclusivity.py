@@ -1,0 +1,135 @@
+"""Tests for the exclusivity score (future work #4 contribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quality.exclusivity import (
+    exclusivity_low_sens,
+    exclusivity_range,
+    mixed_score,
+)
+from repro.core.select_candidates import select_candidates
+
+from test_properties import (
+    N_CLUSTERS,
+    attr_strategy,
+    counts_of,
+    dataset_strategy,
+    neighbor_strategy,
+)
+
+
+class TestDefinition:
+    def test_exclusive_values_give_full_mass(self):
+        from test_quality_functions import two_cluster_dataset
+
+        # Cluster 0's value (A=0) never occurs outside it: Exc_p = |D_c0|.
+        counts = two_cluster_dataset([0, 0, 1, 1, 1], [0, 0, 1, 1, 1])
+        assert exclusivity_low_sens(counts, 0, "A") == pytest.approx(2.0)
+
+    def test_minority_everywhere_gives_zero(self):
+        from test_quality_functions import two_cluster_dataset
+
+        # Cluster 1 = single A=0 tuple among many A=0 tuples outside.
+        counts = two_cluster_dataset([0, 0, 0, 0, 0], [0, 0, 0, 0, 1])
+        assert exclusivity_low_sens(counts, 1, "A") == 0.0
+
+    def test_hand_computed_majority(self):
+        from test_quality_functions import two_cluster_dataset
+
+        # A=0: cluster0 has 2 of 3 -> max(4-3,0)=1 ; A=1: 1 of 3 -> max(2-3,0)=0.
+        counts = two_cluster_dataset([0, 0, 1, 0, 1, 1], [0, 0, 0, 1, 1, 1])
+        assert exclusivity_low_sens(counts, 0, "A") == pytest.approx(1.0)
+
+    def test_empty_cluster_is_zero(self):
+        from test_quality_functions import two_cluster_dataset
+
+        counts = two_cluster_dataset([0, 1], [0, 0])
+        assert exclusivity_low_sens(counts, 1, "A") == 0.0
+
+
+class TestFormalProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(neighbor_strategy, st.integers(0, N_CLUSTERS - 1), attr_strategy)
+    def test_sensitivity_at_most_one(self, pair, c, name):
+        rows, extra = pair
+        before = counts_of(rows)
+        after = counts_of(rows + [extra])
+        delta = abs(
+            exclusivity_low_sens(after, c, name)
+            - exclusivity_low_sens(before, c, name)
+        )
+        assert delta <= 1.0 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(dataset_strategy, st.integers(0, N_CLUSTERS - 1), attr_strategy)
+    def test_range(self, rows, c, name):
+        counts = counts_of(rows)
+        v = exclusivity_low_sens(counts, c, name)
+        assert -1e-9 <= v <= exclusivity_range(counts, c, name) + 1e-9
+
+
+class TestMixedScore:
+    def test_pure_components_recovered(self, counts):
+        from repro.core.quality.interestingness import interestingness_low_sens
+        from repro.core.quality.sufficiency import sufficiency_low_sens
+
+        assert mixed_score(counts, 0, "size", 1, 0, 0) == pytest.approx(
+            interestingness_low_sens(counts, 0, "size")
+        )
+        assert mixed_score(counts, 0, "size", 0, 1, 0) == pytest.approx(
+            sufficiency_low_sens(counts, 0, "size")
+        )
+        assert mixed_score(counts, 0, "size", 0, 0, 1) == pytest.approx(
+            exclusivity_low_sens(counts, 0, "size")
+        )
+
+    def test_normalisation(self, counts):
+        # Scaling all gammas by a constant changes nothing.
+        a = mixed_score(counts, 0, "size", 1, 1, 1)
+        b = mixed_score(counts, 0, "size", 2, 2, 2)
+        assert a == pytest.approx(b)
+
+    def test_validation(self, counts):
+        with pytest.raises(ValueError):
+            mixed_score(counts, 0, "size", 0, 0, 0)
+        with pytest.raises(ValueError):
+            mixed_score(counts, 0, "size", -1, 1, 1)
+
+
+class TestPluggableStage1:
+    def test_custom_score_drives_selection(self, diabetes_counts):
+        # Algorithm 1 with the exclusivity score at huge epsilon must return
+        # each cluster's true exclusivity-top-k.
+        score_fn = exclusivity_low_sens
+        sel = select_candidates(
+            diabetes_counts,
+            (0.5, 0.5),
+            1e9,
+            2,
+            rng=0,
+            score_fn=score_fn,
+            score_sensitivity=1.0,
+        )
+        for c in range(diabetes_counts.n_clusters):
+            truth = sorted(
+                diabetes_counts.names,
+                key=lambda a: -score_fn(diabetes_counts, c, a),
+            )[:2]
+            assert sorted(sel.candidate_sets[c]) == sorted(truth)
+
+    def test_custom_score_is_noisy_at_small_epsilon(self, diabetes_counts):
+        picks = {
+            select_candidates(
+                diabetes_counts,
+                (0.5, 0.5),
+                1e-4,
+                2,
+                rng=s,
+                score_fn=exclusivity_low_sens,
+            ).candidate_sets
+            for s in range(4)
+        }
+        assert len(picks) > 1

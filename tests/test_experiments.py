@@ -1,0 +1,173 @@
+"""Smoke tests for the experiment harnesses (scaled-down configs)."""
+
+import pytest
+
+from repro.experiments import (
+    binning,
+    correlations,
+    eda_comparison,
+    fig5_quality,
+    fig6_mae,
+    fig7_candidates,
+    fig8_clusters,
+    fig9_performance,
+    fig10_case_study,
+    table1_weights,
+)
+from repro.experiments.common import (
+    ExperimentConfig,
+    eps_grid_for,
+    fit_clustering,
+    load_dataset,
+    methods_for,
+    quick_config,
+)
+
+
+class TestCommon:
+    def test_load_dataset_names(self):
+        for name in ("Diabetes", "Census", "StackOverflow"):
+            d = load_dataset(name, 300)
+            assert len(d) == 300
+
+    def test_load_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("nope", 10)
+
+    def test_fit_all_methods(self):
+        d = load_dataset("Diabetes", 1500)
+        for m in ("k-means", "DP-k-means", "k-modes", "GMMs", "Agglomerative"):
+            f = fit_clustering(m, d, 3, rng=0)
+            assert f.n_clusters == 3
+
+    def test_fit_unknown_method(self):
+        d = load_dataset("Diabetes", 100)
+        with pytest.raises(ValueError):
+            fit_clustering("dbscan", d, 3)
+
+    def test_census_skips_agglomerative(self):
+        methods = ("k-means", "Agglomerative")
+        assert methods_for("Census", methods) == ("k-means",)
+        assert methods_for("Diabetes", methods) == methods
+
+    def test_eps_grids(self):
+        assert max(eps_grid_for("Census")) <= 0.1  # 1e-3..1e-1 (Fig. 5)
+        assert max(eps_grid_for("Diabetes")) == 1.0
+
+    def test_scaled_config(self):
+        cfg = ExperimentConfig().scaled(0.5)
+        assert cfg.rows["Diabetes"] == 10_000
+
+
+QUICK = quick_config(n_runs=2)
+
+
+class TestHarnesses:
+    def test_fig5(self):
+        rows = fig5_quality.run(QUICK)
+        explainers = {r["explainer"] for r in rows}
+        assert explainers == {"DPClustX", "TabEE", "DP-TabEE", "DP-Naive"}
+        assert all(0.0 <= r["quality"] <= 1.0 for r in rows)
+
+    def test_fig6(self):
+        rows = fig6_mae.run(QUICK)
+        assert all(0.0 <= r["mae"] <= 1.0 for r in rows)
+        assert {r["explainer"] for r in rows} == {"DPClustX", "DP-TabEE", "DP-Naive"}
+
+    def test_fig7(self):
+        rows = fig7_candidates.run(QUICK)
+        assert {r["k"] for r in rows} == {1, 2, 3, 4, 5}
+
+    def test_fig8a(self):
+        import repro.experiments.fig8_clusters as f8
+
+        old = f8.CLUSTER_GRID
+        try:
+            f8.CLUSTER_GRID = (3, 5)
+            rows = f8.run_num_clusters(QUICK)
+            assert {r["n_clusters"] for r in rows} == {3, 5}
+        finally:
+            f8.CLUSTER_GRID = old
+
+    def test_fig8b(self):
+        import repro.experiments.fig8_clusters as f8
+
+        old = f8.ETA_GRID
+        try:
+            f8.ETA_GRID = (0.1, 1.0)
+            rows = f8.run_cluster_size(QUICK)
+            etas = {r["eta"] for r in rows}
+            assert etas == {0.1, 1.0}
+            # average cluster size shrinks with eta
+            small = [r for r in rows if r["eta"] == 0.1][0]["avg_cluster_size"]
+            big = [r for r in rows if r["eta"] == 1.0][0]["avg_cluster_size"]
+            assert small < big
+        finally:
+            f8.ETA_GRID = old
+
+    def test_fig9_runs_and_times_are_positive(self):
+        import repro.experiments.fig9_performance as f9
+
+        olds = (f9.CLUSTER_GRID, f9.CANDIDATE_GRID, f9.FRACTION_GRID, f9.PERF_METHODS)
+        try:
+            f9.CLUSTER_GRID = (3,)
+            f9.CANDIDATE_GRID = (1, 2)
+            f9.FRACTION_GRID = (0.5, 1.0)
+            f9.PERF_METHODS = ("k-means",)
+            rows = f9.run(quick_config(n_runs=1))
+            assert all(r["seconds"] > 0 for r in rows)
+            params = {r["parameter"] for r in rows}
+            assert params == {"n_clusters", "n_candidates", "attr_fraction", "row_fraction"}
+        finally:
+            f9.CLUSTER_GRID, f9.CANDIDATE_GRID, f9.FRACTION_GRID, f9.PERF_METHODS = olds
+
+    def test_fig10_case_study(self):
+        cfg = ExperimentConfig(
+            datasets=("Census",), n_runs=1, rows={"Census": 6_000}
+        )
+        result = fig10_case_study.run(cfg)
+        assert result.dp_explanation.n_clusters == 3
+        assert 0.0 <= result.mae <= 1.0
+        assert result.tabee_quality > 0
+
+    def test_table1(self):
+        rows = table1_weights.run(QUICK, cluster_grid=(3,))
+        assert {r["explainer"] for r in rows} == {"DPClustX", "TabEE"}
+        for r in rows:
+            for col in ("Equal", "lInt=0", "lSuf=0", "lDiv=0"):
+                assert 0.0 <= r[col] <= 1.0
+
+    def test_correlations(self):
+        rows = correlations.run(QUICK)
+        assert {r["weights"] for r in rows} == {"equal", "int+suf only"}
+        for r in rows:
+            assert r["diff_pct"] >= 0.0
+
+    def test_binning(self):
+        rows = binning.run(QUICK)
+        assert {r["merge_factor"] for r in rows} == {1, 2, 4}
+        for r in rows:
+            assert 0.0 <= r["quality"] <= 1.0
+
+    def test_scale(self):
+        from repro.experiments import scale
+
+        rows = scale.run(QUICK, row_grid=(2_000, 5_000))
+        assert {r["n_rows"] for r in rows} == {2_000, 5_000}
+        for r in rows:
+            assert 0.0 <= r["ratio"] <= 1.2
+
+    def test_eda_comparison(self):
+        import repro.experiments.eda_comparison as eda
+
+        old = eda.EPS_GRID
+        try:
+            eda.EPS_GRID = (0.1, 1.0)
+            rows = eda.run(QUICK)
+            assert {r["workflow"] for r in rows} == {"manual-EDA", "DPClustX"}
+            # DPClustX sees the whole attribute pool; the EDA session cannot.
+            for r in rows:
+                if r["workflow"] == "manual-EDA":
+                    assert r["attributes_seen"] <= 20
+        finally:
+            eda.EPS_GRID = old

@@ -1,0 +1,92 @@
+"""Unit tests for the exponential mechanism (Definition 2.9, Theorem 2.10)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.exponential import ExponentialMechanism
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        em = ExponentialMechanism(1.0)
+        p = em.probabilities(np.array([0.0, 1.0, 2.0]))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_score(self):
+        em = ExponentialMechanism(1.0)
+        p = em.probabilities(np.array([0.0, 1.0, 2.0]))
+        assert p[0] < p[1] < p[2]
+
+    def test_definition_ratio(self):
+        # P(r1) / P(r2) = exp(eps * (q1 - q2) / (2 * Delta)).
+        em = ExponentialMechanism(2.0, sensitivity=1.0)
+        scores = np.array([3.0, 5.0])
+        p = em.probabilities(scores)
+        assert p[1] / p[0] == pytest.approx(np.exp(2.0 * 2.0 / 2.0))
+
+    def test_numerically_stable_for_huge_scores(self):
+        # Low-sensitivity scores can reach |D_c| ~ 1e6; no overflow allowed.
+        em = ExponentialMechanism(1.0)
+        p = em.probabilities(np.array([1e6, 1e6 - 1.0]))
+        assert np.isfinite(p).all()
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestSelection:
+    def test_empirical_distribution_matches_theory(self):
+        em = ExponentialMechanism(1.5, sensitivity=1.0)
+        scores = np.array([0.0, 1.0, 2.0, 4.0])
+        expected = em.probabilities(scores)
+        rng = np.random.default_rng(0)
+        draws = np.bincount(
+            [em.select_index(scores, rng) for _ in range(20_000)], minlength=4
+        ) / 20_000
+        assert np.abs(draws - expected).max() < 0.015
+
+    def test_select_requires_nonempty_1d(self):
+        em = ExponentialMechanism(1.0)
+        with pytest.raises(ValueError):
+            em.select_index(np.empty(0))
+        with pytest.raises(ValueError):
+            em.select_index(np.zeros((2, 2)))
+
+    def test_high_epsilon_concentrates_on_argmax(self):
+        em = ExponentialMechanism(200.0)
+        scores = np.array([0.0, 1.0, 0.5])
+        rng = np.random.default_rng(1)
+        picks = {em.select_index(scores, rng) for _ in range(200)}
+        assert picks == {1}
+
+    def test_deterministic_given_seed(self):
+        em = ExponentialMechanism(1.0)
+        scores = np.array([0.0, 1.0, 2.0])
+        assert em.select_index(scores, 42) == em.select_index(scores, 42)
+
+
+class TestUtilityBound:
+    def test_theorem_2_10_empirically(self):
+        # With prob >= 1 - e^{-t}, selected score >= max - (2D/eps)(ln|R|+t).
+        em = ExponentialMechanism(1.0, sensitivity=1.0)
+        rng = np.random.default_rng(2)
+        scores = rng.uniform(0, 10, size=50)
+        t = 2.0
+        threshold = scores.max() - em.utility_bound(len(scores), t)
+        failures = sum(
+            scores[em.select_index(scores, rng)] < threshold for _ in range(2_000)
+        )
+        assert failures / 2_000 <= np.exp(-t) + 0.02
+
+    def test_bound_shrinks_with_epsilon(self):
+        a = ExponentialMechanism(0.1).utility_bound(10, 1.0)
+        b = ExponentialMechanism(1.0).utility_bound(10, 1.0)
+        assert b < a
+
+    def test_invalid_candidate_count(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0).utility_bound(0, 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            ExponentialMechanism(-1.0)
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0, sensitivity=-2.0)

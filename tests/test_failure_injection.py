@@ -1,0 +1,139 @@
+"""Systematic failure injection across the public API surface.
+
+Every public constructor and entry point must fail *loudly and early* on
+invalid input — silent acceptance of a bad epsilon, weight vector or shape
+is a correctness (and privacy!) bug.  This module sweeps the error paths in
+one place; per-module tests cover the happy paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Attribute,
+    DPClustX,
+    DPKMeans,
+    DPNaive,
+    DPTabEE,
+    Dataset,
+    ExplanationBudget,
+    GeometricHistogram,
+    KMeans,
+    OneShotTopK,
+    PrivacyAccountant,
+    Schema,
+    TabEE,
+    Weights,
+)
+from repro.baselines.manual_eda import ManualEDASession
+from repro.core.multi import MultiDPClustX
+from repro.privacy.exponential import ExponentialMechanism
+from repro.privacy.hierarchical import HierarchicalHistogram
+from repro.privacy.mechanisms import LaplaceMechanism
+from repro.session import PrivateAnalysisSession
+
+from conftest import make_dataset
+
+
+BAD_EPSILONS = [0.0, -0.5, float("inf"), float("nan")]
+
+
+class TestBadEpsilons:
+    @pytest.mark.parametrize("eps", BAD_EPSILONS)
+    def test_mechanisms_reject(self, eps):
+        for ctor in (
+            lambda: LaplaceMechanism(eps),
+            lambda: GeometricHistogram(eps),
+            lambda: HierarchicalHistogram(eps),
+            lambda: ExponentialMechanism(eps),
+            lambda: OneShotTopK(eps, 2),
+        ):
+            with pytest.raises(Exception):
+                ctor()
+
+    @pytest.mark.parametrize("eps", BAD_EPSILONS)
+    def test_budgets_reject(self, eps):
+        with pytest.raises(Exception):
+            ExplanationBudget(eps_cand_set=eps)
+        with pytest.raises(Exception):
+            ExplanationBudget.split_selection(eps)
+        acc = PrivacyAccountant()
+        with pytest.raises(Exception):
+            acc.spend(eps, "bad")
+
+    @pytest.mark.parametrize("eps", BAD_EPSILONS)
+    def test_explainers_reject(self, eps):
+        with pytest.raises(Exception):
+            DPNaive(epsilon=eps)
+        with pytest.raises(Exception):
+            ManualEDASession(epsilon=eps)
+        with pytest.raises(Exception):
+            DPKMeans(2, epsilon=eps)
+
+
+class TestBadWeights:
+    @pytest.mark.parametrize(
+        "lams",
+        [(0.5, 0.5, 0.5), (-0.1, 0.6, 0.5), (1.2, -0.1, -0.1), (0.0, 0.0, 0.0)],
+    )
+    def test_weights_must_be_simplex(self, lams):
+        with pytest.raises(ValueError):
+            Weights(*lams)
+
+
+class TestBadShapes:
+    def test_dpclustx_k_too_large(self, counts):
+        with pytest.raises(ValueError, match="k must"):
+            DPClustX(n_candidates=99).select_combination(counts, rng=0)
+
+    def test_multi_ell_exceeds_k(self):
+        with pytest.raises(ValueError):
+            MultiDPClustX(ell=4, n_candidates=3)
+
+    def test_clusterers_reject_k_zero(self):
+        d = make_dataset()
+        with pytest.raises(ValueError):
+            KMeans(0).fit(d, rng=0)
+        with pytest.raises(ValueError):
+            DPKMeans(0)
+
+    def test_dataset_rejects_mismatched_schema(self):
+        schema = Schema((Attribute("a", ("x", "y")),))
+        with pytest.raises(Exception):
+            Dataset(schema, {"b": np.zeros(2, dtype=np.int64)})
+
+    def test_empty_dataset_cannot_be_clustered(self):
+        d = make_dataset().subset(np.zeros(8, dtype=bool))
+        with pytest.raises(ValueError):
+            KMeans(2).fit(d, rng=0)
+
+
+class TestSessionMisuse:
+    def test_zero_budget_session(self):
+        d = make_dataset()
+        with pytest.raises(Exception):
+            PrivateAnalysisSession(d, total_epsilon=0.5).cluster_dp_kmeans(
+                2, epsilon=1.0
+            )
+
+    def test_explain_before_clustering(self):
+        d = make_dataset()
+        s = PrivateAnalysisSession(d, total_epsilon=1.0)
+        with pytest.raises(RuntimeError):
+            s.explain()
+
+
+class TestBaselineMisuse:
+    def test_tabee_more_candidates_than_attributes_is_capped(self, counts):
+        # TabEE's stage-1 slices the ranking; oversized k degrades gracefully
+        # to the full pool rather than crashing.
+        combo = TabEE(n_candidates=99).select_combination(counts)
+        assert combo.n_clusters == counts.n_clusters
+
+    def test_dp_tabee_requires_valid_budget(self):
+        with pytest.raises(Exception):
+            DPTabEE(budget=ExplanationBudget(eps_cand_set=-1.0))
+
+    def test_eda_probe_exceeding_budget(self):
+        with pytest.raises(ValueError):
+            ManualEDASession(epsilon=0.05, eps_probe=0.1)

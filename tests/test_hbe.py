@@ -1,0 +1,134 @@
+"""Unit tests for the HBE data structures (Definitions 2.2, 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbe import (
+    AttributeCombination,
+    GlobalExplanation,
+    MultiAttributeCombination,
+    SingleClusterExplanation,
+)
+from repro.dataset import Attribute
+
+
+class TestAttributeCombination:
+    def test_basic_access(self):
+        ac = AttributeCombination(("a", "b", "a"))
+        assert ac.n_clusters == 3
+        assert ac[0] == "a"
+        assert list(ac) == ["a", "b", "a"]
+
+    def test_distinct_attributes_preserves_order(self):
+        ac = AttributeCombination(("b", "a", "b", "c"))
+        assert ac.distinct_attributes() == ("b", "a", "c")
+
+    def test_explained_by(self):
+        ac = AttributeCombination(("a", "b", "a"))
+        assert ac.explained_by("a") == (0, 2)
+        assert ac.explained_by("z") == ()
+
+    def test_from_mapping(self):
+        ac = AttributeCombination.from_mapping({1: "y", 0: "x"})
+        assert ac.attributes == ("x", "y")
+
+    def test_from_mapping_gap_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeCombination.from_mapping({0: "x", 2: "y"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeCombination(())
+
+
+def _expl(cluster=0, name="x", m=3):
+    attr = Attribute(name, tuple(f"v{i}" for i in range(m)))
+    return SingleClusterExplanation(
+        cluster, attr, np.array([5.0, 3.0, 2.0]), np.array([1.0, 0.0, 4.0])
+    )
+
+
+class TestSingleClusterExplanation:
+    def test_shape_validation(self):
+        attr = Attribute("x", ("a", "b"))
+        with pytest.raises(ValueError, match="length"):
+            SingleClusterExplanation(0, attr, np.zeros(3), np.zeros(2))
+
+    def test_normalized_sums_to_one(self):
+        e = _expl()
+        rest, clus = e.normalized()
+        assert rest.sum() == pytest.approx(1.0)
+        assert clus.sum() == pytest.approx(1.0)
+
+    def test_normalized_empty_histogram(self):
+        attr = Attribute("x", ("a",))
+        e = SingleClusterExplanation(0, attr, np.zeros(1), np.zeros(1))
+        rest, clus = e.normalized()
+        assert rest.tolist() == [0.0]
+
+    def test_render_mentions_attribute_and_values(self):
+        out = _expl().render()
+        assert "'x'" in out
+        assert "v0" in out
+        assert "Cluster 1" in out  # 1-based display
+
+
+class TestGlobalExplanation:
+    def test_valid_construction(self):
+        expl = GlobalExplanation(
+            per_cluster=(_expl(0, "x"), _expl(1, "x")),
+            combination=AttributeCombination(("x", "x")),
+        )
+        assert expl.n_clusters == 2
+        assert expl[1].cluster == 1
+        assert len(list(expl)) == 2
+
+    def test_counts_must_match(self):
+        with pytest.raises(ValueError, match="per cluster"):
+            GlobalExplanation(
+                per_cluster=(_expl(0),),
+                combination=AttributeCombination(("x", "x")),
+            )
+
+    def test_order_enforced(self):
+        with pytest.raises(ValueError, match="ordered"):
+            GlobalExplanation(
+                per_cluster=(_expl(1), _expl(0)),
+                combination=AttributeCombination(("x", "x")),
+            )
+
+    def test_attribute_agreement_enforced(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            GlobalExplanation(
+                per_cluster=(_expl(0, "x"),),
+                combination=AttributeCombination(("y",)),
+            )
+
+    def test_render_concatenates(self):
+        expl = GlobalExplanation(
+            per_cluster=(_expl(0), _expl(1)),
+            combination=AttributeCombination(("x", "x")),
+        )
+        assert expl.render().count("'x'") == 2
+
+
+class TestMultiAttributeCombination:
+    def test_basic(self):
+        mac = MultiAttributeCombination((("a", "b"), ("b", "c")))
+        assert mac.ell == 2
+        assert mac.n_clusters == 2
+        assert mac[0] == ("a", "b")
+        assert mac.candidates() == ((0, "a"), (0, "b"), (1, "b"), (1, "c"))
+        assert mac.distinct_attributes() == ("a", "b", "c")
+
+    def test_unequal_set_sizes_rejected(self):
+        with pytest.raises(ValueError, match="same number"):
+            MultiAttributeCombination((("a",), ("b", "c")))
+
+    def test_repeats_within_cluster_rejected(self):
+        with pytest.raises(ValueError, match="repeat"):
+            MultiAttributeCombination((("a", "a"),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttributeCombination(())

@@ -1,0 +1,108 @@
+"""Unit tests for DP histogram release (the M_hist of Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.histograms import (
+    GeometricHistogram,
+    LaplaceHistogram,
+    epsilon_for_l1_error,
+)
+
+from conftest import make_dataset
+
+
+class TestGeometricHistogram:
+    def test_release_shape_and_dtype(self):
+        out = GeometricHistogram(1.0).release(np.array([5, 10, 0]), rng=0)
+        assert out.shape == (3,)
+        assert out.dtype == np.float64
+
+    def test_clamps_negatives_by_default(self):
+        rng = np.random.default_rng(0)
+        out = GeometricHistogram(0.05).release(np.zeros(500, dtype=int), rng)
+        assert (out >= 0).all()
+
+    def test_unclamped_can_go_negative(self):
+        rng = np.random.default_rng(0)
+        out = GeometricHistogram(0.05, clamp_negative=False).release(
+            np.zeros(500, dtype=int), rng
+        )
+        assert (out < 0).any()
+
+    def test_high_epsilon_is_nearly_exact(self):
+        counts = np.array([100, 50, 25])
+        out = GeometricHistogram(50.0).release(counts, rng=0)
+        assert np.abs(out - counts).max() <= 1
+
+    def test_release_column(self):
+        d = make_dataset()
+        out = GeometricHistogram(100.0).release_column(d, "color", rng=0)
+        assert np.abs(out - d.histogram("color")).max() <= 1
+
+    def test_release_column_with_mask(self):
+        d = make_dataset()
+        mask = np.asarray(d.column("flag")) == 1
+        out = GeometricHistogram(100.0).release_column(d, "color", rng=0, mask=mask)
+        assert out.sum() == pytest.approx(mask.sum(), abs=3)
+
+    def test_with_epsilon(self):
+        mech = GeometricHistogram(1.0).with_epsilon(0.25)
+        assert mech.epsilon == 0.25
+        assert mech.clamp_negative is True
+
+    def test_expected_l1_error_empirical(self):
+        mech = GeometricHistogram(0.5, clamp_negative=False)
+        rng = np.random.default_rng(1)
+        m = 64
+        errs = [
+            np.abs(mech.release(np.zeros(m, dtype=int), rng)).sum()
+            for _ in range(300)
+        ]
+        assert np.mean(errs) == pytest.approx(mech.expected_l1_error(m), rel=0.1)
+
+
+class TestLaplaceHistogram:
+    def test_release_real_valued(self):
+        out = LaplaceHistogram(1.0).release(np.array([5, 10]), rng=0)
+        assert out.dtype == np.float64
+
+    def test_clamping(self):
+        rng = np.random.default_rng(2)
+        out = LaplaceHistogram(0.05).release(np.zeros(500), rng)
+        assert (out >= 0).all()
+
+    def test_release_column(self):
+        d = make_dataset()
+        out = LaplaceHistogram(200.0).release_column(d, "size", rng=0)
+        assert np.abs(out - d.histogram("size")).max() < 1
+
+    def test_expected_l1_error(self):
+        assert LaplaceHistogram(0.5).expected_l1_error(10) == pytest.approx(20.0)
+
+    def test_with_epsilon(self):
+        assert LaplaceHistogram(1.0).with_epsilon(2.0).epsilon == 2.0
+
+
+class TestAccuracyToBudget:
+    def test_laplace_inversion(self):
+        eps = epsilon_for_l1_error(10, target_l1=20.0, mechanism="laplace")
+        assert eps == pytest.approx(0.5)
+
+    def test_geometric_inversion_consistent(self):
+        eps = epsilon_for_l1_error(10, target_l1=20.0, mechanism="geometric")
+        achieved = GeometricHistogram(eps).expected_l1_error(10)
+        assert achieved == pytest.approx(20.0, rel=0.01)
+
+    def test_tighter_accuracy_needs_more_budget(self):
+        loose = epsilon_for_l1_error(8, 50.0)
+        tight = epsilon_for_l1_error(8, 5.0)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epsilon_for_l1_error(0, 1.0)
+        with pytest.raises(ValueError):
+            epsilon_for_l1_error(5, -1.0)
+        with pytest.raises(ValueError):
+            epsilon_for_l1_error(5, 1.0, mechanism="other")

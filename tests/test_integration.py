@@ -1,0 +1,148 @@
+"""Integration tests: full pipelines across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusteredCounts,
+    DPClustX,
+    DPKMeans,
+    DPNaive,
+    DPTabEE,
+    ExplanationBudget,
+    KMeans,
+    PrivacyAccountant,
+    QualityEvaluator,
+    TabEE,
+    Weights,
+    describe,
+    mae,
+)
+from repro.core.multi import MultiDPClustX
+from repro.synth import diabetes_like
+
+
+class TestFullPipeline:
+    def test_dp_clustering_plus_explanation_composes(self):
+        """The Section 3 deployment: DP-k-means then DPClustX, with the
+        combined guarantee eps_clust + eps_exp tracked end to end."""
+        data = diabetes_like(n_rows=3000, seed=1)
+        acc = PrivacyAccountant()
+        clustering = DPKMeans(3, epsilon=1.0).fit(data, rng=0, accountant=acc)
+        budget = ExplanationBudget(0.1, 0.1, 0.1)
+        expl = DPClustX(budget=budget).explain(data, clustering, rng=0, accountant=acc)
+        assert acc.total() == pytest.approx(1.0 + budget.total)
+        assert expl.n_clusters == 3
+
+    def test_budget_limit_blocks_overspend(self):
+        data = diabetes_like(n_rows=2000, seed=2)
+        clustering = KMeans(3).fit(data, rng=0)
+        acc = PrivacyAccountant(limit=0.25)
+        budget = ExplanationBudget(0.1, 0.1, 0.1)  # total 0.3 > 0.25
+        with pytest.raises(Exception, match="exceed"):
+            DPClustX(budget=budget).explain(data, clustering, rng=0, accountant=acc)
+
+    def test_all_four_explainers_on_same_counts(self, diabetes_counts):
+        ev = QualityEvaluator(diabetes_counts, Weights(), 0)
+        combos = {
+            "TabEE": TabEE().select_combination(diabetes_counts, 0),
+            "DPClustX": DPClustX(budget=ExplanationBudget.split_selection(1.0))
+            .select_combination(diabetes_counts, rng=0)
+            .combination,
+            "DP-TabEE": DPTabEE().select_combination(diabetes_counts, rng=0),
+            "DP-Naive": DPNaive(0.2).select_combination(diabetes_counts, rng=0),
+        }
+        scores = {k: ev.quality(tuple(v)) for k, v in combos.items()}
+        assert scores["TabEE"] >= scores["DPClustX"] - 0.02
+        assert scores["DPClustX"] > scores["DP-Naive"]
+
+    def test_explanation_renders_and_describes(self):
+        data = diabetes_like(n_rows=2000, seed=3)
+        clustering = KMeans(3).fit(data, rng=0)
+        expl = DPClustX().explain(data, clustering, rng=0)
+        text = expl.render()
+        assert "Cluster 1" in text
+        assert len(describe(expl).splitlines()) == 3
+
+    def test_multi_and_single_agree_on_budget_shape(self):
+        data = diabetes_like(n_rows=2000, seed=4)
+        clustering = KMeans(3).fit(data, rng=0)
+        acc1, acc2 = PrivacyAccountant(), PrivacyAccountant()
+        DPClustX().explain(data, clustering, rng=0, accountant=acc1)
+        MultiDPClustX(ell=2, n_candidates=3).explain(
+            data, clustering, rng=0, accountant=acc2
+        )
+        assert acc1.total() == pytest.approx(acc2.total())
+
+
+class TestEpsilonMonotonicity:
+    def test_quality_improves_with_budget(self, diabetes_counts):
+        """The Figure 5 shape: more selection budget, closer to TabEE."""
+        ev = QualityEvaluator(diabetes_counts, Weights(), 0)
+
+        def avg_quality(eps: float) -> float:
+            budget = ExplanationBudget.split_selection(eps)
+            vals = [
+                ev.quality(
+                    tuple(
+                        DPClustX(budget=budget)
+                        .select_combination(diabetes_counts, rng=s)
+                        .combination
+                    )
+                )
+                for s in range(6)
+            ]
+            return float(np.mean(vals))
+
+        low, high = avg_quality(0.005), avg_quality(5.0)
+        ref = ev.quality(tuple(TabEE().select_combination(diabetes_counts, 0)))
+        assert high > low
+        assert high >= 0.95 * ref
+
+    def test_mae_decreases_with_budget(self, diabetes_counts):
+        """The Figure 6 shape: MAE falls as epsilon grows."""
+        ref = TabEE().select_combination(diabetes_counts, 0)
+
+        def avg_mae(eps: float) -> float:
+            budget = ExplanationBudget.split_selection(eps)
+            vals = [
+                mae(
+                    DPClustX(budget=budget)
+                    .select_combination(diabetes_counts, rng=s)
+                    .combination,
+                    ref,
+                )
+                for s in range(6)
+            ]
+            return float(np.mean(vals))
+
+        assert avg_mae(5.0) < avg_mae(0.005)
+
+
+class TestClusteringInterchangeability:
+    """DPClustX treats clustering as a black box (Definition 3.1)."""
+
+    @pytest.mark.parametrize("method", ["kmeans", "kmodes", "gmm"])
+    def test_works_with_any_clustering(self, method):
+        from repro import GaussianMixture, KModes
+
+        data = diabetes_like(n_rows=2000, seed=5)
+        fitters = {
+            "kmeans": KMeans(3),
+            "kmodes": KModes(3),
+            "gmm": GaussianMixture(3, max_iter=10),
+        }
+        clustering = fitters[method].fit(data, rng=0)
+        expl = DPClustX().explain(data, clustering, rng=0)
+        assert expl.n_clusters == 3
+
+    def test_works_with_predicate_clustering(self):
+        from repro.clustering import PredicateClustering
+
+        data = diabetes_like(n_rows=500, seed=6)
+        f = PredicateClustering(
+            names=data.schema.names,
+            predicates=(lambda row: row["gender"] == "Female",),
+        )
+        expl = DPClustX().explain(data, f, rng=0)
+        assert expl.n_clusters == 2

@@ -1,0 +1,90 @@
+"""Tests for explanation JSON serialization (repro.core.io)."""
+
+import numpy as np
+import pytest
+
+from repro.core import io
+from repro.core.dpclustx import DPClustX
+from repro.core.hbe import GlobalExplanation, MultiGlobalExplanation
+from repro.core.multi import MultiDPClustX
+
+
+@pytest.fixture
+def explanation(dataset, clustering) -> GlobalExplanation:
+    return DPClustX(n_candidates=2).explain(dataset, clustering, rng=0)
+
+
+@pytest.fixture
+def multi_explanation(dataset, clustering) -> MultiGlobalExplanation:
+    return MultiDPClustX(ell=2, n_candidates=3).explain(dataset, clustering, rng=0)
+
+
+class TestGlobalRoundTrip:
+    def test_dict_round_trip(self, explanation):
+        payload = io.explanation_to_dict(explanation)
+        back = io.explanation_from_dict(payload)
+        assert back.combination == explanation.combination
+        for a, b in zip(back.per_cluster, explanation.per_cluster):
+            assert a.attribute == b.attribute
+            assert np.allclose(a.hist_cluster, b.hist_cluster)
+            assert np.allclose(a.hist_rest, b.hist_rest)
+
+    def test_string_round_trip(self, explanation):
+        back = io.loads(io.dumps(explanation))
+        assert isinstance(back, GlobalExplanation)
+        assert back.combination == explanation.combination
+
+    def test_file_round_trip(self, explanation, tmp_path):
+        path = str(tmp_path / "expl.json")
+        io.save(explanation, path)
+        back = io.load(path)
+        assert back.combination == explanation.combination
+
+    def test_metadata_survives_jsonable_parts(self, explanation):
+        payload = io.explanation_to_dict(explanation)
+        assert payload["metadata"]["framework"] == "DPClustX"
+        # non-JSON values (budget dataclass) are repr()'d, not dropped
+        assert "budget" in payload["metadata"]
+
+    def test_render_after_round_trip(self, explanation):
+        back = io.loads(io.dumps(explanation))
+        assert "Cluster 1" in back.render()
+
+
+class TestMultiRoundTrip:
+    def test_round_trip(self, multi_explanation):
+        back = io.loads(io.dumps(multi_explanation))
+        assert isinstance(back, MultiGlobalExplanation)
+        assert back.combination == multi_explanation.combination
+        for c in range(back.n_clusters):
+            assert len(back[c]) == len(multi_explanation[c])
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(io.ExplanationFormatError, match="invalid JSON"):
+            io.loads("not json {")
+
+    def test_unknown_kind(self):
+        with pytest.raises(io.ExplanationFormatError, match="unknown"):
+            io.loads('{"kind": "mystery"}')
+
+    def test_wrong_kind_for_loader(self, explanation):
+        payload = io.explanation_to_dict(explanation)
+        payload["kind"] = "multi"
+        with pytest.raises(io.ExplanationFormatError):
+            io.explanation_from_dict(payload)
+
+    def test_bad_version(self, explanation):
+        payload = io.explanation_to_dict(explanation)
+        payload["format_version"] = 99
+        with pytest.raises(io.ExplanationFormatError, match="version"):
+            io.explanation_from_dict(payload)
+
+    def test_malformed_single(self):
+        with pytest.raises(io.ExplanationFormatError, match="malformed"):
+            io._single_from_dict({"cluster": 0})
+
+    def test_dumps_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            io.dumps({"not": "an explanation"})

@@ -1,0 +1,117 @@
+"""Unit tests for the noise primitives (Laplace, Geometric, Gumbel)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    gumbel_noise,
+)
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert LaplaceMechanism(0.5, sensitivity=2.0).scale == pytest.approx(4.0)
+
+    def test_scalar_roundtrip_type(self):
+        out = LaplaceMechanism(1.0).randomise(5.0, rng=0)
+        assert isinstance(out, float)
+
+    def test_array_shape(self):
+        out = LaplaceMechanism(1.0).randomise(np.zeros((3, 4)), rng=0)
+        assert out.shape == (3, 4)
+
+    def test_noise_is_unbiased(self):
+        rng = np.random.default_rng(0)
+        mech = LaplaceMechanism(1.0)
+        draws = np.asarray(mech.randomise(np.zeros(200_000), rng))
+        assert abs(draws.mean()) < 0.02
+
+    def test_empirical_scale(self):
+        rng = np.random.default_rng(1)
+        mech = LaplaceMechanism(0.5)  # scale 2, var 2b^2 = 8
+        draws = np.asarray(mech.randomise(np.zeros(200_000), rng))
+        assert draws.var() == pytest.approx(8.0, rel=0.05)
+
+    def test_error_bound_monotone_in_beta(self):
+        mech = LaplaceMechanism(1.0)
+        assert mech.error_bound(0.01) > mech.error_bound(0.1)
+
+    def test_error_bound_holds_empirically(self):
+        rng = np.random.default_rng(2)
+        mech = LaplaceMechanism(1.0)
+        alpha = mech.error_bound(beta=0.05)
+        draws = np.abs(np.asarray(mech.randomise(np.zeros(100_000), rng)))
+        assert (draws > alpha).mean() == pytest.approx(0.05, abs=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            LaplaceMechanism(0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0, sensitivity=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0).error_bound(beta=1.5)
+
+
+class TestGeometric:
+    def test_alpha(self):
+        assert GeometricMechanism(1.0).alpha == pytest.approx(np.exp(-1.0))
+
+    def test_integer_output(self):
+        out = GeometricMechanism(0.5).randomise(7, rng=0)
+        assert isinstance(out, int)
+
+    def test_array_integer_dtype(self):
+        out = GeometricMechanism(0.5).randomise(np.arange(10), rng=0)
+        assert np.issubdtype(np.asarray(out).dtype, np.integer)
+
+    def test_noise_symmetric_and_unbiased(self):
+        rng = np.random.default_rng(3)
+        noise = GeometricMechanism(1.0).sample_noise(200_000, rng)
+        assert abs(noise.mean()) < 0.02
+
+    def test_zero_probability_matches_theory(self):
+        # P(Z = 0) = (1 - alpha) / (1 + alpha) for the two-sided geometric.
+        rng = np.random.default_rng(4)
+        mech = GeometricMechanism(1.0)
+        noise = mech.sample_noise(300_000, rng)
+        a = mech.alpha
+        expected = (1 - a) / (1 + a)
+        assert (noise == 0).mean() == pytest.approx(expected, rel=0.03)
+
+    def test_empirical_variance_matches_theory(self):
+        rng = np.random.default_rng(5)
+        mech = GeometricMechanism(0.8)
+        noise = mech.sample_noise(300_000, rng)
+        assert noise.var() == pytest.approx(mech.variance(), rel=0.05)
+
+    def test_geometric_ratio_is_alpha(self):
+        # P(Z = z+1) / P(Z = z) = alpha for z >= 0.
+        rng = np.random.default_rng(6)
+        mech = GeometricMechanism(1.0)
+        noise = mech.sample_noise(500_000, rng)
+        p1 = (noise == 1).mean()
+        p2 = (noise == 2).mean()
+        assert p2 / p1 == pytest.approx(mech.alpha, rel=0.08)
+
+
+class TestGumbel:
+    def test_shape(self):
+        assert gumbel_noise(2.0, (5, 3), rng=0).shape == (5, 3)
+
+    def test_cdf_matches_footnote_1(self):
+        # F(z) = exp(-exp(-z / sigma)); check at z = 0: F(0) = exp(-1).
+        rng = np.random.default_rng(7)
+        draws = gumbel_noise(3.0, 200_000, rng)
+        assert (draws <= 0).mean() == pytest.approx(np.exp(-1), rel=0.02)
+
+    def test_scale_affects_spread(self):
+        rng = np.random.default_rng(8)
+        small = gumbel_noise(1.0, 50_000, rng).std()
+        large = gumbel_noise(10.0, 50_000, rng).std()
+        assert large == pytest.approx(10 * small, rel=0.1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            gumbel_noise(0.0, 3)

@@ -1,0 +1,108 @@
+"""Tests for the Appendix B multi-explanation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import ClusteredCounts
+from repro.core.hbe import MultiAttributeCombination
+from repro.core.multi import MultiDPClustX, multi_global_score
+from repro.core.quality.scores import Weights, global_score
+from repro.privacy.budget import ExplanationBudget, PrivacyAccountant
+
+
+class TestMultiGlobalScore:
+    def test_coincides_with_global_score_at_ell_1(self, counts):
+        # Appendix B: "the definition coincides with Definition 4.13 when l=1".
+        w = Weights()
+        for combo in [("color", "size", "flag"), ("size", "size", "size")]:
+            mac = MultiAttributeCombination(tuple((a,) for a in combo))
+            assert multi_global_score(counts, mac, w) == pytest.approx(
+                global_score(counts, combo, w)
+            )
+
+    def test_empty_combination_rejected(self, counts):
+        with pytest.raises(ValueError):
+            MultiAttributeCombination(())
+
+    def test_ell_2_uses_all_candidate_pairs(self, counts):
+        w = Weights(0.0, 0.0, 1.0)  # pure diversity isolates the pair term
+        mac = MultiAttributeCombination((("color", "size"), ("flag", "color")))
+        from repro.core.quality.diversity import pair_diversity_low_sens
+
+        cands = mac.candidates()
+        pairs = [
+            (cands[i], cands[j])
+            for i in range(len(cands))
+            for j in range(i + 1, len(cands))
+        ]
+        expected = np.mean(
+            [
+                pair_diversity_low_sens(counts, c1, c2, a1, a2)
+                for (c1, a1), (c2, a2) in pairs
+            ]
+        )
+        assert multi_global_score(counts, mac, w) == pytest.approx(expected)
+
+
+class TestMultiDPClustX:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MultiDPClustX(ell=0)
+        with pytest.raises(ValueError):
+            MultiDPClustX(ell=3, n_candidates=2)
+
+    def test_selection_structure(self, counts):
+        explainer = MultiDPClustX(ell=2, n_candidates=3)
+        mac = explainer.select_combination(counts, rng=0)
+        assert mac.ell == 2
+        assert mac.n_clusters == counts.n_clusters
+        for attrs in mac.attribute_sets:
+            assert len(set(attrs)) == 2
+
+    def test_explain_emits_ell_histogram_pairs_per_cluster(
+        self, dataset, clustering
+    ):
+        explainer = MultiDPClustX(ell=2, n_candidates=3)
+        expl = explainer.explain(dataset, clustering, rng=0)
+        assert expl.n_clusters == clustering.n_clusters
+        for c in range(expl.n_clusters):
+            assert len(expl[c]) == 2
+            names = {e.attribute.name for e in expl[c]}
+            assert names == set(expl.combination[c])
+
+    def test_budget_accounting(self, dataset, clustering):
+        acc = PrivacyAccountant()
+        budget = ExplanationBudget(0.2, 0.3, 0.4)
+        MultiDPClustX(ell=2, n_candidates=3, budget=budget).explain(
+            dataset, clustering, rng=0, accountant=acc
+        )
+        # Theorem 5.3's total carries over to the extension.
+        assert acc.total() == pytest.approx(0.9)
+
+    def test_enumeration_guard(self, diabetes_counts):
+        from repro.core import multi
+
+        old = multi._MAX_COMBINATIONS
+        try:
+            multi._MAX_COMBINATIONS = 10
+            with pytest.raises(ValueError, match="guard"):
+                MultiDPClustX(ell=2, n_candidates=4).select_combination(
+                    diabetes_counts, rng=0
+                )
+        finally:
+            multi._MAX_COMBINATIONS = old
+
+    def test_high_budget_beats_low_budget_on_average(self, diabetes_counts):
+        # More selection budget should not hurt the extended global score.
+        def avg_score(eps: float) -> float:
+            vals = []
+            for s in range(3):
+                mac = MultiDPClustX(
+                    ell=2,
+                    n_candidates=3,
+                    budget=ExplanationBudget.split_selection(eps),
+                ).select_combination(diabetes_counts, rng=s)
+                vals.append(multi_global_score(diabetes_counts, mac, Weights()))
+            return float(np.mean(vals))
+
+        assert avg_score(100.0) >= avg_score(1e-4)

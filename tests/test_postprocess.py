@@ -1,0 +1,80 @@
+"""Tests for free histogram post-processing (repro.privacy.postprocess)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.postprocess import (
+    clamp_nonnegative,
+    normalize_pair,
+    project_to_simplex_total,
+    round_to_integers,
+    uniformity_distance,
+)
+
+
+class TestClampAndRound:
+    def test_clamp(self):
+        out = clamp_nonnegative(np.array([-3.0, 0.0, 2.5]))
+        assert out.tolist() == [0.0, 0.0, 2.5]
+
+    def test_round(self):
+        out = round_to_integers(np.array([-0.4, 1.6, 2.5]))
+        assert out.tolist() == [0.0, 2.0, 2.0]
+
+
+class TestSimplexProjection:
+    def test_preserves_total(self):
+        h = np.array([5.0, -2.0, 8.0, 1.0])
+        out = project_to_simplex_total(h, 10.0)
+        assert out.sum() == pytest.approx(10.0)
+        assert (out >= 0).all()
+
+    def test_already_feasible_is_fixed_point(self):
+        h = np.array([3.0, 7.0])
+        out = project_to_simplex_total(h, 10.0)
+        assert np.allclose(out, h)
+
+    def test_zero_total(self):
+        out = project_to_simplex_total(np.array([4.0, 4.0]), 0.0)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_is_l2_projection(self):
+        # Compare against brute-force grid search on 2 bins.
+        h = np.array([6.0, 1.0])
+        total = 4.0
+        out = project_to_simplex_total(h, total)
+        xs = np.linspace(0, total, 2001)
+        dists = (xs - h[0]) ** 2 + ((total - xs) - h[1]) ** 2
+        best_x = xs[np.argmin(dists)]
+        assert out[0] == pytest.approx(best_x, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_to_simplex_total(np.array([1.0]), -1.0)
+        with pytest.raises(ValueError):
+            project_to_simplex_total(np.zeros((2, 2)), 1.0)
+
+
+class TestNormalizePair:
+    def test_cluster_capped_by_full(self):
+        cluster, rest = normalize_pair(np.array([5.0, -1.0]), np.array([3.0, 4.0]))
+        assert cluster.tolist() == [3.0, 0.0]
+        assert rest.tolist() == [0.0, 4.0]
+
+    def test_exact_counts_unchanged(self):
+        cluster, rest = normalize_pair(np.array([2.0, 1.0]), np.array([5.0, 3.0]))
+        assert cluster.tolist() == [2.0, 1.0]
+        assert rest.tolist() == [3.0, 2.0]
+
+
+class TestUniformityDistance:
+    def test_uniform_is_zero(self):
+        assert uniformity_distance(np.array([5.0, 5.0, 5.0])) == pytest.approx(0.0)
+
+    def test_point_mass_is_max(self):
+        m = 4
+        v = uniformity_distance(np.array([10.0, 0.0, 0.0, 0.0]))
+        assert v == pytest.approx(1.0 - 1.0 / m)
+
+    def test_empty_is_zero(self):
+        assert uniformity_distance(np.zeros(3)) == 0.0

@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) for the paper's formal claims.
+
+These check, over randomly generated datasets and neighboring pairs:
+
+* sensitivity bounds: Propositions 4.4, 4.7(2), 4.10/A.10, 4.12, 4.14;
+* range bounds: same propositions plus Proposition 4.10's R_Div;
+* structural identities: Int_p = |D_c| * TVD (Corollary A.1),
+  |D| * Suf = sum_c Suf_p against a tuple-level reference implementation of
+  Eqs. (2)-(3) (Proposition 4.7(1)), and d = min * TVD (Corollary A.2);
+* DP composition arithmetic on the accountant.
+
+Clusterings are functions of tuple values (code of an attribute mod |C|), so
+they stay fixed across neighboring datasets as Definition 3.1 requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counts import ClusteredCounts
+from repro.core.quality.distances import tvd_counts
+from repro.core.quality.diversity import (
+    diversity_range,
+    global_diversity_low_sens,
+    pair_diversity_low_sens,
+)
+from repro.core.quality.interestingness import interestingness_low_sens
+from repro.core.quality.scores import (
+    Weights,
+    global_score,
+    global_score_range,
+    single_cluster_score,
+)
+from repro.core.quality.sufficiency import (
+    global_sufficiency_sensitive,
+    sufficiency_low_sens,
+)
+from repro.dataset import Attribute, Dataset, Schema
+
+from conftest import CodeModuloClustering
+
+N_CLUSTERS = 3
+DOMAINS = (4, 3, 5)  # a0 is also the clustering attribute
+
+
+def build_dataset(rows: list[tuple[int, ...]]) -> Dataset:
+    schema = Schema(
+        tuple(
+            Attribute(f"a{i}", tuple(f"v{j}" for j in range(m)))
+            for i, m in enumerate(DOMAINS)
+        )
+    )
+    cols = {
+        f"a{i}": np.array([r[i] for r in rows], dtype=np.int64)
+        for i in range(len(DOMAINS))
+    }
+    return Dataset(schema, cols)
+
+
+row_strategy = st.tuples(*(st.integers(0, m - 1) for m in DOMAINS))
+dataset_strategy = st.lists(row_strategy, min_size=1, max_size=24)
+neighbor_strategy = st.tuples(dataset_strategy, row_strategy)
+attr_strategy = st.sampled_from([f"a{i}" for i in range(len(DOMAINS))])
+combo_strategy = st.tuples(*(attr_strategy for _ in range(N_CLUSTERS)))
+
+
+def counts_of(rows: list[tuple[int, ...]]) -> ClusteredCounts:
+    return ClusteredCounts(build_dataset(rows), CodeModuloClustering("a0", N_CLUSTERS))
+
+
+def neighbor_counts(rows, extra) -> tuple[ClusteredCounts, ClusteredCounts]:
+    return counts_of(rows), counts_of(rows + [extra])
+
+
+# --------------------------------------------------------------------------- #
+# sensitivity bounds
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=150, deadline=None)
+@given(neighbor_strategy, st.integers(0, N_CLUSTERS - 1), attr_strategy)
+def test_interestingness_sensitivity_at_most_one(pair, c, name):
+    """Proposition 4.4: |Int_p(D) - Int_p(D')| <= 1."""
+    rows, extra = pair
+    before, after = neighbor_counts(rows, extra)
+    delta = abs(
+        interestingness_low_sens(after, c, name)
+        - interestingness_low_sens(before, c, name)
+    )
+    assert delta <= 1.0 + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(neighbor_strategy, st.integers(0, N_CLUSTERS - 1), attr_strategy)
+def test_sufficiency_sensitivity_at_most_one(pair, c, name):
+    """Proposition 4.7(2): |Suf_p(D) - Suf_p(D')| <= 1."""
+    rows, extra = pair
+    before, after = neighbor_counts(rows, extra)
+    delta = abs(
+        sufficiency_low_sens(after, c, name) - sufficiency_low_sens(before, c, name)
+    )
+    assert delta <= 1.0 + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(neighbor_strategy, attr_strategy, attr_strategy)
+def test_pair_diversity_sensitivity_at_most_one(pair, a1, a2):
+    """Proposition A.10: |d(D) - d(D')| <= 1 for any cluster pair."""
+    rows, extra = pair
+    before, after = neighbor_counts(rows, extra)
+    for c1 in range(N_CLUSTERS):
+        for c2 in range(c1 + 1, N_CLUSTERS):
+            delta = abs(
+                pair_diversity_low_sens(after, c1, c2, a1, a2)
+                - pair_diversity_low_sens(before, c1, c2, a1, a2)
+            )
+            assert delta <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(neighbor_strategy, combo_strategy)
+def test_global_diversity_sensitivity_at_most_one(pair, combo):
+    """Proposition 4.10: Div_p has sensitivity <= 1."""
+    rows, extra = pair
+    before, after = neighbor_counts(rows, extra)
+    delta = abs(
+        global_diversity_low_sens(after, combo)
+        - global_diversity_low_sens(before, combo)
+    )
+    assert delta <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    neighbor_strategy,
+    st.integers(0, N_CLUSTERS - 1),
+    attr_strategy,
+    st.floats(0.0, 1.0),
+)
+def test_single_cluster_score_sensitivity(pair, c, name, gamma_int):
+    """Proposition 4.12: Score_gamma has sensitivity <= 1."""
+    rows, extra = pair
+    before, after = neighbor_counts(rows, extra)
+    g = (gamma_int, 1.0 - gamma_int)
+    delta = abs(
+        single_cluster_score(after, c, name, *g)
+        - single_cluster_score(before, c, name, *g)
+    )
+    assert delta <= 1.0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(neighbor_strategy, combo_strategy, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_global_score_sensitivity(pair, combo, u, v):
+    """Proposition 4.14: GlScore_lambda has sensitivity <= 1."""
+    rows, extra = pair
+    # Map (u, v) to a random point of the weight simplex.
+    l_int = u * v
+    l_suf = u * (1 - v)
+    l_div = 1 - u
+    total = l_int + l_suf + l_div
+    w = Weights(l_int / total, l_suf / total, l_div / total)
+    before, after = neighbor_counts(rows, extra)
+    delta = abs(global_score(after, combo, w) - global_score(before, combo, w))
+    assert delta <= 1.0 + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# range bounds
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=100, deadline=None)
+@given(dataset_strategy, st.integers(0, N_CLUSTERS - 1), attr_strategy)
+def test_single_cluster_ranges(rows, c, name):
+    """Int_p, Suf_p in [0, |D_c|] (Propositions 4.4, 4.7)."""
+    counts = counts_of(rows)
+    n_c = counts.cluster_size(name, c)
+    for fn in (interestingness_low_sens, sufficiency_low_sens):
+        v = fn(counts, c, name)
+        assert -1e-9 <= v <= n_c + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(dataset_strategy, combo_strategy)
+def test_global_diversity_range(rows, combo):
+    """Div_p in [0, R_Div] (Proposition 4.10)."""
+    counts = counts_of(rows)
+    v = global_diversity_low_sens(counts, combo)
+    assert -1e-9 <= v <= diversity_range(counts.sizes()) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(dataset_strategy, combo_strategy)
+def test_global_score_range(rows, combo):
+    """GlScore in [0, R_GlScore] (Proposition 4.14)."""
+    counts = counts_of(rows)
+    w = Weights()
+    v = global_score(counts, combo, w)
+    assert -1e-9 <= v <= global_score_range(counts.sizes(), w) + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# structural identities
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=100, deadline=None)
+@given(dataset_strategy, st.integers(0, N_CLUSTERS - 1), attr_strategy)
+def test_int_p_equals_size_times_tvd(rows, c, name):
+    """Corollary A.1 identity: Int_p = |D_c| * TVD(pi_A(D), pi_A(D_c))."""
+    counts = counts_of(rows)
+    expected = counts.cluster_size(name, c) * tvd_counts(
+        counts.full(name), counts.cluster(name, c)
+    )
+    assert interestingness_low_sens(counts, c, name) == pytest.approx(expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(dataset_strategy, attr_strategy)
+def test_pair_diversity_equals_min_times_tvd(rows, name):
+    """Corollary A.2: d = min sizes * TVD between cluster distributions."""
+    counts = counts_of(rows)
+    for c1 in range(N_CLUSTERS):
+        for c2 in range(c1 + 1, N_CLUSTERS):
+            n1 = counts.cluster_size(name, c1)
+            n2 = counts.cluster_size(name, c2)
+            if n1 == 0 or n2 == 0:
+                continue
+            expected = min(n1, n2) * tvd_counts(
+                counts.cluster(name, c1), counts.cluster(name, c2)
+            )
+            got = pair_diversity_low_sens(counts, c1, c2, name, name)
+            assert got == pytest.approx(expected)
+
+
+def sufficiency_tuple_level_reference(counts: ClusteredCounts, combo) -> float:
+    """Direct implementation of Eqs. (2)-(3): average local sufficiency.
+
+    Following the proof of Proposition 4.7(1) (the Eq. (4) expansion),
+    ``r(t', A_c)`` inside ``ms_AC(t)`` measures how strongly t''s value
+    points at *t's* cluster ``c``: ``cnt_{A_c=t'[A_c]}(D_c) /
+    cnt_{A_c=t'[A_c]}(D)`` — the probability that a uniformly random tuple
+    sharing t''s value belongs to the same cluster as t.
+    """
+    d = counts.dataset
+    labels = counts.labels
+    n = len(d)
+    total = 0.0
+    for t in range(n):
+        c = int(labels[t])
+        a = combo[c]
+        codes = np.asarray(d.column(a))
+        num = 0.0
+        den = 0.0
+        for t2 in range(n):
+            v = codes[t2]
+            r = counts.cluster(a, c)[v] / counts.full(a)[v]
+            den += r
+            if int(labels[t2]) == c:
+                num += r
+        total += num / den
+    return total / n
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(row_strategy, min_size=2, max_size=12), combo_strategy)
+def test_proposition_4_7_identity(rows, combo):
+    """|D| * Suf(D, f, AC) = sum_c Suf_p(D, f, c, AC(c)) — checked against a
+    tuple-level reference implementation of the original definition."""
+    counts = counts_of(rows)
+    # The tuple-level formula requires every cluster to be represented in the
+    # denominator sum; it is defined for all inputs, so compare directly.
+    reference = sufficiency_tuple_level_reference(counts, combo)
+    via_identity = global_sufficiency_sensitive(counts, combo)
+    assert via_identity == pytest.approx(reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(dataset_strategy, st.integers(0, N_CLUSTERS - 1))
+def test_low_sens_interestingness_preserves_tvd_ranking(rows, c):
+    """Section 4.1: for a fixed cluster, Int_p ranks attributes as TVD does."""
+    counts = counts_of(rows)
+    if counts.cluster_size("a0", c) == 0:
+        return
+    names = counts.names
+    tvd_scores = [
+        tvd_counts(counts.full(a), counts.cluster(a, c)) for a in names
+    ]
+    lowsens_scores = [interestingness_low_sens(counts, c, a) for a in names]
+    for i in range(len(names)):
+        for j in range(len(names)):
+            if tvd_scores[i] > tvd_scores[j] + 1e-12:
+                assert lowsens_scores[i] >= lowsens_scores[j] - 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# composition arithmetic
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(1e-4, 2.0), min_size=1, max_size=8))
+def test_accountant_sequential_is_sum(epsilons):
+    from repro.privacy.budget import PrivacyAccountant
+
+    acc = PrivacyAccountant()
+    for i, e in enumerate(epsilons):
+        acc.spend(e, f"q{i}")
+    assert acc.total() == pytest.approx(sum(epsilons))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(1e-4, 2.0), min_size=1, max_size=8))
+def test_accountant_parallel_is_max(epsilons):
+    from repro.privacy.budget import PrivacyAccountant
+
+    acc = PrivacyAccountant()
+    acc.parallel(list(epsilons), "partitioned")
+    assert acc.total() == pytest.approx(max(epsilons))

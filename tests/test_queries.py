@@ -1,0 +1,134 @@
+"""Tests for the PINQ-style query layer (repro.privacy.queries)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.budget import BudgetError, PrivacyAccountant
+from repro.privacy.queries import Predicate, QueryEngine
+
+from conftest import make_dataset
+
+
+class TestPredicate:
+    def test_true_selects_everything(self, dataset):
+        assert Predicate.true().mask(dataset).all()
+
+    def test_single_test(self, dataset):
+        p = Predicate({"color": ("red",)})
+        assert int(p.mask(dataset).sum()) == 3
+
+    def test_disjunction_within_attribute(self, dataset):
+        p = Predicate({"color": ("red", "blue")})
+        assert int(p.mask(dataset).sum()) == 5
+
+    def test_conjunction_across_attributes(self, dataset):
+        p = Predicate({"color": ("red",), "flag": ("no",)})
+        assert int(p.mask(dataset).sum()) == 2
+
+    def test_and_operator_intersects(self, dataset):
+        p = Predicate({"color": ("red", "green")}) & Predicate({"color": ("green", "blue")})
+        assert p.tests["color"] == ("green",)
+
+    def test_and_contradiction_selects_nothing(self, dataset):
+        p = Predicate({"color": ("red",)}) & Predicate({"color": ("blue",)})
+        assert p.impossible
+        assert not p.mask(dataset).any()
+        # further conjunction stays impossible
+        q = p & Predicate({"flag": ("yes",)})
+        assert q.impossible
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate({"color": ()})
+
+    def test_unknown_value_fails_at_mask_time(self, dataset):
+        p = Predicate({"color": ("magenta",)})
+        with pytest.raises(Exception):
+            p.mask(dataset)
+
+
+class TestQueryEngine:
+    def test_count_close_at_high_epsilon(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        out = engine.count(Predicate({"color": ("red",)}), epsilon=100.0)
+        assert out == pytest.approx(3.0, abs=0.5)
+
+    def test_total(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        assert engine.total(epsilon=100.0) == pytest.approx(8.0, abs=0.5)
+
+    def test_histogram_shape_and_accuracy(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        hist = engine.histogram("size", epsilon=100.0)
+        assert hist.shape == (4,)
+        assert np.abs(hist - dataset.histogram("size")).max() <= 1
+
+    def test_histogram_with_predicate(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        hist = engine.histogram(
+            "size", epsilon=100.0, predicate=Predicate({"color": ("red",)})
+        )
+        assert hist.sum() == pytest.approx(3.0, abs=2.0)
+
+    def test_group_by_count_keys(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        out = engine.group_by_count("flag", epsilon=100.0)
+        assert set(out) == {"no", "yes"}
+        assert out["no"] == pytest.approx(4.0, abs=1.0)
+
+    def test_mean_close_at_high_epsilon(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        true_mean = float(np.mean(np.asarray(dataset.column("flag"))))
+        assert engine.mean("flag", epsilon=200.0) == pytest.approx(true_mean, abs=0.1)
+
+    def test_accounting_is_sequential(self, dataset):
+        acc = PrivacyAccountant()
+        engine = QueryEngine(dataset, accountant=acc, rng=0)
+        engine.count(Predicate.true(), 0.1)
+        engine.histogram("size", 0.2)
+        engine.mean("flag", 0.3)
+        assert acc.total() == pytest.approx(0.6)
+
+    def test_budget_limit_stops_queries(self, dataset):
+        acc = PrivacyAccountant(limit=0.15)
+        engine = QueryEngine(dataset, accountant=acc, rng=0)
+        engine.count(Predicate.true(), 0.1)
+        with pytest.raises(BudgetError):
+            engine.count(Predicate.true(), 0.1)
+
+    def test_invalid_epsilon(self, dataset):
+        with pytest.raises(Exception):
+            QueryEngine(dataset, rng=0).count(Predicate.true(), 0.0)
+
+
+class TestPartition:
+    def test_partition_engines_are_disjoint(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        parts = engine.partition("color")
+        assert set(parts) == {"red", "green", "blue"}
+        sizes = [
+            parts[v].total(epsilon=1000.0) for v in ("red", "green", "blue")
+        ]
+        assert sum(sizes) == pytest.approx(8.0, abs=0.5)
+
+    def test_partition_shares_accountant(self, dataset):
+        acc = PrivacyAccountant()
+        engine = QueryEngine(dataset, accountant=acc, rng=0)
+        parts = engine.partition("color")
+        parts["red"].count(Predicate.true(), 0.1)
+        assert acc.total() == pytest.approx(0.1)
+
+    def test_partitioned_histograms_parallel_charge(self, dataset):
+        acc = PrivacyAccountant()
+        engine = QueryEngine(dataset, accountant=acc, rng=0)
+        out = engine.partitioned_histograms("color", "size", epsilon=0.5)
+        assert set(out) == {"red", "green", "blue"}
+        # one parallel charge of eps, not 3 * eps
+        assert acc.total() == pytest.approx(0.5)
+
+    def test_partitioned_histograms_accuracy(self, dataset):
+        engine = QueryEngine(dataset, rng=0)
+        out = engine.partitioned_histograms("color", "size", epsilon=200.0)
+        red_mask = np.asarray(dataset.column("color")) == 0
+        true = dataset.histogram("size", red_mask)
+        assert np.abs(out["red"] - true).max() <= 1

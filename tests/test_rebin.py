@@ -1,0 +1,97 @@
+"""Tests for domain re-binning (repro.dataset.rebin)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, SchemaError
+from repro.dataset.rebin import (
+    merge_adjacent_bins,
+    rebin_column,
+    rebin_dataset,
+    rebin_histogram,
+)
+
+from conftest import make_dataset
+
+
+class TestMergeAdjacentBins:
+    def test_interval_labels_merge_cleanly(self):
+        attr = Attribute("x", ("[0, 10)", "[10, 20)", "[20, 30)", "[30, inf)"))
+        merged = merge_adjacent_bins(attr, 2)
+        assert merged.domain == ("[0, 20)", "[20, inf)")
+
+    def test_categorical_labels_join(self):
+        attr = Attribute("x", ("a", "b", "c"))
+        merged = merge_adjacent_bins(attr, 2)
+        assert merged.domain == ("a + b", "c")
+
+    def test_factor_one_is_identity(self):
+        attr = Attribute("x", ("a", "b"))
+        assert merge_adjacent_bins(attr, 1) is attr
+
+    def test_invalid_factor(self):
+        with pytest.raises(SchemaError):
+            merge_adjacent_bins(Attribute("x", ("a",)), 0)
+
+    def test_domain_size_is_ceiling_division(self):
+        attr = Attribute("x", tuple(f"v{i}" for i in range(7)))
+        assert merge_adjacent_bins(attr, 3).domain_size == 3
+
+
+class TestRebinColumn:
+    def test_integer_division(self):
+        codes = np.array([0, 1, 2, 3, 4, 5])
+        assert rebin_column(codes, 2).tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_invalid_factor(self):
+        with pytest.raises(SchemaError):
+            rebin_column(np.array([0]), 0)
+
+
+class TestRebinDataset:
+    def test_histograms_aggregate(self):
+        d = make_dataset()
+        out = rebin_dataset(d, 2, names=["size"])
+        # size domain (S,M,L,XL) -> 2 bins; counts aggregate pairwise.
+        orig = d.histogram("size")
+        new = out.histogram("size")
+        assert new.tolist() == [int(orig[0] + orig[1]), int(orig[2] + orig[3])]
+
+    def test_small_domains_left_alone(self):
+        d = make_dataset()
+        out = rebin_dataset(d, 2)  # flag has 2 values -> would drop below 2
+        assert out.schema.attribute("flag").domain_size == 2
+
+    def test_row_count_preserved(self):
+        d = make_dataset()
+        assert len(rebin_dataset(d, 2)) == len(d)
+
+    def test_larger_factor_never_grows_domains(self):
+        from repro.synth import diabetes_like
+
+        d = diabetes_like(n_rows=300, seed=1)
+        out = rebin_dataset(d, 4)
+        for name in d.schema.names:
+            assert (
+                out.schema.attribute(name).domain_size
+                <= d.schema.attribute(name).domain_size
+            )
+
+
+class TestRebinHistogram:
+    def test_sums_preserved(self):
+        h = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        out = rebin_histogram(h, 2)
+        assert out.sum() == pytest.approx(h.sum())
+        assert out.tolist() == [3.0, 7.0, 5.0]
+
+    def test_factor_one(self):
+        h = np.array([1.0, 2.0])
+        assert rebin_histogram(h, 1).tolist() == [1.0, 2.0]
+
+    def test_matches_rebinned_dataset_counts(self):
+        d = make_dataset()
+        out = rebin_dataset(d, 2, names=["size"])
+        assert np.allclose(
+            rebin_histogram(d.histogram("size"), 2), out.histogram("size")
+        )

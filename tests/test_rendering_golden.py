@@ -1,0 +1,81 @@
+"""Golden-output tests for the human-facing renderers.
+
+These pin the exact textual artifacts users see (ASCII histograms, ledger
+summaries, textual descriptions) on fixed inputs, so presentation changes
+are deliberate rather than accidental.
+"""
+
+import numpy as np
+
+from repro.core.hbe import (
+    AttributeCombination,
+    GlobalExplanation,
+    SingleClusterExplanation,
+)
+from repro.core.textual import describe_single
+from repro.dataset import Attribute
+from repro.privacy.budget import PrivacyAccountant
+
+
+def lab_proc_explanation() -> SingleClusterExplanation:
+    """A deterministic Figure-2a-like explanation."""
+    attr = Attribute("lab_proc", ("[0, 25)", "[25, 50)", "[50, 75)", "[75, inf)"))
+    rest = np.array([40.0, 45.0, 10.0, 5.0])
+    cluster = np.array([1.0, 4.0, 45.0, 50.0])
+    return SingleClusterExplanation(0, attr, rest, cluster)
+
+
+class TestAsciiGolden:
+    def test_render_exact_lines(self):
+        out = lab_proc_explanation().render(width=20)
+        lines = out.splitlines()
+        assert lines[0] == "'lab_proc' — Cluster 1 vs Rest (frequency %)"
+        # cluster peak bin: 50% of mass -> full-width bar of 20 '#'
+        assert lines[7] == "  " + f"{'[75, inf)':>16s}" + " |  50.0% " + "#" * 20
+        assert lines[-1] == "  (# = Cluster 1, . = Rest)"
+
+    def test_render_is_deterministic(self):
+        a = lab_proc_explanation().render()
+        b = lab_proc_explanation().render()
+        assert a == b
+
+    def test_custom_cluster_name(self):
+        out = lab_proc_explanation().render(width=10, cluster_name="Ward A")
+        assert "Ward A vs Rest" in out
+
+
+class TestTextualGolden:
+    def test_exact_description(self):
+        text = describe_single(lab_proc_explanation())
+        assert text == (
+            "The 'lab_proc' column values differ significantly. Values outside "
+            "Cluster 1 are concentrated at or below '[25, 50)' (85% of the "
+            "rest), while Cluster 1 contains mainly higher values (95% above "
+            "'[25, 50)')."
+        )
+
+
+class TestLedgerGolden:
+    def test_summary_format(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1, "stage1")
+        acc.parallel([0.05, 0.2], "clusters")
+        lines = acc.summary().splitlines()
+        assert lines[0] == "privacy ledger (total eps = 0.3)"
+        assert lines[1] == "  stage1                                   eps=0.1        [sequential]"
+        assert lines[2] == "  clusters                                 eps=0.2        [parallel-group]"
+
+
+class TestGlobalRenderGolden:
+    def test_per_cluster_headers_in_order(self):
+        e0 = lab_proc_explanation()
+        e1 = SingleClusterExplanation(
+            1, e0.attribute, e0.hist_cluster, e0.hist_rest
+        )
+        expl = GlobalExplanation(
+            (e0, e1), AttributeCombination(("lab_proc", "lab_proc"))
+        )
+        out = expl.render(width=8)
+        first = out.index("Cluster 1 vs Rest")
+        second = out.index("Cluster 2 vs Rest")
+        assert first < second

@@ -1,0 +1,112 @@
+"""Unit tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema, SchemaError, binned_domain
+
+
+class TestAttribute:
+    def test_domain_size(self):
+        a = Attribute("x", ("a", "b", "c"))
+        assert a.domain_size == 3
+        assert len(a) == 3
+
+    def test_code_roundtrip(self):
+        a = Attribute("x", ("low", "mid", "high"))
+        for i, v in enumerate(a.domain):
+            assert a.code_of(v) == i
+            assert a.value_of(i) == v
+
+    def test_code_of_unknown_value_raises(self):
+        a = Attribute("x", ("a",))
+        with pytest.raises(SchemaError, match="not in dom"):
+            a.code_of("missing")
+
+    def test_value_of_out_of_range_raises(self):
+        a = Attribute("x", ("a", "b"))
+        with pytest.raises(SchemaError):
+            a.value_of(2)
+        with pytest.raises(SchemaError):
+            a.value_of(-1)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty domain"):
+            Attribute("x", ())
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Attribute("x", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Attribute("", ("a",))
+
+
+class TestSchema:
+    def test_names_and_width(self):
+        s = Schema((Attribute("x", ("a",)), Attribute("y", ("b", "c"))))
+        assert s.names == ("x", "y")
+        assert s.width == 2
+        assert len(s) == 2
+
+    def test_lookup_and_contains(self):
+        s = Schema((Attribute("x", ("a",)),))
+        assert s.attribute("x").name == "x"
+        assert "x" in s
+        assert "z" not in s
+
+    def test_unknown_attribute_raises(self):
+        s = Schema((Attribute("x", ("a",)),))
+        with pytest.raises(SchemaError, match="no attribute"):
+            s.attribute("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="unique"):
+            Schema((Attribute("x", ("a",)), Attribute("x", ("b",))))
+
+    def test_from_domains_preserves_order(self):
+        s = Schema.from_domains({"b": ["1", "2"], "a": ["x"]})
+        assert s.names == ("b", "a")
+
+    def test_domain_sizes(self):
+        s = Schema.from_domains({"a": ["1"], "b": ["1", "2", "3"]})
+        assert s.domain_sizes() == {"a": 1, "b": 3}
+
+    def test_project(self):
+        s = Schema.from_domains({"a": ["1"], "b": ["2"], "c": ["3"]})
+        p = s.project(["c", "a"])
+        assert p.names == ("c", "a")
+
+    def test_with_attributes(self):
+        s = Schema.from_domains({"a": ["1"]})
+        s2 = s.with_attributes([Attribute("b", ("x",))])
+        assert s2.names == ("a", "b")
+        assert s.names == ("a",)  # original untouched
+
+    def test_iteration(self):
+        s = Schema.from_domains({"a": ["1"], "b": ["2"]})
+        assert [a.name for a in s] == ["a", "b"]
+
+
+class TestBinnedDomain:
+    def test_open_last_bin(self):
+        d = binned_domain([0, 10, 20], fmt=".0f")
+        assert d == ("[0, 10)", "[10, inf)")
+
+    def test_closed_last_bin(self):
+        d = binned_domain([0, 10, 20], closed_last=True, fmt=".0f")
+        assert d == ("[0, 10)", "[10, 20)")
+
+    def test_single_bin(self):
+        assert binned_domain([0, 5], fmt=".0f") == ("[0, inf)",)
+
+    def test_too_few_edges_raises(self):
+        with pytest.raises(SchemaError):
+            binned_domain([1])
+
+    def test_matches_paper_lab_proc_shape(self):
+        # Figure 2a: [0,10) ... [70, inf), 8 bins.
+        d = binned_domain([0, 10, 20, 30, 40, 50, 60, 70, 80], fmt=".0f")
+        assert len(d) == 8
+        assert d[0] == "[0, 10)"
+        assert d[-1] == "[70, inf)"

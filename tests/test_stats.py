@@ -1,0 +1,125 @@
+"""Tests for evaluation statistics helpers (repro.evaluation.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stats import (
+    PairedComparison,
+    bootstrap_mean,
+    paired_bootstrap,
+    relative_gap,
+)
+
+
+class TestBootstrapMean:
+    def test_mean_matches(self):
+        s = bootstrap_mean([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.lo <= s.mean <= s.hi
+        assert s.n == 3
+
+    def test_interval_covers_true_mean(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for trial in range(100):
+            sample = rng.normal(5.0, 1.0, size=30)
+            s = bootstrap_mean(sample, confidence=0.9, rng=trial)
+            if s.lo <= 5.0 <= s.hi:
+                hits += 1
+        assert hits >= 75  # ~90% nominal coverage, generous slack
+
+    def test_single_value_degenerate(self):
+        s = bootstrap_mean([4.2])
+        assert s.mean == s.lo == s.hi == 4.2
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_mean(rng.normal(size=10), rng=0)
+        large = bootstrap_mean(rng.normal(size=1000), rng=0)
+        assert (large.hi - large.lo) < (small.hi - small.lo)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+
+    def test_str_rendering(self):
+        assert "n=2" in str(bootstrap_mean([1.0, 2.0]))
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0.0, 0.1, size=40)
+        cmp = paired_bootstrap(base + 1.0, base)
+        assert cmp.significant
+        assert cmp.mean_diff == pytest.approx(1.0, abs=0.01)
+        assert cmp.prob_first_better == 1.0
+
+    def test_identical_samples_not_significant(self):
+        vals = list(np.random.default_rng(3).normal(size=25))
+        cmp = paired_bootstrap(vals, vals)
+        assert not cmp.significant
+        assert cmp.mean_diff == pytest.approx(0.0)
+        assert cmp.prob_first_better == 0.5  # all ties
+
+    def test_pairing_beats_noise(self):
+        # A small consistent edge rides on large shared noise: paired
+        # analysis detects it.
+        rng = np.random.default_rng(4)
+        shared = rng.normal(0.0, 5.0, size=50)
+        cmp = paired_bootstrap(shared + 0.2, shared)
+        assert cmp.significant
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+
+
+class TestRelativeGap:
+    def test_paper_phrasing(self):
+        # "DPClustX scores are only 0.66% lower than TabEE"
+        assert relative_gap(0.9934, 1.0) == pytest.approx(0.0066)
+
+    def test_zero_reference(self):
+        assert relative_gap(0.5, 0.0) == 0.0
+
+
+class TestOnRealTrials:
+    def test_dpclustx_vs_dp_tabee_significant(self, diabetes_counts):
+        """Paired comparison across shared seeds: DPClustX reliably beats
+        DP-TabEE at eps = 1 — the Figure 5 ordering with error bars."""
+        from repro.baselines.dp_tabee import DPTabEE
+        from repro.core.dpclustx import DPClustX
+        from repro.core.quality.scores import Weights
+        from repro.evaluation.quality import QualityEvaluator
+        from repro.privacy.budget import ExplanationBudget
+
+        ev = QualityEvaluator(diabetes_counts, Weights(), 0)
+        budget = ExplanationBudget.split_selection(1.0)
+        q_x, q_t = [], []
+        for s in range(8):
+            q_x.append(
+                ev.quality(
+                    tuple(
+                        DPClustX(budget=budget)
+                        .select_combination(diabetes_counts, rng=s)
+                        .combination
+                    )
+                )
+            )
+            q_t.append(
+                ev.quality(
+                    tuple(
+                        DPTabEE(budget=budget).select_combination(
+                            diabetes_counts, rng=s
+                        )
+                    )
+                )
+            )
+        cmp = paired_bootstrap(q_x, q_t)
+        assert cmp.mean_diff > 0
+        assert cmp.significant

@@ -1,0 +1,156 @@
+"""Tests for the synthetic data generators (dataset stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import ClusteredCounts
+from repro.core.quality.interestingness import interestingness_tvd
+from repro.synth import (
+    census_generator,
+    census_like,
+    diabetes_generator,
+    diabetes_like,
+    stackoverflow_generator,
+    stackoverflow_like,
+)
+from repro.synth.generator import (
+    AttributeModel,
+    build_generator,
+    generic_domain,
+    noise_model,
+    peaked_distribution,
+    signal_model,
+)
+
+
+class TestPeakedDistribution:
+    def test_is_probability_vector(self):
+        p = peaked_distribution(8, 3)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p > 0).all()
+
+    def test_peaks_at_requested_value(self):
+        p = peaked_distribution(10, 7)
+        assert int(np.argmax(p)) == 7
+
+    def test_background_keeps_floor(self):
+        p = peaked_distribution(20, 0, background=0.4)
+        assert p.min() >= 0.4 / 20 - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            peaked_distribution(5, 9)
+        with pytest.raises(ValueError):
+            peaked_distribution(5, 2, sharpness=1.5)
+        with pytest.raises(ValueError):
+            peaked_distribution(5, 2, background=1.0)
+
+
+class TestModels:
+    def test_signal_model_differs_across_groups(self):
+        m = signal_model("x", generic_domain("x", 8), 3, np.random.default_rng(0))
+        assert m.is_signal
+        assert not np.allclose(m.probs[0], m.probs[1])
+
+    def test_noise_model_identical_across_groups(self):
+        m = noise_model("x", generic_domain("x", 5), 4, np.random.default_rng(0))
+        assert not m.is_signal
+        for g in range(1, 4):
+            assert np.allclose(m.probs[0], m.probs[g])
+
+    def test_attribute_model_validation(self):
+        from repro.dataset import Attribute
+
+        attr = Attribute("x", ("a", "b"))
+        with pytest.raises(ValueError, match="sum to 1"):
+            AttributeModel(attr, np.array([[0.9, 0.2]]), True)
+        with pytest.raises(ValueError, match="groups, domain"):
+            AttributeModel(attr, np.array([0.5, 0.5]), True)
+
+
+class TestGenerator:
+    def test_generate_shapes(self):
+        gen = build_generator(
+            [("s", generic_domain("s", 6))],
+            [("n", generic_domain("n", 3))],
+            n_groups=3,
+            rng=0,
+        )
+        data, groups = gen.generate(500, rng=1)
+        assert len(data) == 500
+        assert groups.shape == (500,)
+        assert set(np.unique(groups).tolist()) <= {0, 1, 2}
+
+    def test_signal_attribute_separates_groups(self):
+        gen = build_generator(
+            [("s", generic_domain("s", 8))],
+            [("n", generic_domain("n", 8))],
+            n_groups=2,
+            rng=0,
+            group_weights=np.array([0.5, 0.5]),
+            sharpness=0.3,
+        )
+        data, groups = gen.generate(4000, rng=1)
+        counts = ClusteredCounts(data, groups, 2)
+        assert interestingness_tvd(counts, 0, "s") > 3 * interestingness_tvd(
+            counts, 0, "n"
+        )
+
+    def test_group_weights_respected(self):
+        gen = build_generator(
+            [("s", generic_domain("s", 4))], [], 2, rng=0,
+            group_weights=np.array([0.9, 0.1]),
+        )
+        _, groups = gen.generate(5000, rng=1)
+        assert (groups == 0).mean() == pytest.approx(0.9, abs=0.03)
+
+    def test_invalid_weights_rejected(self):
+        from repro.synth.generator import PlantedClusterGenerator
+
+        m = noise_model("x", generic_domain("x", 3), 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            PlantedClusterGenerator((m,), np.array([0.5, 0.2]))
+
+    def test_negative_rows_rejected(self):
+        gen = build_generator([("s", generic_domain("s", 3))], [], 2, rng=0)
+        with pytest.raises(ValueError):
+            gen.generate(-1)
+
+    def test_deterministic_given_seed(self):
+        gen = build_generator([("s", generic_domain("s", 4))], [], 2, rng=0)
+        d1, g1 = gen.generate(100, rng=9)
+        d2, g2 = gen.generate(100, rng=9)
+        assert np.array_equal(g1, g2)
+        assert np.array_equal(d1.column("s"), d2.column("s"))
+
+
+class TestDatasetShapes:
+    """The three stand-ins must match the paper's schema shape parameters."""
+
+    def test_diabetes_shape(self):
+        data = diabetes_like(n_rows=200)
+        assert data.schema.width == 47  # Section 6.1
+        sizes = list(data.schema.domain_sizes().values())
+        assert min(sizes) == 2 and max(sizes) == 39  # "Domain sizes 2 to 39"
+        assert "lab_proc" in data.schema  # Figure 2a's attribute
+
+    def test_census_shape(self):
+        data = census_like(n_rows=200)
+        assert data.schema.width == 68  # Section 6.1
+        for name in ("iRlabor", "iWork89", "dHours", "iYearwrk", "iMeans"):
+            assert name in data.schema  # Figure 10 attributes
+
+    def test_stackoverflow_shape(self):
+        data = stackoverflow_like(n_rows=200)
+        assert data.schema.width == 60  # Section 6.1
+        sizes = list(data.schema.domain_sizes().values())
+        assert min(sizes) == 2 and max(sizes) == 22  # "Domain sizes 2 to 22"
+
+    @pytest.mark.parametrize(
+        "factory", [diabetes_generator, census_generator, stackoverflow_generator]
+    )
+    def test_generators_support_variable_groups(self, factory):
+        for n_groups in (3, 7):
+            gen = factory(n_groups=n_groups, seed=1)
+            _, groups = gen.generate(100, rng=2)
+            assert groups.max() < n_groups

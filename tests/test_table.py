@@ -1,0 +1,172 @@
+"""Unit tests for repro.dataset.table.Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Dataset, Schema, SchemaError
+
+from conftest import make_dataset, make_schema
+
+
+class TestConstruction:
+    def test_from_rows_counts(self):
+        d = make_dataset()
+        assert len(d) == 8
+
+    def test_empty(self):
+        d = Dataset.empty(make_schema())
+        assert len(d) == 0
+        assert d.histogram("color").tolist() == [0, 0, 0]
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Dataset.from_rows(make_schema(), [("red", "S")])
+
+    def test_missing_column_raises(self):
+        s = make_schema()
+        with pytest.raises(SchemaError, match="missing"):
+            Dataset(s, {"color": np.zeros(1, dtype=np.int64)})
+
+    def test_ragged_columns_raise(self):
+        s = Schema.from_domains({"a": ["x", "y"], "b": ["u", "v"]})
+        with pytest.raises(SchemaError, match="ragged"):
+            Dataset(s, {"a": np.zeros(2, dtype=np.int64), "b": np.zeros(3, dtype=np.int64)})
+
+    def test_out_of_domain_codes_raise(self):
+        s = Schema.from_domains({"a": ["x", "y"]})
+        with pytest.raises(SchemaError, match="outside"):
+            Dataset(s, {"a": np.array([0, 5])})
+
+
+class TestAccessors:
+    def test_histogram_matches_counts(self):
+        d = make_dataset()
+        # rows: 3 red, 3 green, 2 blue
+        assert d.histogram("color").tolist() == [3, 3, 2]
+        assert int(d.histogram("color").sum()) == len(d)
+
+    def test_histogram_l1_norm_is_size(self):
+        # Appendix A: ||h_A(D)||_1 = |D| always.
+        d = make_dataset()
+        for name in d.schema.names:
+            assert int(d.histogram(name).sum()) == len(d)
+
+    def test_histogram_with_mask(self):
+        d = make_dataset()
+        mask = np.asarray(d.column("flag")) == 1  # "yes"
+        assert int(d.histogram("color", mask).sum()) == int(mask.sum())
+
+    def test_count(self):
+        d = make_dataset()
+        assert d.count("size", "S") == 3
+        assert d.count("size", "XL") == 1
+
+    def test_active_domain(self):
+        d = make_dataset([("red", "S", "no"), ("red", "M", "no")])
+        assert d.active_domain("color") == ("red",)
+        assert d.active_domain("size") == ("S", "M")
+
+    def test_row_decoding(self):
+        d = make_dataset()
+        assert d.row(0) == ("red", "S", "no")
+        assert d.row_codes(0) == (0, 0, 0)
+
+    def test_column_is_read_only(self):
+        d = make_dataset()
+        col = d.column("color")
+        with pytest.raises(ValueError):
+            col[0] = 1
+
+
+class TestBagOperations:
+    def test_with_tuple_is_neighboring(self):
+        d = make_dataset()
+        d2 = d.with_tuple((2, 3, 1))
+        assert len(d2) == len(d) + 1
+        assert d2.row(len(d2) - 1) == ("blue", "XL", "yes")
+        assert len(d) == 8  # original unchanged
+
+    def test_with_tuple_bad_code_raises(self):
+        d = make_dataset()
+        with pytest.raises(SchemaError):
+            d.with_tuple((9, 0, 0))
+
+    def test_without_index(self):
+        d = make_dataset()
+        d2 = d.without_index(0)
+        assert len(d2) == 7
+        assert d2.count("color", "red") == 2
+
+    def test_without_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_dataset().without_index(99)
+
+    def test_subset_mask(self):
+        d = make_dataset()
+        sub = d.subset(np.asarray(d.column("color")) == 0)
+        assert len(sub) == 3
+        assert set(sub.active_domain("color")) == {"red"}
+
+    def test_concat(self):
+        d = make_dataset()
+        both = d.concat(d)
+        assert len(both) == 16
+        assert both.histogram("color").tolist() == [6, 6, 4]
+
+    def test_concat_schema_mismatch(self):
+        d = make_dataset()
+        other = Dataset.empty(Schema.from_domains({"z": ["1"]}))
+        with pytest.raises(SchemaError):
+            d.concat(other)
+
+    def test_sample_fraction(self):
+        d = make_dataset()
+        rng = np.random.default_rng(0)
+        assert len(d.sample(0.5, rng)) == 4
+        assert len(d.sample(0.0, rng)) == 0
+        assert len(d.sample(1.0, rng)) == 8
+
+    def test_sample_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_dataset().sample(1.5, np.random.default_rng(0))
+
+
+class TestSchemaSurgery:
+    def test_project(self):
+        d = make_dataset()
+        p = d.project(["flag", "color"])
+        assert p.schema.names == ("flag", "color")
+        assert len(p) == len(d)
+
+    def test_with_column(self):
+        d = make_dataset()
+        extra = Attribute("extra", ("0", "1"))
+        d2 = d.with_column(extra, np.zeros(len(d), dtype=np.int64))
+        assert "extra" in d2.schema
+        assert d2.histogram("extra").tolist() == [8, 0]
+
+    def test_with_column_duplicate_name(self):
+        d = make_dataset()
+        with pytest.raises(SchemaError, match="already exists"):
+            d.with_column(Attribute("color", ("x",)), np.zeros(len(d), dtype=np.int64))
+
+    def test_with_column_wrong_length(self):
+        d = make_dataset()
+        with pytest.raises(SchemaError, match="length"):
+            d.with_column(Attribute("e", ("0",)), np.zeros(3, dtype=np.int64))
+
+    def test_to_matrix(self):
+        d = make_dataset()
+        mat = d.to_matrix()
+        assert mat.shape == (8, 3)
+        assert mat.dtype == np.float64
+        assert mat[0].tolist() == [0.0, 0.0, 0.0]
+
+    def test_to_matrix_subset_order(self):
+        d = make_dataset()
+        mat = d.to_matrix(["flag"])
+        assert mat.shape == (8, 1)
+
+    def test_to_matrix_empty_names(self):
+        d = make_dataset()
+        assert d.to_matrix([]).shape == (8, 0)

@@ -1,0 +1,80 @@
+"""Tests for the rule-based textual descriptions (Figure 2b substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hbe import (
+    AttributeCombination,
+    GlobalExplanation,
+    SingleClusterExplanation,
+)
+from repro.core.textual import best_split, describe, describe_single
+from repro.dataset import Attribute
+
+
+def explanation(cluster_hist, rest_hist, name="lab_proc"):
+    m = len(cluster_hist)
+    attr = Attribute(name, tuple(f"[{10*i}, {10*(i+1)})" for i in range(m)))
+    return SingleClusterExplanation(
+        0, attr, np.asarray(rest_hist, float), np.asarray(cluster_hist, float)
+    )
+
+
+class TestBestSplit:
+    def test_finds_threshold(self):
+        cluster = np.array([0.0, 0.0, 0.5, 0.5])
+        rest = np.array([0.5, 0.5, 0.0, 0.0])
+        split, contrast = best_split(cluster, rest)
+        assert split == 1
+        assert contrast == pytest.approx(1.0)
+
+    def test_identical_distributions_zero_contrast(self):
+        p = np.array([0.25, 0.25, 0.5])
+        _, contrast = best_split(p, p)
+        assert contrast == 0.0
+
+    def test_single_bin(self):
+        assert best_split(np.array([1.0]), np.array([1.0])) == (0, 0.0)
+
+
+class TestDescribeSingle:
+    def test_high_cluster_values_phrasing(self):
+        # Figure 2b scenario: rest concentrated low, cluster concentrated high.
+        e = explanation([0, 0, 1, 9], [6, 3, 1, 0])
+        text = describe_single(e)
+        assert "lab_proc" in text
+        assert "differ significantly" in text
+        assert "higher values" in text
+
+    def test_low_cluster_values_phrasing(self):
+        e = explanation([9, 1, 0, 0], [0, 1, 3, 6])
+        text = describe_single(e)
+        assert "concentrated at or below" in text
+
+    def test_similar_distributions_phrasing(self):
+        e = explanation([5, 5, 5, 5], [5, 5, 5, 5])
+        assert "similar" in describe_single(e)
+
+    def test_empty_histogram_phrasing(self):
+        e = explanation([0, 0, 0, 0], [1, 1, 1, 1])
+        assert "empty" in describe_single(e)
+
+    def test_custom_cluster_name(self):
+        e = explanation([0, 0, 1, 9], [6, 3, 1, 0])
+        assert "Readmitted" in describe_single(e, cluster_name="Readmitted")
+
+
+class TestDescribeGlobal:
+    def test_one_line_per_cluster(self):
+        e0 = explanation([0, 0, 1, 9], [6, 3, 1, 0])
+        attr = e0.attribute
+        e1 = SingleClusterExplanation(
+            1, attr, e0.hist_cluster, e0.hist_rest
+        )
+        expl = GlobalExplanation(
+            (e0, e1), AttributeCombination((attr.name, attr.name))
+        )
+        lines = describe(expl).splitlines()
+        assert len(lines) == 2
+        assert "Cluster 1" in lines[0]
+        assert "Cluster 2" in lines[1]

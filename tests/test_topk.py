@@ -1,0 +1,113 @@
+"""Unit tests for the One-shot Top-k mechanism [15] (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.exponential import ExponentialMechanism
+from repro.privacy.topk import OneShotTopK, iterated_em_topk
+
+
+class TestParameters:
+    def test_sigma_formula(self):
+        # Algorithm 1, Line 2: sigma = 2 * Delta * k / eps.
+        m = OneShotTopK(epsilon=0.5, k=3, sensitivity=1.0)
+        assert m.sigma == pytest.approx(2 * 1.0 * 3 / 0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            OneShotTopK(1.0, 0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            OneShotTopK(1.0, 1, sensitivity=0.0)
+
+    def test_too_few_candidates(self):
+        with pytest.raises(ValueError):
+            OneShotTopK(1.0, 5).select(np.zeros(3))
+
+
+class TestSelection:
+    def test_returns_k_distinct_indices(self):
+        m = OneShotTopK(1.0, 3)
+        out = m.select(np.arange(10.0), rng=0)
+        assert len(out) == 3
+        assert len(set(out)) == 3
+
+    def test_high_epsilon_recovers_true_topk_in_order(self):
+        m = OneShotTopK(1e6, 3)
+        scores = np.array([5.0, 1.0, 9.0, 3.0, 7.0])
+        assert m.select(scores, rng=0) == [2, 4, 0]
+
+    def test_order_is_descending_noisy_score(self):
+        m = OneShotTopK(0.5, 4)
+        rng = np.random.default_rng(1)
+        scores = np.arange(8.0)
+        noisy = m.noisy_scores(scores, np.random.default_rng(1))
+        expected = list(np.argsort(-noisy, kind="stable")[:4])
+        assert m.select(scores, np.random.default_rng(1)) == [int(i) for i in expected]
+
+    def test_first_element_matches_em_distribution(self):
+        # The first released candidate has exactly the EM distribution at
+        # eps/k (Gumbel-max equivalence used by [15]).
+        eps, k = 2.0, 3
+        scores = np.array([0.0, 1.0, 2.0, 3.0])
+        em = ExponentialMechanism(eps / k, 1.0)
+        expected = em.probabilities(scores)
+        m = OneShotTopK(eps, k)
+        rng = np.random.default_rng(2)
+        firsts = np.bincount(
+            [m.select(scores, rng)[0] for _ in range(20_000)], minlength=4
+        ) / 20_000
+        assert np.abs(firsts - expected).max() < 0.015
+
+    def test_distribution_matches_iterated_em(self):
+        # Distribution over ordered top-k sequences should coincide with k
+        # iterated EM rounds; compare first-two-joint empirically.
+        eps, k = 3.0, 2
+        scores = np.array([0.0, 2.0, 4.0])
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(4)
+        n = 15_000
+        one_shot = np.zeros((3, 3))
+        iterated = np.zeros((3, 3))
+        m = OneShotTopK(eps, k)
+        for _ in range(n):
+            a, b = m.select(scores, rng1)
+            one_shot[a, b] += 1
+            c, d = iterated_em_topk(scores, k, eps, 1.0, rng2)
+            iterated[c, d] += 1
+        assert np.abs(one_shot / n - iterated / n).max() < 0.02
+
+
+class TestUtility:
+    def test_proposition_5_1_bound_empirically(self):
+        # Pr[Score(A^(l)) <= OPT^(l) - (2k/eps)(ln|A| + t)] <= e^{-t}.
+        eps, k, t = 1.0, 3, 2.0
+        rng = np.random.default_rng(5)
+        scores = rng.uniform(0, 50, size=30)
+        ordered = np.sort(scores)[::-1]
+        m = OneShotTopK(eps, k)
+        bound = m.utility_bound(len(scores), t)
+        failures = 0
+        trials = 2_000
+        for _ in range(trials):
+            picked = m.select(scores, rng)
+            for ell, idx in enumerate(picked):
+                if scores[idx] < ordered[ell] - bound:
+                    failures += 1
+                    break
+        assert failures / trials <= np.exp(-t) + 0.03
+
+    def test_utility_bound_validation(self):
+        with pytest.raises(ValueError):
+            OneShotTopK(1.0, 1).utility_bound(0, 1.0)
+
+
+class TestIteratedEM:
+    def test_returns_distinct(self):
+        out = iterated_em_topk(np.arange(6.0), 4, 1.0, rng=0)
+        assert len(set(out)) == 4
+
+    def test_too_few_candidates(self):
+        with pytest.raises(ValueError):
+            iterated_em_topk(np.zeros(2), 3, 1.0)

@@ -17,7 +17,7 @@ from repro.evaluation.quality import QualityEvaluator
 from repro.experiments.common import fit_clustering, load_dataset
 from repro.privacy.budget import ExplanationBudget
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 TOTAL_EPS = 0.2
 RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)  # fraction of budget given to Stage-1

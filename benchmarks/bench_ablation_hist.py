@@ -15,7 +15,7 @@ from repro.experiments.common import fit_clustering, load_dataset
 from repro.privacy.hierarchical import HierarchicalHistogram
 from repro.privacy.histograms import GeometricHistogram, LaplaceHistogram
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 
 def _setup():

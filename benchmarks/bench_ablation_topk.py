@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.privacy.topk import OneShotTopK, iterated_em_topk
 
-from conftest import show
+from bench_common import show
 
 N_ATTRS = 68
 K = 3

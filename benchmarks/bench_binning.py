@@ -6,7 +6,7 @@ from repro.evaluation.runner import format_results_table
 from repro.experiments import binning
 from repro.experiments.common import ExperimentConfig
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 _CFG = ExperimentConfig(
     datasets=("Diabetes",), methods=("k-means",), n_runs=4, rows=dict(BENCH_ROWS)

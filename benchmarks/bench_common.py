@@ -1,0 +1,19 @@
+"""Importable helpers shared by the benchmark modules.
+
+Bench modules import these with ``from bench_common import ...`` instead of
+the former bare ``from conftest import ...`` — conftest files are pytest's
+plugin-loading mechanism, not an importable module namespace, and importing
+them by name collides with ``tests/conftest.py`` when both suites run in one
+invocation.  ``benchmarks/conftest.py`` builds its fixtures on top of these.
+"""
+
+from __future__ import annotations
+
+BENCH_ROWS = {"Diabetes": 8_000, "Census": 8_000, "StackOverflow": 8_000}
+
+
+def show(title: str, table: str) -> None:
+    """Print a paper-style table (visible with ``pytest -s`` and in captured
+    output on failures)."""
+    print(f"\n=== {title} ===")
+    print(table)

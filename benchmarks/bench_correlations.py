@@ -14,7 +14,7 @@ from repro.evaluation.runner import format_results_table
 from repro.experiments import correlations
 from repro.experiments.common import ExperimentConfig
 
-from conftest import show
+from bench_common import show
 
 _CFG = ExperimentConfig(
     datasets=("Diabetes",),

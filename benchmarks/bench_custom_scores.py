@@ -19,7 +19,7 @@ from repro.evaluation.quality import QualityEvaluator
 from repro.experiments.common import fit_clustering, load_dataset
 from repro.privacy.exponential import ExponentialMechanism
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 EPS_CAND, EPS_COMB = 0.1, 0.1
 N_RUNS = 5

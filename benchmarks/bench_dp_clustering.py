@@ -17,7 +17,7 @@ from repro.core.quality.scores import Weights
 from repro.evaluation.quality import QualityEvaluator
 from repro.experiments.common import load_dataset
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 EPS_CLUSTER = 1.0
 N_CLUSTERS = 4

@@ -6,7 +6,7 @@ from repro.core.textual import describe
 from repro.experiments import fig10_case_study
 from repro.experiments.common import ExperimentConfig
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 
 def test_fig10_census_case_study(benchmark):

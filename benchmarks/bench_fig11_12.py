@@ -7,7 +7,7 @@ import numpy as np
 from repro.evaluation.runner import format_results_table
 from repro.experiments import fig5_quality, fig6_mae
 
-from conftest import show
+from bench_common import show
 
 
 def test_fig11_quality_at_3_and_7_clusters(benchmark, bench_config):

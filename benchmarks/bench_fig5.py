@@ -12,7 +12,7 @@ import numpy as np
 from repro.evaluation.runner import format_results_table
 from repro.experiments import fig5_quality
 
-from conftest import show
+from bench_common import show
 
 
 def test_fig5_quality_vs_epsilon(benchmark, bench_config):

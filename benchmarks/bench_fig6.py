@@ -7,7 +7,7 @@ import numpy as np
 from repro.evaluation.runner import format_results_table
 from repro.experiments import fig6_mae
 
-from conftest import show
+from bench_common import show
 
 
 def test_fig6_mae_vs_epsilon(benchmark, bench_config):

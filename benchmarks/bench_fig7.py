@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.evaluation.runner import format_results_table
 from repro.experiments import fig7_candidates
 
-from conftest import show
+from bench_common import show
 
 
 def test_fig7_quality_vs_candidates(benchmark, bench_config):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import repro.experiments.fig8_clusters as fig8
 from repro.evaluation.runner import format_results_table
 
-from conftest import show
+from bench_common import show
 
 
 def test_fig8a_quality_vs_num_clusters(benchmark, bench_config):

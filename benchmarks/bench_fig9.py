@@ -11,7 +11,7 @@ import repro.experiments.fig9_performance as fig9
 from repro.evaluation.runner import format_results_table
 from repro.experiments.common import ExperimentConfig
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 _CFG = ExperimentConfig(
     datasets=("Diabetes",), n_runs=2, rows=dict(BENCH_ROWS)

@@ -17,7 +17,7 @@ from repro.evaluation.quality import QualityEvaluator
 from repro.experiments.common import fit_clustering, load_dataset
 from repro.privacy.budget import ExplanationBudget
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 EPS_GRID = (0.1, 0.3, 1.0)
 N_RUNS = 5

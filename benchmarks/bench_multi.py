@@ -13,7 +13,7 @@ from repro.core.multi import MultiDPClustX, multi_global_score
 from repro.core.quality.scores import Weights
 from repro.experiments.common import fit_clustering, load_dataset
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 
 def _setup():

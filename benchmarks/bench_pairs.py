@@ -17,7 +17,7 @@ from repro.core.dpclustx import DPClustX
 from repro.core.pairs import ProductCounts, explain_with_pairs, top_pairs_by_interestingness
 from repro.experiments.common import fit_clustering, load_dataset
 
-from conftest import BENCH_ROWS, show
+from bench_common import BENCH_ROWS, show
 
 
 def _setup():

@@ -12,7 +12,7 @@ import repro.experiments.scale as scale
 from repro.evaluation.runner import format_results_table
 from repro.experiments.common import ExperimentConfig
 
-from conftest import show
+from bench_common import show
 
 _CFG = ExperimentConfig(datasets=("Diabetes",), methods=("k-means",), n_runs=4)
 

@@ -7,7 +7,7 @@ import numpy as np
 from repro.evaluation.runner import format_results_table
 from repro.experiments import table1_weights
 
-from conftest import show
+from bench_common import show
 
 
 def test_table1_weight_configurations(benchmark, bench_config):

@@ -1,9 +1,13 @@
-"""Shared configuration for the benchmark suite.
+"""Fixtures for the benchmark suite.
 
 Each ``bench_*`` module regenerates one table/figure of the paper at a
 reduced scale (so the whole suite stays minutes, not hours) and prints the
 same rows/series the paper reports.  Key shape metrics also land in
 ``benchmark.extra_info`` so they appear in pytest-benchmark's JSON output.
+
+Importable helpers (``BENCH_ROWS``, ``show``) live in :mod:`bench_common`;
+do not import from ``conftest`` — it is a pytest plugin file, not a stable
+module namespace.
 
 Full-scale runs: ``python -m repro.experiments.<harness>`` (see DESIGN.md).
 """
@@ -14,7 +18,7 @@ import pytest
 
 from repro.experiments.common import ExperimentConfig
 
-BENCH_ROWS = {"Diabetes": 8_000, "Census": 8_000, "StackOverflow": 8_000}
+from bench_common import BENCH_ROWS
 
 
 @pytest.fixture(scope="session")
@@ -36,10 +40,3 @@ def bench_config_two_datasets() -> ExperimentConfig:
         n_runs=3,
         rows=dict(BENCH_ROWS),
     )
-
-
-def show(title: str, table: str) -> None:
-    """Print a paper-style table (visible with ``pytest -s`` and in captured
-    output on failures)."""
-    print(f"\n=== {title} ===")
-    print(table)

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests + a fast scoring micro-benchmark smoke.
+#
+#   scripts/ci.sh            # full tier-1 suite, then the scoring bench
+#   scripts/ci.sh --fast     # -x fail-fast test run, same bench
+#
+# The bench compares the scalar-oracle scoring path against the batched
+# engine on diabetes_like(50k) with 8 clusters (< 30s total including the
+# test suite) and writes the BENCH_scoring.json artifact at the repo root —
+# the perf-trajectory record across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+PYTEST_ARGS=(-q)
+if [[ "${1:-}" == "--fast" ]]; then
+    PYTEST_ARGS=(-x -q)
+fi
+
+echo "== tier-1 tests =="
+python -m pytest "${PYTEST_ARGS[@]}"
+
+echo "== scoring micro-benchmark (writes BENCH_scoring.json) =="
+python benchmarks/bench_micro.py --out BENCH_scoring.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_scoring.json") as fh:
+    result = json.load(fh)
+speedup = result["speedup"]
+agree = max(result["stage1_max_rel_diff"], result["stage2_max_rel_diff"])
+print(f"scoring speedup: {speedup:.1f}x (cold {result['speedup_cold']:.1f}x), "
+      f"max rel diff {agree:.2e}")
+assert speedup >= 10.0, f"scoring speedup regressed below 10x: {speedup:.2f}x"
+assert agree < 1e-12, f"batched/scalar scoring disagree: {agree:.2e}"
+EOF
+echo "CI OK"

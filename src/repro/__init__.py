@@ -31,12 +31,15 @@ from .clustering import (
 from .core import (
     AttributeCombination,
     ClusteredCounts,
+    CountsStack,
     DPClustX,
     GlobalExplanation,
     MultiDPClustX,
+    ScoringEngine,
     SingleClusterExplanation,
     Weights,
     describe,
+    scoring_engine,
     select_candidates,
 )
 from .dataset import Attribute, Dataset, Schema
@@ -68,12 +71,15 @@ __all__ = [
     "KModes",
     "AttributeCombination",
     "ClusteredCounts",
+    "CountsStack",
     "DPClustX",
     "GlobalExplanation",
     "MultiDPClustX",
+    "ScoringEngine",
     "SingleClusterExplanation",
     "Weights",
     "describe",
+    "scoring_engine",
     "select_candidates",
     "Attribute",
     "Dataset",

@@ -23,11 +23,8 @@ from ..core.hbe import (
     GlobalExplanation,
     SingleClusterExplanation,
 )
-from ..core.quality.scores import (
-    SENSITIVE_SCORE_SENSITIVITY,
-    Weights,
-    sensitive_single_cluster_score,
-)
+from ..core.engine import scoring_engine
+from ..core.quality.scores import SENSITIVE_SCORE_SENSITIVITY, Weights
 from ..dataset.table import Dataset
 from ..evaluation.quality import QualityEvaluator
 from ..privacy.budget import ExplanationBudget, PrivacyAccountant
@@ -61,18 +58,16 @@ class DPTabEE:
         gamma = self.weights.gamma()
         n_clusters = counts.n_clusters
 
-        # Stage-1: one-shot top-k on the sensitive single-cluster score.
+        # Stage-1: one-shot top-k on the sensitive single-cluster score,
+        # evaluated for every (cluster, attribute) pair in one engine call.
         eps_topk = self.budget.eps_cand_set / n_clusters
         topk = OneShotTopK(eps_topk, self.n_candidates, SENSITIVE_SCORE_SENSITIVITY)
+        score_matrix = scoring_engine(counts).sensitive_score_matrix(
+            gamma[0], gamma[1], names
+        )
         sets: list[tuple[str, ...]] = []
         for c in range(n_clusters):
-            scores = np.array(
-                [
-                    sensitive_single_cluster_score(counts, c, a, gamma[0], gamma[1])
-                    for a in names
-                ]
-            )
-            idx = topk.select(scores, gen)
+            idx = topk.select(score_matrix[c], gen)
             sets.append(tuple(names[i] for i in idx))
         if accountant is not None:
             accountant.spend(self.budget.eps_cand_set, "dp-tabee stage1")

@@ -32,8 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.counts import CountsProvider
+from ..core.engine.kernels import tvd_rows
 from ..core.hbe import AttributeCombination
-from ..core.quality.distances import tvd_counts
 from ..privacy.budget import PrivacyAccountant, check_epsilon
 from ..privacy.histograms import GeometricHistogram, HistogramMechanism
 from ..privacy.rng import ensure_rng
@@ -85,15 +85,19 @@ class ManualEDASession:
         order = gen.permutation(len(names))[:n_probed]
 
         best_attr = [names[int(order[0])]] * n_clusters
-        best_score = [-np.inf] * n_clusters
+        best_score = np.full(n_clusters, -np.inf)
         for idx in order:
             a = names[int(idx)]
             noisy_full = mech.release(counts.full(a), gen)
-            for c in range(n_clusters):
-                noisy_cluster = mech.release(counts.cluster(a, c), gen)
-                score = tvd_counts(noisy_full, noisy_cluster)
-                if score > best_score[c]:
-                    best_attr[c], best_score[c] = a, score
+            noisy_clusters = np.stack(
+                [mech.release(counts.cluster(a, c), gen) for c in range(n_clusters)]
+            )
+            # Judge all clusters at once from the round's noisy releases.
+            scores = tvd_rows(noisy_full, noisy_clusters)
+            improved = scores > best_score
+            best_score = np.where(improved, scores, best_score)
+            for c in np.flatnonzero(improved):
+                best_attr[int(c)] = a
         if accountant is not None:
             accountant.spend(
                 self.eps_probe * n_probed, "manual-eda: full-data histograms"

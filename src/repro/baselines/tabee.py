@@ -16,12 +16,13 @@ import numpy as np
 
 from ..clustering.base import ClusteringFunction
 from ..core.counts import ClusteredCounts, CountsProvider
+from ..core.engine import scoring_engine
 from ..core.hbe import (
     AttributeCombination,
     GlobalExplanation,
     SingleClusterExplanation,
 )
-from ..core.quality.scores import Weights, sensitive_single_cluster_score
+from ..core.quality.scores import Weights
 from ..dataset.table import Dataset
 from ..evaluation.quality import QualityEvaluator
 
@@ -35,13 +36,12 @@ def rank_attributes_sensitive(
     """Attributes of one cluster ranked by the sensitive single-cluster score.
 
     This is the full ranked candidate list of Figure 4 (``rank: 1``,
-    ``rank: 2``, ...); TabEE keeps only its head.
+    ``rank: 2``, ...); TabEE keeps only its head.  Scores come from the
+    batched engine, so ranking all clusters costs one matrix evaluation.
     """
     names = names if names is not None else counts.names
-    scored = [
-        (a, sensitive_single_cluster_score(counts, c, a, gamma[0], gamma[1]))
-        for a in names
-    ]
+    row = scoring_engine(counts).sensitive_score_matrix(gamma[0], gamma[1], names)[c]
+    scored = [(a, float(s)) for a, s in zip(names, row)]
     scored.sort(key=lambda pair: -pair[1])
     return scored
 
@@ -56,12 +56,21 @@ class TabEE:
     def candidate_sets(
         self, counts: CountsProvider, names: tuple[str, ...] | None = None
     ) -> tuple[tuple[str, ...], ...]:
-        """Stage-1: deterministic per-cluster top-k by sensitive score."""
+        """Stage-1: deterministic per-cluster top-k by sensitive score.
+
+        One batched ``(|C|, |A|)`` sensitive-score matrix ranks every
+        cluster; ties break towards the earlier attribute, matching the
+        stable sort of :func:`rank_attributes_sensitive`.
+        """
         gamma = self.weights.gamma()
+        pool = names if names is not None else counts.names
+        matrix = scoring_engine(counts).sensitive_score_matrix(
+            gamma[0], gamma[1], names
+        )
         sets = []
         for c in range(counts.n_clusters):
-            ranked = rank_attributes_sensitive(counts, c, gamma, names)
-            sets.append(tuple(a for a, _ in ranked[: self.n_candidates]))
+            order = np.argsort(-matrix[c], kind="stable")
+            sets.append(tuple(pool[int(j)] for j in order[: self.n_candidates]))
         return tuple(sets)
 
     def select_combination(

@@ -3,7 +3,13 @@
 from . import diagnostics, io, svg
 from .counts import ClusteredCounts, CountsProvider, NoisyCounts
 from .diagnostics import reliability_report, render_report
-from .dpclustx import DPClustX, SelectionResult, combination_score_tensor
+from .dpclustx import (
+    DPClustX,
+    SelectionResult,
+    combination_score_tensor,
+    combination_score_tensor_reference,
+)
+from .engine import CountsStack, ScoringEngine, scoring_engine
 from .pairs import ProductCounts, explain_with_pairs
 from .svg import render_global_svg, render_svg, save_svg
 from .hbe import (
@@ -35,6 +41,10 @@ __all__ = [
     "DPClustX",
     "SelectionResult",
     "combination_score_tensor",
+    "combination_score_tensor_reference",
+    "CountsStack",
+    "ScoringEngine",
+    "scoring_engine",
     "AttributeCombination",
     "GlobalExplanation",
     "MultiAttributeCombination",

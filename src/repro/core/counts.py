@@ -38,12 +38,23 @@ class CountsProvider(Protocol):
         """``h_A(D_c)`` — counts over ``dom(A)`` for cluster ``c``."""
         ...
 
+    def by_cluster(self, name: str) -> np.ndarray:
+        """The ``(n_clusters, |dom(A)|)`` matrix stacking every cluster."""
+        ...
+
     def total(self, name: str) -> float:
         """``|D|`` (or its noisy proxy for the given attribute)."""
         ...
 
     def cluster_size(self, name: str, c: int) -> float:
         """``|D_c|`` (or its noisy proxy for the given attribute)."""
+        ...
+
+    def by_cluster_stack(self):
+        """The cached :class:`~repro.core.engine.stacks.CountsStack` over all
+        attributes — the dense tensor view the batched scoring engine runs
+        on.  Providers lacking it are stacked attribute-by-attribute via
+        :func:`~repro.core.engine.stacks.get_stack`."""
         ...
 
 
@@ -84,6 +95,7 @@ class ClusteredCounts:
         self._sizes = np.bincount(labels, minlength=self._n_clusters).astype(np.int64)
         self._by_cluster: dict[str, np.ndarray] = {}
         self._full: dict[str, np.ndarray] = {}
+        self._stack = None
 
     @property
     def dataset(self) -> Dataset:
@@ -143,6 +155,14 @@ class ClusteredCounts:
     def cluster_size(self, name: str, c: int) -> float:
         return float(self._sizes[c])
 
+    def by_cluster_stack(self):
+        """Lazily-built dense stack feeding the batched scoring engine."""
+        if self._stack is None:
+            from .engine.stacks import CountsStack
+
+            self._stack = CountsStack.from_provider(self)
+        return self._stack
+
 
 class NoisyCounts:
     """Counts served from released noisy histograms (post-processing only).
@@ -170,6 +190,7 @@ class NoisyCounts:
             mat = self._clusters[n]
             if mat.shape != (self._n_clusters, self._full[n].shape[0]):
                 raise ValueError(f"shape mismatch for attribute {n!r}")
+        self._stack = None
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -195,4 +216,15 @@ class NoisyCounts:
         return max(float(self._full[name].sum()), 1.0)
 
     def cluster_size(self, name: str, c: int) -> float:
-        return max(float(self._clusters[name][c].sum()), 0.0)
+        # Clamped to 1 like ``total`` (the documented contract): a noisy
+        # all-zero cluster release must not zero-divide downstream quality
+        # formulas such as the normalised sufficiency.
+        return max(float(self._clusters[name][c].sum()), 1.0)
+
+    def by_cluster_stack(self):
+        """Lazily-built dense stack feeding the batched scoring engine."""
+        if self._stack is None:
+            from .engine.stacks import CountsStack
+
+            self._stack = CountsStack.from_provider(self)
+        return self._stack

@@ -23,6 +23,7 @@ from ..privacy.exponential import ExponentialMechanism
 from ..privacy.histograms import GeometricHistogram, HistogramMechanism
 from ..privacy.rng import ensure_rng
 from .counts import ClusteredCounts, CountsProvider
+from .engine import scoring_engine
 from .hbe import AttributeCombination, GlobalExplanation, SingleClusterExplanation
 from .quality.diversity import pair_diversity_low_sens
 from .quality.interestingness import interestingness_low_sens
@@ -41,13 +42,26 @@ def combination_score_tensor(
 ) -> np.ndarray:
     """``GlScore_lambda`` for *every* candidate combination, as a tensor.
 
-    The global score decomposes into per-cluster terms (interestingness,
-    sufficiency) plus pairwise terms (diversity), so the full
-    ``k_1 x ... x k_|C|`` score tensor is assembled from ``|C|`` vectors and
-    ``C(|C|, 2)`` small matrices broadcast into place — the same
-    ``O(k^|C|)`` evaluation count as the paper's complexity analysis, without
-    Python-loop overhead.
+    Served by the batched scoring engine: the global score decomposes into
+    per-cluster terms (interestingness, sufficiency) plus pairwise diversity
+    terms, so the full ``k_1 x ... x k_|C|`` score tensor is assembled from
+    ``|C|`` vectors and ``C(|C|, 2)`` small matrices broadcast into place —
+    the same ``O(k^|C|)`` evaluation count as the paper's complexity
+    analysis, with every leaf score computed as an array kernel rather than
+    a per-(cluster, attribute) Python call.
     """
+    engine = scoring_engine(counts)
+    return engine.combination_score_tensor(
+        candidate_sets, weights, max_combinations=_MAX_COMBINATIONS
+    )
+
+
+def combination_score_tensor_reference(
+    counts: CountsProvider,
+    candidate_sets: "tuple[tuple[str, ...], ...]",
+    weights: Weights,
+) -> np.ndarray:
+    """Scalar-score reference for :func:`combination_score_tensor` (oracle)."""
     n_clusters = counts.n_clusters
     if len(candidate_sets) != n_clusters:
         raise ValueError("need one candidate set per cluster")

@@ -1,0 +1,20 @@
+"""Batched scoring engine: stacked counts + array-level quality kernels.
+
+The engine is the vectorised middle layer between the group-by counts
+(:mod:`repro.core.counts`) and the selection pipeline / baselines.  See
+``ARCHITECTURE.md`` for the counts -> kernels -> engine -> explainer
+layering.
+"""
+
+from . import kernels
+from .engine import ScoringEngine, scoring_engine
+from .stacks import CountsStack, DomainBucket, get_stack
+
+__all__ = [
+    "kernels",
+    "ScoringEngine",
+    "scoring_engine",
+    "CountsStack",
+    "DomainBucket",
+    "get_stack",
+]

@@ -1,0 +1,168 @@
+"""Stacked count tensors — the data layer of the batched scoring engine.
+
+Every quality function of Section 4 is a function of the per-attribute count
+matrices ``h_A(D_c)`` and vectors ``h_A(D)``.  The scalar API fetches them one
+``(cluster, attribute)`` pair at a time; :class:`CountsStack` materialises
+them *once* as dense tensors so the kernels in
+:mod:`repro.core.engine.kernels` can evaluate all ``O(|C| * |A|)`` pairs in a
+handful of NumPy expressions.
+
+Attributes have heterogeneous domain sizes, so a single rectangular tensor
+would waste memory padding every attribute to ``max |dom(A)|`` (ruinous for
+the Cartesian-product pseudo-attributes of :mod:`repro.core.pairs`).  The
+stack therefore groups attributes into :class:`DomainBucket`\\ s, one per
+power-of-two domain-size class: attributes are zero-padded up to the class
+width (every kernel is invariant to trailing zero bins), bounding both the
+padding waste (< 2x) and the bucket count (log of the largest domain), so
+kernels run a handful of vectorised passes regardless of schema shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DomainBucket:
+    """All attributes of one domain-size class, stacked densely.
+
+    Rows are zero-padded from the attribute's true domain size up to the
+    class width ``m`` — harmless for every kernel, since empty bins
+    contribute nothing to any quality function.
+    """
+
+    indices: np.ndarray
+    """Positions of the bucket's attributes inside ``CountsStack.names``."""
+
+    by_cluster: np.ndarray
+    """``(|A_b|, |C|, m)`` float64 tensor of per-cluster counts."""
+
+    full: np.ndarray
+    """``(|A_b|, m)`` float64 matrix of full-data counts."""
+
+    domain_sizes: np.ndarray
+    """``(|A_b|,)`` true (unpadded) domain size of each row."""
+
+    @property
+    def width(self) -> int:
+        return int(self.by_cluster.shape[2])
+
+
+@dataclass(frozen=True)
+class CountsStack:
+    """Dense, immutable snapshot of a :class:`~repro.core.counts.CountsProvider`.
+
+    ``totals[j]`` is ``|D|`` (or its per-attribute noisy proxy) for attribute
+    ``names[j]``; ``sizes[j, c]`` is ``|D_c|`` (or its proxy).  ``locate``
+    maps an attribute name to its ``(bucket, row)`` coordinates.
+    """
+
+    names: tuple[str, ...]
+    n_clusters: int
+    totals: np.ndarray
+    sizes: np.ndarray
+    buckets: tuple[DomainBucket, ...]
+    index: Mapping[str, int]
+    locator: Mapping[str, tuple[int, int]]
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.names)
+
+    def columns(self, names: Sequence[str]) -> np.ndarray:
+        """Column indices of ``names`` inside the stack's attribute order."""
+        try:
+            return np.fromiter(
+                (self.index[n] for n in names), dtype=np.intp, count=len(names)
+            )
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise KeyError(f"attribute {exc.args[0]!r} not in stack") from exc
+
+    def attribute_counts(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(h_A(D_c) matrix, h_A(D) vector)`` for one attribute, unpadded."""
+        b, r = self.locator[name]
+        bucket = self.buckets[b]
+        m = int(bucket.domain_sizes[r])
+        return bucket.by_cluster[r, :, :m], bucket.full[r, :m]
+
+    @classmethod
+    def from_provider(cls, counts, names: Sequence[str] | None = None) -> "CountsStack":
+        """Materialise the stack from any counts provider.
+
+        Uses the provider's ``by_cluster`` fast path when available and falls
+        back to per-cluster ``cluster(name, c)`` calls otherwise, so any
+        object satisfying the original :class:`CountsProvider` protocol can
+        be stacked.
+        """
+        names = tuple(names) if names is not None else tuple(counts.names)
+        n_clusters = int(counts.n_clusters)
+        by_class: dict[int, list[int]] = {}
+        domain_sizes = {}
+        for j, name in enumerate(names):
+            m = int(counts.domain_size(name))
+            domain_sizes[name] = m
+            by_class.setdefault(1 << max(m - 1, 0).bit_length(), []).append(j)
+
+        totals = np.array([float(counts.total(n)) for n in names], dtype=np.float64)
+        sizes = np.array(
+            [
+                [float(counts.cluster_size(n, c)) for c in range(n_clusters)]
+                for n in names
+            ],
+            dtype=np.float64,
+        )
+
+        has_matrix = hasattr(counts, "by_cluster")
+        buckets: list[DomainBucket] = []
+        locator: dict[str, tuple[int, int]] = {}
+        for b, (width, cols) in enumerate(sorted(by_class.items())):
+            tensor = np.zeros((len(cols), n_clusters, width), dtype=np.float64)
+            full = np.zeros((len(cols), width), dtype=np.float64)
+            for r, j in enumerate(cols):
+                name = names[j]
+                m = domain_sizes[name]
+                if has_matrix:
+                    tensor[r, :, :m] = np.asarray(
+                        counts.by_cluster(name), dtype=np.float64
+                    )
+                else:
+                    for c in range(n_clusters):
+                        tensor[r, c, :m] = np.asarray(
+                            counts.cluster(name, c), dtype=np.float64
+                        )
+                full[r, :m] = np.asarray(counts.full(name), dtype=np.float64)
+                locator[name] = (b, r)
+            buckets.append(
+                DomainBucket(
+                    indices=np.asarray(cols, dtype=np.intp),
+                    by_cluster=tensor,
+                    full=full,
+                    domain_sizes=np.array(
+                        [domain_sizes[names[j]] for j in cols], dtype=np.intp
+                    ),
+                )
+            )
+        return cls(
+            names=names,
+            n_clusters=n_clusters,
+            totals=totals,
+            sizes=sizes,
+            buckets=tuple(buckets),
+            index={n: j for j, n in enumerate(names)},
+            locator=locator,
+        )
+
+
+def get_stack(counts, names: Sequence[str] | None = None) -> CountsStack:
+    """The provider's cached full stack, or a fresh subset stack.
+
+    Providers exposing ``by_cluster_stack()`` (all in-tree providers do) keep
+    one lazily-built stack for their whole attribute set; a ``names`` subset
+    always builds a fresh stack since subsets are rarely reused.
+    """
+    if names is None and hasattr(counts, "by_cluster_stack"):
+        return counts.by_cluster_stack()
+    return CountsStack.from_provider(counts, names)

@@ -29,6 +29,7 @@ from ..privacy.exponential import ExponentialMechanism
 from ..privacy.histograms import GeometricHistogram, HistogramMechanism
 from ..privacy.rng import ensure_rng
 from .counts import ClusteredCounts, CountsProvider
+from .engine import scoring_engine
 from .hbe import (
     MultiAttributeCombination,
     MultiGlobalExplanation,
@@ -121,15 +122,18 @@ class MultiDPClustX:
                 f"{total} set-valued combinations exceed the enumeration guard; "
                 "reduce k, ell or |C| (Appendix B discusses this blow-up)"
             )
-        combos = [
-            MultiAttributeCombination(tuple(choice))
-            for choice in itertools.product(*per_cluster_sets)
-        ]
-        scores = np.array(
-            [multi_global_score(counts, ac, self.weights) for ac in combos]
+        # Batched Appendix-B GlScore over all C(k, ell)^|C| combinations:
+        # assembled from per-cluster subset sums and pairwise diversity
+        # blocks instead of one scalar multi_global_score call per combo.
+        tensor = scoring_engine(counts).multi_combination_score_tensor(
+            per_cluster_sets, self.weights
         )
         em = ExponentialMechanism(self.budget.eps_top_comb, SCORE_SENSITIVITY)
-        chosen = combos[em.select_index(scores, gen)]
+        flat_index = em.select_index(tensor.reshape(-1), gen)
+        picks = np.unravel_index(flat_index, tensor.shape)
+        chosen = MultiAttributeCombination(
+            tuple(per_cluster_sets[c][int(s)] for c, s in enumerate(picks))
+        )
         if accountant is not None:
             accountant.spend(self.budget.eps_top_comb, "stage2: multi combination")
         return chosen

@@ -92,6 +92,7 @@ class ProductCounts:
         )
         self._by_cluster_cache: dict[str, np.ndarray] = {}
         self._full_cache: dict[str, np.ndarray] = {}
+        self._stack = None
 
     # -- protocol ----------------------------------------------------------
 
@@ -166,6 +167,17 @@ class ProductCounts:
     def cluster_size(self, name: str, c: int) -> float:
         return self._base.cluster_size(name, c)
 
+    def by_cluster_stack(self):
+        """Dense stack over the full (singleton + pair) pseudo-attribute pool.
+
+        Bucketing by domain size keeps the Cartesian-product domains from
+        forcing a single max-padded tensor."""
+        if self._stack is None:
+            from .engine.stacks import CountsStack
+
+            self._stack = CountsStack.from_provider(self)
+        return self._stack
+
 
 def explain_with_pairs(
     explainer,
@@ -239,14 +251,10 @@ def top_pairs_by_interestingness(
     use a data-independent pool or budget a Stage-0 selection (we expose this
     helper for the non-private ablation in the benches).
     """
-    from .quality.interestingness import interestingness_low_sens
+    from .engine import scoring_engine
 
-    scores = {
-        a: sum(
-            interestingness_low_sens(counts, c, a) for c in range(counts.n_clusters)
-        )
-        for a in counts.names
-    }
+    per_attr = scoring_engine(counts).interestingness_matrix().sum(axis=0)
+    scores = dict(zip(counts.names, per_attr))
     ranked = sorted(scores, key=lambda a: -scores[a])
     head = ranked[: max(int(np.ceil(np.sqrt(2 * limit))) + 1, 2)]
     pairs = list(itertools.combinations(head, 2))[:limit]

@@ -33,6 +33,7 @@ from .scores import (
     sensitive_single_cluster_score,
     single_cluster_score,
     single_cluster_scores_matrix,
+    single_cluster_scores_matrix_reference,
 )
 from .sufficiency import (
     cluster_sufficiency_normalized,
@@ -70,6 +71,7 @@ __all__ = [
     "sensitive_single_cluster_score",
     "single_cluster_score",
     "single_cluster_scores_matrix",
+    "single_cluster_scores_matrix_reference",
     "cluster_sufficiency_normalized",
     "global_sufficiency_low_sens",
     "global_sufficiency_sensitive",

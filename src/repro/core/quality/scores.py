@@ -106,7 +106,27 @@ def single_cluster_scores_matrix(
     names: "tuple[str, ...] | None" = None,
 ) -> np.ndarray:
     """``Score_gamma`` for every (cluster, attribute) pair — Algorithm 1's
-    inner loop, returned as a ``(|C|, |A|)`` matrix."""
+    inner loop, returned as a ``(|C|, |A|)`` matrix.
+
+    Served by the batched scoring engine (one NumPy expression per quality
+    function instead of ``|C| * |A|`` scalar calls); the scalar oracle
+    remains available as :func:`single_cluster_scores_matrix_reference`.
+    """
+    from ..engine import scoring_engine
+
+    return scoring_engine(counts).score_matrix(gamma_int, gamma_suf, names)
+
+
+def single_cluster_scores_matrix_reference(
+    counts: CountsProvider,
+    gamma_int: float,
+    gamma_suf: float,
+    names: "tuple[str, ...] | None" = None,
+) -> np.ndarray:
+    """Scalar-loop reference for :func:`single_cluster_scores_matrix`.
+
+    Kept as the test oracle the batched kernels are pinned against (and for
+    exotic providers that cannot be stacked)."""
     names = names if names is not None else counts.names
     out = np.empty((counts.n_clusters, len(names)))
     for c in range(counts.n_clusters):

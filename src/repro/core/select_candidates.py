@@ -21,7 +21,8 @@ from ..privacy.budget import PrivacyAccountant, check_epsilon
 from ..privacy.rng import ensure_rng
 from ..privacy.topk import OneShotTopK
 from .counts import CountsProvider
-from .quality.scores import SCORE_SENSITIVITY, single_cluster_score
+from .engine import scoring_engine
+from .quality.scores import SCORE_SENSITIVITY
 
 ScoreFn = Callable[[CountsProvider, int, str], float]
 """A single-cluster quality score ``(counts, cluster, attribute) -> float``.
@@ -100,16 +101,20 @@ def select_candidates(
     eps_topk = eps_cand_set / n_clusters  # Line 1
     mechanism = OneShotTopK(eps_topk, k, score_sensitivity)  # Line 2: sigma = 2k/eps
 
+    if score_fn is None:
+        # Line 5 (true part), batched: the full (|C|, |A|) Score_gamma matrix
+        # in one engine call instead of |C| * |A| scalar evaluations.
+        score_matrix = scoring_engine(counts).score_matrix(
+            gamma_int, gamma_suf, names
+        )
+    else:
+        score_matrix = None
+
     sets: list[tuple[str, ...]] = []
     released_scores: list[tuple[float, ...]] = []
     for c in range(n_clusters):  # Line 3
-        if score_fn is None:
-            scores = np.array(
-                [
-                    single_cluster_score(counts, c, a, gamma_int, gamma_suf)
-                    for a in names
-                ]
-            )  # Line 5 (true part)
+        if score_matrix is not None:
+            scores = score_matrix[c]
         else:
             scores = np.array([score_fn(counts, c, a) for a in names])
         noisy = mechanism.noisy_scores(scores, gen)  # Line 5 (noise)

@@ -19,16 +19,20 @@ from typing import Sequence
 import numpy as np
 
 from ..core.counts import CountsProvider
-from ..core.quality.distances import normalize_counts, tvd_probs
+from ..core.engine import scoring_engine
 from ..core.quality.diversity import _avg_perm_div
-from ..core.quality.interestingness import interestingness_tvd
 from ..core.quality.scores import Weights
-from ..core.quality.sufficiency import sufficiency_low_sens
 from ..privacy.rng import ensure_rng
 
 
 class QualityEvaluator:
-    """Memoised evaluator of the sensitive Quality metric over combinations."""
+    """Memoised evaluator of the sensitive Quality metric over combinations.
+
+    All per-(cluster, attribute) primitives are served by the batched
+    scoring engine: the full sensitive-interestingness and sufficiency
+    matrices are computed once per counts provider, and the per-attribute
+    cluster-TVD squares back the permutation diversity.
+    """
 
     def __init__(
         self,
@@ -39,9 +43,7 @@ class QualityEvaluator:
         self._counts = counts
         self._weights = weights
         self._rng = ensure_rng(rng)
-        self._int_cache: dict[tuple[int, str], float] = {}
-        self._sufp_cache: dict[tuple[int, str], float] = {}
-        self._tvd_matrix_cache: dict[str, np.ndarray] = {}
+        self._engine = scoring_engine(counts)
         self._group_div_cache: dict[tuple[str, tuple[int, ...]], float] = {}
 
     @property
@@ -55,28 +57,16 @@ class QualityEvaluator:
     # -- cached primitives ------------------------------------------------ #
 
     def _int(self, c: int, a: str) -> float:
-        key = (c, a)
-        if key not in self._int_cache:
-            self._int_cache[key] = interestingness_tvd(self._counts, c, a)
-        return self._int_cache[key]
+        matrix = self._engine.interestingness_tvd_matrix()
+        return float(matrix[c, self._engine.stack.index[a]])
 
     def _suf_p(self, c: int, a: str) -> float:
-        key = (c, a)
-        if key not in self._sufp_cache:
-            self._sufp_cache[key] = sufficiency_low_sens(self._counts, c, a)
-        return self._sufp_cache[key]
+        matrix = self._engine.sufficiency_matrix()
+        return float(matrix[c, self._engine.stack.index[a]])
 
     def _tvd_matrix(self, a: str) -> np.ndarray:
         """Pairwise TVDs between all cluster distributions on attribute ``a``."""
-        if a not in self._tvd_matrix_cache:
-            k = self._counts.n_clusters
-            dists = [normalize_counts(self._counts.cluster(a, c)) for c in range(k)]
-            mat = np.zeros((k, k))
-            for i in range(k):
-                for j in range(i + 1, k):
-                    mat[i, j] = mat[j, i] = tvd_probs(dists[i], dists[j])
-            self._tvd_matrix_cache[a] = mat
-        return self._tvd_matrix_cache[a]
+        return self._engine.cluster_tvd_square(a)
 
     def _group_diversity(self, a: str, group: tuple[int, ...]) -> float:
         """Average ``PermDiv_A`` over the clusters in ``group`` (Appendix A.3)."""

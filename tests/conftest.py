@@ -1,80 +1,20 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Importable helpers live in :mod:`helpers`; this file only wires them into
+pytest fixtures.  Do not import from ``conftest`` — it is a pytest plugin
+file, not a stable module namespace (another conftest, e.g. benchmarks',
+can shadow it).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
 import pytest
 
-from repro.clustering.base import ClusteringFunction
 from repro.core.counts import ClusteredCounts
-from repro.dataset import Attribute, Dataset, Schema
+from repro.dataset import Dataset, Schema
 from repro.synth import diabetes_like
 
-
-@dataclass(frozen=True)
-class CodeModuloClustering(ClusteringFunction):
-    """Deterministic ``f : dom(R) -> C``: label = code of one attribute mod k.
-
-    Being a pure function of tuple values, it stays fixed across neighboring
-    datasets — exactly the setting of Definition 3.1 — which makes it the
-    canonical clustering for sensitivity tests.
-    """
-
-    attribute: str
-    k: int
-
-    @property
-    def n_clusters(self) -> int:
-        return self.k
-
-    def assign(self, dataset: Dataset) -> np.ndarray:
-        return np.asarray(dataset.column(self.attribute)) % self.k
-
-
-def make_schema() -> Schema:
-    """A 3-attribute schema with small domains for hand-computed tests."""
-    return Schema(
-        (
-            Attribute("color", ("red", "green", "blue")),
-            Attribute("size", ("S", "M", "L", "XL")),
-            Attribute("flag", ("no", "yes")),
-        )
-    )
-
-
-def make_dataset(rows: list[tuple[str, str, str]] | None = None) -> Dataset:
-    """A tiny hand-written dataset over :func:`make_schema`."""
-    if rows is None:
-        rows = [
-            ("red", "S", "no"),
-            ("red", "M", "yes"),
-            ("green", "M", "yes"),
-            ("green", "L", "no"),
-            ("blue", "L", "yes"),
-            ("blue", "XL", "yes"),
-            ("red", "S", "no"),
-            ("green", "S", "no"),
-        ]
-    return Dataset.from_rows(make_schema(), rows)
-
-
-def random_dataset(
-    rng: np.random.Generator, n_rows: int, domain_sizes: tuple[int, ...] = (3, 4, 2)
-) -> Dataset:
-    """Uniform random dataset over ``domain_sizes``-shaped attributes."""
-    schema = Schema(
-        tuple(
-            Attribute(f"a{i}", tuple(f"v{j}" for j in range(m)))
-            for i, m in enumerate(domain_sizes)
-        )
-    )
-    cols = {
-        f"a{i}": rng.integers(0, m, size=n_rows)
-        for i, m in enumerate(domain_sizes)
-    }
-    return Dataset(schema, cols)
+from helpers import CodeModuloClustering, make_dataset, make_schema
 
 
 @pytest.fixture

@@ -1,0 +1,82 @@
+"""Importable test helpers (schemas, datasets, deterministic clusterings).
+
+Test modules import these with ``from helpers import ...`` instead of the
+former bare ``from conftest import ...`` — conftest files are pytest's
+plugin-loading mechanism, not an importable module namespace, and importing
+them by name breaks as soon as another conftest (e.g. ``benchmarks/``) is
+registered first.  ``tests/conftest.py`` re-exports everything here as
+fixtures for tests that prefer injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.base import ClusteringFunction
+from repro.dataset import Attribute, Dataset, Schema
+
+
+@dataclass(frozen=True)
+class CodeModuloClustering(ClusteringFunction):
+    """Deterministic ``f : dom(R) -> C``: label = code of one attribute mod k.
+
+    Being a pure function of tuple values, it stays fixed across neighboring
+    datasets — exactly the setting of Definition 3.1 — which makes it the
+    canonical clustering for sensitivity tests.
+    """
+
+    attribute: str
+    k: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.k
+
+    def assign(self, dataset: Dataset) -> np.ndarray:
+        return np.asarray(dataset.column(self.attribute)) % self.k
+
+
+def make_schema() -> Schema:
+    """A 3-attribute schema with small domains for hand-computed tests."""
+    return Schema(
+        (
+            Attribute("color", ("red", "green", "blue")),
+            Attribute("size", ("S", "M", "L", "XL")),
+            Attribute("flag", ("no", "yes")),
+        )
+    )
+
+
+def make_dataset(rows: list[tuple[str, str, str]] | None = None) -> Dataset:
+    """A tiny hand-written dataset over :func:`make_schema`."""
+    if rows is None:
+        rows = [
+            ("red", "S", "no"),
+            ("red", "M", "yes"),
+            ("green", "M", "yes"),
+            ("green", "L", "no"),
+            ("blue", "L", "yes"),
+            ("blue", "XL", "yes"),
+            ("red", "S", "no"),
+            ("green", "S", "no"),
+        ]
+    return Dataset.from_rows(make_schema(), rows)
+
+
+def random_dataset(
+    rng: np.random.Generator, n_rows: int, domain_sizes: tuple[int, ...] = (3, 4, 2)
+) -> Dataset:
+    """Uniform random dataset over ``domain_sizes``-shaped attributes."""
+    schema = Schema(
+        tuple(
+            Attribute(f"a{i}", tuple(f"v{j}" for j in range(m)))
+            for i, m in enumerate(domain_sizes)
+        )
+    )
+    cols = {
+        f"a{i}": rng.integers(0, m, size=n_rows)
+        for i, m in enumerate(domain_sizes)
+    }
+    return Dataset(schema, cols)

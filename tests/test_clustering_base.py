@@ -14,7 +14,7 @@ from repro.clustering.base import (
 )
 from repro.clustering.encode import IdentityEncoder
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestNearestCenter:

@@ -11,7 +11,7 @@ from repro.synth.correlation import (
     perturbed_copy,
 )
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestContingencyTable:

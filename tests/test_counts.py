@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.counts import ClusteredCounts, NoisyCounts
 
-from conftest import CodeModuloClustering, make_dataset
+from helpers import CodeModuloClustering, make_dataset
 
 
 class TestClusteredCounts:
@@ -102,3 +102,26 @@ class TestNoisyCounts:
             NoisyCounts(
                 ("a",), {"a": np.zeros(2)}, {"a": np.zeros((3, 2))}, 2
             )
+
+    def test_cluster_size_clamped_to_one(self):
+        # Regression: the docstring promises totals *and* cluster sizes are
+        # clamped to a minimum of 1, but cluster_size used to clamp to 0,
+        # letting an all-zero noisy release zero-divide downstream quality
+        # formulas (e.g. the normalised sufficiency).
+        nc = NoisyCounts(
+            ("a",), {"a": np.array([4.0, 2.0])}, {"a": np.zeros((1, 2))}, 1
+        )
+        assert nc.cluster_size("a", 0) == 1.0
+
+    def test_clamped_cluster_size_keeps_quality_finite(self):
+        from repro.core.quality.sufficiency import cluster_sufficiency_normalized
+        from repro.core.quality.diversity import pair_diversity_low_sens
+
+        nc = NoisyCounts(
+            ("a",),
+            {"a": np.array([4.0, 2.0])},
+            {"a": np.array([[0.0, 0.0], [3.0, 1.0]])},
+            2,
+        )
+        assert np.isfinite(cluster_sufficiency_normalized(nc, 0, "a"))
+        assert np.isfinite(pair_diversity_low_sens(nc, 0, 1, "a", "a"))

@@ -13,7 +13,7 @@ from repro.dataset.csv_io import (
     save_csv,
 )
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 def write(tmp_path, text: str, name: str = "data.csv") -> str:

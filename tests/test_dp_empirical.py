@@ -19,7 +19,7 @@ from repro.dataset import Attribute, Dataset, Schema
 from repro.privacy.exponential import ExponentialMechanism
 from repro.privacy.mechanisms import GeometricMechanism
 
-from conftest import CodeModuloClustering
+from helpers import CodeModuloClustering
 
 
 def empirical_log_ratio(

@@ -11,7 +11,7 @@ from repro.core.quality.scores import Weights, global_score
 from repro.privacy.budget import ExplanationBudget, PrivacyAccountant
 from repro.privacy.histograms import LaplaceHistogram
 
-from conftest import CodeModuloClustering
+from helpers import CodeModuloClustering
 
 
 class TestScoreTensor:

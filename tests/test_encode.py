@@ -5,7 +5,7 @@ import pytest
 
 from repro.clustering.encode import IdentityEncoder, MinMaxEncoder, StandardEncoder
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestStandardEncoder:

@@ -32,7 +32,7 @@ from repro.privacy.hierarchical import HierarchicalHistogram
 from repro.privacy.mechanisms import LaplaceMechanism
 from repro.session import PrivateAnalysisSession
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 BAD_EPSILONS = [0.0, -0.5, float("inf"), float("nan")]

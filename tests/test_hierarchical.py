@@ -6,7 +6,7 @@ import pytest
 from repro.privacy.hierarchical import HierarchicalHistogram, _tree_shape
 from repro.privacy.histograms import LaplaceHistogram
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestTreeShape:

@@ -9,7 +9,7 @@ from repro.privacy.histograms import (
     epsilon_for_l1_error,
 )
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestGeometricHistogram:

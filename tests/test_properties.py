@@ -40,7 +40,7 @@ from repro.core.quality.sufficiency import (
 )
 from repro.dataset import Attribute, Dataset, Schema
 
-from conftest import CodeModuloClustering
+from helpers import CodeModuloClustering
 
 N_CLUSTERS = 3
 DOMAINS = (4, 3, 5)  # a0 is also the clustering attribute

@@ -34,7 +34,7 @@ from repro.core.quality.sufficiency import (
 )
 from repro.dataset import Attribute, Dataset, Schema
 
-from conftest import CodeModuloClustering
+from helpers import CodeModuloClustering
 
 
 def two_cluster_dataset(rows_a: list[int], rows_grp: list[int]) -> ClusteredCounts:

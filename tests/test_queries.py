@@ -6,7 +6,7 @@ import pytest
 from repro.privacy.budget import BudgetError, PrivacyAccountant
 from repro.privacy.queries import Predicate, QueryEngine
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestPredicate:

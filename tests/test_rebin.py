@@ -11,7 +11,7 @@ from repro.dataset.rebin import (
     rebin_histogram,
 )
 
-from conftest import make_dataset
+from helpers import make_dataset
 
 
 class TestMergeAdjacentBins:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.dataset import Attribute, Dataset, Schema, SchemaError
 
-from conftest import make_dataset, make_schema
+from helpers import make_dataset, make_schema
 
 
 class TestConstruction:

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests + a fast scoring micro-benchmark smoke.
+# CI entry point: tier-1 tests + two fast benchmark smokes.
 #
-#   scripts/ci.sh            # full tier-1 suite, then the scoring bench
-#   scripts/ci.sh --fast     # -x fail-fast test run, same bench
+#   scripts/ci.sh            # full tier-1 suite, then both benches
+#   scripts/ci.sh --fast     # -x fail-fast test run, same benches
 #
-# The bench compares the scalar-oracle scoring path against the batched
-# engine on diabetes_like(50k) with 8 clusters (< 30s total including the
-# test suite) and writes the BENCH_scoring.json artifact at the repo root —
-# the perf-trajectory record across PRs.
+# Bench 1 compares the scalar-oracle scoring path against the batched
+# engine on diabetes_like(50k) with 8 clusters and writes BENCH_scoring.json.
+# Bench 2 compares the serial one-seed-at-a-time run_trials loop against the
+# batched sweep layer on a full 10-run x 5-epsilon sweep of diabetes_like(20k)
+# and writes BENCH_sweeps.json; it also asserts the two paths return exactly
+# equal results under shared RNG streams.  Both artifacts live at the repo
+# root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# Only src/ goes on PYTHONPATH: bench scripts run as `python benchmarks/x.py`,
+# which puts benchmarks/ itself on sys.path (adding it here would expose
+# benchmarks/conftest.py to the tier-1 pytest run — the shadowing hazard
+# pytest.ini documents).
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 PYTEST_ARGS=(-q)
@@ -34,5 +41,21 @@ print(f"scoring speedup: {speedup:.1f}x (cold {result['speedup_cold']:.1f}x), "
       f"max rel diff {agree:.2e}")
 assert speedup >= 10.0, f"scoring speedup regressed below 10x: {speedup:.2f}x"
 assert agree < 1e-12, f"batched/scalar scoring disagree: {agree:.2e}"
+EOF
+
+echo "== sweep benchmark (writes BENCH_sweeps.json) =="
+python benchmarks/bench_sweeps.py --out BENCH_sweeps.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_sweeps.json") as fh:
+    result = json.load(fh)
+speedup = result["speedup"]
+print(f"sweep speedup: {speedup:.1f}x "
+      f"(serial {result['serial_s']:.3f}s, batched {result['batched_s']:.3f}s), "
+      f"exact_equal={result['exact_equal']}")
+assert result["exact_equal"], "batched sweep diverged from the serial path"
+assert speedup >= 5.0, f"sweep speedup regressed below 5x: {speedup:.2f}x"
 EOF
 echo "CI OK"

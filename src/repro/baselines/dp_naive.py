@@ -16,6 +16,7 @@ motivation for DPClustX's select-then-release order (Section 5).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +34,39 @@ from ..privacy.budget import PrivacyAccountant, check_epsilon
 from ..privacy.histograms import GeometricHistogram, HistogramMechanism
 from ..privacy.rng import ensure_rng
 from .tabee import TabEE
+
+
+_TRUE_BLOCKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _true_blocks(
+    counts: CountsProvider, names: "tuple[str, ...]"
+) -> "list[np.ndarray]":
+    """Per-attribute ``(1 + |C|, m)`` true-count blocks, cached per provider.
+
+    The blocks are a pure function of the counts, so repeated-trial sweeps
+    (one noisy release per seed over the same counts) reuse them instead of
+    re-stacking ``|A|`` matrices every seed.  Weakly keyed like the scoring
+    engine's memo, so the cache dies with the provider.
+    """
+    try:
+        per_names = _TRUE_BLOCKS.get(counts)
+    except TypeError:  # unhashable/unweakrefable provider: no memoisation
+        per_names = None
+    if per_names is None:
+        per_names = {}
+        try:
+            _TRUE_BLOCKS[counts] = per_names
+        except TypeError:
+            pass
+    blocks = per_names.get(names)
+    if blocks is None:
+        blocks = [
+            np.concatenate([counts.full(a)[None, :], counts.by_cluster(a)])
+            for a in names
+        ]
+        per_names[names] = blocks
+    return blocks
 
 
 @dataclass(frozen=True)
@@ -61,16 +95,33 @@ class DPNaive:
         names = names if names is not None else counts.names
         eps_each = self.epsilon / (2.0 * len(names))
         mech = self.histogram_mechanism.with_epsilon(eps_each)
+        if hasattr(counts, "materialise"):
+            counts.materialise()  # fused one-pass group-by over all attributes
 
+        # Every histogram of the release in one noise draw: per attribute,
+        # the full-data histogram stacked on the (|C|, m) by-cluster matrix
+        # forms one (1 + |C|, m) block, and ``release_blocks`` consumes a
+        # single flat noise sample block-by-block — stream-identical to the
+        # scalar loop (per attribute: full release first, then cluster by
+        # cluster) while collapsing |A| * (|C| + 1) generator round-trips
+        # into one.  Composition is unchanged: sequential across the full
+        # rows, parallel across the disjoint cluster rows.
         full_hists: dict[str, np.ndarray] = {}
         cluster_hists: dict[str, np.ndarray] = {}
-        for a in names:
-            full_hists[a] = mech.release(counts.full(a), gen)
-            rows = [
-                mech.release(counts.cluster(a, c), gen)
-                for c in range(counts.n_clusters)
-            ]
-            cluster_hists[a] = np.stack(rows)
+        if hasattr(mech, "release_blocks"):
+            blocks = _true_blocks(counts, names)
+            for a, noisy in zip(names, mech.release_blocks(blocks, gen)):
+                full_hists[a] = noisy[0]
+                cluster_hists[a] = noisy[1:]
+        else:
+            for a in names:
+                full_hists[a] = mech.release(counts.full(a), gen)
+                cluster_hists[a] = np.stack(
+                    [
+                        mech.release(counts.cluster(a, c), gen)
+                        for c in range(counts.n_clusters)
+                    ]
+                )
         if accountant is not None:
             accountant.spend(eps_each * len(names), "dp-naive: full hists")
             for a in names:

@@ -25,13 +25,13 @@ from ..core.hbe import (
 )
 from ..core.engine import scoring_engine
 from ..core.quality.scores import SENSITIVE_SCORE_SENSITIVITY, Weights
+from ..core.select_candidates import stage1_mechanism
 from ..dataset.table import Dataset
 from ..evaluation.quality import QualityEvaluator
 from ..privacy.budget import ExplanationBudget, PrivacyAccountant
 from ..privacy.exponential import ExponentialMechanism
 from ..privacy.histograms import GeometricHistogram, HistogramMechanism
 from ..privacy.rng import ensure_rng
-from ..privacy.topk import OneShotTopK
 
 
 @dataclass(frozen=True)
@@ -60,8 +60,12 @@ class DPTabEE:
 
         # Stage-1: one-shot top-k on the sensitive single-cluster score,
         # evaluated for every (cluster, attribute) pair in one engine call.
-        eps_topk = self.budget.eps_cand_set / n_clusters
-        topk = OneShotTopK(eps_topk, self.n_candidates, SENSITIVE_SCORE_SENSITIVITY)
+        topk = stage1_mechanism(
+            self.budget.eps_cand_set,
+            n_clusters,
+            self.n_candidates,
+            SENSITIVE_SCORE_SENSITIVITY,
+        )
         score_matrix = scoring_engine(counts).sensitive_score_matrix(
             gamma[0], gamma[1], names
         )

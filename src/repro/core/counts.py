@@ -139,6 +139,37 @@ class ClusteredCounts:
             self._by_cluster[name] = cached
         return cached
 
+    def materialise(self) -> None:
+        """Fused one-pass group-by over every not-yet-cached attribute.
+
+        All attributes are encoded into one flat code vector with cumulative
+        domain offsets, so a **single** ``np.bincount`` over
+        ``labels * total_bins + offset_A + code`` yields every
+        ``(|C|, m_A)`` by-cluster matrix at once — one pass over the
+        ``n x |A|`` codes instead of ``|A|`` separate label-scaling +
+        bincount passes.  Idempotent; :meth:`by_cluster_stack` calls it so
+        the dense engine stack is fed directly from the fused histogram.
+        """
+        missing = [n for n in self.names if n not in self._by_cluster]
+        if not missing:
+            return
+        sizes = np.array([self.domain_size(n) for n in missing], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        total_bins = int(offsets[-1])
+        # (|A|, n) codes matrix + per-attribute offsets + scaled labels, all
+        # broadcast into one flat index vector for the single bincount.
+        codes = np.stack([np.asarray(self._dataset.column(n)) for n in missing])
+        flat = codes
+        flat += offsets[:-1, None]
+        flat += self._labels * total_bins
+        hist = np.bincount(
+            flat.ravel(), minlength=self._n_clusters * total_bins
+        ).reshape(self._n_clusters, total_bins)
+        for j, name in enumerate(missing):
+            self._by_cluster[name] = np.ascontiguousarray(
+                hist[:, offsets[j] : offsets[j + 1]], dtype=np.int64
+            )
+
     def full(self, name: str) -> np.ndarray:
         cached = self._full.get(name)
         if cached is None:
@@ -155,11 +186,27 @@ class ClusteredCounts:
     def cluster_size(self, name: str, c: int) -> float:
         return float(self._sizes[c])
 
+    def totals_vector(self, names: Sequence[str]) -> np.ndarray:
+        """Vectorised :meth:`total` over many attributes (stack fast path)."""
+        return np.full(len(names), float(self.n), dtype=np.float64)
+
+    def sizes_matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Vectorised :meth:`cluster_size`: the ``(|names|, |C|)`` matrix."""
+        return np.broadcast_to(
+            self._sizes.astype(np.float64), (len(names), self._n_clusters)
+        ).copy()
+
     def by_cluster_stack(self):
-        """Lazily-built dense stack feeding the batched scoring engine."""
+        """Lazily-built dense stack feeding the batched scoring engine.
+
+        The fused :meth:`materialise` pass runs first, so the stack is
+        assembled from the single-bincount histogram rather than ``|A|``
+        separate group-by passes over the ``n`` rows.
+        """
         if self._stack is None:
             from .engine.stacks import CountsStack
 
+            self.materialise()
             self._stack = CountsStack.from_provider(self)
         return self._stack
 
@@ -220,6 +267,19 @@ class NoisyCounts:
         # all-zero cluster release must not zero-divide downstream quality
         # formulas such as the normalised sufficiency.
         return max(float(self._clusters[name][c].sum()), 1.0)
+
+    def totals_vector(self, names: Sequence[str]) -> np.ndarray:
+        """Vectorised :meth:`total` over many attributes (stack fast path)."""
+        return np.array(
+            [max(float(self._full[n].sum()), 1.0) for n in names],
+            dtype=np.float64,
+        )
+
+    def sizes_matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Vectorised :meth:`cluster_size`: one axis-sum per attribute."""
+        return np.stack(
+            [np.maximum(self._clusters[n].sum(axis=1), 1.0) for n in names]
+        )
 
     def by_cluster_stack(self):
         """Lazily-built dense stack feeding the batched scoring engine."""

@@ -214,12 +214,23 @@ class DPClustX:
             )
 
         # Lines 14-19: per-cluster histograms (parallel composition) and
-        # out-of-cluster histograms by post-processing (Line 17).
+        # out-of-cluster histograms by post-processing (Line 17).  When all
+        # selected attributes share one domain width (the common case) the
+        # |C| releases collapse into a single ``release_rows`` call over the
+        # stacked (|C|, m) count matrix — stream-identical to the loop, and
+        # still parallel composition since clusters are disjoint.  Ragged
+        # widths or mechanisms without ``release_rows`` keep the loop.
         cluster_mech = self.histogram_mechanism.with_epsilon(eps_hist_cluster)
+        rows = [counts.cluster(combination[c], c) for c in range(counts.n_clusters)]
+        widths = {row.shape[0] for row in rows}
+        if len(widths) == 1 and hasattr(cluster_mech, "release_rows"):
+            noisy_rows = cluster_mech.release_rows(np.stack(rows), gen)
+        else:
+            noisy_rows = [cluster_mech.release(row, gen) for row in rows]
         explanations: list[SingleClusterExplanation] = []
         for c in range(counts.n_clusters):
             a_c = combination[c]
-            noisy_c = cluster_mech.release(counts.cluster(a_c, c), gen)
+            noisy_c = noisy_rows[c]
             noisy_rest = np.maximum(noisy_full[a_c] - noisy_c, 0.0)
             explanations.append(
                 SingleClusterExplanation(

@@ -123,7 +123,7 @@ class ScoringEngine:
             out = out + gamma_int * self.interestingness_matrix()
         if gamma_suf:
             out = out + gamma_suf * self.sufficiency_matrix()
-        if names is not None:
+        if names is not None and tuple(names) != self._stack.names:
             out = out[:, self.columns(names)]
         return out
 
@@ -139,7 +139,7 @@ class ScoringEngine:
             out = out + gamma_int * self.interestingness_tvd_matrix()
         if gamma_suf:
             out = out + gamma_suf * self.sufficiency_normalized_matrix()
-        if names is not None:
+        if names is not None and tuple(names) != self._stack.names:
             out = out[:, self.columns(names)]
         return out
 

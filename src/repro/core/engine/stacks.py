@@ -19,10 +19,42 @@ kernels run a handful of vectorised passes regardless of schema shape.
 
 from __future__ import annotations
 
+import functools
+import types
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
+
+
+@functools.lru_cache(maxsize=32)
+def _bucket_layout(
+    names: tuple[str, ...], domain_sizes: tuple[int, ...]
+) -> tuple:
+    """Bucket structure of a stack, cached per (names, domain sizes).
+
+    The layout — power-of-two width classes, member columns, locator and
+    index maps — depends only on the schema, so repeated stack builds over
+    the same attribute set (e.g. one noisy release per seed in a sweep)
+    reuse it instead of regrouping attributes every time.  The maps are
+    shared by every stack of the schema, so they are returned as read-only
+    mapping proxies.
+    """
+    by_class: dict[int, list[int]] = {}
+    for j, m in enumerate(domain_sizes):
+        by_class.setdefault(1 << max(m - 1, 0).bit_length(), []).append(j)
+    buckets = tuple(
+        (width, tuple(cols)) for width, cols in sorted(by_class.items())
+    )
+    locator = types.MappingProxyType(
+        {
+            names[j]: (b, r)
+            for b, (_, cols) in enumerate(buckets)
+            for r, j in enumerate(cols)
+        }
+    )
+    index = types.MappingProxyType({n: j for j, n in enumerate(names)})
+    return buckets, locator, index
 
 
 @dataclass(frozen=True)
@@ -75,9 +107,8 @@ class CountsStack:
     def columns(self, names: Sequence[str]) -> np.ndarray:
         """Column indices of ``names`` inside the stack's attribute order."""
         try:
-            return np.fromiter(
-                (self.index[n] for n in names), dtype=np.intp, count=len(names)
-            )
+            index = self.index
+            return np.array([index[n] for n in names], dtype=np.intp)
         except KeyError as exc:  # pragma: no cover - defensive
             raise KeyError(f"attribute {exc.args[0]!r} not in stack") from exc
 
@@ -99,31 +130,34 @@ class CountsStack:
         """
         names = tuple(names) if names is not None else tuple(counts.names)
         n_clusters = int(counts.n_clusters)
-        by_class: dict[int, list[int]] = {}
-        domain_sizes = {}
-        for j, name in enumerate(names):
-            m = int(counts.domain_size(name))
-            domain_sizes[name] = m
-            by_class.setdefault(1 << max(m - 1, 0).bit_length(), []).append(j)
+        sizes_tuple = tuple(int(counts.domain_size(n)) for n in names)
+        layout, locator, index = _bucket_layout(names, sizes_tuple)
 
-        totals = np.array([float(counts.total(n)) for n in names], dtype=np.float64)
-        sizes = np.array(
-            [
-                [float(counts.cluster_size(n, c)) for c in range(n_clusters)]
-                for n in names
-            ],
-            dtype=np.float64,
-        )
+        # Vectorised totals/sizes when the provider offers them (all in-tree
+        # providers do); the scalar fallback keeps exotic providers working.
+        if hasattr(counts, "totals_vector") and hasattr(counts, "sizes_matrix"):
+            totals = np.asarray(counts.totals_vector(names), dtype=np.float64)
+            sizes = np.asarray(counts.sizes_matrix(names), dtype=np.float64)
+        else:
+            totals = np.array(
+                [float(counts.total(n)) for n in names], dtype=np.float64
+            )
+            sizes = np.array(
+                [
+                    [float(counts.cluster_size(n, c)) for c in range(n_clusters)]
+                    for n in names
+                ],
+                dtype=np.float64,
+            )
 
         has_matrix = hasattr(counts, "by_cluster")
         buckets: list[DomainBucket] = []
-        locator: dict[str, tuple[int, int]] = {}
-        for b, (width, cols) in enumerate(sorted(by_class.items())):
+        for width, cols in layout:
             tensor = np.zeros((len(cols), n_clusters, width), dtype=np.float64)
             full = np.zeros((len(cols), width), dtype=np.float64)
             for r, j in enumerate(cols):
                 name = names[j]
-                m = domain_sizes[name]
+                m = sizes_tuple[j]
                 if has_matrix:
                     tensor[r, :, :m] = np.asarray(
                         counts.by_cluster(name), dtype=np.float64
@@ -134,14 +168,13 @@ class CountsStack:
                             counts.cluster(name, c), dtype=np.float64
                         )
                 full[r, :m] = np.asarray(counts.full(name), dtype=np.float64)
-                locator[name] = (b, r)
             buckets.append(
                 DomainBucket(
                     indices=np.asarray(cols, dtype=np.intp),
                     by_cluster=tensor,
                     full=full,
                     domain_sizes=np.array(
-                        [domain_sizes[names[j]] for j in cols], dtype=np.intp
+                        [sizes_tuple[j] for j in cols], dtype=np.intp
                     ),
                 )
             )
@@ -151,7 +184,7 @@ class CountsStack:
             totals=totals,
             sizes=sizes,
             buckets=tuple(buckets),
-            index={n: j for j, n in enumerate(names)},
+            index=index,
             locator=locator,
         )
 

@@ -33,6 +33,22 @@ bound via ``score_sensitivity`` for the DP guarantee to hold.
 """
 
 
+def stage1_mechanism(
+    eps_cand_set: float,
+    n_clusters: int,
+    k: int,
+    score_sensitivity: float = SCORE_SENSITIVITY,
+) -> OneShotTopK:
+    """Lines 1-2 of Algorithm 1: ``eps_Topk = eps_CandSet / |C|``.
+
+    The single source of the Stage-1 budget split — both the serial
+    :func:`select_candidates` loop and the batched sweep layer
+    (:mod:`repro.evaluation.sweeps`) derive their One-shot Top-k mechanism
+    here, so the noise calibration cannot drift between the two paths.
+    """
+    return OneShotTopK(eps_cand_set / n_clusters, k, score_sensitivity)
+
+
 @dataclass(frozen=True)
 class CandidateSelection:
     """Output of Algorithm 1: the per-cluster candidate sets ``S_c``.
@@ -98,8 +114,9 @@ def select_candidates(
 
     gen = ensure_rng(rng)
     n_clusters = counts.n_clusters
-    eps_topk = eps_cand_set / n_clusters  # Line 1
-    mechanism = OneShotTopK(eps_topk, k, score_sensitivity)  # Line 2: sigma = 2k/eps
+    mechanism = stage1_mechanism(  # Lines 1-2: sigma = 2k / (eps / |C|)
+        eps_cand_set, n_clusters, k, score_sensitivity
+    )
 
     if score_fn is None:
         # Line 5 (true part), batched: the full (|C|, |A|) Score_gamma matrix

@@ -10,12 +10,15 @@ from .stats import (
     relative_gap,
 )
 from .runner import (
+    ExplainerSelector,
     Selector,
     TrialResult,
     format_results_table,
     make_selectors,
     run_trials,
+    run_trials_serial,
 )
+from .sweeps import SweepContext, run_grid, run_trials_batched, select_batched
 
 __all__ = [
     "mae",
@@ -26,9 +29,15 @@ __all__ = [
     "bootstrap_mean",
     "paired_bootstrap",
     "relative_gap",
+    "ExplainerSelector",
     "Selector",
     "TrialResult",
     "format_results_table",
     "make_selectors",
     "run_trials",
+    "run_trials_serial",
+    "SweepContext",
+    "run_grid",
+    "run_trials_batched",
+    "select_batched",
 ]

@@ -14,6 +14,8 @@ TabEE-style exhaustive Stage-2 scans over ``k^|C|`` combinations affordable.
 from __future__ import annotations
 
 import itertools
+import math
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -23,6 +25,20 @@ from ..core.engine import scoring_engine
 from ..core.quality.diversity import _avg_perm_div
 from ..core.quality.scores import Weights
 from ..privacy.rng import ensure_rng
+
+
+@lru_cache(maxsize=64)
+def _product_grid(shape: tuple[int, ...]) -> tuple[np.ndarray, ...]:
+    """Flattened per-axis index grids of ``itertools.product`` enumeration.
+
+    ``_product_grid((k_1, ..., k_C))[c][i]`` is the index drawn from axis
+    ``c`` by the ``i``-th combination in row-major product order.  Cached:
+    sweeps evaluate thousands of same-shape candidate-set families.
+    """
+    grids = np.meshgrid(
+        *(np.arange(m, dtype=np.intp) for m in shape), indexing="ij"
+    )
+    return tuple(g.reshape(-1) for g in grids)
 
 
 class QualityEvaluator:
@@ -75,7 +91,8 @@ class QualityEvaluator:
             if len(group) == 1:
                 value = 1.0
             else:
-                sub = self._tvd_matrix(a)[np.ix_(group, group)]
+                idx = np.asarray(group, dtype=np.intp)
+                sub = self._tvd_matrix(a)[idx[:, None], idx]
                 value = _avg_perm_div(sub, self._rng)
             self._group_div_cache[key] = value
         return self._group_div_cache[key]
@@ -143,6 +160,120 @@ class QualityEvaluator:
         combos = list(itertools.product(*candidate_sets))
         scores = np.array([self.quality(c) for c in combos])
         return combos, scores
+
+    # -- batched evaluation (the sweep layer's Stage-2) --------------------- #
+
+    def quality_tensor(
+        self, candidate_sets: Sequence[Sequence[str]]
+    ) -> np.ndarray:
+        """Sensitive Quality of *every* combination in one vectorised pass.
+
+        Returns the flat ``(prod k_c,)`` score vector in
+        ``itertools.product`` enumeration order — bit-for-bit identical to
+        ``np.array([self.quality(c) for c in itertools.product(*sets)])``
+        whenever every attribute group fits the exact permutation
+        enumeration (always the case for ``|C| <= 6``): each accumulation
+        below mirrors the scalar path's operation order, and the
+        permutation-diversity leaves are served by the same memoised
+        :meth:`_group_diversity`.  For larger Monte-Carlo-sampled groups the
+        values depend on this evaluator's cache-miss order, so looping
+        :meth:`quality` on a *fresh* evaluator may differ in the sampled
+        diversity term.
+
+        Int and Suf decompose per cluster and broadcast; the diversity term
+        does not (it groups clusters sharing one attribute), so each
+        combination's group structure is encoded as a per-attribute cluster
+        bitmask and resolved through a lookup table of group diversities.
+        """
+        k = self._counts.n_clusters
+        sets = [tuple(s) for s in candidate_sets]
+        if len(sets) != k:
+            raise ValueError("need one attribute per cluster")
+        shape = tuple(len(s) for s in sets)
+        n = math.prod(shape)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        stack = self._engine.stack
+        index = stack.index
+        cols = [
+            np.array([index[a] for a in s], dtype=np.intp) for s in sets
+        ]
+        # (n, |C|): the attribute column chosen for each cluster, enumerated
+        # in row-major itertools.product order.
+        grids = _product_grid(shape)
+        attr_cols = np.stack(
+            [cols[c][g] for c, g in enumerate(grids)], axis=1
+        )
+        w = self._weights
+        total = np.zeros(n, dtype=np.float64)
+        if w.lambda_int:
+            int_m = self._engine.interestingness_tvd_matrix()
+            acc = np.zeros(n, dtype=np.float64)
+            for c in range(k):
+                acc += int_m[c, attr_cols[:, c]]
+            total += w.lambda_int * (acc / k)
+        if w.lambda_suf:
+            suf_m = self._engine.sufficiency_matrix()
+            totals = stack.totals
+            acc = np.zeros(n, dtype=np.float64)
+            for c in range(k):
+                t = totals[attr_cols[:, c]]
+                positive = t > 0
+                acc += np.where(
+                    positive,
+                    suf_m[c, attr_cols[:, c]] / np.where(positive, t, 1.0),
+                    0.0,
+                )
+            total += w.lambda_suf * acc
+        if w.lambda_div:
+            # div_terms[i, c] holds the group diversity of the attribute
+            # first occurring at cluster c in combination i (0 elsewhere);
+            # accumulating over c reproduces the scalar path's
+            # insertion-order sum over ``by_attr``.
+            div_terms = np.zeros((n, k), dtype=np.float64)
+            powers = 1 << np.arange(k, dtype=np.int64)
+            support: dict[int, list[int]] = {}
+            for c, col in enumerate(cols):
+                for a_col in col:
+                    support.setdefault(int(a_col), []).append(c)
+            for a_col, clusters in support.items():
+                if len(clusters) == 1:
+                    # Candidate of a single cluster: the group is always the
+                    # singleton {c} with diversity 1 (the scalar path's
+                    # len(group) == 1 shortcut) — one vectorised write.
+                    c = clusters[0]
+                    div_terms[attr_cols[:, c] == a_col, c] = 1.0
+                    continue
+                name = stack.names[a_col]
+                eq = attr_cols == a_col
+                mask = eq.astype(np.int64) @ powers
+                present = mask > 0
+                lut = np.zeros(1 << k, dtype=np.float64)
+                for m_val in np.unique(mask[present]):
+                    group = tuple(
+                        int(c) for c in range(k) if (int(m_val) >> c) & 1
+                    )
+                    lut[m_val] = self._group_diversity(name, group)
+                rows = np.flatnonzero(present)
+                div_terms[rows, eq.argmax(axis=1)[rows]] = lut[mask[rows]]
+            acc = np.zeros(n, dtype=np.float64)
+            for c in range(k):
+                acc += div_terms[:, c]
+            total += w.lambda_div * (acc / k)
+        return total
+
+    def best_combination_batched(
+        self, candidate_sets: Sequence[Sequence[str]]
+    ) -> tuple[tuple[str, ...], float]:
+        """Vectorised :meth:`best_combination` (first-max tie-break kept)."""
+        sets = [tuple(s) for s in candidate_sets]
+        scores = self.quality_tensor(sets)
+        if scores.size == 0:
+            raise ValueError("no candidate combinations")
+        flat = int(np.argmax(scores))
+        picks = np.unravel_index(flat, tuple(len(s) for s in sets))
+        best = tuple(sets[c][int(j)] for c, j in enumerate(picks))
+        return best, float(scores[flat])
 
 
 def quality(

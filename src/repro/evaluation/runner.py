@@ -26,6 +26,28 @@ from .quality import QualityEvaluator
 Selector = Callable[[CountsProvider, np.random.Generator], AttributeCombination]
 
 
+class ExplainerSelector:
+    """A selector callable that also exposes its underlying explainer.
+
+    Calling it runs the serial one-seed path exactly as before; the batched
+    sweep layer (:mod:`repro.evaluation.sweeps`) instead dispatches on the
+    ``explainer`` instance to vectorise the whole seed dimension.  Unknown
+    plain callables still work everywhere — they just fall back to the
+    per-seed path.
+    """
+
+    __slots__ = ("explainer", "_call")
+
+    def __init__(self, explainer: object, call: Selector):
+        self.explainer = explainer
+        self._call = call
+
+    def __call__(
+        self, counts: CountsProvider, rng: np.random.Generator
+    ) -> AttributeCombination:
+        return self._call(counts, rng)
+
+
 def make_selectors(
     eps_selection: float,
     n_candidates: int = 3,
@@ -50,10 +72,19 @@ def make_selectors(
     dp_naive = DPNaive(eps_selection, n_candidates, w)
     tabee = TabEE(n_candidates, w)
     return {
-        "DPClustX": lambda counts, rng: dpclustx.select_combination(counts, rng).combination,
-        "TabEE": lambda counts, rng: tabee.select_combination(counts, rng),
-        "DP-TabEE": lambda counts, rng: dp_tabee.select_combination(counts, rng),
-        "DP-Naive": lambda counts, rng: dp_naive.select_combination(counts, rng),
+        "DPClustX": ExplainerSelector(
+            dpclustx,
+            lambda counts, rng: dpclustx.select_combination(counts, rng).combination,
+        ),
+        "TabEE": ExplainerSelector(
+            tabee, lambda counts, rng: tabee.select_combination(counts, rng)
+        ),
+        "DP-TabEE": ExplainerSelector(
+            dp_tabee, lambda counts, rng: dp_tabee.select_combination(counts, rng)
+        ),
+        "DP-Naive": ExplainerSelector(
+            dp_naive, lambda counts, rng: dp_naive.select_combination(counts, rng)
+        ),
     }
 
 
@@ -76,7 +107,40 @@ def run_trials(
     rng: np.random.Generator | int | None = 0,
     reference: "AttributeCombination | None" = None,
 ) -> list[TrialResult]:
-    """Average Quality and MAE of each selector over ``n_runs`` fresh seeds."""
+    """Average Quality and MAE of each selector over ``n_runs`` fresh seeds.
+
+    Routed through the batched sweep layer
+    (:func:`repro.evaluation.sweeps.run_trials_batched`), which vectorises
+    the seed dimension while consuming the same spawned child streams as
+    the serial path — :func:`run_trials_serial` below — so results are
+    unchanged (exactly equal whenever ``|C| <= 6``; see the sweep module).
+    """
+    from .sweeps import run_trials_batched
+
+    return run_trials_batched(
+        counts,
+        selectors,
+        n_runs=n_runs,
+        weights=weights,
+        rng=rng,
+        reference=reference,
+    )
+
+
+def run_trials_serial(
+    counts: ClusteredCounts,
+    selectors: Mapping[str, Selector],
+    n_runs: int = 10,
+    weights: Weights | None = None,
+    rng: np.random.Generator | int | None = 0,
+    reference: "AttributeCombination | None" = None,
+) -> list[TrialResult]:
+    """The one-seed-at-a-time reference loop (the seed repo's ``run_trials``).
+
+    Kept verbatim as the oracle the batched sweep layer is pinned against
+    (``tests/test_sweeps.py``) and as the before-side of
+    ``benchmarks/bench_sweeps.py``.
+    """
     w = weights or Weights()
     gen = ensure_rng(rng)
     evaluator = QualityEvaluator(counts, w, 0)

@@ -1,0 +1,457 @@
+"""Batched sweep execution: vectorising the seed/epsilon dimension.
+
+The paper averages every Figure-5-12 measurement over 10 runs across
+log-spaced epsilon grids (Section 6.2), so after the scoring engine removed
+the per-(cluster, attribute) Python calls, the remaining serial layer was the
+outer trial loop: :func:`~repro.evaluation.runner.run_trials_serial` re-enters
+each explainer one seed at a time, re-ranking, re-assembling score tensors
+and re-evaluating the sensitive Quality per seed.
+
+Both Stage-1 (One-shot Top-k) and Stage-2 (exponential mechanism) perturb
+*true* scores that are identical across seeds, so the whole repeat dimension
+factors out: the true score matrices/tensors are computed once per counts
+provider (memoised :class:`~repro.core.engine.engine.ScoringEngine`), the
+noise becomes per-seed Gumbel rows (``select_batch`` /
+``select_indices``), and selection is a row-wise argsort/argmax.
+
+**Exactness contract.**  ``numpy.random.Generator`` fills arrays from the
+bit stream value-by-value, so the batched draws consume each spawned child
+stream in exactly the serial order; combined with the bit-for-bit
+:meth:`~repro.evaluation.quality.QualityEvaluator.quality_tensor`, the
+batched runner reproduces :func:`run_trials_serial` *exactly* (equal floats,
+not just equal distributions) whenever every permutation-diversity group
+fits the exact enumeration limit — always the case for ``|C| <= 6``, which
+covers the paper's default configurations.  For larger ``|C|`` the
+Monte-Carlo permutation stream differs (the serial path reseeds a fresh
+evaluator per selector call); results remain deterministic and
+distributionally equivalent.
+
+:func:`run_grid` additionally fans the (dataset, method, epsilon) grid of an
+experiment across a ``concurrent.futures`` process pool, each worker keeping
+its own memoised dataset/clustering/counts cache
+(:mod:`repro.experiments.common`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.counts import CountsProvider
+from ..core.dpclustx import _MAX_COMBINATIONS, DPClustX
+from ..core.engine import scoring_engine
+from ..core.hbe import AttributeCombination
+from ..core.quality.scores import (
+    SCORE_SENSITIVITY,
+    SENSITIVE_SCORE_SENSITIVITY,
+    Weights,
+)
+from ..core.select_candidates import stage1_mechanism
+from ..privacy.exponential import ExponentialMechanism
+from ..privacy.rng import ensure_rng, spawn
+from ..privacy.topk import OneShotTopK
+from .mae import mae
+from .quality import QualityEvaluator
+from .runner import Selector, TrialResult
+
+__all__ = [
+    "SweepContext",
+    "select_batched",
+    "run_trials_batched",
+    "run_grid",
+]
+
+
+class SweepContext:
+    """Shared memoisation for one counts provider across a sweep.
+
+    Caches, keyed by the (hashable) :class:`Weights`: one
+    :class:`QualityEvaluator` per weight setting, flattened ``GlScore`` /
+    sensitive-Quality tensors per candidate-set tuple, per-combination
+    Quality values, and the deterministic TabEE selections.  Everything in
+    here is a pure function of the true counts, so reuse across seeds and
+    epsilon grid points changes nothing but the wall-clock.
+    """
+
+    def __init__(self, counts: CountsProvider):
+        self.counts = counts
+        self._evaluators: dict[Weights, QualityEvaluator] = {}
+        self._glscore: dict[tuple, np.ndarray] = {}
+        self._quality_flat: dict[tuple, np.ndarray] = {}
+        self._quality: dict[tuple, float] = {}
+        self._tabee: dict[tuple, AttributeCombination] = {}
+
+    def evaluator_for(self, weights: Weights) -> QualityEvaluator:
+        ev = self._evaluators.get(weights)
+        if ev is None:
+            ev = QualityEvaluator(self.counts, weights, 0)
+            self._evaluators[weights] = ev
+        return ev
+
+    def glscore_flat(
+        self, weights: Weights, candidate_sets: tuple[tuple[str, ...], ...]
+    ) -> np.ndarray:
+        """Flattened Stage-2 ``GlScore`` tensor, memoised per candidate sets."""
+        key = (weights, candidate_sets)
+        cached = self._glscore.get(key)
+        if cached is None:
+            cached = (
+                scoring_engine(self.counts)
+                .combination_score_tensor(
+                    candidate_sets, weights, max_combinations=_MAX_COMBINATIONS
+                )
+                .reshape(-1)
+            )
+            self._glscore[key] = cached
+        return cached
+
+    def quality_flat(
+        self, weights: Weights, candidate_sets: tuple[tuple[str, ...], ...]
+    ) -> np.ndarray:
+        """Flattened sensitive-Quality tensor, memoised per candidate sets."""
+        key = (weights, candidate_sets)
+        cached = self._quality_flat.get(key)
+        if cached is None:
+            cached = self.evaluator_for(weights).quality_tensor(candidate_sets)
+            self._quality_flat[key] = cached
+        return cached
+
+    def quality(self, weights: Weights, combination: Sequence[str]) -> float:
+        """Memoised sensitive Quality of one combination."""
+        key = (weights, tuple(combination))
+        cached = self._quality.get(key)
+        if cached is None:
+            cached = self.evaluator_for(weights).quality(key[1])
+            self._quality[key] = cached
+        return cached
+
+    def tabee_combination(self, explainer) -> AttributeCombination:
+        """Deterministic TabEE selection, computed once per configuration."""
+        key = (explainer.n_candidates, explainer.weights)
+        cached = self._tabee.get(key)
+        if cached is None:
+            sets = explainer.candidate_sets(self.counts)
+            best, _ = self.evaluator_for(
+                explainer.weights
+            ).best_combination_batched(sets)
+            cached = AttributeCombination(best)
+            self._tabee[key] = cached
+        return cached
+
+
+# --------------------------------------------------------------------------- #
+# batched per-explainer selection
+# --------------------------------------------------------------------------- #
+
+
+def _stage1_sets(
+    score_matrix: np.ndarray,
+    names: tuple[str, ...],
+    mechanism: OneShotTopK,
+    children: Sequence[np.random.Generator],
+) -> list[tuple[tuple[str, ...], ...]]:
+    """One-shot Top-k candidate sets for every seed, batched per cluster.
+
+    Cluster-major draw order: for each cluster, one ``select_batch`` call
+    perturbs the shared true-score row with one Gumbel row per child.  Each
+    child's own stream still sees its draws in cluster order — exactly the
+    serial per-seed loop's consumption.
+    """
+    n_clusters = score_matrix.shape[0]
+    n_runs = len(children)
+    picks = np.empty((n_runs, n_clusters, mechanism.k), dtype=np.intp)
+    for c in range(n_clusters):
+        picks[:, c, :] = mechanism.select_batch(
+            score_matrix[c], n_runs, rng=children
+        )
+    gathered = np.asarray(names, dtype=object)[picks].tolist()
+    return [tuple(tuple(row) for row in run) for run in gathered]
+
+
+def _stage2_combinations(
+    per_run_sets: "list[tuple[tuple[str, ...], ...]]",
+    flats: "list[np.ndarray]",
+    em: ExponentialMechanism,
+    children: Sequence[np.random.Generator],
+) -> list[AttributeCombination]:
+    """Row-wise EM over each seed's flattened Stage-2 score tensor."""
+    idx = em.select_indices(np.stack(flats), rng=children)
+    combos = []
+    for r, sets in enumerate(per_run_sets):
+        shape = tuple(len(s) for s in sets)
+        picks = np.unravel_index(int(idx[r]), shape)
+        combos.append(
+            AttributeCombination(
+                tuple(sets[c][int(j)] for c, j in enumerate(picks))
+            )
+        )
+    return combos
+
+
+def _select_dpclustx(
+    explainer: DPClustX,
+    counts: CountsProvider,
+    children: Sequence[np.random.Generator],
+    ctx: SweepContext,
+) -> list[AttributeCombination]:
+    """All seeds of ``DPClustX.select_combination``, batched (Algorithm 2)."""
+    names = tuple(counts.names)
+    n_clusters = counts.n_clusters
+    k = explainer.n_candidates
+    if k < 1 or k > len(names):
+        raise ValueError(f"k must be in [1, |A|] = [1, {len(names)}], got {k}")
+    gamma = explainer.weights.gamma()
+    mech = stage1_mechanism(explainer.budget.eps_cand_set, n_clusters, k)
+    matrix = scoring_engine(counts).score_matrix(gamma[0], gamma[1], names)
+    per_run_sets = _stage1_sets(matrix, names, mech, children)
+    flats = [
+        ctx.glscore_flat(explainer.weights, sets) for sets in per_run_sets
+    ]
+    em = ExponentialMechanism(explainer.budget.eps_top_comb, SCORE_SENSITIVITY)
+    return _stage2_combinations(per_run_sets, flats, em, children)
+
+
+def _select_dptabee(
+    explainer,
+    counts: CountsProvider,
+    children: Sequence[np.random.Generator],
+    ctx: SweepContext,
+) -> list[AttributeCombination]:
+    """All seeds of ``DPTabEE.select_combination``, batched."""
+    names = tuple(counts.names)
+    n_clusters = counts.n_clusters
+    gamma = explainer.weights.gamma()
+    mech = stage1_mechanism(
+        explainer.budget.eps_cand_set,
+        n_clusters,
+        explainer.n_candidates,
+        SENSITIVE_SCORE_SENSITIVITY,
+    )
+    matrix = scoring_engine(counts).sensitive_score_matrix(
+        gamma[0], gamma[1], names
+    )
+    per_run_sets = _stage1_sets(matrix, names, mech, children)
+    flats = [
+        ctx.quality_flat(explainer.weights, sets) for sets in per_run_sets
+    ]
+    em = ExponentialMechanism(
+        explainer.budget.eps_top_comb, SENSITIVE_SCORE_SENSITIVITY
+    )
+    return _stage2_combinations(per_run_sets, flats, em, children)
+
+
+def _select_dpnaive(
+    explainer,
+    counts: CountsProvider,
+    children: Sequence[np.random.Generator],
+) -> list[AttributeCombination]:
+    """All seeds of ``DPNaive.select_combination``.
+
+    The noisy releases are inherently per-seed (each seed post-processes its
+    own noisy histograms), but within a seed the releases are batched
+    (``release_rows``) and the TabEE Stage-2 over the noisy counts runs as
+    one Quality tensor instead of ``k^|C|`` scalar evaluations.
+    """
+    from ..baselines.tabee import TabEE
+
+    tabee = TabEE(explainer.n_candidates, explainer.weights)
+    combos = []
+    for child in children:
+        noisy = explainer.release_noisy_counts(counts, child)
+        sets = tabee.candidate_sets(noisy)
+        best, _ = QualityEvaluator(
+            noisy, explainer.weights, 0
+        ).best_combination_batched(sets)
+        combos.append(AttributeCombination(best))
+    return combos
+
+
+def select_batched(
+    selector,
+    counts: CountsProvider,
+    children: Sequence[np.random.Generator],
+    ctx: SweepContext | None = None,
+) -> list[AttributeCombination]:
+    """The combinations all seeds of one selector would pick, batched.
+
+    ``selector`` is either an
+    :class:`~repro.evaluation.runner.ExplainerSelector` (or a bare explainer
+    instance) of a known type — DPClustX, TabEE, DP-TabEE, DP-Naive — whose
+    seed dimension is vectorised, or any ``(counts, rng) -> combination``
+    callable, which falls back to the serial per-seed loop.  Entry ``r``
+    consumes ``children[r]``'s stream exactly as the serial call would.
+    """
+    from ..baselines.dp_naive import DPNaive
+    from ..baselines.dp_tabee import DPTabEE
+    from ..baselines.tabee import TabEE
+
+    if ctx is None:
+        ctx = SweepContext(counts)
+    if not len(children):
+        return []
+    explainer = getattr(selector, "explainer", selector)
+    if type(explainer) is DPClustX:
+        return _select_dpclustx(explainer, counts, children, ctx)
+    if type(explainer) is DPTabEE:
+        return _select_dptabee(explainer, counts, children, ctx)
+    if type(explainer) is DPNaive:
+        return _select_dpnaive(explainer, counts, children)
+    if type(explainer) is TabEE:
+        # Deterministic: one selection serves every seed.  (The serial path
+        # passes the child rng through, but it is only consumed by
+        # Monte-Carlo permutation sampling, i.e. never for |C| <= 6.)
+        combo = ctx.tabee_combination(explainer)
+        return [combo] * len(children)
+    if not callable(selector):
+        raise TypeError(f"cannot batch or call selector {selector!r}")
+    return [selector(counts, child) for child in children]
+
+
+# --------------------------------------------------------------------------- #
+# the batched trial runner
+# --------------------------------------------------------------------------- #
+
+
+def run_trials_batched(
+    counts: CountsProvider,
+    selectors: Mapping[str, Selector],
+    n_runs: int = 10,
+    weights: Weights | None = None,
+    rng: np.random.Generator | int | None = 0,
+    reference: "AttributeCombination | None" = None,
+    context: SweepContext | None = None,
+) -> list[TrialResult]:
+    """Batched :func:`~repro.evaluation.runner.run_trials_serial`.
+
+    Consumes the same spawned child streams in the same order, so the
+    results are exactly equal for ``|C| <= 6`` (see the module docstring).
+    ``context`` lets a grid sweep share one :class:`SweepContext` across
+    epsilon points of the same counts provider.
+    """
+    from ..baselines.tabee import TabEE
+
+    w = weights or Weights()
+    gen = ensure_rng(rng)
+    ctx = context if context is not None else SweepContext(counts)
+    if ctx.counts is not counts:
+        raise ValueError("context was built for a different counts provider")
+    if reference is None:
+        reference = ctx.tabee_combination(TabEE(weights=w))
+
+    results = []
+    for name, selector in selectors.items():
+        children = spawn(gen, n_runs)
+        combinations = select_batched(selector, counts, children, ctx)
+        qualities = [ctx.quality(w, tuple(c)) for c in combinations]
+        errors = [mae(c, reference) for c in combinations]
+        results.append(
+            TrialResult(
+                explainer=name,
+                quality_mean=float(np.mean(qualities)),
+                quality_std=float(np.std(qualities)),
+                mae_mean=float(np.mean(errors)),
+                n_runs=n_runs,
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# grid fan-out (dataset x method x epsilon)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _GridTask:
+    """One (dataset, method) cell with its epsilon grid — a pool work unit.
+
+    Grouping all epsilon points of a cell into one task lets the worker
+    build the dataset/clustering/counts once (via the memoised loaders in
+    :mod:`repro.experiments.common`) and share one :class:`SweepContext`
+    across the grid points.
+    """
+
+    dataset: str
+    method: str
+    eps_grid: tuple[float, ...]
+    config: object
+    n_clusters: int | None
+    explainers: tuple[str, ...] | None
+
+
+def _run_grid_task(task: _GridTask) -> list[dict]:
+    """Worker: all epsilon points of one (dataset, method) cell."""
+    from ..experiments.common import clustered_counts
+    from .runner import make_selectors
+
+    counts = clustered_counts(
+        task.dataset, task.method, task.config, task.n_clusters
+    )
+    ctx = SweepContext(counts)
+    rows: list[dict] = []
+    for eps in task.eps_grid:
+        selectors = make_selectors(eps, task.config.n_candidates)
+        if task.explainers is not None:
+            selectors = {
+                name: sel
+                for name, sel in selectors.items()
+                if name in task.explainers
+            }
+        for r in run_trials_batched(
+            counts,
+            selectors,
+            task.config.n_runs,
+            rng=task.config.seed,
+            context=ctx,
+        ):
+            rows.append(
+                {
+                    "dataset": task.dataset,
+                    "method": task.method,
+                    "epsilon": eps,
+                    "explainer": r.explainer,
+                    "quality": r.quality_mean,
+                    "quality_std": r.quality_std,
+                    "mae": r.mae_mean,
+                }
+            )
+    return rows
+
+
+def run_grid(
+    config,
+    n_clusters: int | None = None,
+    explainers: tuple[str, ...] | None = None,
+    processes: int | None = None,
+) -> list[dict]:
+    """The (dataset, method, epsilon) sweep behind Figures 5/6/11/12.
+
+    Runs every cell through the batched trial runner; with ``processes > 1``
+    the (dataset, method) cells fan out across a process pool, each worker
+    holding its own memoised dataset/clustering/counts cache.  Row order is
+    deterministic and independent of the pool size.
+    """
+    from ..experiments.common import eps_grid_for, methods_for
+
+    tasks = [
+        _GridTask(
+            dataset=dataset,
+            method=method,
+            eps_grid=tuple(eps_grid_for(dataset)),
+            config=config,
+            n_clusters=n_clusters,
+            explainers=explainers,
+        )
+        for dataset in config.datasets
+        for method in methods_for(dataset, config.methods)
+    ]
+    if processes is not None and processes > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            per_task = list(pool.map(_run_grid_task, tasks))
+    else:
+        per_task = [_run_grid_task(t) for t in tasks]
+    return [row for rows in per_task for row in rows]

@@ -8,6 +8,7 @@ paper's row counts (Section 6.1) where that is feasible.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -72,8 +73,17 @@ def quick_config(n_runs: int = 2) -> ExperimentConfig:
     )
 
 
+@functools.lru_cache(maxsize=8)
 def load_dataset(name: str, n_rows: int, n_groups: int = 5, seed: int = 0) -> Dataset:
-    """Materialise one of the three synthetic stand-in datasets."""
+    """Materialise one of the three synthetic stand-in datasets.
+
+    Memoised (LRU, bounded): epsilon/k/weight sweeps hit the same
+    ``(name, n_rows, n_groups, seed)`` cell for every grid point, and
+    regenerating identical rows dominated short sweeps.  Callers treat
+    datasets as immutable (every ``Dataset`` op returns a new object), so
+    sharing one instance is safe; process-pool grid workers each hold their
+    own worker-local cache.
+    """
     factories = {
         "Diabetes": diabetes_like,
         "Census": census_like,
@@ -107,19 +117,34 @@ def fit_clustering(
     raise ValueError(f"unknown clustering method {method!r}")
 
 
+@functools.lru_cache(maxsize=6)
+def _clustered_counts_cached(
+    dataset_name: str, n_rows: int, method: str, n_clusters: int, seed: int
+) -> ClusteredCounts:
+    """Memoised dataset + clustering + counts, keyed on the generating cell.
+
+    The counts (and the scoring-engine stack hanging off them) are pure
+    functions of ``(dataset, rows, method, n_clusters, seed)``, so sweeps
+    over epsilon or candidate-set size reuse one materialisation instead of
+    refitting the clustering per grid point.  Bounded LRU keeps at most a
+    handful of cells alive; process-pool workers populate their own copy.
+    """
+    dataset = load_dataset(dataset_name, n_rows, n_groups=n_clusters, seed=seed)
+    clustering = fit_clustering(method, dataset, n_clusters, seed)
+    return ClusteredCounts(dataset, clustering)
+
+
 def clustered_counts(
     dataset_name: str,
     method: str,
     config: ExperimentConfig,
     n_clusters: int | None = None,
 ) -> ClusteredCounts:
-    """Dataset + clustering + counts for one experimental cell."""
+    """Dataset + clustering + counts for one experimental cell (memoised)."""
     k = n_clusters if n_clusters is not None else config.n_clusters
-    dataset = load_dataset(
-        dataset_name, config.rows[dataset_name], n_groups=k, seed=config.seed
+    return _clustered_counts_cached(
+        dataset_name, config.rows[dataset_name], method, k, config.seed
     )
-    clustering = fit_clustering(method, dataset, k, config.seed)
-    return ClusteredCounts(dataset, clustering)
 
 
 def methods_for(dataset_name: str, methods: tuple[str, ...]) -> tuple[str, ...]:

@@ -13,44 +13,26 @@ from __future__ import annotations
 
 import argparse
 
-from ..evaluation.runner import format_results_table, make_selectors, run_trials
-from .common import (
-    ExperimentConfig,
-    clustered_counts,
-    eps_grid_for,
-    methods_for,
-)
+from ..evaluation.runner import format_results_table
+from ..evaluation.sweeps import run_grid
+from .common import ExperimentConfig
 
 COLUMNS = ("dataset", "method", "epsilon", "explainer", "quality", "quality_std", "mae")
 
 
 def run(
-    config: ExperimentConfig | None = None, n_clusters: int | None = None
+    config: ExperimentConfig | None = None,
+    n_clusters: int | None = None,
+    processes: int | None = None,
 ) -> list[dict]:
-    """Produce the Figure 5 series (appendix Fig. 11 via ``n_clusters``)."""
+    """Produce the Figure 5 series (appendix Fig. 11 via ``n_clusters``).
+
+    Routed through the batched sweep layer: every (dataset, method) cell
+    shares one memoised counts/scoring context across its epsilon grid, and
+    ``processes > 1`` fans the cells across a process pool.
+    """
     config = config or ExperimentConfig()
-    rows: list[dict] = []
-    for dataset_name in config.datasets:
-        for method in methods_for(dataset_name, config.methods):
-            counts = clustered_counts(dataset_name, method, config, n_clusters)
-            for eps in eps_grid_for(dataset_name):
-                selectors = make_selectors(eps, config.n_candidates)
-                results = run_trials(
-                    counts, selectors, config.n_runs, rng=config.seed
-                )
-                for r in results:
-                    rows.append(
-                        {
-                            "dataset": dataset_name,
-                            "method": method,
-                            "epsilon": eps,
-                            "explainer": r.explainer,
-                            "quality": r.quality_mean,
-                            "quality_std": r.quality_std,
-                            "mae": r.mae_mean,
-                        }
-                    )
-    return rows
+    return run_grid(config, n_clusters=n_clusters, processes=processes)
 
 
 def main() -> None:
@@ -59,11 +41,13 @@ def main() -> None:
     parser.add_argument("--clusters", type=int, default=None,
                         help="override |C| (appendix Figure 11 uses 3 and 7)")
     parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--processes", type=int, default=None,
+                        help="fan (dataset, method) cells across a process pool")
     args = parser.parse_args()
     config = ExperimentConfig(n_runs=args.runs)
     if args.datasets:
         config = ExperimentConfig(n_runs=args.runs, datasets=tuple(args.datasets))
-    rows = run(config, n_clusters=args.clusters)
+    rows = run(config, n_clusters=args.clusters, processes=args.processes)
     print("Figure 5 — Quality of the selected attribute combination vs epsilon")
     print(format_results_table(rows, COLUMNS))
 

@@ -11,45 +11,32 @@ from __future__ import annotations
 
 import argparse
 
-from ..evaluation.runner import format_results_table, make_selectors, run_trials
-from .common import (
-    ExperimentConfig,
-    clustered_counts,
-    eps_grid_for,
-    methods_for,
-)
+from ..evaluation.runner import format_results_table
+from ..evaluation.sweeps import run_grid
+from .common import ExperimentConfig
 
 COLUMNS = ("dataset", "method", "epsilon", "explainer", "mae")
 DP_EXPLAINERS = ("DPClustX", "DP-TabEE", "DP-Naive")
 
 
 def run(
-    config: ExperimentConfig | None = None, n_clusters: int | None = None
+    config: ExperimentConfig | None = None,
+    n_clusters: int | None = None,
+    processes: int | None = None,
 ) -> list[dict]:
-    """Produce the Figure 6 series (appendix Fig. 12 via ``n_clusters``)."""
+    """Produce the Figure 6 series (appendix Fig. 12 via ``n_clusters``).
+
+    Same batched grid sweep as Figure 5, restricted to the DP explainers
+    and projected onto the MAE column.
+    """
     config = config or ExperimentConfig()
-    rows: list[dict] = []
-    for dataset_name in config.datasets:
-        for method in methods_for(dataset_name, config.methods):
-            counts = clustered_counts(dataset_name, method, config, n_clusters)
-            for eps in eps_grid_for(dataset_name):
-                selectors = {
-                    name: sel
-                    for name, sel in make_selectors(eps, config.n_candidates).items()
-                    if name in DP_EXPLAINERS
-                }
-                results = run_trials(counts, selectors, config.n_runs, rng=config.seed)
-                for r in results:
-                    rows.append(
-                        {
-                            "dataset": dataset_name,
-                            "method": method,
-                            "epsilon": eps,
-                            "explainer": r.explainer,
-                            "mae": r.mae_mean,
-                        }
-                    )
-    return rows
+    rows = run_grid(
+        config,
+        n_clusters=n_clusters,
+        explainers=DP_EXPLAINERS,
+        processes=processes,
+    )
+    return [{key: row[key] for key in COLUMNS} for row in rows]
 
 
 def main() -> None:
@@ -57,8 +44,14 @@ def main() -> None:
     parser.add_argument("--runs", type=int, default=10)
     parser.add_argument("--clusters", type=int, default=None,
                         help="override |C| (appendix Figure 12 uses 3/5/7)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="fan (dataset, method) cells across a process pool")
     args = parser.parse_args()
-    rows = run(ExperimentConfig(n_runs=args.runs), n_clusters=args.clusters)
+    rows = run(
+        ExperimentConfig(n_runs=args.runs),
+        n_clusters=args.clusters,
+        processes=args.processes,
+    )
     print("Figure 6 — MAE vs the non-private TabEE combination")
     print(format_results_table(rows, COLUMNS))
 

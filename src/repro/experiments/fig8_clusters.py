@@ -6,6 +6,15 @@ data.  Expected shapes: quality decreases with more clusters even without
 privacy; DP methods degrade as clusters shrink while TabEE stays stable, with
 DPClustX dominating the DP baselines throughout (Section 6.2).
 
+Both parts run through ``run_trials``, i.e. the batched sweep layer
+(``repro.evaluation.sweeps``): every grid point's ``n_runs`` seeds are
+selected in one vectorised pass per explainer.  Note for 8a: at ``|C| in
+{7, 9, 11}`` permutation-diversity groups can exceed the exact enumeration
+limit (6), where the batched layer's Monte-Carlo permutation stream
+differs from the old serial loop's — values at those grid points are
+deterministic but not comparable digit-for-digit with pre-sweep-layer
+outputs (``|C| <= 6`` points are exactly unchanged).
+
 Run: ``python -m repro.experiments.fig8_clusters``
 """
 

@@ -23,6 +23,7 @@ from ..core.dpclustx import DPClustX
 from ..core.quality.scores import Weights
 from ..evaluation.quality import QualityEvaluator
 from ..evaluation.runner import format_results_table
+from ..evaluation.sweeps import select_batched
 from ..privacy.budget import ExplanationBudget
 from ..privacy.rng import ensure_rng, spawn
 from .common import ExperimentConfig, fit_clustering, load_dataset
@@ -55,12 +56,12 @@ def run(
             q_ref = evaluator.quality(tuple(ref))
             explainer = DPClustX(config.n_candidates, budget=budget)
             gen = ensure_rng(config.seed)
-            qs = [
-                evaluator.quality(
-                    tuple(explainer.select_combination(counts, child).combination)
-                )
-                for child in spawn(gen, config.n_runs)
-            ]
+            # All seeds in one batched pass (stream-identical to the
+            # serial per-seed select_combination loop).
+            combos = select_batched(
+                explainer, counts, spawn(gen, config.n_runs)
+            )
+            qs = [evaluator.quality(tuple(c)) for c in combos]
             q_dp = float(np.mean(qs))
             rows.append(
                 {

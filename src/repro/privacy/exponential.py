@@ -12,11 +12,12 @@ low-sensitivity quality functions (range up to ``|D_c|``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from .budget import check_epsilon
-from .rng import ensure_rng
+from .rng import batch_score_rows, ensure_rng, gumbel_rows
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,29 @@ class ExponentialMechanism:
         gen = ensure_rng(rng)
         noisy = self.logits(scores) + gen.gumbel(size=scores.size)
         return int(np.argmax(noisy))
+
+    def select_indices(
+        self,
+        scores: np.ndarray,
+        n_draws: int | None = None,
+        rng: "np.random.Generator | int | None | Sequence[np.random.Generator]" = None,
+    ) -> np.ndarray:
+        """``R`` independent EM draws in one vectorised pass.
+
+        ``scores`` is either a shared 1-D score vector (``n_draws`` required)
+        or an ``(R, n)`` matrix of per-draw score rows.  ``rng`` is a single
+        generator/seed — one ``(R, n)`` Gumbel draw, *stream-identical* to
+        ``R`` sequential :meth:`select_index` calls on the same generator —
+        or a sequence of ``R`` generators, row ``i`` drawing its noise from
+        ``rng[i]`` (matching the spawned per-seed child streams of a
+        repeated-trial loop).  Row ``i`` of the returned index vector is
+        distributed exactly as ``select_index(scores_i, rng_i)``.
+        """
+        base, n_rows = batch_score_rows(scores, n_draws)
+        if n_rows < 1 or base.shape[1] == 0:
+            raise ValueError("need at least one draw over non-empty scores")
+        noise = gumbel_rows(rng, n_rows, base.shape[1])
+        return np.argmax(self.logits(base) + noise, axis=1)
 
     def utility_bound(self, n_candidates: int, t: float) -> float:
         """Additive-error bound of Theorem 2.10.

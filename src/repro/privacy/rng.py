@@ -7,6 +7,8 @@ tests can pin seeds.  ``ensure_rng`` normalises the accepted spellings.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 RngLike = "np.random.Generator | int | None"
@@ -24,3 +26,58 @@ def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent child generators from ``rng``."""
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def batch_score_rows(
+    scores: np.ndarray, n_draws: "int | None"
+) -> tuple[np.ndarray, int]:
+    """Normalise a batched mechanism's ``(scores, n_draws)`` input.
+
+    Shared by ``ExponentialMechanism.select_indices`` and
+    ``OneShotTopK.select_batch``: a 1-D shared score vector (``n_draws``
+    required) becomes a broadcastable ``(1, n)`` row; an ``(R, n)`` matrix
+    of per-draw rows is validated against ``n_draws``.  Returns the 2-D
+    view and the draw count ``R``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim == 1:
+        if n_draws is None:
+            raise ValueError("n_draws is required with a shared 1-D score vector")
+        return scores[None, :], int(n_draws)
+    if scores.ndim == 2:
+        n_rows = scores.shape[0]
+        if n_draws is not None and int(n_draws) != n_rows:
+            raise ValueError(
+                f"n_draws={n_draws} does not match {n_rows} score rows"
+            )
+        return scores, n_rows
+    raise ValueError("scores must be a 1-D vector or (R, n) matrix")
+
+
+def gumbel_rows(
+    rng: "np.random.Generator | int | None | Sequence[np.random.Generator]",
+    n_rows: int,
+    n: int,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """An ``(n_rows, n)`` matrix of Gumbel(scale) noise, one row per draw.
+
+    The batched mechanisms build on a stream property of
+    ``numpy.random.Generator``: distribution methods fill arrays by
+    consuming the bit stream value-by-value in C order, so one
+    ``(n_rows, n)`` draw from a single generator yields *exactly* the values
+    of ``n_rows`` sequential ``(n,)`` draws.  Alternatively ``rng`` may be a
+    sequence of ``n_rows`` generators — row ``i`` then consumes ``rng[i]``'s
+    stream, matching the per-seed child generators of a repeated-trial loop.
+    """
+    if n_rows < 1:
+        raise ValueError(f"need at least one row, got {n_rows}")
+    if isinstance(rng, Sequence) and not isinstance(rng, (str, bytes)):
+        if len(rng) != n_rows:
+            raise ValueError(
+                f"got {len(rng)} per-row generators for {n_rows} rows"
+            )
+        return np.stack(
+            [ensure_rng(g).gumbel(loc=0.0, scale=scale, size=n) for g in rng]
+        )
+    return ensure_rng(rng).gumbel(loc=0.0, scale=scale, size=(n_rows, n))

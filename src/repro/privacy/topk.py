@@ -13,12 +13,13 @@ guarantee and for the ~k-fold speedup it reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from .budget import check_epsilon
 from .mechanisms import gumbel_noise
-from .rng import ensure_rng
+from .rng import batch_score_rows, ensure_rng, gumbel_rows
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,32 @@ class OneShotTopK:
         noisy = self.noisy_scores(scores, gen)
         order = np.argsort(-noisy, kind="stable")
         return [int(i) for i in order[: self.k]]
+
+    def select_batch(
+        self,
+        scores: np.ndarray,
+        n_draws: int | None = None,
+        rng: "np.random.Generator | int | None | Sequence[np.random.Generator]" = None,
+    ) -> np.ndarray:
+        """``R`` independent top-``k`` selections as an ``(R, k)`` index matrix.
+
+        ``scores`` is either a shared 1-D score vector (``n_draws`` required)
+        or an ``(R, n)`` matrix of per-draw score rows.  ``rng`` is a single
+        generator/seed — one ``(R, n)`` Gumbel(sigma) draw, *stream-identical*
+        to ``R`` sequential :meth:`select` calls on the same generator — or a
+        sequence of ``R`` per-draw generators.  Row ``i`` reproduces
+        ``select(scores_i, rng_i)``: indices in descending noisy-score order.
+        """
+        base, n_rows = batch_score_rows(scores, n_draws)
+        if base.shape[1] < self.k:
+            raise ValueError(
+                f"cannot select top-{self.k} from {base.shape[1]} candidates"
+            )
+        if n_rows < 1:
+            raise ValueError("need at least one draw")
+        noisy = base + gumbel_rows(rng, n_rows, base.shape[1], scale=self.sigma)
+        order = np.argsort(-noisy, axis=1, kind="stable")
+        return order[:, : self.k]
 
     def utility_bound(self, n_candidates: int, t: float) -> float:
         """Per-rank additive error bound used in Proposition 5.1(2).

@@ -9,7 +9,11 @@
 # Bench 2 compares the serial one-seed-at-a-time run_trials loop against the
 # batched sweep layer on a full 10-run x 5-epsilon sweep of diabetes_like(20k)
 # and writes BENCH_sweeps.json; it also asserts the two paths return exactly
-# equal results under shared RNG streams.  Both artifacts live at the repo
+# equal results under shared RNG streams.
+# Bench 3 replays a repeat-heavy request workload against the explanation
+# service (coalescing + fingerprint-keyed cache) vs naive per-request serial
+# execution and writes BENCH_service.json; it asserts the served payloads
+# are byte-identical to the serial path's.  All artifacts live at the repo
 # root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +29,8 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo "== tier-1 tests =="
+# Includes the service-layer suite (tests/test_service.py,
+# tests/test_fingerprints.py) via pytest.ini's testpaths.
 python -m pytest "${PYTEST_ARGS[@]}"
 
 echo "== scoring micro-benchmark (writes BENCH_scoring.json) =="
@@ -57,5 +63,27 @@ print(f"sweep speedup: {speedup:.1f}x "
       f"exact_equal={result['exact_equal']}")
 assert result["exact_equal"], "batched sweep diverged from the serial path"
 assert speedup >= 5.0, f"sweep speedup regressed below 5x: {speedup:.2f}x"
+EOF
+
+echo "== service benchmark (writes BENCH_service.json) =="
+python benchmarks/bench_service.py --out BENCH_service.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_service.json") as fh:
+    result = json.load(fh)
+speedup = result["speedup"]
+print(f"service speedup: {speedup:.1f}x "
+      f"({result['serial_rps']:.0f} -> {result['service_rps']:.0f} req/s, "
+      f"cache hit ratio {result['cache_hit_ratio']:.2f}, "
+      f"{result['engine_calls']} engine call(s) for "
+      f"{result['total_requests']} requests), "
+      f"exact_equal={result['exact_equal']}")
+assert result["exact_equal"], "service payloads diverged from the serial path"
+assert speedup >= 5.0, f"service speedup regressed below 5x: {speedup:.2f}x"
+assert result["cache_hit_ratio"] >= 0.5, (
+    f"cache hit ratio collapsed: {result['cache_hit_ratio']:.2f}"
+)
 EOF
 echo "CI OK"

@@ -1,8 +1,9 @@
 """Unified command-line interface: ``python -m repro <command> [options]``.
 
 Commands map one-to-one onto the experiment harnesses (``fig5`` .. ``table1``,
-``correlations``, ``binning``) plus ``demo`` (the quickstart pipeline) and
-``list`` (show the experiment index).  Every experiment is also runnable as
+``correlations``, ``binning``) plus ``demo`` (the quickstart pipeline),
+``serve`` (the multi-tenant explanation service over HTTP) and ``list``
+(show the command index).  Every experiment is also runnable as
 ``python -m repro.experiments.<module>``; this front door just saves typing.
 """
 
@@ -52,11 +53,59 @@ def _run_demo(argv: Sequence[str]) -> int:
     return 0
 
 
+def _run_serve(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the multi-tenant explanation service over HTTP "
+            "(stdlib-only; see repro.service).  Serves a synthetic demo "
+            "dataset; tenants are auto-provisioned with --tenant-budget."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--rows", type=int, default=20_000,
+                        help="rows of the demo diabetes_like dataset")
+    parser.add_argument("--clusters", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="coalescing worker threads")
+    parser.add_argument("--tenant-budget", type=float, default=1.0,
+                        help="per-(tenant, dataset) epsilon cap for "
+                             "auto-provisioned tenants")
+    parser.add_argument("--ledger-dir", default=None,
+                        help="directory for persistent per-tenant budget "
+                             "ledgers (crash-safe JSON; reloaded on restart)")
+    parser.add_argument("--cache-entries", type=int, default=256)
+    args = parser.parse_args(list(argv))
+
+    from . import KMeans, diabetes_like
+    from .service import ExplanationService, serve_forever
+
+    data = diabetes_like(
+        n_rows=args.rows, n_groups=args.clusters, seed=args.seed
+    )
+    clustering = KMeans(args.clusters).fit(data, rng=args.seed)
+    service = ExplanationService(
+        ledger_dir=args.ledger_dir,
+        cache_entries=args.cache_entries,
+        auto_tenant_budget=args.tenant_budget,
+    )
+    entry = service.register_dataset("diabetes", data, clustering)
+    print(f"registered dataset 'diabetes' "
+          f"(rows={len(data)}, |C|={entry.counts.n_clusters}, "
+          f"fingerprint={entry.fingerprint[:12]}…)")
+    service.start(args.workers)
+    serve_forever(service, args.host, args.port)
+    return 0
+
+
 def _run_list(argv: Sequence[str]) -> int:
     print("available commands (paper artifact each regenerates):")
     for name, (module, artifact) in COMMANDS.items():
         print(f"  {name:<13} {artifact:<38} [{module}]")
     print("  demo          quickstart pipeline")
+    print("  serve         multi-tenant explanation service (HTTP)")
     return 0
 
 
@@ -69,6 +118,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     command, rest = argv[0], argv[1:]
     if command == "demo":
         return _run_demo(rest)
+    if command == "serve":
+        return _run_serve(rest)
     if command == "list":
         return _run_list(rest)
     if command not in COMMANDS:

@@ -11,6 +11,8 @@ per-attribute noisy totals.
 
 from __future__ import annotations
 
+import hashlib
+
 from typing import Mapping, Protocol, Sequence
 
 import numpy as np
@@ -96,6 +98,7 @@ class ClusteredCounts:
         self._by_cluster: dict[str, np.ndarray] = {}
         self._full: dict[str, np.ndarray] = {}
         self._stack = None
+        self._signature: str | None = None
 
     @property
     def dataset(self) -> Dataset:
@@ -123,6 +126,23 @@ class ClusteredCounts:
     def sizes(self) -> np.ndarray:
         """``(|D_c|)_c`` as an int vector."""
         return self._sizes.copy()
+
+    def signature(self) -> str:
+        """Stable hash of (dataset fingerprint, |C|, label assignment).
+
+        The clustering half of the explanation service's cache key: two
+        ``ClusteredCounts`` sign equally iff they were built over
+        fingerprint-equal datasets with identical cluster counts and
+        identical per-row labels, so relabeling (even a pure permutation of
+        cluster ids) or rebinning the dataset changes the key.
+        """
+        if self._signature is None:
+            h = hashlib.sha256()
+            h.update(self._dataset.fingerprint().encode("ascii"))
+            h.update(f"|C|={self._n_clusters}".encode("ascii"))
+            h.update(np.ascontiguousarray(self._labels).tobytes())
+            self._signature = h.hexdigest()
+        return self._signature
 
     def by_cluster(self, name: str) -> np.ndarray:
         """The ``(n_clusters, |dom(A)|)`` matrix of per-cluster counts."""

@@ -196,7 +196,35 @@ class DPClustX:
         if counts is None:
             counts = ClusteredCounts(dataset, clustering)
         selection = self.select_combination(counts, gen, accountant)
-        combination = selection.combination
+        return self.release_histograms(
+            counts,
+            selection.combination,
+            gen,
+            accountant=accountant,
+            metadata={"candidate_sets": selection.candidates.candidate_sets},
+        )
+
+    def release_histograms(
+        self,
+        counts: ClusteredCounts,
+        combination: AttributeCombination,
+        rng: np.random.Generator | int | None = None,
+        accountant: PrivacyAccountant | None = None,
+        metadata: "dict[str, object] | None" = None,
+    ) -> GlobalExplanation:
+        """Lines 8-19 of Algorithm 2: release noisy histograms for a chosen
+        combination and assemble the :class:`GlobalExplanation`.
+
+        Split out of :meth:`explain` so batched front ends (the sweep
+        layer's ``explain_batched``, the explanation service) can run
+        Stage-1/2 selection for many seeds in one scoring pass and then
+        continue each seed's generator here — the stream consumption is
+        identical to the serial ``explain`` call.  Charges ``eps_hist``
+        against ``accountant`` exactly as before; extra ``metadata``
+        entries (e.g. the candidate sets) are merged into the output's
+        provenance record.
+        """
+        gen = ensure_rng(rng)
 
         # Lines 8-9: budget allocation for histograms.
         distinct = combination.distinct_attributes()
@@ -227,6 +255,7 @@ class DPClustX:
             noisy_rows = cluster_mech.release_rows(np.stack(rows), gen)
         else:
             noisy_rows = [cluster_mech.release(row, gen) for row in rows]
+        schema = counts.dataset.schema
         explanations: list[SingleClusterExplanation] = []
         for c in range(counts.n_clusters):
             a_c = combination[c]
@@ -235,7 +264,7 @@ class DPClustX:
             explanations.append(
                 SingleClusterExplanation(
                     cluster=c,
-                    attribute=dataset.schema.attribute(a_c),
+                    attribute=schema.attribute(a_c),
                     hist_rest=noisy_rest,
                     hist_cluster=noisy_c,
                 )
@@ -246,15 +275,16 @@ class DPClustX:
                 "histograms: clusters (parallel)",
             )
 
+        provenance: dict[str, object] = {
+            "framework": "DPClustX",
+            "budget": self.budget,
+            "n_candidates": self.n_candidates,
+            "weights": self.weights,
+        }
+        provenance.update(metadata or {})
+        provenance["epsilon_total"] = self.budget.total
         return GlobalExplanation(
             per_cluster=tuple(explanations),
             combination=combination,
-            metadata={
-                "framework": "DPClustX",
-                "budget": self.budget,
-                "n_candidates": self.n_candidates,
-                "weights": self.weights,
-                "candidate_sets": selection.candidates.candidate_sets,
-                "epsilon_total": self.budget.total,
-            },
+            metadata=provenance,
         )

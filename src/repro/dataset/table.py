@@ -13,6 +13,8 @@ codes per attribute.  This gives:
 
 from __future__ import annotations
 
+import hashlib
+
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -58,6 +60,7 @@ class Dataset:
                     f"[0, {attr.domain_size})"
                 )
             self._columns[attr.name] = col
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -101,6 +104,33 @@ class Dataset:
         view = col.view()
         view.flags.writeable = False
         return view
+
+    def fingerprint(self) -> str:
+        """Stable content hash over schema *and* data (hex SHA-256).
+
+        Covers attribute names, the full ordered domains (so re-binned or
+        re-labelled schemas — whose bin edges are encoded in the interval
+        domain labels — hash differently) and every column's code bytes.
+        Two datasets fingerprint equally iff they hold the same tuples in
+        the same order over the same schema; the explanation service uses
+        this as the dataset half of its cache / ledger keys.  Computed once
+        and cached — datasets are immutable by contract (every mutation
+        helper returns a new object).
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            for attr in self._schema:
+                h.update(attr.name.encode("utf-8"))
+                h.update(b"\x00")
+                for value in attr.domain:
+                    h.update(value.encode("utf-8"))
+                    h.update(b"\x1f")
+                h.update(b"\x00")
+            h.update(f"n={self._n}".encode("ascii"))
+            for name in self._schema.names:
+                h.update(np.ascontiguousarray(self._columns[name]).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def row(self, i: int) -> tuple[str, ...]:
         """The ``i``-th tuple, decoded to domain values."""

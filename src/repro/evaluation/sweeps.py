@@ -59,6 +59,7 @@ from .runner import Selector, TrialResult
 __all__ = [
     "SweepContext",
     "select_batched",
+    "explain_batched",
     "run_trials_batched",
     "run_grid",
 ]
@@ -307,6 +308,36 @@ def select_batched(
     if not callable(selector):
         raise TypeError(f"cannot batch or call selector {selector!r}")
     return [selector(counts, child) for child in children]
+
+
+def explain_batched(
+    explainer: DPClustX,
+    counts: CountsProvider,
+    rngs: Sequence["np.random.Generator | int | None"],
+    context: SweepContext | None = None,
+):
+    """All seeds of ``DPClustX.explain``, batched — one scoring pass.
+
+    The reusable batch entry point behind the explanation service's request
+    coalescing: Stage-1/2 selection for every seed runs through
+    :func:`select_batched` (the true-score tensors are computed once and the
+    per-seed work collapses to Gumbel rows + argmax), then each seed's
+    generator — having consumed exactly the selection draws of the serial
+    path — continues into :meth:`~repro.core.dpclustx.DPClustX.release_histograms`.
+    Entry ``r`` is therefore byte-identical to
+    ``explainer.explain(dataset, clustering, rng=rngs[r], counts=counts)``.
+
+    Privacy accounting is deliberately *not* threaded through here: each
+    entry is a full ``budget.total`` release, and callers (the service's
+    per-tenant ledgers, ``PrivateAnalysisSession``) charge per seed.
+    """
+    ctx = context if context is not None else SweepContext(counts)
+    children = [ensure_rng(r) for r in rngs]
+    combos = select_batched(explainer, counts, children, ctx)
+    return [
+        explainer.release_histograms(counts, combo, child)
+        for combo, child in zip(combos, children)
+    ]
 
 
 # --------------------------------------------------------------------------- #

@@ -11,12 +11,21 @@ are recorded with a label and combined under:
 The DPClustX facade threads an accountant through Algorithms 1-2 so the
 end-to-end guarantee of Theorem 5.3 — ``eps_CandSet + eps_TopComb + eps_Hist``
 — is checked at run time rather than only on paper.
+
+The accountant is thread-safe: the cap check and the charge append happen
+atomically under an internal lock, so concurrent callers (the explanation
+service's worker pool) can never jointly overspend a limit.  The
+:meth:`PrivacyAccountant.snapshot` / :meth:`PrivacyAccountant.restore` pair
+round-trips the ledger through plain JSON-able dicts — the unit of the
+service layer's persistent per-(tenant, dataset) ledgers.
 """
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
 
 
 class BudgetError(ValueError):
@@ -55,18 +64,22 @@ class PrivacyAccountant:
 
     limit: float | None = None
     _charges: list[Charge] = field(default_factory=list)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     TOLERANCE = 1e-9
 
     def spend(self, epsilon: float, label: str) -> None:
-        """Record a sequentially-composed charge of ``epsilon``."""
+        """Record a sequentially-composed charge of ``epsilon``.
+
+        The cap check and the append are one atomic step under the internal
+        lock, so parallel spenders cannot interleave past the limit.
+        """
         eps = check_epsilon(epsilon, name=f"charge {label!r}")
-        if self.limit is not None and self.total() + eps > self.limit + self.TOLERANCE:
-            raise BudgetError(
-                f"charge {label!r} of {eps} would exceed the budget limit "
-                f"{self.limit} (already spent {self.total()})"
-            )
-        self._charges.append(Charge(label, eps, "sequential"))
+        with self._lock:
+            self._check_cap(eps, f"charge {label!r}")
+            self._charges.append(Charge(label, eps, "sequential"))
 
     def parallel(self, epsilons: list[float], label: str) -> None:
         """Record charges against *disjoint* partitions; only max(eps) counts.
@@ -79,16 +92,22 @@ class PrivacyAccountant:
         if not epsilons:
             raise BudgetError(f"parallel charge {label!r} needs at least one epsilon")
         eps = max(check_epsilon(e, name=f"parallel charge {label!r}") for e in epsilons)
+        with self._lock:
+            self._check_cap(eps, f"parallel charge {label!r}")
+            self._charges.append(Charge(label, eps, "parallel-group"))
+
+    def _check_cap(self, eps: float, what: str) -> None:
+        """Raise if ``eps`` more would exceed the limit.  Caller holds the lock."""
         if self.limit is not None and self.total() + eps > self.limit + self.TOLERANCE:
             raise BudgetError(
-                f"parallel charge {label!r} of {eps} would exceed the budget "
-                f"limit {self.limit} (already spent {self.total()})"
+                f"{what} of {eps} would exceed the budget limit "
+                f"{self.limit} (already spent {self.total()})"
             )
-        self._charges.append(Charge(label, eps, "parallel-group"))
 
     def total(self) -> float:
         """Total epsilon under sequential composition of recorded charges."""
-        return float(sum(c.epsilon for c in self._charges))
+        with self._lock:
+            return float(sum(c.epsilon for c in self._charges))
 
     def remaining(self) -> float:
         """Remaining budget, ``inf`` when no limit was set."""
@@ -97,17 +116,86 @@ class PrivacyAccountant:
         return self.limit - self.total()
 
     def charges(self) -> tuple[Charge, ...]:
-        return tuple(self._charges)
+        with self._lock:
+            return tuple(self._charges)
 
     def __iter__(self) -> Iterator[Charge]:
-        return iter(self._charges)
+        return iter(self.charges())
 
     def summary(self) -> str:
         """Human-readable ledger dump."""
+        charges = self.charges()
         lines = [f"privacy ledger (total eps = {self.total():.6g})"]
-        for c in self._charges:
+        for c in charges:
             lines.append(f"  {c.label:<40s} eps={c.epsilon:<10.6g} [{c.composition}]")
         return "\n".join(lines)
+
+    def refund_last(self, label: str) -> None:
+        """Remove the most recent charge with ``label`` (failure refund).
+
+        For infrastructure that charges *before* running a mechanism (the
+        explanation service's atomic reserve-then-compute): when the
+        computation fails before any data-dependent output is produced, no
+        privacy was consumed and the reservation is rolled back.  Never
+        call this after a release has been observed.
+        """
+        with self._lock:
+            for i in range(len(self._charges) - 1, -1, -1):
+                if self._charges[i].label == label:
+                    del self._charges[i]
+                    return
+        raise BudgetError(f"no charge labelled {label!r} to refund")
+
+    # -- persistence ----------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """A JSON-able copy of the ledger (limit + ordered charges)."""
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "charges": [
+                    {
+                        "label": c.label,
+                        "epsilon": c.epsilon,
+                        "composition": c.composition,
+                    }
+                    for c in self._charges
+                ],
+            }
+
+    def restore(self, state: Mapping) -> None:
+        """Replace the ledger with a :meth:`snapshot` (crash-recovery path).
+
+        The restored charges are replayed against the *snapshot's* limit, so
+        a ledger that was legal when persisted reloads verbatim; a tampered
+        snapshot whose charges exceed its own limit raises
+        :class:`BudgetError` and leaves the accountant unchanged.
+        """
+        limit = state.get("limit")
+        charges = []
+        spent = 0.0
+        for entry in state.get("charges", ()):
+            c = Charge(
+                str(entry["label"]),
+                check_epsilon(entry["epsilon"], name="restored charge"),
+                str(entry.get("composition", "sequential")),
+            )
+            spent += c.epsilon
+            if limit is not None and spent > float(limit) + self.TOLERANCE:
+                raise BudgetError(
+                    f"snapshot is overspent: {spent} exceeds its limit {limit}"
+                )
+            charges.append(c)
+        with self._lock:
+            self.limit = None if limit is None else float(limit)
+            self._charges[:] = charges
+
+    @classmethod
+    def from_snapshot(cls, state: Mapping) -> "PrivacyAccountant":
+        """Rebuild an accountant from a :meth:`snapshot` dict."""
+        acc = cls()
+        acc.restore(state)
+        return acc
 
 
 @dataclass(frozen=True)

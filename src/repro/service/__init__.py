@@ -1,0 +1,54 @@
+"""The explanation service layer: multi-tenant serving of DP explanations.
+
+This package turns the batched engine (PR 1) and sweep layer (PR 2) into an
+in-process, dependency-free *server*: per-(tenant, dataset) privacy ledgers
+with crash-safe JSON persistence, a coalescing request queue + worker pool
+(N concurrent identical-configuration requests cost one batched scoring
+pass), a fingerprint-keyed explanation cache with post-processing-is-free
+semantics, and a stdlib-only HTTP front end (``python -m repro serve``).
+
+Quickstart::
+
+    from repro import KMeans, diabetes_like
+    from repro.service import ExplanationService, ServiceClient
+
+    data = diabetes_like(n_rows=20_000)
+    service = ExplanationService(ledger_dir="ledgers")
+    service.register_dataset("diabetes", data, KMeans(5).fit(data, rng=0))
+    service.create_tenant("alice", budget_limit=1.0)
+
+    client = ServiceClient(service, tenant="alice", dataset="diabetes")
+    response = client.explain(seed=0)        # charges 0.3 to alice's ledger
+    repeat = client.explain(seed=0)          # cache hit: byte-identical, free
+    assert repeat["result"] == response["result"]
+"""
+
+from .cache import CacheEntry, ExplanationCache, canonical_json
+from .http import ServiceHTTPServer, make_server, serve_forever
+from .queue import QueueClosed, RequestQueue
+from .registry import DatasetEntry, ServiceError, ServiceRegistry, Tenant
+from .service import (
+    ExplainRequest,
+    ExplanationService,
+    ServiceClient,
+    explanation_payload,
+)
+
+__all__ = [
+    "CacheEntry",
+    "ExplanationCache",
+    "canonical_json",
+    "ServiceHTTPServer",
+    "make_server",
+    "serve_forever",
+    "QueueClosed",
+    "RequestQueue",
+    "DatasetEntry",
+    "ServiceError",
+    "ServiceRegistry",
+    "Tenant",
+    "ExplainRequest",
+    "ExplanationService",
+    "ServiceClient",
+    "explanation_payload",
+]

@@ -1,0 +1,110 @@
+"""Fingerprint-keyed explanation cache with post-processing-is-free semantics.
+
+A differentially private release, once computed, is public: re-serving it is
+post-processing and costs no additional privacy budget (Proposition 2.7).
+:class:`ExplanationCache` therefore memoises *released* explanation payloads
+keyed by everything that determines them byte-for-byte:
+
+``(dataset fingerprint, clustering signature, explainer, budget triple,
+n_candidates, weights, seed-stream id)``
+
+Two consequences the service tests pin down:
+
+* a cache hit returns a byte-identical response body (entries store the
+  canonical JSON encoding and re-serve fresh ``json.loads`` copies, so
+  callers can never mutate the cached object) with **zero** new budget
+  charged to any tenant;
+* the dataset fingerprint / clustering signature in the key make staleness
+  structural — rebinning, schema changes, or relabeling produce different
+  keys, and :meth:`invalidate_fingerprint` additionally evicts the orphaned
+  entries when a dataset id is re-registered.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+CacheKey = tuple
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical byte encoding cached entries are compared under."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One released explanation: canonical bytes + the epsilon it cost."""
+
+    canonical: str
+    epsilon_total: float
+
+    def payload(self) -> dict:
+        """A fresh (mutation-safe) copy of the response body."""
+        return json.loads(self.canonical)
+
+
+class ExplanationCache:
+    """Thread-safe LRU cache of released explanation payloads."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self._max = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Evict every entry whose dataset fingerprint matches; return count.
+
+        Keys lead with the dataset fingerprint, so a re-registered (rebinned
+        or re-clustered) dataset id can drop its orphaned releases even
+        though the new keys would never collide with them.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k and k[0] == fingerprint]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": (self._hits / lookups) if lookups else 0.0,
+            }

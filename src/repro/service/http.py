@@ -1,0 +1,136 @@
+"""Stdlib-only HTTP front end for the explanation service.
+
+``python -m repro serve`` exposes an :class:`~repro.service.service.ExplanationService`
+over ``http.server`` — no third-party web framework, matching the repo's
+dependency-free constraint.  Endpoints:
+
+* ``POST /v1/explain`` — JSON body per
+  :meth:`~repro.service.service.ExplainRequest.from_json`; responds with the
+  service envelope, HTTP status mirroring the envelope ``code`` (200 ok,
+  429 budget-exhausted, 400/404 request errors).
+* ``GET /v1/stats`` — service counters, cache stats, datasets, tenants.
+* ``GET /v1/ledger/<tenant>`` — the tenant's per-dataset budget ledgers.
+* ``GET /v1/datasets`` — registered datasets with fingerprints.
+* ``GET /healthz`` — liveness probe.
+
+``ThreadingHTTPServer`` gives one handler thread per connection; handlers
+just submit into the service, so concurrent posts still coalesce into
+batched engine calls.
+"""
+
+from __future__ import annotations
+
+import json
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .registry import ServiceError
+from .service import ExplainRequest, ExplanationService
+
+MAX_BODY_BYTES = 1_000_000
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """An HTTP server bound to one :class:`ExplanationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ExplanationService):
+        super().__init__(address, ExplanationHandler)
+        self.service = service
+
+
+class ExplanationHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- plumbing -------------------------------------------------------- #
+
+    def log_message(self, *args) -> None:  # pragma: no cover - quiet server
+        pass
+
+    def _send_json(self, code: int, body: dict) -> None:
+        data = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_envelope(self, exc: ServiceError) -> None:
+        self._send_json(
+            exc.code,
+            {
+                "status": "error",
+                "code": exc.code,
+                "error": {"reason": exc.reason, "message": str(exc)},
+            },
+        )
+
+    # -- routes ----------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/v1/stats":
+                self._send_json(200, service.describe())
+            elif self.path == "/v1/datasets":
+                self._send_json(
+                    200,
+                    {"datasets": [e.describe() for e in service.registry.datasets()]},
+                )
+            elif self.path.startswith("/v1/ledger/"):
+                tenant_id = self.path[len("/v1/ledger/") :]
+                tenant = service.registry.tenant(tenant_id)
+                self._send_json(200, tenant.describe())
+            else:
+                raise ServiceError(404, "not-found", f"no route for {self.path!r}")
+        except ServiceError as exc:
+            self._send_error_envelope(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            if self.path != "/v1/explain":
+                raise ServiceError(404, "not-found", f"no route for {self.path!r}")
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ServiceError(400, "invalid-request", "missing JSON body")
+            if length > MAX_BODY_BYTES:
+                raise ServiceError(400, "invalid-request", "body too large")
+            try:
+                body = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    400, "invalid-request", f"bad JSON: {exc}"
+                ) from None
+            request = ExplainRequest.from_json(body)
+            envelope = service.explain(request)
+            self._send_json(envelope["code"], envelope)
+        except ServiceError as exc:
+            self._send_error_envelope(exc)
+
+
+def make_server(
+    service: ExplanationService, host: str = "127.0.0.1", port: int = 8080
+) -> ServiceHTTPServer:
+    """Bind (without serving) — ``port=0`` picks a free port for tests."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve_forever(
+    service: ExplanationService, host: str = "127.0.0.1", port: int = 8080
+) -> None:  # pragma: no cover - interactive entry point
+    """Blocking serve loop for ``python -m repro serve``."""
+    server = make_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"explanation service listening on http://{bound_host}:{bound_port}")
+    print("  POST /v1/explain   GET /v1/stats  /v1/ledger/<tenant>  /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.stop()

@@ -1,0 +1,101 @@
+"""The coalescing request queue feeding the service's worker pool.
+
+Concurrent explanation requests against the same *engine key* — the
+(dataset, explainer configuration) pair that determines the true-score
+tensors — differ only in their seed streams, so N simultaneous callers can
+be served by **one** batched scoring pass
+(:func:`~repro.evaluation.sweeps.explain_batched`).  :meth:`RequestQueue.take_batch`
+implements exactly that coalescing: it blocks for the oldest pending item,
+then drains every other queued item sharing its key, preserving the arrival
+order of both the batch and the remainder.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from collections import deque
+from typing import Callable, Hashable, Sequence
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`RequestQueue.take_batch` after :meth:`RequestQueue.close`."""
+
+
+class RequestQueue:
+    """An unbounded FIFO of ``(key, item)`` pairs with same-key batch pops."""
+
+    def __init__(self):
+        self._cv = threading.Condition()
+        self._items: "deque[tuple[Hashable, object]]" = deque()
+        self._closed = False
+
+    def put(self, key: Hashable, item: object) -> None:
+        with self._cv:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self._items.append((key, item))
+            self._cv.notify()
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._items)
+
+    def close(self) -> None:
+        """Wake every blocked worker; subsequent puts/takes raise/return."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def take_batch(self, timeout: float | None = None) -> "list[object]":
+        """Pop the oldest item plus every queued item sharing its key.
+
+        Blocks up to ``timeout`` seconds for a first item (``None`` waits
+        indefinitely); returns ``[]`` on timeout and raises
+        :class:`QueueClosed` once the queue is closed *and* drained — a
+        worker-pool shutdown still processes everything already enqueued.
+        """
+        with self._cv:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed("queue is closed")
+                if not self._cv.wait(timeout):
+                    return []
+        return self._drain_matching()
+
+    def _drain_matching(self) -> "list[object]":
+        with self._cv:
+            if not self._items:
+                return []
+            key, first = self._items.popleft()
+            batch = [first]
+            rest: "deque[tuple[Hashable, object]]" = deque()
+            while self._items:
+                k, item = self._items.popleft()
+                if k == key:
+                    batch.append(item)
+                else:
+                    rest.append((k, item))
+            self._items = rest
+            return batch
+
+
+def run_worker(
+    queue: RequestQueue,
+    execute: Callable[[Sequence[object]], None],
+    stop: threading.Event,
+    poll_s: float = 0.05,
+) -> None:
+    """Worker-thread loop: take coalesced batches until stopped/closed.
+
+    ``execute`` failures are contained per batch (the service resolves each
+    request's future with a structured error), so one poisoned batch cannot
+    kill the worker.
+    """
+    while not stop.is_set():
+        try:
+            batch = queue.take_batch(timeout=poll_s)
+        except QueueClosed:
+            return
+        if batch:
+            execute(batch)

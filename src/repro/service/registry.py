@@ -1,0 +1,270 @@
+"""Tenants, datasets, and persistent privacy ledgers — the service's state.
+
+The paper's deployment story (Sections 1, 3) is an analyst holding a global
+privacy budget; at service scale that becomes *many* analysts (tenants), each
+metered per dataset.  :class:`ServiceRegistry` owns:
+
+* the registered datasets — each a :class:`~repro.dataset.table.Dataset` plus
+  a fixed clustering, materialised once into
+  :class:`~repro.core.counts.ClusteredCounts` with a shared
+  :class:`~repro.evaluation.sweeps.SweepContext` so every request against the
+  dataset reuses the memoised true-score tensors;
+* the tenants — each a :class:`Tenant` holding one capped, thread-safe
+  :class:`~repro.privacy.budget.PrivacyAccountant` per dataset id.
+
+Ledgers persist as one JSON file per tenant under ``ledger_dir``, written
+crash-safely (temp file + atomic ``os.replace``) after every successful
+charge and reloaded on construction — a restarted service refuses requests
+a crashed one could no longer afford.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from ..clustering.base import ClusteringFunction
+from ..core.counts import ClusteredCounts
+from ..dataset.table import Dataset
+from ..evaluation.sweeps import SweepContext
+from ..privacy.budget import BudgetError, PrivacyAccountant, check_epsilon
+
+
+class ServiceError(Exception):
+    """A request-level failure with an HTTP-style status code."""
+
+    def __init__(self, code: int, reason: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.reason = reason
+
+
+class DatasetEntry:
+    """One registered (dataset, clustering) pair plus its derived state."""
+
+    def __init__(
+        self,
+        dataset_id: str,
+        dataset: Dataset,
+        clustering: "ClusteringFunction | object",
+        n_clusters: int | None = None,
+    ):
+        self.dataset_id = dataset_id
+        self.dataset = dataset
+        self.counts = (
+            clustering
+            if isinstance(clustering, ClusteredCounts)
+            else ClusteredCounts(dataset, clustering, n_clusters)
+        )
+        self.fingerprint = dataset.fingerprint()
+        self.signature = self.counts.signature()
+        self.context = SweepContext(self.counts)
+
+    def describe(self) -> dict:
+        return {
+            "dataset": self.dataset_id,
+            "rows": len(self.dataset),
+            "attributes": list(self.dataset.schema.names),
+            "n_clusters": self.counts.n_clusters,
+            "fingerprint": self.fingerprint,
+            "signature": self.signature,
+        }
+
+
+class Tenant:
+    """One metered caller: a budget cap and per-dataset privacy ledgers.
+
+    Each (tenant, dataset) pair gets its own
+    :class:`~repro.privacy.budget.PrivacyAccountant` capped at
+    ``budget_limit`` — the accountant's internal lock makes the cap check
+    and the charge one atomic step, so concurrent service workers charging
+    the same ledger can never jointly overspend it.
+    """
+
+    def __init__(self, tenant_id: str, budget_limit: float):
+        if not tenant_id:
+            raise ValueError("tenant id must be non-empty")
+        self.tenant_id = tenant_id
+        self.budget_limit = check_epsilon(budget_limit, name="budget_limit")
+        self._lock = threading.Lock()
+        self._accountants: dict[str, PrivacyAccountant] = {}
+
+    def accountant(self, dataset_id: str) -> PrivacyAccountant:
+        """The (lazily created) ledger for one dataset id."""
+        with self._lock:
+            acc = self._accountants.get(dataset_id)
+            if acc is None:
+                acc = PrivacyAccountant(limit=self.budget_limit)
+                self._accountants[dataset_id] = acc
+            return acc
+
+    def snapshot(self) -> dict:
+        """JSON-able state: the persistence format of the tenant's ledgers."""
+        with self._lock:
+            ledgers = {d: a.snapshot() for d, a in sorted(self._accountants.items())}
+        return {
+            "tenant": self.tenant_id,
+            "budget_limit": self.budget_limit,
+            "ledgers": ledgers,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace the ledgers with a :meth:`snapshot` (reload path).
+
+        Every ledger is replayed against the *tenant's* ``budget_limit``,
+        not the limit recorded inside the ledger snapshot — a stale or
+        tampered per-dataset ``limit`` field cannot widen the cap (the same
+        defense as ``PrivateAnalysisSession.restore_ledger``).
+        """
+        limit = check_epsilon(
+            state.get("budget_limit", self.budget_limit), name="budget_limit"
+        )
+        accountants = {}
+        for dataset_id, ledger in state.get("ledgers", {}).items():
+            replayed = dict(ledger)
+            replayed["limit"] = limit
+            accountants[str(dataset_id)] = PrivacyAccountant.from_snapshot(replayed)
+        with self._lock:
+            self.budget_limit = limit
+            self._accountants = accountants
+
+    def describe(self) -> dict:
+        with self._lock:
+            accountants = dict(self._accountants)
+        return {
+            "tenant": self.tenant_id,
+            "budget_limit": self.budget_limit,
+            "ledgers": {
+                d: {"spent": a.total(), "remaining": a.remaining()}
+                for d, a in sorted(accountants.items())
+            },
+        }
+
+
+class ServiceRegistry:
+    """Datasets + tenants + ledger persistence for one service instance."""
+
+    def __init__(self, ledger_dir: "str | os.PathLike | None" = None):
+        self._lock = threading.Lock()
+        self._datasets: dict[str, DatasetEntry] = {}
+        self._tenants: dict[str, Tenant] = {}
+        self.ledger_dir = os.fspath(ledger_dir) if ledger_dir is not None else None
+        if self.ledger_dir is not None:
+            os.makedirs(self.ledger_dir, exist_ok=True)
+            self._load_ledgers()
+
+    # -- datasets -------------------------------------------------------- #
+
+    def register_dataset(
+        self,
+        dataset_id: str,
+        dataset: Dataset,
+        clustering: "ClusteringFunction | object",
+        n_clusters: int | None = None,
+    ) -> DatasetEntry:
+        """Register (or replace) a dataset id; returns the new entry.
+
+        Replacing an id (schema change, rebinned domains, new clustering)
+        yields fresh fingerprints, so previously cached releases become
+        unreachable; :class:`~repro.service.service.ExplanationService`
+        additionally evicts them.
+        """
+        if not dataset_id:
+            raise ValueError("dataset id must be non-empty")
+        entry = DatasetEntry(dataset_id, dataset, clustering, n_clusters)
+        with self._lock:
+            self._datasets[dataset_id] = entry
+        return entry
+
+    def dataset(self, dataset_id: str) -> DatasetEntry:
+        with self._lock:
+            entry = self._datasets.get(dataset_id)
+        if entry is None:
+            raise ServiceError(
+                404, "unknown-dataset", f"no dataset registered as {dataset_id!r}"
+            )
+        return entry
+
+    def datasets(self) -> tuple[DatasetEntry, ...]:
+        with self._lock:
+            return tuple(self._datasets.values())
+
+    # -- tenants --------------------------------------------------------- #
+
+    def create_tenant(self, tenant_id: str, budget_limit: float) -> Tenant:
+        with self._lock:
+            if tenant_id in self._tenants:
+                raise ValueError(f"tenant {tenant_id!r} already exists")
+            tenant = Tenant(tenant_id, budget_limit)
+            self._tenants[tenant_id] = tenant
+            return tenant
+
+    def tenant(
+        self, tenant_id: str, auto_budget: float | None = None
+    ) -> Tenant:
+        """Look a tenant up; auto-provision at ``auto_budget`` if given."""
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                if auto_budget is None:
+                    raise ServiceError(
+                        404, "unknown-tenant", f"no tenant named {tenant_id!r}"
+                    )
+                tenant = Tenant(tenant_id, auto_budget)
+                self._tenants[tenant_id] = tenant
+            return tenant
+
+    def tenants(self) -> tuple[Tenant, ...]:
+        with self._lock:
+            return tuple(self._tenants.values())
+
+    # -- persistence ----------------------------------------------------- #
+
+    def _ledger_path(self, tenant_id: str) -> str:
+        # Tenant ids become file names; keep them path-safe.
+        safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in tenant_id)
+        return os.path.join(self.ledger_dir, f"{safe}.json")
+
+    def persist_tenant(self, tenant: Tenant) -> None:
+        """Crash-safe write of one tenant's ledgers (no-op without a dir).
+
+        The snapshot lands in a temp file first and is moved into place with
+        ``os.replace``; a crash mid-write leaves the previous ledger intact
+        and at worst an orphaned ``*.tmp`` the loader ignores.
+        """
+        if self.ledger_dir is None:
+            return
+        path = self._ledger_path(tenant.tenant_id)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(tenant.snapshot(), fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def persist_all(self) -> None:
+        for tenant in self.tenants():
+            self.persist_tenant(tenant)
+
+    def _load_ledgers(self) -> None:
+        """Reload every persisted tenant ledger (service restart path)."""
+        for name in sorted(os.listdir(self.ledger_dir)):
+            if not name.endswith(".json"):
+                continue  # *.tmp partials from a crash mid-write, etc.
+            path = os.path.join(self.ledger_dir, name)
+            try:
+                with open(path) as fh:
+                    state = json.load(fh)
+                tenant = Tenant(
+                    str(state["tenant"]), float(state["budget_limit"])
+                )
+                tenant.restore(state)
+            except (OSError, ValueError, KeyError, BudgetError) as exc:
+                raise ServiceError(
+                    500,
+                    "corrupt-ledger",
+                    f"cannot reload tenant ledger {path!r}: {exc}",
+                ) from exc
+            self._tenants[tenant.tenant_id] = tenant

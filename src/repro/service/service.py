@@ -1,0 +1,693 @@
+"""The in-process explanation service: coalesce → engine → cache → ledger.
+
+One :class:`ExplanationService` instance serves concurrent explanation
+requests from many tenants over registered datasets.  A request's lifecycle:
+
+1. **Admission** — tenant and dataset are resolved against the
+   :class:`~repro.service.registry.ServiceRegistry`; malformed parameters
+   are refused with a 400-style envelope before touching any data.
+2. **Cache probe** — a hit on the fingerprint-keyed
+   :class:`~repro.service.cache.ExplanationCache` is re-served immediately:
+   a DP release is public once computed, so the response is byte-identical
+   to the original and **zero** budget is charged (post-processing is free).
+3. **Coalescing** — misses enqueue on the
+   :class:`~repro.service.queue.RequestQueue`; a worker drains every pending
+   request sharing the same engine key (dataset + explainer configuration)
+   into one batch.
+4. **Ledger** — each *distinct* release in the batch is charged once, to the
+   first requester with budget left, via the tenant's thread-safe
+   :class:`~repro.privacy.budget.PrivacyAccountant`; over-budget requesters
+   get a structured 429-style refusal without touching the data.  Charged
+   ledgers persist crash-safely before the response is released.
+5. **Engine** — all funded seeds run through
+   :func:`~repro.evaluation.sweeps.explain_batched`: one batched scoring
+   pass over the dataset's shared
+   :class:`~repro.evaluation.sweeps.SweepContext`, then per-seed histogram
+   releases whose bytes equal the serial ``DPClustX.explain`` path.
+6. **Response** — payloads are cached and every waiting future resolves
+   with an envelope recording how it was served (``miss`` — the payer,
+   ``coalesced`` — a free rider in the same batch, or ``hit``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.dpclustx import DPClustX
+from ..core.hbe import GlobalExplanation
+from ..core.quality.scores import Weights
+from ..evaluation.sweeps import explain_batched
+from ..privacy.budget import BudgetError, ExplanationBudget, PrivacyAccountant
+from .cache import CacheEntry, ExplanationCache, canonical_json
+from .queue import RequestQueue, run_worker
+from .registry import DatasetEntry, ServiceRegistry, ServiceError, Tenant
+
+_EXPLAINERS = ("DPClustX",)
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """One tenant's explanation request over a registered dataset.
+
+    The epsilon triple follows Algorithm 2 / Theorem 5.3 (defaults 0.1 each,
+    Section 6.1); ``seed`` names the seed stream of the DP noise draws and is
+    part of the cache key — two requests with equal parameters *and* seed
+    are the same release.
+    """
+
+    tenant: str
+    dataset: str
+    eps_cand_set: float = 0.1
+    eps_top_comb: float = 0.1
+    eps_hist: float = 0.1
+    n_candidates: int = 3
+    weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+    seed: int = 0
+    explainer: str = "DPClustX"
+
+    @classmethod
+    def from_json(cls, body: Mapping) -> "ExplainRequest":
+        """Build a request from a decoded JSON object (HTTP front end)."""
+        if not isinstance(body, Mapping):
+            raise ServiceError(400, "invalid-request", "body must be a JSON object")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(body) - known
+        if unknown:
+            raise ServiceError(
+                400, "invalid-request", f"unknown fields: {sorted(unknown)}"
+            )
+        kwargs = dict(body)
+        try:
+            for key in ("tenant", "dataset"):
+                if key not in kwargs:
+                    raise ServiceError(400, "invalid-request", f"{key!r} is required")
+            if "weights" in kwargs:
+                kwargs["weights"] = tuple(float(w) for w in kwargs["weights"])
+            for key in ("eps_cand_set", "eps_top_comb", "eps_hist"):
+                if key in kwargs:
+                    kwargs[key] = float(kwargs[key])
+            for key in ("n_candidates", "seed"):
+                if key in kwargs:
+                    kwargs[key] = int(kwargs[key])
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, "invalid-request", str(exc)) from None
+        return cls(**kwargs)
+
+    def budget(self) -> ExplanationBudget:
+        return ExplanationBudget(self.eps_cand_set, self.eps_top_comb, self.eps_hist)
+
+    def weights_obj(self) -> Weights:
+        return Weights(*self.weights)
+
+    @property
+    def epsilon_total(self) -> float:
+        return self.eps_cand_set + self.eps_top_comb + self.eps_hist
+
+    def validated(self) -> "ExplainRequest":
+        """Parameter validation; raises a 400-style :class:`ServiceError`.
+
+        Everything the engine could choke on is rejected here, *before* any
+        budget is reserved — a malformed request must never burn budget.
+        """
+        for key in ("tenant", "dataset"):
+            value = getattr(self, key)
+            if not isinstance(value, str) or not value:
+                raise ServiceError(
+                    400, "invalid-request", f"{key!r} must be a non-empty string"
+                )
+        if self.explainer not in _EXPLAINERS:
+            raise ServiceError(
+                400,
+                "invalid-request",
+                f"unknown explainer {self.explainer!r}; supported: {_EXPLAINERS}",
+            )
+        try:
+            self.budget()
+            self.weights_obj()
+        except (BudgetError, ValueError) as exc:
+            raise ServiceError(400, "invalid-request", str(exc)) from None
+        if self.n_candidates < 1:
+            raise ServiceError(400, "invalid-request", "n_candidates must be >= 1")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ServiceError(400, "invalid-request", "seed must be an integer")
+        if self.seed < 0:
+            raise ServiceError(400, "invalid-request", "seed must be >= 0")
+        return self
+
+    def engine_key(self) -> tuple:
+        """The coalescing key: everything but the seed stream and tenant.
+
+        Requests sharing this key share their true-score tensors, so one
+        batched scoring pass serves all of them regardless of seed.
+        """
+        return (
+            self.dataset,
+            self.explainer,
+            self.eps_cand_set,
+            self.eps_top_comb,
+            self.eps_hist,
+            self.n_candidates,
+            self.weights,
+        )
+
+    def cache_key(self, entry: DatasetEntry) -> tuple:
+        """The release identity: fingerprints + parameters + seed stream."""
+        return (
+            entry.fingerprint,
+            entry.signature,
+            self.explainer,
+            self.eps_cand_set,
+            self.eps_top_comb,
+            self.eps_hist,
+            self.n_candidates,
+            self.weights,
+            self.seed,
+        )
+
+
+@dataclass
+class _Pending:
+    """One queued request and the future its caller is waiting on."""
+
+    request: ExplainRequest
+    future: "Future[dict]" = field(default_factory=Future)
+
+    def resolve(self, envelope: dict) -> None:
+        if not self.future.done():
+            self.future.set_result(envelope)
+
+
+class _Stats:
+    """Thread-safe monotone counters for the service's observability."""
+
+    FIELDS = (
+        "requests",
+        "cache_hits",
+        "cache_misses",
+        "coalesced",
+        "refused",
+        "errors",
+        "engine_calls",
+        "releases",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {f: 0 for f in self.FIELDS}
+
+    def incr(self, field_name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[field_name] += by
+
+    def get(self, field_name: str) -> int:
+        with self._lock:
+            return self._counts[field_name]
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return dict(self._counts)
+
+
+def explanation_payload(
+    request: ExplainRequest, entry: DatasetEntry, explanation: GlobalExplanation
+) -> dict:
+    """The JSON response body for one released explanation.
+
+    Every field is a pure function of the cache key, so re-serialising the
+    payload is byte-stable — the property the cache's canonical encoding
+    and the byte-identity tests rely on.
+    """
+    return {
+        "dataset": entry.dataset_id,
+        "fingerprint": entry.fingerprint,
+        "signature": entry.signature,
+        "explainer": request.explainer,
+        "seed": request.seed,
+        "n_candidates": request.n_candidates,
+        "weights": [float(w) for w in request.weights],
+        "epsilon": {
+            "cand_set": request.eps_cand_set,
+            "top_comb": request.eps_top_comb,
+            "hist": request.eps_hist,
+            "total": request.epsilon_total,
+        },
+        "combination": list(explanation.combination),
+        "clusters": [
+            {
+                "cluster": e.cluster,
+                "attribute": e.attribute.name,
+                "domain": list(e.attribute.domain),
+                "hist_cluster": [float(x) for x in e.hist_cluster],
+                "hist_rest": [float(x) for x in e.hist_rest],
+            }
+            for e in explanation
+        ],
+    }
+
+
+class ExplanationService:
+    """Multi-tenant explanation server over registered datasets.
+
+    Parameters
+    ----------
+    registry:
+        Optional pre-built :class:`ServiceRegistry`; by default a fresh one
+        (persisting under ``ledger_dir`` when given).
+    ledger_dir:
+        Directory for per-tenant JSON privacy ledgers; existing ledgers are
+        reloaded, so a restarted service keeps refusing what a crashed one
+        could no longer afford.
+    cache_entries:
+        LRU capacity of the explanation cache.
+    auto_tenant_budget:
+        When set, unknown tenants are auto-provisioned with this per-dataset
+        budget cap on their first request (the demo server's mode); when
+        ``None``, unknown tenants are refused.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry | None = None,
+        *,
+        ledger_dir=None,
+        cache_entries: int = 256,
+        auto_tenant_budget: float | None = None,
+    ):
+        if registry is not None and ledger_dir is not None:
+            raise ValueError("pass ledger_dir to the registry or here, not both")
+        self.registry = registry or ServiceRegistry(ledger_dir=ledger_dir)
+        self.cache = ExplanationCache(cache_entries)
+        self.stats = _Stats()
+        self.auto_tenant_budget = auto_tenant_budget
+        self._queue = RequestQueue()
+        self._stop = threading.Event()
+        self._workers: list[threading.Thread] = []
+        self._drain_lock = threading.Lock()
+        # In-flight release claims: cache key -> Event set when the owning
+        # worker has either filled the cache or given up.  Closes the
+        # probe→compute window so two worker batches can never charge the
+        # same release twice.
+        self._inflight: "dict[tuple, threading.Event]" = {}
+        self._inflight_lock = threading.Lock()
+
+    # -- registry passthroughs ------------------------------------------ #
+
+    def register_dataset(self, dataset_id, dataset, clustering, n_clusters=None):
+        """Register/replace a dataset and evict the old version's releases."""
+        try:
+            old = self.registry.dataset(dataset_id)
+        except ServiceError:
+            old = None
+        entry = self.registry.register_dataset(
+            dataset_id, dataset, clustering, n_clusters
+        )
+        if old is not None and old.fingerprint != entry.fingerprint:
+            self.cache.invalidate_fingerprint(old.fingerprint)
+        return entry
+
+    def create_tenant(self, tenant_id: str, budget_limit: float) -> Tenant:
+        tenant = self.registry.create_tenant(tenant_id, budget_limit)
+        self.registry.persist_tenant(tenant)
+        return tenant
+
+    # -- request entry points ------------------------------------------- #
+
+    def submit(self, request: ExplainRequest) -> "Future[dict]":
+        """Admit a request; returns a future resolving to the envelope."""
+        pending = _Pending(request)
+        self.stats.incr("requests")
+        try:
+            request.validated()
+            entry = self.registry.dataset(request.dataset)
+            self.registry.tenant(request.tenant, self.auto_tenant_budget)
+            if request.n_candidates > len(entry.counts.names):
+                raise ServiceError(
+                    400,
+                    "invalid-request",
+                    f"n_candidates={request.n_candidates} exceeds the "
+                    f"{len(entry.counts.names)} attributes of "
+                    f"{request.dataset!r}",
+                )
+        except ServiceError as exc:
+            self.stats.incr("errors")
+            pending.resolve(self._error_envelope(exc))
+            return pending.future
+        cached = self.cache.get(request.cache_key(entry))
+        if cached is not None:
+            self.stats.incr("cache_hits")
+            pending.resolve(self._ok_envelope(request, cached, "hit", 0.0))
+            return pending.future
+        self._queue.put(request.engine_key(), pending)
+        return pending.future
+
+    def explain(
+        self,
+        request: ExplainRequest | None = None,
+        timeout: float = 60.0,
+        **kwargs,
+    ) -> dict:
+        """Synchronous request: submit, (inline-drain if no workers), wait."""
+        if request is None:
+            request = ExplainRequest(**kwargs)
+        future = self.submit(request)
+        if not self._workers and not future.done():
+            self.process_pending()
+        return future.result(timeout)
+
+    def process_pending(self) -> int:
+        """Drain the queue inline (single-threaded mode); returns batch count.
+
+        Serialised by a lock so concurrent HTTP handler threads on a
+        worker-less service don't interleave batch executions.
+        """
+        n = 0
+        with self._drain_lock:
+            while True:
+                batch = self._queue.take_batch(timeout=0)
+                if not batch:
+                    return n
+                self._execute_batch(batch)
+                n += 1
+
+    # -- worker pool ----------------------------------------------------- #
+
+    def start(self, workers: int = 2) -> "ExplanationService":
+        """Spin up the worker pool (idempotent start is an error)."""
+        if self._workers:
+            raise RuntimeError("service is already started")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._stop.clear()
+        for i in range(workers):
+            t = threading.Thread(
+                target=run_worker,
+                args=(self._queue, self._execute_batch, self._stop),
+                name=f"explain-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._workers.append(t)
+        return self
+
+    def stop(self) -> None:
+        """Stop workers, then drain any stragglers so no future hangs."""
+        self._stop.set()
+        for t in self._workers:
+            t.join(timeout=10.0)
+        self._workers = []
+        self.process_pending()
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- batch execution -------------------------------------------------- #
+
+    def _execute_batch(self, batch: Sequence[_Pending]) -> None:
+        """Serve one coalesced batch; every future resolves, come what may."""
+        try:
+            self._serve_batch(list(batch))
+        except ServiceError as exc:
+            for p in batch:
+                p.resolve(self._error_envelope(exc))
+        except Exception as exc:  # noqa: BLE001 — worker must not die
+            envelope = self._error_envelope(
+                ServiceError(500, "internal-error", repr(exc))
+            )
+            for p in batch:
+                p.resolve(envelope)
+
+    def _serve_batch(self, batch: "list[_Pending]") -> None:
+        request0 = batch[0].request
+        entry = self.registry.dataset(request0.dataset)
+        explainer = DPClustX(
+            request0.n_candidates, request0.weights_obj(), request0.budget()
+        )
+
+        # Group by release identity: duplicates (same seed & params) share
+        # one DP release — the first funded requester pays, the rest ride
+        # free under post-processing.
+        groups: "dict[tuple, list[_Pending]]" = {}
+        for p in batch:
+            groups.setdefault(p.request.cache_key(entry), []).append(p)
+
+        # Claim each missing key or defer to the worker already computing
+        # it; never block while holding claims (no crossed waits).
+        claimed: "list[tuple[tuple, list[_Pending]]]" = []
+        deferred: "list[tuple[tuple, list[_Pending]]]" = []
+        for key, group in groups.items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._resolve_hits(group, cached)
+            elif self._try_claim(key) is None:
+                claimed.append((key, group))
+            else:
+                deferred.append((key, group))
+
+        if claimed:
+            self._compute_groups(entry, explainer, claimed)
+        for key, group in deferred:
+            self._serve_deferred(entry, explainer, key, group)
+
+    def _compute_groups(
+        self,
+        entry: DatasetEntry,
+        explainer: DPClustX,
+        items: "list[tuple[tuple, list[_Pending]]]",
+    ) -> None:
+        """Fund and compute claimed release groups in one batched pass.
+
+        Budget is *reserved* before the engine runs (the atomic
+        check-and-charge is what makes caps unbreakable under concurrency)
+        and rolled back via
+        :meth:`~repro.privacy.budget.PrivacyAccountant.refund_last` if the
+        engine fails before producing a release — a failed request must not
+        burn its tenant's budget.  Claims are always released.
+        """
+        try:
+            funded: "list[tuple[tuple, list[_Pending], _Pending, Tenant]]" = []
+            for key, group in items:
+                payer, tenant = self._fund_group(group)
+                if payer is not None:
+                    funded.append((key, group, payer, tenant))
+            if not funded:
+                return
+
+            self.stats.incr("engine_calls")
+            seeds = [payer.request.seed for _, _, payer, _ in funded]
+            try:
+                explanations = explain_batched(
+                    explainer, entry.counts, seeds, context=entry.context
+                )
+            except Exception:
+                for key, group, payer, tenant in funded:
+                    accountant = tenant.accountant(payer.request.dataset)
+                    accountant.refund_last(self._charge_label(payer.request))
+                    self.registry.persist_tenant(tenant)
+                raise  # _execute_batch resolves the futures with a 500
+
+            self.stats.incr("releases", len(funded))
+            for (key, group, payer, tenant), explanation in zip(
+                funded, explanations
+            ):
+                payload = explanation_payload(payer.request, entry, explanation)
+                cache_entry = CacheEntry(
+                    canonical_json(payload), payer.request.epsilon_total
+                )
+                self.cache.put(key, cache_entry)
+                self.registry.persist_tenant(tenant)
+                for p in group:
+                    if p.future.done():
+                        continue  # refused while seeking a payer
+                    if p is payer:
+                        self.stats.incr("cache_misses")
+                        p.resolve(
+                            self._ok_envelope(
+                                p.request,
+                                cache_entry,
+                                "miss",
+                                p.request.epsilon_total,
+                            )
+                        )
+                    else:
+                        self.stats.incr("coalesced")
+                        p.resolve(
+                            self._ok_envelope(p.request, cache_entry, "coalesced", 0.0)
+                        )
+        finally:
+            for key, _ in items:
+                self._release_claim(key)
+
+    def _serve_deferred(
+        self,
+        entry: DatasetEntry,
+        explainer: DPClustX,
+        key: tuple,
+        group: "list[_Pending]",
+    ) -> None:
+        """Wait for another worker's in-flight release of ``key``.
+
+        Normally the owner fills the cache and this resolves as hits; if
+        the owner failed (or its payer was refused), the first waiter to
+        re-claim computes the release itself.
+        """
+        while True:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._resolve_hits(group, cached)
+                return
+            event = self._try_claim(key)
+            if event is None:
+                self._compute_groups(entry, explainer, [(key, group)])
+                return
+            event.wait(timeout=60.0)
+
+    def _resolve_hits(self, group: "list[_Pending]", cached: CacheEntry) -> None:
+        for p in group:
+            self.stats.incr("cache_hits")
+            p.resolve(self._ok_envelope(p.request, cached, "hit", 0.0))
+
+    def _try_claim(self, key: tuple) -> "threading.Event | None":
+        """Claim ``key`` for this worker (``None``) or return the owner's event."""
+        with self._inflight_lock:
+            event = self._inflight.get(key)
+            if event is None:
+                self._inflight[key] = threading.Event()
+                return None
+            return event
+
+    def _release_claim(self, key: tuple) -> None:
+        with self._inflight_lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    @staticmethod
+    def _charge_label(request: ExplainRequest) -> str:
+        return (
+            f"service: {request.explainer} dataset={request.dataset} "
+            f"seed={request.seed}"
+        )
+
+    def _fund_group(
+        self, group: "list[_Pending]"
+    ) -> "tuple[_Pending | None, Tenant | None]":
+        """Charge the first requester whose ledger can afford the release.
+
+        Requesters refused along the way get their 429 envelope immediately;
+        the accountant's atomic check-and-charge is what makes the cap
+        unbreakable under concurrent batches.
+        """
+        for p in group:
+            request = p.request
+            tenant = self.registry.tenant(request.tenant, self.auto_tenant_budget)
+            accountant = tenant.accountant(request.dataset)
+            try:
+                accountant.spend(request.epsilon_total, self._charge_label(request))
+                return p, tenant
+            except BudgetError as exc:
+                self.stats.incr("refused")
+                p.resolve(self._refusal_envelope(request, accountant, exc))
+        return None, None
+
+    # -- envelopes -------------------------------------------------------- #
+
+    def _ok_envelope(
+        self,
+        request: ExplainRequest,
+        entry: CacheEntry,
+        cache_status: str,
+        charged: float,
+    ) -> dict:
+        return {
+            "status": "ok",
+            "code": 200,
+            "result": entry.payload(),
+            "meta": {
+                "cache": cache_status,
+                "charged_epsilon": charged,
+                "tenant": request.tenant,
+                "dataset": request.dataset,
+            },
+        }
+
+    def _refusal_envelope(
+        self,
+        request: ExplainRequest,
+        accountant: PrivacyAccountant,
+        exc: BudgetError,
+    ) -> dict:
+        """The structured 429-style over-budget refusal."""
+        return {
+            "status": "refused",
+            "code": 429,
+            "error": {
+                "reason": "budget-exhausted",
+                "message": str(exc),
+                "tenant": request.tenant,
+                "dataset": request.dataset,
+                "requested_epsilon": request.epsilon_total,
+                "spent": accountant.total(),
+                "remaining": accountant.remaining(),
+                "limit": accountant.limit,
+            },
+        }
+
+    def _error_envelope(self, exc: ServiceError) -> dict:
+        return {
+            "status": "error",
+            "code": exc.code,
+            "error": {"reason": exc.reason, "message": str(exc)},
+        }
+
+    # -- observability ---------------------------------------------------- #
+
+    def describe(self) -> dict:
+        """Stats + cache + registered datasets/tenants (the /v1/stats body)."""
+        return {
+            "stats": self.stats.as_dict(),
+            "cache": self.cache.stats(),
+            "datasets": [e.describe() for e in self.registry.datasets()],
+            "tenants": [t.describe() for t in self.registry.tenants()],
+            "workers": len(self._workers),
+            "queued": len(self._queue),
+        }
+
+
+class ServiceClient:
+    """Thin programmatic client bound to one tenant (tests, notebooks).
+
+    Wraps :meth:`ExplanationService.explain` with per-client defaults::
+
+        client = ServiceClient(service, tenant="alice", dataset="diabetes")
+        response = client.explain(seed=3)
+        response["result"]["combination"]
+    """
+
+    def __init__(
+        self,
+        service: ExplanationService,
+        tenant: str,
+        dataset: str | None = None,
+        timeout: float = 60.0,
+    ):
+        self._service = service
+        self.tenant = tenant
+        self.dataset = dataset
+        self.timeout = timeout
+
+    def explain(self, dataset: str | None = None, **params) -> dict:
+        target = dataset or self.dataset
+        if target is None:
+            raise ValueError("no dataset given (per-call or client default)")
+        request = ExplainRequest(tenant=self.tenant, dataset=target, **params)
+        return self._service.explain(request, timeout=self.timeout)
+
+    def ledger(self) -> dict:
+        return self._service.registry.tenant(self.tenant).describe()

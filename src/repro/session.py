@@ -73,6 +73,28 @@ class PrivateAnalysisSession:
         """Human-readable charge-by-charge budget report."""
         return self._accountant.summary()
 
+    def ledger_snapshot(self) -> dict:
+        """JSON-able ledger state (the service layer's persistence format).
+
+        Pairs with :meth:`restore_ledger`: a session can be checkpointed
+        across process restarts without losing track of spent budget — the
+        same :meth:`~repro.privacy.budget.PrivacyAccountant.snapshot` /
+        ``restore`` contract the explanation service uses for its
+        per-(tenant, dataset) ledgers.
+        """
+        return self._accountant.snapshot()
+
+    def restore_ledger(self, state: dict) -> None:
+        """Replace the session ledger with a :meth:`ledger_snapshot`.
+
+        The snapshot's charges are replayed against the *session's* cap
+        (not the snapshot's recorded limit), so a snapshot from a
+        bigger-budget session cannot smuggle in an overspent ledger.
+        """
+        restored = dict(state)
+        restored["limit"] = self.total_epsilon
+        self._accountant.restore(restored)
+
     # -- clustering ------------------------------------------------------ #
 
     def cluster_dp_kmeans(

@@ -1,5 +1,7 @@
 """Unit tests for repro.privacy.budget (Proposition 2.7 calculus)."""
 
+import threading
+
 import pytest
 
 from repro.privacy.budget import (
@@ -63,6 +65,119 @@ class TestAccountant:
         acc = PrivacyAccountant()
         acc.spend(0.1, "x")
         assert "0.1" in acc.summary()
+
+
+class TestAccountantConcurrency:
+    def test_concurrent_charges_never_overspend_the_cap(self):
+        """The check-and-append is atomic: 32 racing spenders of 0.1 against
+        a 1.0 cap must land exactly 10 charges, never 11."""
+        acc = PrivacyAccountant(limit=1.0)
+        refused = []
+        barrier = threading.Barrier(8)
+
+        def spender(worker: int) -> None:
+            barrier.wait()
+            for i in range(4):
+                try:
+                    acc.spend(0.1, f"w{worker}.{i}")
+                except BudgetError:
+                    refused.append((worker, i))
+
+        threads = [threading.Thread(target=spender, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert acc.total() == pytest.approx(1.0)
+        assert len(acc.charges()) == 10
+        assert len(refused) == 32 - 10
+
+    def test_concurrent_mixed_spend_and_parallel(self):
+        acc = PrivacyAccountant(limit=0.5)
+
+        def charge() -> None:
+            for _ in range(10):
+                try:
+                    acc.spend(0.05, "seq")
+                except BudgetError:
+                    pass
+                try:
+                    acc.parallel([0.02, 0.05], "par")
+                except BudgetError:
+                    pass
+
+        threads = [threading.Thread(target=charge) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert acc.total() <= 0.5 + PrivacyAccountant.TOLERANCE
+
+
+class TestRefundLast:
+    def test_refund_removes_the_matching_charge(self):
+        acc = PrivacyAccountant(limit=0.5)
+        acc.spend(0.2, "a")
+        acc.spend(0.3, "b")
+        acc.refund_last("b")
+        assert acc.total() == pytest.approx(0.2)
+        acc.spend(0.3, "b")  # room is back
+        assert acc.total() == pytest.approx(0.5)
+
+    def test_refund_targets_the_most_recent_match(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.1, "x")
+        acc.spend(0.2, "x")
+        acc.refund_last("x")
+        assert [c.epsilon for c in acc] == [pytest.approx(0.1)]
+
+    def test_refund_unknown_label_raises(self):
+        with pytest.raises(BudgetError, match="refund"):
+            PrivacyAccountant().refund_last("never-charged")
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        acc = PrivacyAccountant(limit=1.0)
+        acc.spend(0.3, "a")
+        acc.parallel([0.1, 0.2], "b")
+        restored = PrivacyAccountant.from_snapshot(acc.snapshot())
+        assert restored.total() == pytest.approx(acc.total())
+        assert restored.limit == acc.limit
+        assert [c.label for c in restored] == ["a", "b"]
+        assert restored.charges()[1].composition == "parallel-group"
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        acc = PrivacyAccountant(limit=0.5)
+        acc.spend(0.1, "x")
+        state = json.loads(json.dumps(acc.snapshot()))
+        assert PrivacyAccountant.from_snapshot(state).total() == pytest.approx(0.1)
+
+    def test_restore_replaces_existing_charges(self):
+        acc = PrivacyAccountant(limit=1.0)
+        acc.spend(0.9, "old")
+        acc.restore({"limit": 1.0, "charges": [
+            {"label": "new", "epsilon": 0.2, "composition": "sequential"}
+        ]})
+        assert acc.total() == pytest.approx(0.2)
+        assert [c.label for c in acc] == ["new"]
+
+    def test_overspent_snapshot_rejected(self):
+        with pytest.raises(BudgetError, match="overspent"):
+            PrivacyAccountant.from_snapshot(
+                {"limit": 0.1, "charges": [
+                    {"label": "x", "epsilon": 0.5, "composition": "sequential"}
+                ]}
+            )
+
+    def test_restored_ledger_keeps_enforcing_the_cap(self):
+        acc = PrivacyAccountant(limit=0.5)
+        acc.spend(0.4, "a")
+        restored = PrivacyAccountant.from_snapshot(acc.snapshot())
+        with pytest.raises(BudgetError):
+            restored.spend(0.2, "b")
 
 
 class TestExplanationBudget:

@@ -12,6 +12,12 @@ class TestDispatch:
         for name in COMMANDS:
             assert name in out
 
+    def test_list_shows_serve_and_demo(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "demo" in out
+
     def test_no_args_shows_help(self, capsys):
         assert main([]) == 0
         assert "usage" in capsys.readouterr().out
@@ -31,6 +37,17 @@ class TestDispatch:
                 and hasattr(module, "run_cluster_size")
             )
             assert has_runner
+
+
+class TestHelpSmoke:
+    """Every registered command must answer ``--help`` cleanly."""
+
+    @pytest.mark.parametrize("command", [*COMMANDS, "demo", "serve"])
+    def test_help_exits_zero_and_prints_usage(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code in (0, None)
+        assert "usage" in capsys.readouterr().out.lower()
 
 
 class TestDemo:

@@ -1,0 +1,109 @@
+"""Tests for Dataset.fingerprint() and ClusteredCounts.signature()."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import ClusteredCounts
+from repro.dataset.rebin import rebin_dataset
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+
+
+@pytest.fixture()
+def schema():
+    return Schema.from_domains(
+        {"color": ("red", "green", "blue"), "size": ("s", "m", "l", "xl")}
+    )
+
+
+@pytest.fixture()
+def dataset(schema):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        schema,
+        {
+            "color": rng.integers(0, 3, size=60),
+            "size": rng.integers(0, 4, size=60),
+        },
+    )
+
+
+class TestDatasetFingerprint:
+    def test_deterministic_and_cached(self, dataset):
+        assert dataset.fingerprint() == dataset.fingerprint()
+        assert len(dataset.fingerprint()) == 64  # hex sha256
+
+    def test_equal_content_equal_fingerprint(self, schema, dataset):
+        clone = Dataset(
+            schema, {n: np.asarray(dataset.column(n)) for n in schema.names}
+        )
+        assert clone.fingerprint() == dataset.fingerprint()
+
+    def test_content_change_changes_fingerprint(self, dataset):
+        neighbor = dataset.with_tuple((0, 0))
+        assert neighbor.fingerprint() != dataset.fingerprint()
+        removed = dataset.without_index(0)
+        assert removed.fingerprint() != dataset.fingerprint()
+
+    def test_row_order_matters(self, schema, dataset):
+        reversed_ds = dataset.subset(np.arange(len(dataset))[::-1])
+        assert reversed_ds.fingerprint() != dataset.fingerprint()
+
+    def test_rebinning_changes_fingerprint(self, dataset):
+        rebinned = rebin_dataset(dataset, 2)
+        assert rebinned.fingerprint() != dataset.fingerprint()
+
+    def test_schema_relabel_changes_fingerprint(self, dataset):
+        # Same codes, different domain labels (a "schema change").
+        relabeled_schema = Schema.from_domains(
+            {"color": ("c0", "c1", "c2"), "size": ("s", "m", "l", "xl")}
+        )
+        relabeled = Dataset(
+            relabeled_schema,
+            {n: np.asarray(dataset.column(n)) for n in dataset.schema.names},
+        )
+        assert relabeled.fingerprint() != dataset.fingerprint()
+
+    def test_attribute_name_change_changes_fingerprint(self, dataset):
+        renamed_schema = Schema(
+            (
+                Attribute("colour", ("red", "green", "blue")),
+                dataset.schema.attribute("size"),
+            )
+        )
+        renamed = Dataset(
+            renamed_schema,
+            {
+                "colour": np.asarray(dataset.column("color")),
+                "size": np.asarray(dataset.column("size")),
+            },
+        )
+        assert renamed.fingerprint() != dataset.fingerprint()
+
+
+class TestClusteredCountsSignature:
+    def test_deterministic(self, dataset):
+        labels = np.arange(len(dataset)) % 3
+        a = ClusteredCounts(dataset, labels, n_clusters=3)
+        b = ClusteredCounts(dataset, labels.copy(), n_clusters=3)
+        assert a.signature() == b.signature()
+
+    def test_relabeling_changes_signature(self, dataset):
+        labels = np.arange(len(dataset)) % 3
+        base = ClusteredCounts(dataset, labels, n_clusters=3)
+        permuted = ClusteredCounts(dataset, (labels + 1) % 3, n_clusters=3)
+        assert permuted.signature() != base.signature()
+
+    def test_n_clusters_changes_signature(self, dataset):
+        labels = np.arange(len(dataset)) % 3
+        three = ClusteredCounts(dataset, labels, n_clusters=3)
+        four = ClusteredCounts(dataset, labels, n_clusters=4)
+        assert three.signature() != four.signature()
+
+    def test_rebinned_dataset_changes_signature(self, dataset):
+        labels = np.arange(len(dataset)) % 3
+        base = ClusteredCounts(dataset, labels, n_clusters=3)
+        rebinned = ClusteredCounts(
+            rebin_dataset(dataset, 2), labels, n_clusters=3
+        )
+        assert rebinned.signature() != base.signature()

@@ -1,0 +1,570 @@
+"""Tests for the explanation service layer (repro.service).
+
+Covers the four contracts the ISSUE pins down:
+
+* cache hits are byte-identical re-serves that charge zero budget;
+* K concurrent identical requests coalesce into one batched engine call;
+* budget exhaustion yields a structured 429-style refusal, and no budget
+  cap can be exceeded under parallel load;
+* ledgers persist crash-safely and reload into a fresh service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import DPClustX, KMeans, diabetes_like
+from repro.core.counts import ClusteredCounts
+from repro.dataset.rebin import rebin_dataset
+from repro.service import (
+    ExplainRequest,
+    ExplanationService,
+    RequestQueue,
+    ServiceClient,
+    ServiceError,
+    ServiceRegistry,
+    Tenant,
+    make_server,
+)
+
+EPS_TOTAL = 0.3  # the default request budget (0.1 + 0.1 + 0.1)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return diabetes_like(n_rows=1_500, n_groups=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def clustering(dataset):
+    return KMeans(3).fit(dataset, rng=0)
+
+
+def make_service(dataset, clustering, **kwargs) -> ExplanationService:
+    service = ExplanationService(**kwargs)
+    service.register_dataset("diabetes", dataset, clustering)
+    return service
+
+
+class TestRegistry:
+    def test_register_and_describe(self, dataset, clustering):
+        registry = ServiceRegistry()
+        entry = registry.register_dataset("d", dataset, clustering)
+        info = entry.describe()
+        assert info["rows"] == len(dataset)
+        assert info["fingerprint"] == dataset.fingerprint()
+        assert registry.dataset("d") is entry
+
+    def test_unknown_dataset_raises_404(self):
+        with pytest.raises(ServiceError) as exc:
+            ServiceRegistry().dataset("nope")
+        assert exc.value.code == 404
+
+    def test_unknown_tenant_raises_404_without_auto(self):
+        with pytest.raises(ServiceError) as exc:
+            ServiceRegistry().tenant("ghost")
+        assert exc.value.code == 404
+
+    def test_tenant_autoprovision(self):
+        registry = ServiceRegistry()
+        tenant = registry.tenant("new", auto_budget=2.0)
+        assert tenant.budget_limit == 2.0
+        assert registry.tenant("new") is tenant
+
+    def test_duplicate_tenant_rejected(self):
+        registry = ServiceRegistry()
+        registry.create_tenant("a", 1.0)
+        with pytest.raises(ValueError):
+            registry.create_tenant("a", 1.0)
+
+
+class TestRequestValidation:
+    def test_from_json_roundtrip(self):
+        req = ExplainRequest.from_json(
+            {"tenant": "t", "dataset": "d", "seed": 3, "weights": [0.5, 0.5, 0.0]}
+        )
+        assert req.seed == 3 and req.weights == (0.5, 0.5, 0.0)
+
+    def test_from_json_requires_tenant_and_dataset(self):
+        with pytest.raises(ServiceError) as exc:
+            ExplainRequest.from_json({"dataset": "d"})
+        assert exc.value.code == 400
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError):
+            ExplainRequest.from_json({"tenant": "t", "dataset": "d", "evil": 1})
+
+    def test_validated_rejects_bad_epsilon(self):
+        req = ExplainRequest(tenant="t", dataset="d", eps_hist=-1.0)
+        with pytest.raises(ServiceError) as exc:
+            req.validated()
+        assert exc.value.code == 400
+
+    def test_validated_rejects_unknown_explainer(self):
+        req = ExplainRequest(tenant="t", dataset="d", explainer="Magic")
+        with pytest.raises(ServiceError):
+            req.validated()
+
+    def test_bad_request_resolves_as_error_envelope(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("t", 1.0)
+        envelope = service.explain(
+            ExplainRequest(tenant="t", dataset="missing", seed=0)
+        )
+        assert envelope["status"] == "error"
+        assert envelope["code"] == 404
+
+    @pytest.mark.parametrize(
+        "bad_fields",
+        [
+            {"seed": -1},
+            {"seed": "zero"},
+            {"tenant": 123},
+            {"dataset": ""},
+            {"n_candidates": 99},  # exceeds the attribute count
+        ],
+    )
+    def test_malformed_request_refused_without_burning_budget(
+        self, dataset, clustering, bad_fields
+    ):
+        """Bad parameters must 400 at admission, never charge, never 500."""
+        service = make_service(dataset, clustering)
+        service.create_tenant("t", 1.0)
+        fields = {"tenant": "t", "dataset": "diabetes", "seed": 0, **bad_fields}
+        envelope = service.explain(ExplainRequest(**fields))
+        assert envelope["status"] == "error"
+        assert envelope["code"] == 400
+        assert service.registry.tenant("t").accountant("diabetes").total() == 0.0
+
+
+class TestCacheSemantics:
+    def test_hit_is_byte_identical_and_free(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 1.0)
+        client = ServiceClient(service, tenant="alice", dataset="diabetes")
+
+        first = client.explain(seed=0)
+        spent_after_first = service.registry.tenant("alice").accountant(
+            "diabetes"
+        ).total()
+        second = client.explain(seed=0)
+        spent_after_second = service.registry.tenant("alice").accountant(
+            "diabetes"
+        ).total()
+
+        assert first["meta"]["cache"] == "miss"
+        assert first["meta"]["charged_epsilon"] == pytest.approx(EPS_TOTAL)
+        assert second["meta"]["cache"] == "hit"
+        assert second["meta"]["charged_epsilon"] == 0.0
+        # Byte-identical re-serve (post-processing is free).
+        assert json.dumps(first["result"], sort_keys=True) == json.dumps(
+            second["result"], sort_keys=True
+        )
+        # Zero extra budget.
+        assert spent_after_second == spent_after_first == pytest.approx(EPS_TOTAL)
+
+    def test_hit_free_for_other_tenants_too(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("payer", 1.0)
+        service.create_tenant("rider", 1.0)
+        ServiceClient(service, "payer", "diabetes").explain(seed=0)
+        response = ServiceClient(service, "rider", "diabetes").explain(seed=0)
+        assert response["meta"]["cache"] == "hit"
+        assert service.registry.tenant("rider").accountant("diabetes").total() == 0.0
+
+    def test_different_seed_or_epsilon_misses(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 5.0)
+        client = ServiceClient(service, "alice", "diabetes")
+        assert client.explain(seed=0)["meta"]["cache"] == "miss"
+        assert client.explain(seed=1)["meta"]["cache"] == "miss"
+        assert (
+            client.explain(seed=0, eps_hist=0.2)["meta"]["cache"] == "miss"
+        )
+        assert client.explain(seed=0)["meta"]["cache"] == "hit"
+
+    def test_response_matches_serial_explain(self, dataset, clustering):
+        """The served release is byte-identical to the serial DPClustX path."""
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 1.0)
+        response = ServiceClient(service, "alice", "diabetes").explain(seed=5)
+
+        counts = ClusteredCounts(dataset, clustering)
+        serial = DPClustX().explain(dataset, clustering, rng=5, counts=counts)
+        assert response["result"]["combination"] == list(serial.combination)
+        for got, expected in zip(response["result"]["clusters"], serial):
+            assert got["attribute"] == expected.attribute.name
+            assert np.array_equal(got["hist_cluster"], expected.hist_cluster)
+            assert np.array_equal(got["hist_rest"], expected.hist_rest)
+
+    def test_mutating_a_response_does_not_poison_the_cache(
+        self, dataset, clustering
+    ):
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 1.0)
+        client = ServiceClient(service, "alice", "diabetes")
+        first = client.explain(seed=0)
+        first["result"]["combination"][0] = "tampered"
+        second = client.explain(seed=0)
+        assert second["result"]["combination"][0] != "tampered"
+
+    def test_reregistering_rebinned_dataset_invalidates(
+        self, dataset, clustering
+    ):
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 5.0)
+        client = ServiceClient(service, "alice", "diabetes")
+        client.explain(seed=0)
+        assert len(service.cache) == 1
+
+        rebinned = rebin_dataset(dataset, 2)
+        labels = clustering.assign(dataset)
+        service.register_dataset(
+            "diabetes", rebinned, labels, n_clusters=clustering.n_clusters
+        )
+        assert len(service.cache) == 0  # old fingerprint evicted
+        fresh = client.explain(seed=0)
+        assert fresh["meta"]["cache"] == "miss"
+        assert fresh["result"]["fingerprint"] == rebinned.fingerprint()
+
+
+class TestCoalescing:
+    def test_identical_requests_one_engine_call_one_charge(
+        self, dataset, clustering
+    ):
+        service = make_service(dataset, clustering)
+        service.create_tenant("bob", 5.0)
+        futures = [
+            service.submit(ExplainRequest(tenant="bob", dataset="diabetes", seed=0))
+            for _ in range(5)
+        ]
+        assert service.process_pending() == 1
+        assert service.stats.get("engine_calls") == 1
+        results = [f.result(timeout=5) for f in futures]
+        statuses = sorted(r["meta"]["cache"] for r in results)
+        assert statuses == ["coalesced"] * 4 + ["miss"]
+        bodies = {json.dumps(r["result"], sort_keys=True) for r in results}
+        assert len(bodies) == 1  # byte-identical
+        spent = service.registry.tenant("bob").accountant("diabetes").total()
+        assert spent == pytest.approx(EPS_TOTAL)  # exactly one charge
+
+    def test_mixed_seeds_coalesce_into_one_scoring_pass(
+        self, dataset, clustering
+    ):
+        service = make_service(dataset, clustering)
+        service.create_tenant("bob", 5.0)
+        futures = [
+            service.submit(ExplainRequest(tenant="bob", dataset="diabetes", seed=s))
+            for s in (0, 1, 2, 0, 1)
+        ]
+        service.process_pending()
+        assert service.stats.get("engine_calls") == 1
+        assert service.stats.get("releases") == 3
+        for f in futures:
+            assert f.result(timeout=5)["status"] == "ok"
+        spent = service.registry.tenant("bob").accountant("diabetes").total()
+        assert spent == pytest.approx(3 * EPS_TOTAL)  # one charge per release
+
+    def test_different_configs_do_not_coalesce(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("bob", 5.0)
+        service.submit(ExplainRequest(tenant="bob", dataset="diabetes", seed=0))
+        service.submit(
+            ExplainRequest(
+                tenant="bob", dataset="diabetes", seed=0, n_candidates=2
+            )
+        )
+        assert service.process_pending() == 2
+        assert service.stats.get("engine_calls") == 2
+
+    def test_queue_take_batch_groups_by_key(self):
+        queue = RequestQueue()
+        for key, item in [("a", 1), ("b", 2), ("a", 3), ("b", 4)]:
+            queue.put(key, item)
+        assert queue.take_batch(timeout=0) == [1, 3]
+        assert queue.take_batch(timeout=0) == [2, 4]
+        assert queue.take_batch(timeout=0) == []
+
+
+class TestBudgetEnforcement:
+    def test_refusal_is_structured_429(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("carol", 0.5)  # one 0.3 request fits, not two
+        client = ServiceClient(service, "carol", "diabetes")
+        assert client.explain(seed=0)["status"] == "ok"
+        refusal = client.explain(seed=1)
+        assert refusal["status"] == "refused"
+        assert refusal["code"] == 429
+        error = refusal["error"]
+        assert error["reason"] == "budget-exhausted"
+        assert error["requested_epsilon"] == pytest.approx(EPS_TOTAL)
+        assert error["remaining"] == pytest.approx(0.2)
+        assert error["limit"] == pytest.approx(0.5)
+
+    def test_refusal_does_not_touch_the_ledger(self, dataset, clustering):
+        service = make_service(dataset, clustering)
+        service.create_tenant("carol", 0.5)
+        client = ServiceClient(service, "carol", "diabetes")
+        client.explain(seed=0)
+        before = service.registry.tenant("carol").accountant("diabetes").total()
+        client.explain(seed=1)  # refused
+        after = service.registry.tenant("carol").accountant("diabetes").total()
+        assert before == after
+
+    def test_cache_hit_served_even_when_budget_exhausted(
+        self, dataset, clustering
+    ):
+        service = make_service(dataset, clustering)
+        service.create_tenant("carol", 0.3)
+        client = ServiceClient(service, "carol", "diabetes")
+        assert client.explain(seed=0)["status"] == "ok"  # exactly exhausts
+        again = client.explain(seed=0)
+        assert again["status"] == "ok" and again["meta"]["cache"] == "hit"
+
+    def test_engine_failure_refunds_the_charge(
+        self, dataset, clustering, monkeypatch
+    ):
+        """An engine crash after funding must roll the reservation back."""
+        import repro.service.service as service_module
+
+        service = make_service(dataset, clustering)
+        service.create_tenant("t", 1.0)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(service_module, "explain_batched", boom)
+        envelope = service.explain(
+            ExplainRequest(tenant="t", dataset="diabetes", seed=0)
+        )
+        assert envelope["status"] == "error" and envelope["code"] == 500
+        assert service.registry.tenant("t").accountant("diabetes").total() == 0.0
+
+        monkeypatch.undo()
+        retry = service.explain(ExplainRequest(tenant="t", dataset="diabetes", seed=0))
+        assert retry["status"] == "ok"  # budget intact, key re-claimable
+
+    def test_concurrent_batches_never_double_charge_one_release(
+        self, dataset, clustering, monkeypatch
+    ):
+        """Two workers racing on the same cache key charge exactly once."""
+        import time as time_module
+
+        import repro.service.service as service_module
+
+        real = service_module.explain_batched
+
+        def slow_explain_batched(*args, **kwargs):
+            time_module.sleep(0.3)  # hold the in-flight window open
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "explain_batched", slow_explain_batched)
+        service = make_service(dataset, clustering)
+        service.create_tenant("t", 5.0)
+        service.start(workers=2)
+        try:
+            first = service.submit(
+                ExplainRequest(tenant="t", dataset="diabetes", seed=0)
+            )
+            time_module.sleep(0.1)  # first batch is mid-engine by now
+            second = service.submit(
+                ExplainRequest(tenant="t", dataset="diabetes", seed=0)
+            )
+            results = [first.result(timeout=30), second.result(timeout=30)]
+        finally:
+            service.stop()
+        assert [r["status"] for r in results] == ["ok", "ok"]
+        spent = service.registry.tenant("t").accountant("diabetes").total()
+        assert spent == pytest.approx(EPS_TOTAL)  # one charge, not two
+        assert service.stats.get("engine_calls") == 1
+        bodies = {json.dumps(r["result"], sort_keys=True) for r in results}
+        assert len(bodies) == 1
+
+    def test_no_cap_exceeded_under_parallel_load(self, dataset, clustering):
+        """Hard acceptance criterion: concurrent load cannot overspend."""
+        cap = 1.0  # funds exactly 3 releases of 0.3
+        service = make_service(dataset, clustering)
+        service.create_tenant("dave", cap)
+        service.start(workers=3)
+        try:
+            results: "list[dict]" = []
+            lock = threading.Lock()
+
+            def call(seed: int) -> None:
+                response = ServiceClient(service, "dave", "diabetes").explain(
+                    seed=seed
+                )
+                with lock:
+                    results.append(response)
+
+            threads = [
+                threading.Thread(target=call, args=(seed,)) for seed in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        finally:
+            service.stop()
+
+        spent = service.registry.tenant("dave").accountant("diabetes").total()
+        assert spent <= cap + 1e-9
+        ok = [r for r in results if r["status"] == "ok"]
+        refused = [r for r in results if r["status"] == "refused"]
+        assert len(ok) == 3 and len(refused) == 9
+        assert spent == pytest.approx(
+            sum(r["meta"]["charged_epsilon"] for r in ok)
+        )
+
+
+class TestPersistence:
+    def test_ledger_survives_restart(self, dataset, clustering, tmp_path):
+        service = make_service(dataset, clustering, ledger_dir=tmp_path)
+        service.create_tenant("alice", 0.5)
+        ServiceClient(service, "alice", "diabetes").explain(seed=0)
+
+        # Simulated crash: a brand-new service over the same ledger dir.
+        reloaded = make_service(dataset, clustering, ledger_dir=tmp_path)
+        accountant = reloaded.registry.tenant("alice").accountant("diabetes")
+        assert accountant.total() == pytest.approx(EPS_TOTAL)
+        assert accountant.limit == pytest.approx(0.5)
+        # The reloaded ledger keeps refusing what the crashed one could not
+        # afford (0.2 remaining < 0.3 requested).
+        refusal = ServiceClient(reloaded, "alice", "diabetes").explain(seed=1)
+        assert refusal["status"] == "refused" and refusal["code"] == 429
+
+    def test_orphaned_tmp_files_ignored_on_reload(
+        self, dataset, clustering, tmp_path
+    ):
+        service = make_service(dataset, clustering, ledger_dir=tmp_path)
+        service.create_tenant("alice", 1.0)
+        ServiceClient(service, "alice", "diabetes").explain(seed=0)
+        # A crash mid-write leaves a partial temp file behind.
+        (tmp_path / "alice.json.tmp").write_text("{\"tenant\": \"alice\", tru")
+        reloaded = ServiceRegistry(ledger_dir=tmp_path)
+        assert reloaded.tenant("alice").accountant("diabetes").total() == (
+            pytest.approx(EPS_TOTAL)
+        )
+
+    def test_corrupt_ledger_raises_service_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text("not json")
+        with pytest.raises(ServiceError) as exc:
+            ServiceRegistry(ledger_dir=tmp_path)
+        assert exc.value.reason == "corrupt-ledger"
+
+    def test_overspent_snapshot_rejected(self):
+        tenant = Tenant("t", 1.0)
+        with pytest.raises(Exception):
+            tenant.restore(
+                {
+                    "budget_limit": 0.1,
+                    "ledgers": {
+                        "d": {
+                            "limit": 0.1,
+                            "charges": [
+                                {"label": "x", "epsilon": 0.5,
+                                 "composition": "sequential"}
+                            ],
+                        }
+                    },
+                }
+            )
+
+    def test_tampered_ledger_limit_cannot_widen_the_cap(self):
+        """The per-ledger ``limit`` field is ignored on restore: charges
+        replay against the tenant's own budget_limit."""
+        tenant = Tenant("t", 0.5)
+        tenant.restore(
+            {
+                "budget_limit": 0.5,
+                "ledgers": {
+                    "d": {
+                        "limit": 100.0,  # tampered/stale
+                        "charges": [
+                            {"label": "x", "epsilon": 0.4,
+                             "composition": "sequential"}
+                        ],
+                    }
+                },
+            }
+        )
+        accountant = tenant.accountant("d")
+        assert accountant.limit == pytest.approx(0.5)
+        with pytest.raises(Exception):
+            accountant.spend(0.2, "over")  # 0.4 + 0.2 > 0.5
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def server(self, dataset, clustering):
+        service = make_service(dataset, clustering, auto_tenant_budget=1.0)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _post(self, server, path: str, body: dict):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.load(response)
+
+    def _get(self, server, path: str):
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return response.status, json.load(response)
+
+    def test_explain_roundtrip(self, server):
+        status, envelope = self._post(
+            server, "/v1/explain", {"tenant": "web", "dataset": "diabetes"}
+        )
+        assert status == 200 and envelope["status"] == "ok"
+        assert envelope["result"]["combination"]
+        status, ledger = self._get(server, "/v1/ledger/web")
+        assert ledger["ledgers"]["diabetes"]["spent"] == pytest.approx(EPS_TOTAL)
+
+    def test_budget_refusal_maps_to_429(self, server):
+        for seed in range(3):  # 3 * 0.3 exhausts the 1.0 auto budget
+            self._post(
+                server, "/v1/explain",
+                {"tenant": "heavy", "dataset": "diabetes", "seed": seed},
+            )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(
+                server, "/v1/explain",
+                {"tenant": "heavy", "dataset": "diabetes", "seed": 99},
+            )
+        assert exc.value.code == 429
+        envelope = json.load(exc.value)
+        assert envelope["error"]["reason"] == "budget-exhausted"
+
+    def test_health_stats_and_404(self, server):
+        assert self._get(server, "/healthz")[1]["status"] == "ok"
+        status, stats = self._get(server, "/v1/stats")
+        assert "cache" in stats and "stats" in stats
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(server, "/no/such/route")
+        assert exc.value.code == 404
+
+    def test_bad_json_maps_to_400(self, server):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/explain",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request)
+        assert exc.value.code == 400

@@ -51,6 +51,34 @@ class TestBudgetEnforcement:
         assert "dp-kmeans" in s.ledger()
 
 
+class TestLedgerPersistence:
+    def test_snapshot_restore_roundtrip(self, data):
+        s = PrivateAnalysisSession(data, total_epsilon=2.0, seed=0)
+        s.release_histogram("lab_proc", epsilon=0.2)
+        state = s.ledger_snapshot()
+
+        resumed = PrivateAnalysisSession(data, total_epsilon=2.0, seed=0)
+        resumed.restore_ledger(state)
+        assert resumed.spent == pytest.approx(0.2)
+        assert resumed.remaining == pytest.approx(1.8)
+
+    def test_restored_session_keeps_enforcing_the_cap(self, data):
+        s = PrivateAnalysisSession(data, total_epsilon=0.5, seed=0)
+        s.release_histogram("lab_proc", epsilon=0.4)
+
+        resumed = PrivateAnalysisSession(data, total_epsilon=0.5, seed=0)
+        resumed.restore_ledger(s.ledger_snapshot())
+        with pytest.raises(BudgetError):
+            resumed.release_histogram("lab_proc", epsilon=0.2)
+
+    def test_restore_replays_against_the_session_cap(self, data):
+        big = PrivateAnalysisSession(data, total_epsilon=10.0, seed=0)
+        big.release_histogram("lab_proc", epsilon=5.0)
+        small = PrivateAnalysisSession(data, total_epsilon=1.0, seed=0)
+        with pytest.raises(BudgetError):
+            small.restore_ledger(big.ledger_snapshot())
+
+
 class TestWorkflow:
     def test_explain_requires_clustering(self, data):
         s = PrivateAnalysisSession(data, total_epsilon=1.0, seed=0)

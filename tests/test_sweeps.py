@@ -29,6 +29,7 @@ from repro.evaluation.runner import (
 )
 from repro.evaluation.sweeps import (
     SweepContext,
+    explain_batched,
     run_trials_batched,
     select_batched,
 )
@@ -319,6 +320,49 @@ class TestRunTrialsBatched:
         selectors = make_selectors(0.2)
         assert isinstance(selectors["DPClustX"], ExplainerSelector)
         assert isinstance(selectors["DPClustX"].explainer, DPClustX)
+
+
+class TestExplainBatched:
+    """The service's batch entry point: full explanations for many seeds."""
+
+    def test_byte_identical_to_serial_explain(self, diabetes_counts):
+        from repro.core.dpclustx import DPClustX
+
+        explainer = DPClustX(n_candidates=2)
+        seeds = [0, 1, 5]
+        batched = explain_batched(explainer, diabetes_counts, seeds)
+        for seed, got in zip(seeds, batched):
+            serial = explainer.explain(
+                diabetes_counts.dataset, None, rng=seed, counts=diabetes_counts
+            )
+            assert tuple(got.combination) == tuple(serial.combination)
+            for e_got, e_serial in zip(got, serial):
+                assert np.array_equal(e_got.hist_cluster, e_serial.hist_cluster)
+                assert np.array_equal(e_got.hist_rest, e_serial.hist_rest)
+
+    def test_shared_context_changes_nothing(self, diabetes_counts):
+        from repro.core.dpclustx import DPClustX
+
+        explainer = DPClustX(n_candidates=2)
+        ctx = SweepContext(diabetes_counts)
+        with_ctx = explain_batched(explainer, diabetes_counts, [3], context=ctx)
+        without = explain_batched(explainer, diabetes_counts, [3])
+        assert tuple(with_ctx[0].combination) == tuple(without[0].combination)
+        for a, b in zip(with_ctx[0], without[0]):
+            assert np.array_equal(a.hist_cluster, b.hist_cluster)
+
+    def test_release_histograms_charges_accountant(self, diabetes_counts):
+        from repro.core.dpclustx import DPClustX
+        from repro.core.hbe import AttributeCombination
+        from repro.privacy.budget import PrivacyAccountant
+
+        explainer = DPClustX(n_candidates=2)
+        combo = AttributeCombination(
+            tuple(diabetes_counts.names[: diabetes_counts.n_clusters])
+        )
+        acc = PrivacyAccountant()
+        explainer.release_histograms(diabetes_counts, combo, rng=0, accountant=acc)
+        assert acc.total() == pytest.approx(explainer.budget.eps_hist)
 
 
 class TestSelectBatchedStreams:

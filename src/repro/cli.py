@@ -59,10 +59,15 @@ def _run_serve(argv: Sequence[str]) -> int:
         description=(
             "Run the multi-tenant explanation service over HTTP "
             "(stdlib-only; see repro.service).  Serves a synthetic demo "
-            "dataset; tenants are auto-provisioned with --tenant-budget."
+            "dataset; tenants are auto-provisioned with --tenant-budget.  "
+            "DEMO SCOPE: there is no authentication — tenant identity is "
+            "caller-asserted — so keep --host on loopback unless real auth "
+            "fronts the server."
         ),
     )
-    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default loopback; non-loopback "
+                             "prints a no-auth warning)")
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--rows", type=int, default=20_000,
                         help="rows of the demo diabetes_like dataset")

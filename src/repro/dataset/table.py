@@ -118,14 +118,22 @@ class Dataset:
         helper returns a new object).
         """
         if self._fingerprint is None:
+            # Every variable-length string is length-prefixed so the
+            # encoding is unambiguous: no in-band separator can be forged
+            # by a domain value that happens to contain it (e.g. the
+            # domains ['a\x1fb'] and ['a', 'b'] must hash differently).
+            def update_str(h, s: str) -> None:
+                b = s.encode("utf-8")
+                h.update(len(b).to_bytes(8, "big"))
+                h.update(b)
+
             h = hashlib.sha256()
+            h.update(len(self._schema).to_bytes(8, "big"))
             for attr in self._schema:
-                h.update(attr.name.encode("utf-8"))
-                h.update(b"\x00")
+                update_str(h, attr.name)
+                h.update(len(attr.domain).to_bytes(8, "big"))
                 for value in attr.domain:
-                    h.update(value.encode("utf-8"))
-                    h.update(b"\x1f")
-                h.update(b"\x00")
+                    update_str(h, value)
             h.update(f"n={self._n}".encode("ascii"))
             for name in self._schema.names:
                 h.update(np.ascontiguousarray(self._columns[name]).tobytes())

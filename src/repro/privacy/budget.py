@@ -67,34 +67,55 @@ class PrivacyAccountant:
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+    # Per-charge refund tokens, aligned index-for-index with ``_charges``.
+    # Tokens are unique over the accountant's lifetime, so a refund can only
+    # ever remove the exact charge its reservation created — two charges with
+    # identical labels (same dataset+seed, different epsilon configs) are
+    # still distinguishable.
+    _tokens: list[int] = field(default_factory=list, repr=False, compare=False)
+    _next_token: int = field(default=0, repr=False, compare=False)
 
     TOLERANCE = 1e-9
 
-    def spend(self, epsilon: float, label: str) -> None:
+    def spend(self, epsilon: float, label: str) -> int:
         """Record a sequentially-composed charge of ``epsilon``.
 
         The cap check and the append are one atomic step under the internal
         lock, so parallel spenders cannot interleave past the limit.
+
+        Returns an opaque token identifying *this* charge, accepted by
+        :meth:`refund` — the only safe way to roll back a reservation when
+        other charges may share its label.
         """
         eps = check_epsilon(epsilon, name=f"charge {label!r}")
         with self._lock:
             self._check_cap(eps, f"charge {label!r}")
-            self._charges.append(Charge(label, eps, "sequential"))
+            return self._append(Charge(label, eps, "sequential"))
 
-    def parallel(self, epsilons: list[float], label: str) -> None:
+    def parallel(self, epsilons: list[float], label: str) -> int:
         """Record charges against *disjoint* partitions; only max(eps) counts.
 
         This implements parallel composition (Proposition 2.7): mechanisms
         applied to disjoint subsets of the input domain jointly satisfy
         ``max_i eps_i``-DP.  Callers are responsible for the disjointness
         claim (e.g. per-cluster histograms in Algorithm 2, Line 16).
+
+        Returns a refund token, as :meth:`spend` does.
         """
         if not epsilons:
             raise BudgetError(f"parallel charge {label!r} needs at least one epsilon")
         eps = max(check_epsilon(e, name=f"parallel charge {label!r}") for e in epsilons)
         with self._lock:
             self._check_cap(eps, f"parallel charge {label!r}")
-            self._charges.append(Charge(label, eps, "parallel-group"))
+            return self._append(Charge(label, eps, "parallel-group"))
+
+    def _append(self, charge: Charge) -> int:
+        """Append a charge and mint its token.  Caller holds the lock."""
+        token = self._next_token
+        self._next_token += 1
+        self._charges.append(charge)
+        self._tokens.append(token)
+        return token
 
     def _check_cap(self, eps: float, what: str) -> None:
         """Raise if ``eps`` more would exceed the limit.  Caller holds the lock."""
@@ -130,19 +151,38 @@ class PrivacyAccountant:
             lines.append(f"  {c.label:<40s} eps={c.epsilon:<10.6g} [{c.composition}]")
         return "\n".join(lines)
 
-    def refund_last(self, label: str) -> None:
-        """Remove the most recent charge with ``label`` (failure refund).
+    def refund(self, token: int) -> None:
+        """Remove the exact charge that :meth:`spend` minted ``token`` for.
 
         For infrastructure that charges *before* running a mechanism (the
         explanation service's atomic reserve-then-compute): when the
         computation fails before any data-dependent output is produced, no
-        privacy was consumed and the reservation is rolled back.  Never
+        privacy was consumed and the reservation is rolled back.  Refunding
+        by token cannot touch any other charge, even one with an identical
+        label (same dataset+seed under a different epsilon config).  Never
         call this after a release has been observed.
+        """
+        with self._lock:
+            try:
+                i = self._tokens.index(token)
+            except ValueError:
+                raise BudgetError(f"no charge with token {token!r} to refund") from None
+            del self._charges[i]
+            del self._tokens[i]
+
+    def refund_last(self, label: str) -> None:
+        """Remove the most recent charge with ``label`` (failure refund).
+
+        Prefer :meth:`refund` with the token returned by :meth:`spend`
+        whenever distinct charges can share a label — label matching removes
+        whichever matching charge is most recent, which may not be yours.
+        Never call this after a release has been observed.
         """
         with self._lock:
             for i in range(len(self._charges) - 1, -1, -1):
                 if self._charges[i].label == label:
                     del self._charges[i]
+                    del self._tokens[i]
                     return
         raise BudgetError(f"no charge labelled {label!r} to refund")
 
@@ -189,6 +229,10 @@ class PrivacyAccountant:
         with self._lock:
             self.limit = None if limit is None else float(limit)
             self._charges[:] = charges
+            # Restored charges get fresh tokens; any token minted before the
+            # restore refers to a charge that no longer exists.
+            self._tokens = [self._next_token + i for i in range(len(charges))]
+            self._next_token += len(charges)
 
     @classmethod
     def from_snapshot(cls, state: Mapping) -> "PrivacyAccountant":

@@ -16,13 +16,29 @@ dependency-free constraint.  Endpoints:
 ``ThreadingHTTPServer`` gives one handler thread per connection; handlers
 just submit into the service, so concurrent posts still coalesce into
 batched engine calls.
+
+.. warning:: **No authentication — localhost demo scope only.**
+
+   Tenant identity is entirely caller-asserted: whatever ``tenant`` string
+   a ``POST /v1/explain`` body names is the ledger that gets charged, and
+   ``GET /v1/ledger/<tenant>`` returns any tenant's spend history.  That is
+   fine for the single-user demo this server exists for (it binds to
+   ``127.0.0.1`` by default, and :func:`serve_forever` warns loudly on any
+   non-loopback bind), but it means one client can drain another tenant's
+   privacy budget or read their ledger.  Do **not** expose this server
+   beyond loopback without putting real authentication in front of it —
+   e.g. a reverse proxy mapping per-tenant API keys to the ``tenant``
+   field, so callers can no longer choose their own identity.
 """
 
 from __future__ import annotations
 
+import ipaddress
 import json
 
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
 
 from .registry import ServiceError
 from .service import ExplainRequest, ExplanationService
@@ -81,7 +97,9 @@ class ExplanationHandler(BaseHTTPRequestHandler):
                     {"datasets": [e.describe() for e in service.registry.datasets()]},
                 )
             elif self.path.startswith("/v1/ledger/"):
-                tenant_id = self.path[len("/v1/ledger/") :]
+                # Tenant ids are arbitrary strings; the URL path carries
+                # them percent-encoded ("a b" → /v1/ledger/a%20b).
+                tenant_id = unquote(self.path[len("/v1/ledger/") :])
                 tenant = service.registry.tenant(tenant_id)
                 self._send_json(200, tenant.describe())
             else:
@@ -106,7 +124,14 @@ class ExplanationHandler(BaseHTTPRequestHandler):
                     400, "invalid-request", f"bad JSON: {exc}"
                 ) from None
             request = ExplainRequest.from_json(body)
-            envelope = service.explain(request)
+            try:
+                envelope = service.explain(request)
+            except FuturesTimeoutError:
+                raise ServiceError(
+                    504,
+                    "timeout",
+                    "the explanation did not complete in time; retry",
+                ) from None
             self._send_json(envelope["code"], envelope)
         except ServiceError as exc:
             self._send_error_envelope(exc)
@@ -119,6 +144,20 @@ def make_server(
     return ServiceHTTPServer((host, port), service)
 
 
+def is_loopback_host(host: str) -> bool:
+    """True when ``host`` can only be reached from this machine.
+
+    Unrecognised names (including ``""``, which binds all interfaces) count
+    as non-loopback, so the warning errs on the loud side.
+    """
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
+
+
 def serve_forever(
     service: ExplanationService, host: str = "127.0.0.1", port: int = 8080
 ) -> None:  # pragma: no cover - interactive entry point
@@ -127,6 +166,14 @@ def serve_forever(
     bound_host, bound_port = server.server_address[:2]
     print(f"explanation service listening on http://{bound_host}:{bound_port}")
     print("  POST /v1/explain   GET /v1/stats  /v1/ledger/<tenant>  /healthz")
+    if not is_loopback_host(host):
+        print(
+            f"WARNING: binding to {host!r} exposes the service beyond this "
+            "machine, but tenant identity is caller-asserted (no "
+            "authentication): any client can charge any tenant's privacy "
+            "ledger or read it via /v1/ledger/<tenant>.  This server is a "
+            "localhost demo; front it with real auth before remote use."
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

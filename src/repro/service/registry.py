@@ -24,6 +24,8 @@ import json
 import os
 import threading
 
+from urllib.parse import quote
+
 from ..clustering.base import ClusteringFunction
 from ..core.counts import ClusteredCounts
 from ..dataset.table import Dataset
@@ -112,21 +114,28 @@ class Tenant:
     def restore(self, state: dict) -> None:
         """Replace the ledgers with a :meth:`snapshot` (reload path).
 
-        Every ledger is replayed against the *tenant's* ``budget_limit``,
-        not the limit recorded inside the ledger snapshot — a stale or
-        tampered per-dataset ``limit`` field cannot widen the cap (the same
-        defense as ``PrivateAnalysisSession.restore_ledger``).
+        Every ledger is replayed against the *tenant's own*
+        ``budget_limit`` — the snapshot's top-level ``budget_limit`` and
+        any per-dataset ``limit`` fields are ignored, so restoring a
+        snapshot can never widen an *existing* tenant's cap (the same
+        defense as ``PrivateAnalysisSession.restore_ledger``).  A snapshot
+        whose charges exceed this tenant's cap raises
+        :class:`~repro.privacy.budget.BudgetError` and leaves the tenant
+        unchanged.  ``self.budget_limit`` is never modified here.
+
+        Scope of the guarantee: on the service-restart path there is no
+        pre-existing tenant, so ``_load_ledgers`` necessarily takes the cap
+        from the ledger file itself when constructing the :class:`Tenant` —
+        the ledger directory is the system of record for caps across
+        restarts and must live on trusted storage (see ``_load_ledgers``).
         """
-        limit = check_epsilon(
-            state.get("budget_limit", self.budget_limit), name="budget_limit"
-        )
+        limit = self.budget_limit
         accountants = {}
         for dataset_id, ledger in state.get("ledgers", {}).items():
             replayed = dict(ledger)
             replayed["limit"] = limit
             accountants[str(dataset_id)] = PrivacyAccountant.from_snapshot(replayed)
         with self._lock:
-            self.budget_limit = limit
             self._accountants = accountants
 
     def describe(self) -> dict:
@@ -222,9 +231,11 @@ class ServiceRegistry:
     # -- persistence ----------------------------------------------------- #
 
     def _ledger_path(self, tenant_id: str) -> str:
-        # Tenant ids become file names; keep them path-safe.
-        safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in tenant_id)
-        return os.path.join(self.ledger_dir, f"{safe}.json")
+        # Tenant ids become file names via percent-encoding — a *bijective*
+        # mapping, so two distinct ids ('team a' vs 'team_a') can never
+        # collide on one file and silently clobber each other's persisted
+        # privacy spend.
+        return os.path.join(self.ledger_dir, f"{quote(tenant_id, safe='')}.json")
 
     def persist_tenant(self, tenant: Tenant) -> None:
         """Crash-safe write of one tenant's ledgers (no-op without a dir).
@@ -249,7 +260,19 @@ class ServiceRegistry:
             self.persist_tenant(tenant)
 
     def _load_ledgers(self) -> None:
-        """Reload every persisted tenant ledger (service restart path)."""
+        """Reload every persisted tenant ledger (service restart path).
+
+        The tenant's cap is taken from the file's top-level
+        ``budget_limit`` — after a restart the ledger directory is the only
+        record of what each tenant was provisioned with, so it is trusted
+        by construction.  Anyone who can edit these files can rewrite caps
+        and charges alike; keep ``ledger_dir`` on storage with the same
+        integrity protections as the service itself.  (What the loader
+        *does* defend against: per-dataset ``limit`` fields disagreeing
+        with the tenant cap — :meth:`Tenant.restore` ignores them — and
+        files whose charges exceed their own declared cap, which fail the
+        replay and refuse to load.)
+        """
         for name in sorted(os.listdir(self.ledger_dir)):
             if not name.endswith(".json"):
                 continue  # *.tmp partials from a crash mid-write, etc.

@@ -32,6 +32,7 @@ requests from many tenants over registered datasets.  A request's lifecycle:
 from __future__ import annotations
 
 import threading
+import time
 
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -68,6 +69,13 @@ class ExplainRequest:
     weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
     seed: int = 0
     explainer: str = "DPClustX"
+
+    def __post_init__(self) -> None:
+        # Programmatic callers naturally pass weights as a list; normalise
+        # to a tuple so cache_key()/engine_key() stay hashable.  Anything
+        # else (wrong arity, non-floats) is rejected by validated().
+        if isinstance(self.weights, list):
+            object.__setattr__(self, "weights", tuple(self.weights))
 
     @classmethod
     def from_json(cls, body: Mapping) -> "ExplainRequest":
@@ -125,10 +133,20 @@ class ExplainRequest:
                 "invalid-request",
                 f"unknown explainer {self.explainer!r}; supported: {_EXPLAINERS}",
             )
+        if (
+            not isinstance(self.weights, (tuple, list))
+            or len(self.weights) != 3
+        ):
+            raise ServiceError(
+                400,
+                "invalid-request",
+                f"weights must be a sequence of three floats, "
+                f"got {self.weights!r}",
+            )
         try:
             self.budget()
             self.weights_obj()
-        except (BudgetError, ValueError) as exc:
+        except (BudgetError, TypeError, ValueError) as exc:
             raise ServiceError(400, "invalid-request", str(exc)) from None
         if self.n_candidates < 1:
             raise ServiceError(400, "invalid-request", "n_candidates must be >= 1")
@@ -297,7 +315,14 @@ class ExplanationService:
     # -- registry passthroughs ------------------------------------------ #
 
     def register_dataset(self, dataset_id, dataset, clustering, n_clusters=None):
-        """Register/replace a dataset and evict the old version's releases."""
+        """Register/replace a dataset and evict the old version's releases.
+
+        The release identity is the (fingerprint, signature) pair, so a
+        replacement that keeps the data but changes the clustering (same
+        fingerprint, new signature) also orphans every old cache entry —
+        evict on any change of the pair, not just the fingerprint, or dead
+        entries would squat in LRU slots crowding out live releases.
+        """
         try:
             old = self.registry.dataset(dataset_id)
         except ServiceError:
@@ -305,7 +330,10 @@ class ExplanationService:
         entry = self.registry.register_dataset(
             dataset_id, dataset, clustering, n_clusters
         )
-        if old is not None and old.fingerprint != entry.fingerprint:
+        if old is not None and (old.fingerprint, old.signature) != (
+            entry.fingerprint,
+            entry.signature,
+        ):
             self.cache.invalidate_fingerprint(old.fingerprint)
         return entry
 
@@ -439,14 +467,16 @@ class ExplanationService:
 
         # Claim each missing key or defer to the worker already computing
         # it; never block while holding claims (no crossed waits).
-        claimed: "list[tuple[tuple, list[_Pending]]]" = []
+        claimed: "list[tuple[tuple, list[_Pending], threading.Event]]" = []
         deferred: "list[tuple[tuple, list[_Pending]]]" = []
         for key, group in groups.items():
             cached = self.cache.get(key)
             if cached is not None:
                 self._resolve_hits(group, cached)
-            elif self._try_claim(key) is None:
-                claimed.append((key, group))
+                continue
+            acquired, event = self._try_claim(key)
+            if acquired:
+                claimed.append((key, group, event))
             else:
                 deferred.append((key, group))
 
@@ -459,41 +489,45 @@ class ExplanationService:
         self,
         entry: DatasetEntry,
         explainer: DPClustX,
-        items: "list[tuple[tuple, list[_Pending]]]",
+        items: "list[tuple[tuple, list[_Pending], threading.Event]]",
     ) -> None:
         """Fund and compute claimed release groups in one batched pass.
 
         Budget is *reserved* before the engine runs (the atomic
         check-and-charge is what makes caps unbreakable under concurrency)
         and rolled back via
-        :meth:`~repro.privacy.budget.PrivacyAccountant.refund_last` if the
-        engine fails before producing a release — a failed request must not
-        burn its tenant's budget.  Claims are always released.
+        :meth:`~repro.privacy.budget.PrivacyAccountant.refund` — by the
+        charge token :meth:`~repro.privacy.budget.PrivacyAccountant.spend`
+        returned at reservation time, so a failed batch can only ever remove
+        its *own* reservations, never another request's recorded release
+        (two requests may share a label: same dataset+seed, different
+        epsilon config).  A failed request must not burn its tenant's
+        budget.  Claims are always released.
         """
         try:
-            funded: "list[tuple[tuple, list[_Pending], _Pending, Tenant]]" = []
-            for key, group in items:
-                payer, tenant = self._fund_group(group)
+            funded: "list[tuple[tuple, list[_Pending], _Pending, Tenant, int]]" = []
+            for key, group, _ in items:
+                payer, tenant, charge_token = self._fund_group(group)
                 if payer is not None:
-                    funded.append((key, group, payer, tenant))
+                    funded.append((key, group, payer, tenant, charge_token))
             if not funded:
                 return
 
             self.stats.incr("engine_calls")
-            seeds = [payer.request.seed for _, _, payer, _ in funded]
+            seeds = [payer.request.seed for _, _, payer, _, _ in funded]
             try:
                 explanations = explain_batched(
                     explainer, entry.counts, seeds, context=entry.context
                 )
             except Exception:
-                for key, group, payer, tenant in funded:
+                for key, group, payer, tenant, charge_token in funded:
                     accountant = tenant.accountant(payer.request.dataset)
-                    accountant.refund_last(self._charge_label(payer.request))
+                    accountant.refund(charge_token)
                     self.registry.persist_tenant(tenant)
                 raise  # _execute_batch resolves the futures with a 500
 
             self.stats.incr("releases", len(funded))
-            for (key, group, payer, tenant), explanation in zip(
+            for (key, group, payer, tenant, _), explanation in zip(
                 funded, explanations
             ):
                 payload = explanation_payload(payer.request, entry, explanation)
@@ -521,8 +555,18 @@ class ExplanationService:
                             self._ok_envelope(p.request, cache_entry, "coalesced", 0.0)
                         )
         finally:
-            for key, _ in items:
-                self._release_claim(key)
+            for key, _, claim_event in items:
+                self._release_claim(key, claim_event)
+
+    # A deferred group waits at most DEFERRED_TIMEOUT_SECONDS of *elapsed*
+    # time for the claim owner before giving up with a 503 — a wedged owner
+    # must not pin a worker thread (and its callers' futures) forever.  The
+    # total is deliberately below explain()'s default 60s future timeout so
+    # the structured 503 reaches HTTP callers before the blunt 504 does.
+    # DEFERRED_WAIT_SECONDS only paces the cache re-probes within that
+    # deadline.
+    DEFERRED_TIMEOUT_SECONDS = 45.0
+    DEFERRED_WAIT_SECONDS = 5.0
 
     def _serve_deferred(
         self,
@@ -535,66 +579,127 @@ class ExplanationService:
 
         Normally the owner fills the cache and this resolves as hits; if
         the owner failed (or its payer was refused), the first waiter to
-        re-claim computes the release itself.
+        re-claim computes the release itself.  The wait is bounded by a
+        monotonic deadline (not a wake-up count, so early event churn
+        cannot shorten it); when it expires the *stale claim is evicted* —
+        otherwise a dead owner would wedge the key forever, with every
+        retry pinning a worker for the full timeout — and the group
+        resolves with a 503-style envelope.  Evicting a claim whose owner
+        is merely slow can at worst charge the same release twice, which
+        overcounts spend: safe in the privacy direction.
         """
+        deadline = time.monotonic() + self.DEFERRED_TIMEOUT_SECONDS
         while True:
             cached = self.cache.get(key)
             if cached is not None:
                 self._resolve_hits(group, cached)
                 return
-            event = self._try_claim(key)
-            if event is None:
-                self._compute_groups(entry, explainer, [(key, group)])
+            acquired, event = self._try_claim(key)
+            if acquired:
+                self._compute_groups(entry, explainer, [(key, group, event)])
                 return
-            event.wait(timeout=60.0)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            event.wait(timeout=min(remaining, self.DEFERRED_WAIT_SECONDS))
+        # Deadline expired on a still-claimed key: evict the stale claim so
+        # later requests can re-claim, wake any other waiters to re-probe,
+        # and give the cache one last look (the owner may have finished as
+        # the deadline ran out).
+        with self._inflight_lock:
+            if self._inflight.get(key) is event:
+                del self._inflight[key]
+        event.set()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._resolve_hits(group, cached)
+            return
+        self.stats.incr("errors")
+        envelope = self._error_envelope(
+            ServiceError(
+                503,
+                "release-timeout",
+                "timed out waiting for another worker's in-flight release "
+                "of the same request; retry",
+            )
+        )
+        for p in group:
+            p.resolve(envelope)
 
     def _resolve_hits(self, group: "list[_Pending]", cached: CacheEntry) -> None:
         for p in group:
             self.stats.incr("cache_hits")
             p.resolve(self._ok_envelope(p.request, cached, "hit", 0.0))
 
-    def _try_claim(self, key: tuple) -> "threading.Event | None":
-        """Claim ``key`` for this worker (``None``) or return the owner's event."""
+    def _try_claim(self, key: tuple) -> "tuple[bool, threading.Event]":
+        """Claim ``key`` for this worker.
+
+        Returns ``(True, our_event)`` when the claim was acquired (the
+        caller must eventually :meth:`_release_claim` that exact event) or
+        ``(False, owner_event)`` to wait on the current owner.
+        """
         with self._inflight_lock:
             event = self._inflight.get(key)
             if event is None:
-                self._inflight[key] = threading.Event()
-                return None
-            return event
+                event = threading.Event()
+                self._inflight[key] = event
+                return True, event
+            return False, event
 
-    def _release_claim(self, key: tuple) -> None:
+    def _release_claim(self, key: tuple, event: threading.Event) -> None:
+        """Release our claim on ``key`` and wake its waiters.
+
+        Only removes the in-flight entry if it is still *our* event — a
+        timed-out waiter may have evicted the claim and a third worker
+        re-claimed the key, and their claim must not be torn down mid-compute.
+        """
         with self._inflight_lock:
-            event = self._inflight.pop(key, None)
-        if event is not None:
-            event.set()
+            if self._inflight.get(key) is event:
+                del self._inflight[key]
+        event.set()
 
     @staticmethod
     def _charge_label(request: ExplainRequest) -> str:
+        """The ledger line for one release: the full release identity.
+
+        Refunds go by charge token, not by this label, so the label is pure
+        audit trail — but it still records every parameter that makes the
+        release distinct (the eps triple, n_candidates, weights), so a human
+        reading the persisted ledger can tell two same-seed charges apart.
+        """
         return (
             f"service: {request.explainer} dataset={request.dataset} "
-            f"seed={request.seed}"
+            f"seed={request.seed} "
+            f"eps=({request.eps_cand_set},{request.eps_top_comb},"
+            f"{request.eps_hist}) k={request.n_candidates} "
+            f"w={request.weights}"
         )
 
     def _fund_group(
         self, group: "list[_Pending]"
-    ) -> "tuple[_Pending | None, Tenant | None]":
+    ) -> "tuple[_Pending | None, Tenant | None, int | None]":
         """Charge the first requester whose ledger can afford the release.
 
         Requesters refused along the way get their 429 envelope immediately;
         the accountant's atomic check-and-charge is what makes the cap
-        unbreakable under concurrent batches.
+        unbreakable under concurrent batches.  Returns the payer, its
+        tenant, and the charge token to :meth:`refund
+        <repro.privacy.budget.PrivacyAccountant.refund>` by on engine
+        failure.
         """
         for p in group:
             request = p.request
             tenant = self.registry.tenant(request.tenant, self.auto_tenant_budget)
             accountant = tenant.accountant(request.dataset)
             try:
-                accountant.spend(request.epsilon_total, self._charge_label(request))
-                return p, tenant
+                token = accountant.spend(
+                    request.epsilon_total, self._charge_label(request)
+                )
+                return p, tenant, token
             except BudgetError as exc:
                 self.stats.incr("refused")
                 p.resolve(self._refusal_envelope(request, accountant, exc))
-        return None, None
+        return None, None, None
 
     # -- envelopes -------------------------------------------------------- #
 

@@ -136,6 +136,63 @@ class TestRefundLast:
             PrivacyAccountant().refund_last("never-charged")
 
 
+class TestTokenRefund:
+    """Refund-by-token removes the exact reserved charge, never a lookalike."""
+
+    def test_spend_returns_distinct_tokens(self):
+        acc = PrivacyAccountant()
+        tokens = [acc.spend(0.1, "same-label") for _ in range(3)]
+        assert len(set(tokens)) == 3
+
+    def test_refund_by_token_restores_the_room(self):
+        acc = PrivacyAccountant(limit=0.5)
+        token = acc.spend(0.3, "a")
+        acc.refund(token)
+        assert acc.total() == pytest.approx(0.0)
+        acc.spend(0.5, "b")  # full cap is available again
+
+    def test_refund_targets_its_own_charge_among_equal_labels(self):
+        """The review scenario: two charges share a label (same dataset+seed,
+        different epsilon configs); refunding the first must not delete the
+        second — the recorded release with the *other* epsilon."""
+        acc = PrivacyAccountant()
+        first = acc.spend(0.1, "service: dataset=d seed=0")
+        acc.spend(0.4, "service: dataset=d seed=0")
+        acc.refund(first)
+        assert [c.epsilon for c in acc] == [pytest.approx(0.4)]
+
+    def test_refund_same_token_twice_raises(self):
+        acc = PrivacyAccountant()
+        token = acc.spend(0.1, "x")
+        acc.refund(token)
+        with pytest.raises(BudgetError, match="refund"):
+            acc.refund(token)
+
+    def test_parallel_charge_is_refundable_by_token(self):
+        acc = PrivacyAccountant()
+        token = acc.parallel([0.1, 0.2], "p")
+        acc.refund(token)
+        assert acc.total() == pytest.approx(0.0)
+
+    def test_tokens_from_before_a_restore_are_invalid(self):
+        acc = PrivacyAccountant(limit=1.0)
+        stale = acc.spend(0.2, "old")
+        acc.restore({"limit": 1.0, "charges": [
+            {"label": "new", "epsilon": 0.2, "composition": "sequential"}
+        ]})
+        with pytest.raises(BudgetError, match="refund"):
+            acc.refund(stale)
+        assert acc.total() == pytest.approx(0.2)
+
+    def test_refund_last_keeps_token_alignment(self):
+        acc = PrivacyAccountant()
+        first = acc.spend(0.1, "x")
+        acc.spend(0.2, "x")
+        acc.refund_last("x")  # removes the 0.2 charge
+        acc.refund(first)  # token still maps to the right row
+        assert acc.total() == pytest.approx(0.0)
+
+
 class TestSnapshotRestore:
     def test_roundtrip(self):
         acc = PrivacyAccountant(limit=1.0)

@@ -64,6 +64,19 @@ class TestDatasetFingerprint:
         )
         assert relabeled.fingerprint() != dataset.fingerprint()
 
+    def test_separator_lookalike_domains_hash_differently(self):
+        """The encoding is length-prefixed, so a domain value containing a
+        would-be separator byte cannot collide with the split-up domain
+        (['a\\x1fb'] vs ['a', 'b'] under the old in-band \\x1f scheme)."""
+        codes = np.zeros(4, dtype=np.int64)
+        joined = Dataset(
+            Schema.from_domains({"x": ("a\x1fb",)}), {"x": codes}
+        )
+        split = Dataset(
+            Schema.from_domains({"x": ("a", "b")}), {"x": codes}
+        )
+        assert joined.fingerprint() != split.fingerprint()
+
     def test_attribute_name_change_changes_fingerprint(self, dataset):
         renamed_schema = Schema(
             (

@@ -128,6 +128,9 @@ class TestRequestValidation:
             {"tenant": 123},
             {"dataset": ""},
             {"n_candidates": 99},  # exceeds the attribute count
+            {"weights": (0.25, 0.25, 0.25, 0.25)},  # wrong arity (JSON shape)
+            {"weights": (0.5, 0.5)},
+            {"weights": "uniform"},
         ],
     )
     def test_malformed_request_refused_without_burning_budget(
@@ -232,6 +235,42 @@ class TestCacheSemantics:
         fresh = client.explain(seed=0)
         assert fresh["meta"]["cache"] == "miss"
         assert fresh["result"]["fingerprint"] == rebinned.fingerprint()
+
+    def test_reregistering_new_clustering_same_data_invalidates(
+        self, dataset, clustering
+    ):
+        """Same data + new clustering keeps the fingerprint but changes the
+        signature: the old entries are unreachable and must be evicted, not
+        left squatting in LRU slots."""
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 5.0)
+        client = ServiceClient(service, "alice", "diabetes")
+        client.explain(seed=0)
+        assert len(service.cache) == 1
+
+        relabeled = (clustering.assign(dataset) + 1) % clustering.n_clusters
+        entry = service.register_dataset(
+            "diabetes", dataset, relabeled, n_clusters=clustering.n_clusters
+        )
+        assert entry.fingerprint == dataset.fingerprint()  # data unchanged
+        assert len(service.cache) == 0  # ...but the releases are orphaned
+        fresh = client.explain(seed=0)
+        assert fresh["meta"]["cache"] == "miss"
+
+    def test_list_weights_accepted_programmatically(self, dataset, clustering):
+        """Python callers naturally pass weights as a list; it must be
+        normalised to a hashable tuple, not crash cache_key()."""
+        service = make_service(dataset, clustering)
+        service.create_tenant("alice", 1.0)
+        envelope = service.explain(
+            ExplainRequest(
+                tenant="alice",
+                dataset="diabetes",
+                weights=[0.5, 0.25, 0.25],
+            )
+        )
+        assert envelope["status"] == "ok"
+        assert envelope["result"]["weights"] == [0.5, 0.25, 0.25]
 
 
 class TestCoalescing:
@@ -350,6 +389,66 @@ class TestBudgetEnforcement:
         retry = service.explain(ExplainRequest(tenant="t", dataset="diabetes", seed=0))
         assert retry["status"] == "ok"  # budget intact, key re-claimable
 
+    def test_failed_refund_spares_other_eps_config_same_seed(
+        self, dataset, clustering, monkeypatch
+    ):
+        """The review scenario: one tenant, same dataset+seed, two epsilon
+        configs (a typical eps sweep).  When the second config's engine call
+        fails, the refund must remove *that* reservation — not the first
+        config's recorded (and served!) release, which would leave a real DP
+        release unaccounted for."""
+        import repro.service.service as service_module
+
+        service = make_service(dataset, clustering)
+        service.create_tenant("t", 5.0)
+        client = ServiceClient(service, "t", "diabetes")
+
+        ok = client.explain(seed=0)  # eps_hist=0.1, total 0.3
+        assert ok["status"] == "ok"
+
+        real = service_module.explain_batched
+
+        def fail_big_eps(explainer, *args, **kwargs):
+            if explainer.budget.eps_hist == pytest.approx(0.2):
+                raise RuntimeError("engine exploded")
+            return real(explainer, *args, **kwargs)
+
+        monkeypatch.setattr(service_module, "explain_batched", fail_big_eps)
+        failed = client.explain(seed=0, eps_hist=0.2)  # total 0.4, will fail
+        assert failed["status"] == "error" and failed["code"] == 500
+
+        accountant = service.registry.tenant("t").accountant("diabetes")
+        # Only the failed 0.4 reservation was rolled back; the served 0.3
+        # release is still on the ledger.
+        assert accountant.total() == pytest.approx(EPS_TOTAL)
+        assert [c.epsilon for c in accountant] == [pytest.approx(EPS_TOTAL)]
+
+    def test_deferred_wait_is_bounded_and_evicts_the_stale_claim(
+        self, dataset, clustering
+    ):
+        """A wedged claim owner must not pin callers forever: after the
+        elapsed-time deadline the deferred group resolves with a 503
+        envelope, the stale claim is evicted, and a retry can re-claim the
+        key and succeed instead of wedging on it again."""
+        service = make_service(dataset, clustering)
+        service.DEFERRED_TIMEOUT_SECONDS = 0.05
+        service.DEFERRED_WAIT_SECONDS = 0.01
+        service.create_tenant("t", 1.0)
+        request = ExplainRequest(tenant="t", dataset="diabetes", seed=0)
+        entry = service.registry.dataset("diabetes")
+        # Simulate a stuck in-flight owner that never fills the cache.
+        acquired, _ = service._try_claim(request.cache_key(entry))
+        assert acquired
+        envelope = service.explain(request, timeout=30.0)
+        assert envelope["status"] == "error"
+        assert envelope["code"] == 503
+        assert envelope["error"]["reason"] == "release-timeout"
+        # Nothing was charged for the abandoned request.
+        assert service.registry.tenant("t").accountant("diabetes").total() == 0.0
+        # The stale claim was evicted, so the retry the 503 invites works.
+        retry = service.explain(request, timeout=30.0)
+        assert retry["status"] == "ok"
+
     def test_concurrent_batches_never_double_charge_one_release(
         self, dataset, clustering, monkeypatch
     ):
@@ -439,6 +538,25 @@ class TestPersistence:
         refusal = ServiceClient(reloaded, "alice", "diabetes").explain(seed=1)
         assert refusal["status"] == "refused" and refusal["code"] == 429
 
+    def test_similar_tenant_ids_never_share_a_ledger_file(
+        self, dataset, clustering, tmp_path
+    ):
+        """Filenames are percent-encoded bijectively: 'team a' and 'team_a'
+        must persist separately, or one tenant's spend silently clobbers
+        the other's and a restart resurrects the clobbered budget."""
+        service = make_service(dataset, clustering, ledger_dir=tmp_path)
+        service.create_tenant("team a", 1.0)
+        service.create_tenant("team_a", 1.0)
+        ServiceClient(service, "team a", "diabetes").explain(seed=0)
+        service.registry.persist_all()
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        reloaded = make_service(dataset, clustering, ledger_dir=tmp_path)
+        spent = reloaded.registry.tenant("team a").accountant("diabetes")
+        untouched = reloaded.registry.tenant("team_a").accountant("diabetes")
+        assert spent.total() == pytest.approx(EPS_TOTAL)
+        assert untouched.total() == 0.0
+
     def test_orphaned_tmp_files_ignored_on_reload(
         self, dataset, clustering, tmp_path
     ):
@@ -459,14 +577,15 @@ class TestPersistence:
         assert exc.value.reason == "corrupt-ledger"
 
     def test_overspent_snapshot_rejected(self):
-        tenant = Tenant("t", 1.0)
+        """Charges replay against the *tenant's* cap, which they exceed."""
+        tenant = Tenant("t", 0.1)
         with pytest.raises(Exception):
             tenant.restore(
                 {
-                    "budget_limit": 0.1,
+                    "budget_limit": 1.0,  # snapshot claims a roomier cap
                     "ledgers": {
                         "d": {
-                            "limit": 0.1,
+                            "limit": 1.0,
                             "charges": [
                                 {"label": "x", "epsilon": 0.5,
                                  "composition": "sequential"}
@@ -475,6 +594,30 @@ class TestPersistence:
                     },
                 }
             )
+
+    def test_snapshot_budget_limit_cannot_widen_the_cap(self):
+        """A tampered top-level ``budget_limit`` is ignored on restore: the
+        tenant keeps its own cap and ledgers replay against it."""
+        tenant = Tenant("t", 0.5)
+        tenant.restore(
+            {
+                "budget_limit": 100.0,  # tampered/stale
+                "ledgers": {
+                    "d": {
+                        "limit": 100.0,
+                        "charges": [
+                            {"label": "x", "epsilon": 0.4,
+                             "composition": "sequential"}
+                        ],
+                    }
+                },
+            }
+        )
+        assert tenant.budget_limit == pytest.approx(0.5)
+        accountant = tenant.accountant("d")
+        assert accountant.limit == pytest.approx(0.5)
+        with pytest.raises(Exception):
+            accountant.spend(0.2, "over")  # 0.4 + 0.2 > 0.5
 
     def test_tampered_ledger_limit_cannot_widen_the_cap(self):
         """The per-ledger ``limit`` field is ignored on restore: charges
@@ -533,6 +676,14 @@ class TestHTTP:
         assert status == 200 and envelope["status"] == "ok"
         assert envelope["result"]["combination"]
         status, ledger = self._get(server, "/v1/ledger/web")
+        assert ledger["ledgers"]["diabetes"]["spent"] == pytest.approx(EPS_TOTAL)
+
+    def test_ledger_route_decodes_percent_encoded_tenant_ids(self, server):
+        self._post(
+            server, "/v1/explain", {"tenant": "team a", "dataset": "diabetes"}
+        )
+        status, ledger = self._get(server, "/v1/ledger/team%20a")
+        assert status == 200 and ledger["tenant"] == "team a"
         assert ledger["ledgers"]["diabetes"]["spent"] == pytest.approx(EPS_TOTAL)
 
     def test_budget_refusal_maps_to_429(self, server):

@@ -13,8 +13,12 @@
 # Bench 3 replays a repeat-heavy request workload against the explanation
 # service (coalescing + fingerprint-keyed cache) vs naive per-request serial
 # execution and writes BENCH_service.json; it asserts the served payloads
-# are byte-identical to the serial path's.  All artifacts live at the repo
-# root — the perf-trajectory record across PRs.
+# are byte-identical to the serial path's.
+# Bench 4 replays a fit-once/explain-many pipeline workload (server-side DP
+# clustering + explanation) against the /v1/pipeline path vs naive
+# refit-per-request execution and writes BENCH_pipeline.json; the spec-seeded
+# fits are byte-reproducible, so it also asserts payload byte-identity.
+# All artifacts live at the repo root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 # Only src/ goes on PYTHONPATH: bench scripts run as `python benchmarks/x.py`,
@@ -84,6 +88,28 @@ assert result["exact_equal"], "service payloads diverged from the serial path"
 assert speedup >= 5.0, f"service speedup regressed below 5x: {speedup:.2f}x"
 assert result["cache_hit_ratio"] >= 0.5, (
     f"cache hit ratio collapsed: {result['cache_hit_ratio']:.2f}"
+)
+EOF
+
+echo "== pipeline benchmark (writes BENCH_pipeline.json) =="
+python benchmarks/bench_pipeline.py --out BENCH_pipeline.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_pipeline.json") as fh:
+    result = json.load(fh)
+speedup = result["speedup"]
+print(f"pipeline speedup: {speedup:.1f}x "
+      f"({result['serial_rps']:.0f} -> {result['service_rps']:.0f} req/s, "
+      f"{result['clustering_fits']} fit(s) + "
+      f"{result['clustering_cache_hits']} fitted-cache hit(s) for "
+      f"{result['total_requests']} requests), "
+      f"exact_equal={result['exact_equal']}")
+assert result["exact_equal"], "pipeline payloads diverged from the naive path"
+assert speedup >= 3.0, f"pipeline speedup regressed below 3x: {speedup:.2f}x"
+assert result["clustering_fits"] == 1, (
+    f"fit-once contract broken: {result['clustering_fits']} fits"
 )
 EOF
 echo "CI OK"

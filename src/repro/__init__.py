@@ -52,6 +52,7 @@ from .privacy import (
     OneShotTopK,
     PrivacyAccountant,
 )
+from .pipeline import ClusteringSpec, PipelineResult, PrivatePipeline
 from .session import PrivateAnalysisSession
 from .synth import census_like, diabetes_like, stackoverflow_like
 
@@ -66,6 +67,9 @@ __all__ = [
     "DPKMeans",
     "DPKModes",
     "PrivateAnalysisSession",
+    "ClusteringSpec",
+    "PipelineResult",
+    "PrivatePipeline",
     "GaussianMixture",
     "KMeans",
     "KModes",

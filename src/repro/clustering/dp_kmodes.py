@@ -69,6 +69,13 @@ class DPKModes:
         )
         for it in range(self.n_iterations):
             labels = nearest_mode(codes, modes)
+            # d sequential releases per cluster, parallel across clusters.
+            # Charged *before* any noise is drawn so an over-cap iteration
+            # raises while zero histograms have been sampled.
+            if accountant is not None:
+                accountant.parallel(
+                    [eps_hist * d] * self.n_clusters, f"dp-kmodes iter {it}"
+                )
             new_modes = modes.copy()
             for c in range(self.n_clusters):
                 members = codes[labels == c]
@@ -80,10 +87,5 @@ class DPKModes:
                     )
                     noisy = hist + mech.sample_noise(m, gen)
                     new_modes[c, j] = int(np.argmax(noisy))
-            if accountant is not None:
-                # d sequential releases per cluster, parallel across clusters.
-                accountant.parallel(
-                    [eps_hist * d] * self.n_clusters, f"dp-kmodes iter {it}"
-                )
             modes = new_modes
         return ModeBasedClustering(tuple(names), modes)

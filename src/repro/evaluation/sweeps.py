@@ -39,7 +39,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..core.counts import CountsProvider
+from ..core.counts import ClusteredCounts, CountsProvider
 from ..core.dpclustx import _MAX_COMBINATIONS, DPClustX
 from ..core.engine import scoring_engine
 from ..core.hbe import AttributeCombination
@@ -60,6 +60,8 @@ __all__ = [
     "SweepContext",
     "select_batched",
     "explain_batched",
+    "run_pipeline_batched",
+    "PipelineSweep",
     "run_trials_batched",
     "run_grid",
 ]
@@ -341,6 +343,76 @@ def explain_batched(
 
 
 # --------------------------------------------------------------------------- #
+# the batched end-to-end pipeline (fit once, explain a seed sweep)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PipelineSweep:
+    """One fitted DP clustering plus the seed sweep explained over it."""
+
+    clustering: object
+    counts: "ClusteredCounts"
+    context: SweepContext
+    explanations: list
+
+
+def run_pipeline_batched(
+    dataset,
+    spec,
+    seeds: Sequence["np.random.Generator | int | None"],
+    explainer: DPClustX | None = None,
+    accountant=None,
+) -> PipelineSweep:
+    """Fit one DP clustering and explain a whole seed sweep over it.
+
+    The fig5/fig6-style amortisation for the end-to-end private setting:
+    the clustering (a :class:`~repro.pipeline.spec.ClusteringSpec`) is
+    fitted **once** — charging ``spec.epsilon`` once, not per seed — and
+    every seed's explanation runs through :func:`explain_batched` (one
+    scoring pass, per-seed byte-identical to serial ``DPClustX.explain``).
+
+    With an ``accountant``, the fit charges iteration-wise through it and
+    each seed's ``budget.total`` is reserved *before* any explanation noise
+    is drawn; a refusal mid-reservation rolls back that call's own
+    reservations by token, so a partially-affordable sweep leaves the
+    ledger exactly as it found it (the already-released fit stays charged).
+    """
+    from ..pipeline.spec import ClusteringSpec  # local: keep layering acyclic
+
+    if not isinstance(spec, ClusteringSpec):
+        raise TypeError(f"spec must be a ClusteringSpec, got {spec!r}")
+    spec = spec.validated()
+    explainer = explainer or DPClustX()
+    clustering = spec.fit(dataset, accountant=accountant)
+    counts = ClusteredCounts(dataset, clustering)
+    ctx = SweepContext(counts)
+    tokens: "list[int]" = []
+    try:
+        if accountant is not None:
+            for i, seed in enumerate(seeds):
+                tag = seed if isinstance(seed, int) else f"rng[{i}]"
+                tokens.append(
+                    accountant.spend(
+                        explainer.budget.total,
+                        f"pipeline explain {spec.slug()} seed={tag} "
+                        f"eps=({explainer.budget.eps_cand_set},"
+                        f"{explainer.budget.eps_top_comb},"
+                        f"{explainer.budget.eps_hist})",
+                    )
+                )
+        explanations = explain_batched(explainer, counts, seeds, context=ctx)
+    except Exception:
+        # A refused reservation *or* an engine failure rolls back this
+        # call's own reservations (nothing was released); the already-
+        # released fit stays charged.
+        for token in tokens:
+            accountant.refund(token)
+        raise
+    return PipelineSweep(clustering, counts, ctx, explanations)
+
+
+# --------------------------------------------------------------------------- #
 # the batched trial runner
 # --------------------------------------------------------------------------- #
 
@@ -414,13 +486,14 @@ class _GridTask:
 
 def _run_grid_task(task: _GridTask) -> list[dict]:
     """Worker: all epsilon points of one (dataset, method) cell."""
-    from ..experiments.common import clustered_counts
+    from ..experiments.common import clustered_counts, clustering_epsilon_for
     from .runner import make_selectors
 
     counts = clustered_counts(
         task.dataset, task.method, task.config, task.n_clusters
     )
     ctx = SweepContext(counts)
+    clustering_eps = clustering_epsilon_for(task.method)
     rows: list[dict] = []
     for eps in task.eps_grid:
         selectors = make_selectors(eps, task.config.n_candidates)
@@ -442,6 +515,11 @@ def _run_grid_task(task: _GridTask) -> list[dict]:
                     "dataset": task.dataset,
                     "method": task.method,
                     "epsilon": eps,
+                    # The clustering's own DP spend and the end-to-end
+                    # epsilon: "epsilon" alone is only the selection budget
+                    # and understates the privacy cost of DP-k-means cells.
+                    "clustering_epsilon": clustering_eps,
+                    "epsilon_total": eps + clustering_eps,
                     "explainer": r.explainer,
                     "quality": r.quality_mean,
                     "quality_std": r.quality_std,

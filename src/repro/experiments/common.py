@@ -147,6 +147,17 @@ def clustered_counts(
     )
 
 
+def clustering_epsilon_for(method: str) -> float:
+    """The DP spend of the *clustering* step itself for one method.
+
+    Only DP-k-means consumes privacy budget while clustering
+    (``DP_KMEANS_EPSILON``, Section 6.1); the other four methods are
+    non-private and cost 0.  Emitted per result row so the figures report
+    the real end-to-end epsilon, not just the explanation's share.
+    """
+    return DP_KMEANS_EPSILON if method == "DP-k-means" else 0.0
+
+
 def methods_for(dataset_name: str, methods: tuple[str, ...]) -> tuple[str, ...]:
     """Agglomerative is skipped on Census (Section 6.1's scalability note)."""
     if dataset_name == "Census":

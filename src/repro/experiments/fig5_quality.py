@@ -17,7 +17,17 @@ from ..evaluation.runner import format_results_table
 from ..evaluation.sweeps import run_grid
 from .common import ExperimentConfig
 
-COLUMNS = ("dataset", "method", "epsilon", "explainer", "quality", "quality_std", "mae")
+COLUMNS = (
+    "dataset",
+    "method",
+    "epsilon",
+    "clustering_epsilon",
+    "epsilon_total",
+    "explainer",
+    "quality",
+    "quality_std",
+    "mae",
+)
 
 
 def run(

@@ -15,7 +15,15 @@ from ..evaluation.runner import format_results_table
 from ..evaluation.sweeps import run_grid
 from .common import ExperimentConfig
 
-COLUMNS = ("dataset", "method", "epsilon", "explainer", "mae")
+COLUMNS = (
+    "dataset",
+    "method",
+    "epsilon",
+    "clustering_epsilon",
+    "epsilon_total",
+    "explainer",
+    "mae",
+)
 DP_EXPLAINERS = ("DPClustX", "DP-TabEE", "DP-Naive")
 
 

@@ -1,0 +1,109 @@
+"""Fitted-clustering cache: fit once, explain many, charge once.
+
+A DP-fitted clustering (noisy centers / modes) is itself a released object:
+once its epsilon has been paid, re-deriving anything from it — including
+running the whole explanation stage again with a different seed — is
+post-processing and free (Proposition 2.7).  :class:`FittedClusteringCache`
+memoises fitted clusterings keyed by
+``ClusteringSpec.cache_key(Dataset.fingerprint())`` =
+``(fingerprint, method, n_clusters, epsilon, n_iterations, seed)``,
+so repeat pipeline requests naming the same fit reuse it with **zero**
+additional clustering charge.
+
+The soundness of the key rests on two facts pinned by tests:
+
+* :meth:`~repro.pipeline.spec.ClusteringSpec.fit` is byte-reproducible
+  given the spec seed, so a cache hit serves exactly what a refit would
+  release — an eviction (LRU pressure, re-registration) can at worst cause
+  a re-charge for the identical release, which overcounts spend: safe in
+  the privacy direction;
+* the dataset fingerprint covers schema, domains, and content, so a
+  changed dataset can never alias a stale fit.
+
+Like the explanation cache, keys lead with the dataset fingerprint so a
+re-registered dataset id can drop its orphaned fits via
+:meth:`FittedClusteringCache.invalidate_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from collections import OrderedDict
+
+FittedKey = tuple
+
+
+class FittedClusteringCache:
+    """Thread-safe LRU cache of fitted (released) clusterings.
+
+    ``on_evict(key, entry)``, when given, fires for entries pushed out by
+    **LRU pressure** (not for explicit ``remove``/``invalidate``/``clear``,
+    whose callers already know what they dropped).  The explanation
+    service uses it to drop the fit's derived registry entry alongside, so
+    the registry can never become an unbounded shadow store of fits the
+    cache already let go.  Callbacks run outside the cache lock.
+    """
+
+    def __init__(self, max_entries: int = 64, on_evict=None):
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self._max = int(max_entries)
+        self._on_evict = on_evict
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[FittedKey, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: FittedKey):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: FittedKey, entry) -> None:
+        evicted: "list[tuple[FittedKey, object]]" = []
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max:
+                evicted.append(self._entries.popitem(last=False))
+        if self._on_evict is not None:
+            for k, e in evicted:
+                self._on_evict(k, e)
+
+    def remove(self, key: FittedKey) -> bool:
+        """Drop one entry by key (no ``on_evict``); True if it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Evict every fit over the given dataset fingerprint; return count."""
+        with self._lock:
+            stale = [k for k in self._entries if k and k[0] == fingerprint]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": (self._hits / lookups) if lookups else 0.0,
+            }

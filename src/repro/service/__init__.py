@@ -30,6 +30,7 @@ from .registry import DatasetEntry, ServiceError, ServiceRegistry, Tenant
 from .service import (
     ExplainRequest,
     ExplanationService,
+    PipelineRequest,
     ServiceClient,
     explanation_payload,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "Tenant",
     "ExplainRequest",
     "ExplanationService",
+    "PipelineRequest",
     "ServiceClient",
     "explanation_payload",
 ]

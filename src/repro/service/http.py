@@ -8,6 +8,10 @@ dependency-free constraint.  Endpoints:
   :meth:`~repro.service.service.ExplainRequest.from_json`; responds with the
   service envelope, HTTP status mirroring the envelope ``code`` (200 ok,
   429 budget-exhausted, 400/404 request errors).
+* ``POST /v1/pipeline`` — JSON body per
+  :meth:`~repro.service.service.PipelineRequest.from_json`: fits a DP
+  clustering server-side (fit-once-cached) under the tenant's ledger, then
+  explains it; same envelope plus a ``"pipeline"`` block.
 * ``GET /v1/stats`` — service counters, cache stats, datasets, tenants.
 * ``GET /v1/ledger/<tenant>`` — the tenant's per-dataset budget ledgers.
 * ``GET /v1/datasets`` — registered datasets with fingerprints.
@@ -41,7 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
 
 from .registry import ServiceError
-from .service import ExplainRequest, ExplanationService
+from .service import ExplainRequest, ExplanationService, PipelineRequest
 
 MAX_BODY_BYTES = 1_000_000
 
@@ -110,7 +114,7 @@ class ExplanationHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
         try:
-            if self.path != "/v1/explain":
+            if self.path not in ("/v1/explain", "/v1/pipeline"):
                 raise ServiceError(404, "not-found", f"no route for {self.path!r}")
             length = int(self.headers.get("Content-Length") or 0)
             if length <= 0:
@@ -123,9 +127,11 @@ class ExplanationHandler(BaseHTTPRequestHandler):
                 raise ServiceError(
                     400, "invalid-request", f"bad JSON: {exc}"
                 ) from None
-            request = ExplainRequest.from_json(body)
             try:
-                envelope = service.explain(request)
+                if self.path == "/v1/pipeline":
+                    envelope = service.pipeline(PipelineRequest.from_json(body))
+                else:
+                    envelope = service.explain(ExplainRequest.from_json(body))
             except FuturesTimeoutError:
                 raise ServiceError(
                     504,
@@ -165,7 +171,10 @@ def serve_forever(
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
     print(f"explanation service listening on http://{bound_host}:{bound_port}")
-    print("  POST /v1/explain   GET /v1/stats  /v1/ledger/<tenant>  /healthz")
+    print(
+        "  POST /v1/explain  /v1/pipeline   "
+        "GET /v1/stats  /v1/ledger/<tenant>  /healthz"
+    )
     if not is_loopback_host(host):
         print(
             f"WARNING: binding to {host!r} exposes the service beyond this "

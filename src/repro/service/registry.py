@@ -43,35 +43,67 @@ class ServiceError(Exception):
 
 
 class DatasetEntry:
-    """One registered (dataset, clustering) pair plus its derived state."""
+    """One registered (dataset, clustering) pair plus its derived state.
+
+    ``clustering=None`` registers a **labels-free** dataset: the raw data
+    is admitted (it can be clustered server-side through ``/v1/pipeline``)
+    but plain ``/v1/explain`` requests are refused until a clustering
+    exists — ``counts``/``signature``/``context`` stay ``None``.
+
+    ``base_id`` names the ledger this entry's charges land in.  It defaults
+    to the entry's own id; *derived* entries — fitted server-side from a
+    labels-free base through the pipeline route — set it to the base
+    dataset's id, so clustering and explanation charges for one underlying
+    dataset share one (tenant, dataset) ledger regardless of how many
+    fitted variants exist.
+    """
 
     def __init__(
         self,
         dataset_id: str,
         dataset: Dataset,
-        clustering: "ClusteringFunction | object",
+        clustering: "ClusteringFunction | object | None" = None,
         n_clusters: int | None = None,
+        *,
+        base_id: str | None = None,
+        clustering_spec=None,
     ):
         self.dataset_id = dataset_id
         self.dataset = dataset
-        self.counts = (
-            clustering
-            if isinstance(clustering, ClusteredCounts)
-            else ClusteredCounts(dataset, clustering, n_clusters)
-        )
+        self.base_id = base_id if base_id is not None else dataset_id
+        self.clustering_spec = clustering_spec
+        if clustering is None:
+            self.counts = None
+            self.signature = None
+            self.context = None
+        else:
+            self.counts = (
+                clustering
+                if isinstance(clustering, ClusteredCounts)
+                else ClusteredCounts(dataset, clustering, n_clusters)
+            )
+            self.signature = self.counts.signature()
+            self.context = SweepContext(self.counts)
         self.fingerprint = dataset.fingerprint()
-        self.signature = self.counts.signature()
-        self.context = SweepContext(self.counts)
+
+    @property
+    def is_derived(self) -> bool:
+        return self.base_id != self.dataset_id
 
     def describe(self) -> dict:
-        return {
+        info = {
             "dataset": self.dataset_id,
             "rows": len(self.dataset),
             "attributes": list(self.dataset.schema.names),
-            "n_clusters": self.counts.n_clusters,
+            "n_clusters": self.counts.n_clusters if self.counts else None,
             "fingerprint": self.fingerprint,
             "signature": self.signature,
         }
+        if self.is_derived:
+            info["derived_from"] = self.base_id
+        if self.clustering_spec is not None:
+            info["clustering"] = self.clustering_spec.describe()
+        return info
 
 
 class Tenant:
@@ -169,15 +201,17 @@ class ServiceRegistry:
         self,
         dataset_id: str,
         dataset: Dataset,
-        clustering: "ClusteringFunction | object",
+        clustering: "ClusteringFunction | object | None" = None,
         n_clusters: int | None = None,
     ) -> DatasetEntry:
         """Register (or replace) a dataset id; returns the new entry.
 
-        Replacing an id (schema change, rebinned domains, new clustering)
-        yields fresh fingerprints, so previously cached releases become
-        unreachable; :class:`~repro.service.service.ExplanationService`
-        additionally evicts them.
+        ``clustering=None`` registers the dataset labels-free (pipeline
+        requests fit a clustering server-side).  Replacing an id (schema
+        change, rebinned domains, new clustering) yields fresh
+        fingerprints, so previously cached releases become unreachable;
+        :class:`~repro.service.service.ExplanationService` additionally
+        evicts them along with the id's derived fitted entries.
         """
         if not dataset_id:
             raise ValueError("dataset id must be non-empty")
@@ -185,6 +219,56 @@ class ServiceRegistry:
         with self._lock:
             self._datasets[dataset_id] = entry
         return entry
+
+    def add_entry_if_current(
+        self, entry: DatasetEntry, base: DatasetEntry
+    ) -> bool:
+        """Atomically admit a derived entry iff ``base`` is still registered.
+
+        The pipeline fits outside the registry lock; by the time the fit
+        finishes, the base dataset id may have been re-registered with
+        different data.  Admitting the derived entry only while its exact
+        base object is still current (one atomic check-and-insert under the
+        registry lock, the same lock ``register_dataset`` mutates under)
+        ensures a stale fit can never be registered over a replaced base.
+        """
+        if not entry.dataset_id:
+            raise ValueError("dataset id must be non-empty")
+        with self._lock:
+            if self._datasets.get(base.dataset_id) is not base:
+                return False
+            self._datasets[entry.dataset_id] = entry
+            return True
+
+    def remove_entry(self, entry: DatasetEntry) -> bool:
+        """Remove ``entry`` iff it is still the registered object for its id.
+
+        Identity-guarded so evicting a stale object can never drop a newer
+        registration that reused the same id.
+        """
+        with self._lock:
+            if self._datasets.get(entry.dataset_id) is entry:
+                del self._datasets[entry.dataset_id]
+                return True
+            return False
+
+    def drop_derived(self, base_id: str) -> "list[DatasetEntry]":
+        """Remove every derived entry fitted from ``base_id``; return them.
+
+        Called when the base dataset id is re-registered with different
+        data or clustering: the derived entries reference the replaced
+        :class:`~repro.dataset.table.Dataset` object and must not keep
+        serving it.
+        """
+        with self._lock:
+            stale = [
+                e
+                for e in self._datasets.values()
+                if e.is_derived and e.base_id == base_id
+            ]
+            for e in stale:
+                del self._datasets[e.dataset_id]
+            return stale
 
     def dataset(self, dataset_id: str) -> DatasetEntry:
         with self._lock:

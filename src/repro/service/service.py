@@ -42,6 +42,7 @@ from ..core.dpclustx import DPClustX
 from ..core.hbe import GlobalExplanation
 from ..core.quality.scores import Weights
 from ..evaluation.sweeps import explain_batched
+from ..pipeline import ClusteringSpec, FittedClusteringCache
 from ..privacy.budget import BudgetError, ExplanationBudget, PrivacyAccountant
 from .cache import CacheEntry, ExplanationCache, canonical_json
 from .queue import RequestQueue, run_worker
@@ -187,6 +188,109 @@ class ExplainRequest:
         )
 
 
+@dataclass(frozen=True)
+class PipelineRequest:
+    """One end-to-end pipeline request: fit DP clustering, then explain.
+
+    Names a *labels-free* (or any) registered dataset, a server-fittable
+    DP clustering (``method`` + parameters + ``clustering_seed`` — together
+    the fitted-clustering release identity), and a standard explanation
+    configuration.  The service charges both stages to the tenant's ledger
+    for the **base** dataset id: one cap covers the whole pipeline.
+    """
+
+    tenant: str
+    dataset: str
+    method: str = "dp-kmeans"
+    n_clusters: int = 5
+    clustering_epsilon: float = 1.0  # the paper's DP-k-means budget (6.1)
+    n_iterations: int = 5
+    clustering_seed: int = 0
+    eps_cand_set: float = 0.1
+    eps_top_comb: float = 0.1
+    eps_hist: float = 0.1
+    n_candidates: int = 3
+    weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+    seed: int = 0
+    explainer: str = "DPClustX"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.weights, list):
+            object.__setattr__(self, "weights", tuple(self.weights))
+
+    @classmethod
+    def from_json(cls, body: Mapping) -> "PipelineRequest":
+        """Build a request from a decoded JSON object (HTTP front end)."""
+        if not isinstance(body, Mapping):
+            raise ServiceError(400, "invalid-request", "body must be a JSON object")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(body) - known
+        if unknown:
+            raise ServiceError(
+                400, "invalid-request", f"unknown fields: {sorted(unknown)}"
+            )
+        kwargs = dict(body)
+        try:
+            for key in ("tenant", "dataset"):
+                if key not in kwargs:
+                    raise ServiceError(400, "invalid-request", f"{key!r} is required")
+            if "weights" in kwargs:
+                kwargs["weights"] = tuple(float(w) for w in kwargs["weights"])
+            for key in (
+                "eps_cand_set",
+                "eps_top_comb",
+                "eps_hist",
+                "clustering_epsilon",
+            ):
+                if key in kwargs:
+                    kwargs[key] = float(kwargs[key])
+            for key in (
+                "n_candidates",
+                "seed",
+                "n_clusters",
+                "n_iterations",
+                "clustering_seed",
+            ):
+                if key in kwargs:
+                    kwargs[key] = int(kwargs[key])
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, "invalid-request", str(exc)) from None
+        return cls(**kwargs)
+
+    def spec(self) -> ClusteringSpec:
+        """The clustering half of the request as its release identity."""
+        return ClusteringSpec(
+            self.method,
+            self.n_clusters,
+            self.clustering_epsilon,
+            self.n_iterations,
+            self.clustering_seed,
+        )
+
+    def explain_request(self, dataset_id: str | None = None) -> ExplainRequest:
+        """The explanation half, targeting ``dataset_id`` (default: base)."""
+        return ExplainRequest(
+            tenant=self.tenant,
+            dataset=dataset_id if dataset_id is not None else self.dataset,
+            eps_cand_set=self.eps_cand_set,
+            eps_top_comb=self.eps_top_comb,
+            eps_hist=self.eps_hist,
+            n_candidates=self.n_candidates,
+            weights=self.weights,
+            seed=self.seed,
+            explainer=self.explainer,
+        )
+
+    def validated(self) -> "PipelineRequest":
+        """400-style validation of both halves before any budget moves."""
+        try:
+            self.spec().validated()
+        except (BudgetError, TypeError, ValueError) as exc:
+            raise ServiceError(400, "invalid-request", str(exc)) from None
+        self.explain_request().validated()
+        return self
+
+
 @dataclass
 class _Pending:
     """One queued request and the future its caller is waiting on."""
@@ -211,6 +315,9 @@ class _Stats:
         "errors",
         "engine_calls",
         "releases",
+        "pipeline_requests",
+        "clustering_fits",
+        "clustering_cache_hits",
     )
 
     def __init__(self):
@@ -281,6 +388,11 @@ class ExplanationService:
         could no longer afford.
     cache_entries:
         LRU capacity of the explanation cache.
+    fitted_entries:
+        LRU capacity of the server-side fitted-clustering cache; evicted
+        fits also drop their derived registry entries, bounding total
+        memory (a later identical request re-fits byte-identically and
+        legitimately re-charges — overcounting, never leaking).
     auto_tenant_budget:
         When set, unknown tenants are auto-provisioned with this per-dataset
         budget cap on their first request (the demo server's mode); when
@@ -293,12 +405,24 @@ class ExplanationService:
         *,
         ledger_dir=None,
         cache_entries: int = 256,
+        fitted_entries: int = 64,
         auto_tenant_budget: float | None = None,
     ):
         if registry is not None and ledger_dir is not None:
             raise ValueError("pass ledger_dir to the registry or here, not both")
         self.registry = registry or ServiceRegistry(ledger_dir=ledger_dir)
         self.cache = ExplanationCache(cache_entries)
+        # Server-side fitted clusterings (the /v1/pipeline route), keyed by
+        # (fingerprint, method, params, seed).  LRU evictions also drop the
+        # fit's derived registry entry (on_evict), so the registry stays
+        # bounded by this cache's capacity.  Fills are single-flight per
+        # key via striped locks: concurrent identical pipeline requests
+        # charge one clustering fit, not N, while fits of *different* keys
+        # (almost always on different stripes) proceed in parallel.
+        self.fitted = FittedClusteringCache(
+            fitted_entries, on_evict=self._on_fitted_evicted
+        )
+        self._fit_stripes = [threading.Lock() for _ in range(16)]
         self.stats = _Stats()
         self.auto_tenant_budget = auto_tenant_budget
         self._queue = RequestQueue()
@@ -314,14 +438,25 @@ class ExplanationService:
 
     # -- registry passthroughs ------------------------------------------ #
 
-    def register_dataset(self, dataset_id, dataset, clustering, n_clusters=None):
+    def register_dataset(
+        self, dataset_id, dataset, clustering=None, n_clusters=None
+    ):
         """Register/replace a dataset and evict the old version's releases.
+
+        ``clustering=None`` registers the dataset labels-free: explainable
+        only through ``/v1/pipeline``, which fits a DP clustering
+        server-side under the tenant's ledger.
 
         The release identity is the (fingerprint, signature) pair, so a
         replacement that keeps the data but changes the clustering (same
         fingerprint, new signature) also orphans every old cache entry —
         evict on any change of the pair, not just the fingerprint, or dead
-        entries would squat in LRU slots crowding out live releases.
+        entries would squat in LRU slots crowding out live releases.  The
+        same replacement also evicts the id's server-side fitted
+        clusterings and their derived registry entries: they reference the
+        replaced dataset object and must not keep serving it (a later
+        re-fit of the same spec is byte-identical, so at worst the re-fit
+        re-charges for the same release — overcounting, never leaking).
         """
         try:
             old = self.registry.dataset(dataset_id)
@@ -335,6 +470,10 @@ class ExplanationService:
             entry.signature,
         ):
             self.cache.invalidate_fingerprint(old.fingerprint)
+            self.fitted.invalidate_fingerprint(old.fingerprint)
+            for stale in self.registry.drop_derived(dataset_id):
+                self.cache.invalidate_fingerprint(stale.fingerprint)
+                self.fitted.invalidate_fingerprint(stale.fingerprint)
         return entry
 
     def create_tenant(self, tenant_id: str, budget_limit: float) -> Tenant:
@@ -352,12 +491,20 @@ class ExplanationService:
             request.validated()
             entry = self.registry.dataset(request.dataset)
             self.registry.tenant(request.tenant, self.auto_tenant_budget)
-            if request.n_candidates > len(entry.counts.names):
+            if entry.counts is None:
+                raise ServiceError(
+                    400,
+                    "no-clustering",
+                    f"dataset {request.dataset!r} is registered without a "
+                    "clustering; fit one server-side via /v1/pipeline",
+                )
+            names = entry.dataset.schema.names
+            if request.n_candidates > len(names):
                 raise ServiceError(
                     400,
                     "invalid-request",
                     f"n_candidates={request.n_candidates} exceeds the "
-                    f"{len(entry.counts.names)} attributes of "
+                    f"{len(names)} attributes of "
                     f"{request.dataset!r}",
                 )
         except ServiceError as exc:
@@ -385,6 +532,190 @@ class ExplanationService:
         if not self._workers and not future.done():
             self.process_pending()
         return future.result(timeout)
+
+    def pipeline(
+        self,
+        request: PipelineRequest | None = None,
+        timeout: float = 60.0,
+        **kwargs,
+    ) -> dict:
+        """Serve one end-to-end pipeline request: fit-or-cache, then explain.
+
+        Lifecycle: admission (both halves validated before any budget
+        moves) → fitted-clustering cache probe keyed by
+        ``(fingerprint, method, params, seed)`` — a hit reuses the released
+        fit at **zero** clustering charge (post-processing is free) — →
+        on a miss, the clustering epsilon is reserved atomically on the
+        tenant's *base-dataset* ledger before the fit draws any noise
+        (over-budget → structured 429, fit failure → token refund), the
+        clustering is fitted server-side and registered as a derived
+        dataset entry → the explanation half is routed through the
+        standard :meth:`explain` path (cache, coalescing, per-release
+        funding) against the derived entry, whose charges land in the
+        *same* base-dataset ledger.
+
+        The returned envelope is the explanation envelope plus a
+        ``"pipeline"`` block recording the fitted clustering and what the
+        clustering stage charged.
+        """
+        if request is None:
+            request = PipelineRequest(**kwargs)
+        self.stats.incr("pipeline_requests")
+        try:
+            request.validated()
+            base = self.registry.dataset(request.dataset)
+            self.registry.tenant(request.tenant, self.auto_tenant_budget)
+            names = base.dataset.schema.names
+            if request.n_candidates > len(names):
+                raise ServiceError(
+                    400,
+                    "invalid-request",
+                    f"n_candidates={request.n_candidates} exceeds the "
+                    f"{len(names)} attributes of {request.dataset!r}",
+                )
+        except ServiceError as exc:
+            self.stats.incr("errors")
+            return self._error_envelope(exc)
+        spec = request.spec()
+        try:
+            entry, fit_status, charged_fit = self._fitted_entry(
+                base, spec, request.tenant
+            )
+        except BudgetError as exc:
+            self.stats.incr("refused")
+            tenant = self.registry.tenant(request.tenant, self.auto_tenant_budget)
+            accountant = tenant.accountant(base.base_id)
+            envelope = self._budget_refusal(
+                request.tenant, request.dataset, spec.epsilon, accountant, exc
+            )
+            envelope["error"]["stage"] = "clustering"
+            return envelope
+        except ServiceError as exc:
+            self.stats.incr("errors")
+            return self._error_envelope(exc)
+        except Exception as exc:  # noqa: BLE001 — fit failure must not 500 raw
+            self.stats.incr("errors")
+            return self._error_envelope(
+                ServiceError(500, "internal-error", repr(exc))
+            )
+        envelope = self.explain(
+            request.explain_request(entry.dataset_id), timeout=timeout
+        )
+        envelope["pipeline"] = {
+            "dataset": request.dataset,
+            "fitted_dataset": entry.dataset_id,
+            "clustering": {**spec.describe(), "signature": entry.signature},
+            "clustering_cache": fit_status,
+            "charged_clustering_epsilon": charged_fit,
+        }
+        meta = envelope.get("meta")
+        if meta is not None:
+            meta["charged_total_epsilon"] = charged_fit + meta.get(
+                "charged_epsilon", 0.0
+            )
+        return envelope
+
+    def _on_fitted_evicted(self, key: tuple, entry: DatasetEntry) -> None:
+        """LRU pressure dropped a fit: drop its derived registry entry too.
+
+        Identity-guarded (:meth:`ServiceRegistry.remove_entry`), so a newer
+        registration reusing the derived id is never collateral damage.
+        Without this, the registry would be an unbounded shadow store of
+        every fit the cache already let go.
+        """
+        self.registry.remove_entry(entry)
+
+    def _fit_stripe(self, key: tuple) -> threading.Lock:
+        return self._fit_stripes[hash(key) % len(self._fit_stripes)]
+
+    def _still_registered(self, entry: DatasetEntry) -> bool:
+        try:
+            return self.registry.dataset(entry.dataset_id) is entry
+        except ServiceError:
+            return False
+
+    def _fitted_entry(
+        self, base: DatasetEntry, spec: ClusteringSpec, tenant_id: str
+    ) -> "tuple[DatasetEntry, str, float]":
+        """Fit-or-cache the requested DP clustering under the tenant ledger.
+
+        Returns ``(derived entry, "hit"|"miss", charged epsilon)``.  Fills
+        are single-flight per cache key (striped locks), so concurrent
+        pipeline requests naming the same ``(fingerprint, method, params,
+        seed)`` release fit and charge exactly once while unrelated fits
+        proceed in parallel.  On a genuine miss, the clustering epsilon is
+        reserved (atomic check-and-charge, may raise
+        :class:`~repro.privacy.budget.BudgetError`) *before* the fit
+        touches data, and refunded by token if the fit itself fails — so
+        an over-budget or crashed fit provably draws no noise that the
+        ledger doesn't cover.  A base re-registered *mid-fit* is detected
+        by the atomic :meth:`ServiceRegistry.add_entry_if_current` admit:
+        the never-exposed fit is discarded, its reservation refunded, and
+        the caller told to retry against the new registration.
+        """
+        key = spec.cache_key(base.fingerprint)
+        cached = self.fitted.get(key)
+        if cached is not None and self._still_registered(cached):
+            self.stats.incr("clustering_cache_hits")
+            return cached, "hit", 0.0
+        with self._fit_stripe(key):
+            cached = self.fitted.get(key)
+            if cached is not None:
+                if self._still_registered(cached):
+                    self.stats.incr("clustering_cache_hits")
+                    return cached, "hit", 0.0
+                # Its registry entry was dropped (base replaced mid-put):
+                # the cached fit is stale bookkeeping — evict and refit.
+                self.fitted.remove(key)
+            derived_id = f"{base.dataset_id}::{spec.slug()}"
+            # A derived entry still registered over the same base data
+            # (e.g. after a cache clear) is the same release — re-adopt it
+            # rather than re-charging.
+            try:
+                existing = self.registry.dataset(derived_id)
+            except ServiceError:
+                existing = None
+            if (
+                existing is not None
+                and existing.fingerprint == base.fingerprint
+                and existing.base_id == base.base_id
+            ):
+                self.fitted.put(key, existing)
+                self.stats.incr("clustering_cache_hits")
+                return existing, "hit", 0.0
+            tenant = self.registry.tenant(tenant_id, self.auto_tenant_budget)
+            accountant = tenant.accountant(base.base_id)
+            token = accountant.spend(spec.epsilon, spec.label(base.dataset_id))
+            try:
+                clustering = spec.fit(base.dataset)
+                entry = DatasetEntry(
+                    derived_id,
+                    base.dataset,
+                    clustering,
+                    base_id=base.base_id,
+                    clustering_spec=spec,
+                )
+            except Exception:
+                accountant.refund(token)
+                self.registry.persist_tenant(tenant)
+                raise
+            if not self.registry.add_entry_if_current(entry, base):
+                # The base was re-registered while we fitted: this fit ran
+                # on the replaced data and was never exposed to anyone, so
+                # the reservation rolls back and the caller retries
+                # against the new registration.
+                accountant.refund(token)
+                self.registry.persist_tenant(tenant)
+                raise ServiceError(
+                    409,
+                    "dataset-replaced",
+                    f"dataset {base.dataset_id!r} was re-registered during "
+                    "the clustering fit; retry",
+                )
+            self.fitted.put(key, entry)
+            self.registry.persist_tenant(tenant)
+            self.stats.incr("clustering_fits")
+            return entry, "miss", spec.epsilon
 
     def process_pending(self) -> int:
         """Drain the queue inline (single-threaded mode); returns batch count.
@@ -507,7 +838,7 @@ class ExplanationService:
         try:
             funded: "list[tuple[tuple, list[_Pending], _Pending, Tenant, int]]" = []
             for key, group, _ in items:
-                payer, tenant, charge_token = self._fund_group(group)
+                payer, tenant, charge_token = self._fund_group(entry, group)
                 if payer is not None:
                     funded.append((key, group, payer, tenant, charge_token))
             if not funded:
@@ -521,7 +852,7 @@ class ExplanationService:
                 )
             except Exception:
                 for key, group, payer, tenant, charge_token in funded:
-                    accountant = tenant.accountant(payer.request.dataset)
+                    accountant = tenant.accountant(entry.base_id)
                     accountant.refund(charge_token)
                     self.registry.persist_tenant(tenant)
                 raise  # _execute_batch resolves the futures with a 500
@@ -676,12 +1007,15 @@ class ExplanationService:
         )
 
     def _fund_group(
-        self, group: "list[_Pending]"
+        self, entry: DatasetEntry, group: "list[_Pending]"
     ) -> "tuple[_Pending | None, Tenant | None, int | None]":
         """Charge the first requester whose ledger can afford the release.
 
-        Requesters refused along the way get their 429 envelope immediately;
-        the accountant's atomic check-and-charge is what makes the cap
+        The ledger is the tenant's ``entry.base_id`` ledger — for derived
+        (pipeline-fitted) datasets that is the *base* dataset's ledger, so
+        clustering and explanation charges share one cap.  Requesters
+        refused along the way get their 429 envelope immediately; the
+        accountant's atomic check-and-charge is what makes the cap
         unbreakable under concurrent batches.  Returns the payer, its
         tenant, and the charge token to :meth:`refund
         <repro.privacy.budget.PrivacyAccountant.refund>` by on engine
@@ -690,7 +1024,7 @@ class ExplanationService:
         for p in group:
             request = p.request
             tenant = self.registry.tenant(request.tenant, self.auto_tenant_budget)
-            accountant = tenant.accountant(request.dataset)
+            accountant = tenant.accountant(entry.base_id)
             try:
                 token = accountant.spend(
                     request.epsilon_total, self._charge_label(request)
@@ -729,15 +1063,31 @@ class ExplanationService:
         exc: BudgetError,
     ) -> dict:
         """The structured 429-style over-budget refusal."""
+        return self._budget_refusal(
+            request.tenant,
+            request.dataset,
+            request.epsilon_total,
+            accountant,
+            exc,
+        )
+
+    def _budget_refusal(
+        self,
+        tenant_id: str,
+        dataset_id: str,
+        requested: float,
+        accountant: PrivacyAccountant,
+        exc: BudgetError,
+    ) -> dict:
         return {
             "status": "refused",
             "code": 429,
             "error": {
                 "reason": "budget-exhausted",
                 "message": str(exc),
-                "tenant": request.tenant,
-                "dataset": request.dataset,
-                "requested_epsilon": request.epsilon_total,
+                "tenant": tenant_id,
+                "dataset": dataset_id,
+                "requested_epsilon": requested,
                 "spent": accountant.total(),
                 "remaining": accountant.remaining(),
                 "limit": accountant.limit,
@@ -758,6 +1108,7 @@ class ExplanationService:
         return {
             "stats": self.stats.as_dict(),
             "cache": self.cache.stats(),
+            "fitted_clusterings": self.fitted.stats(),
             "datasets": [e.describe() for e in self.registry.datasets()],
             "tenants": [t.describe() for t in self.registry.tenants()],
             "workers": len(self._workers),
@@ -793,6 +1144,14 @@ class ServiceClient:
             raise ValueError("no dataset given (per-call or client default)")
         request = ExplainRequest(tenant=self.tenant, dataset=target, **params)
         return self._service.explain(request, timeout=self.timeout)
+
+    def pipeline(self, dataset: str | None = None, **params) -> dict:
+        """End-to-end request: server-side DP clustering + explanation."""
+        target = dataset or self.dataset
+        if target is None:
+            raise ValueError("no dataset given (per-call or client default)")
+        request = PipelineRequest(tenant=self.tenant, dataset=target, **params)
+        return self._service.pipeline(request, timeout=self.timeout)
 
     def ledger(self) -> dict:
         return self._service.registry.tenant(self.tenant).describe()

@@ -16,14 +16,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .clustering.base import ClusteringFunction
-from .clustering.dp_kmeans import DPKMeans
-from .clustering.dp_kmodes import DPKModes
 from .core.counts import ClusteredCounts
 from .core.dpclustx import DPClustX
 from .core.hbe import GlobalExplanation
 from .core.multi import MultiDPClustX, MultiGlobalExplanation
 from .core.quality.scores import Weights
 from .dataset.table import Dataset
+from .pipeline import ClusteringSpec, PipelineResult, PrivatePipeline
 from .privacy.budget import BudgetError, ExplanationBudget, PrivacyAccountant
 from .privacy.rng import ensure_rng
 
@@ -56,6 +55,10 @@ class PrivateAnalysisSession:
     def __post_init__(self) -> None:
         self._accountant = PrivacyAccountant(limit=self.total_epsilon)
         self._rng = ensure_rng(self.seed)
+        # The shared fit-or-reuse implementation behind cluster_dp_kmeans /
+        # cluster_dp_kmodes / run_pipeline — the same engine the service's
+        # /v1/pipeline route and sweeps.run_pipeline_batched build on.
+        self._pipeline = PrivatePipeline(self.dataset, self._accountant)
 
     # -- budget introspection ------------------------------------------- #
 
@@ -101,23 +104,58 @@ class PrivateAnalysisSession:
         self, n_clusters: int, epsilon: float, n_iterations: int = 5
     ) -> ClusteringFunction:
         """Privately cluster with DP-k-means [64], charging ``epsilon``."""
-        self._require(epsilon)
-        clustering = DPKMeans(n_clusters, epsilon, n_iterations).fit(
-            self.dataset, self._rng, accountant=self._accountant
+        return self._cluster(
+            ClusteringSpec("dp-kmeans", n_clusters, epsilon, n_iterations)
         )
-        self._set_clustering(clustering)
-        return clustering
 
     def cluster_dp_kmodes(
         self, n_clusters: int, epsilon: float, n_iterations: int = 5
     ) -> ClusteringFunction:
         """Privately cluster with DP-k-modes [53], charging ``epsilon``."""
-        self._require(epsilon)
-        clustering = DPKModes(n_clusters, epsilon, n_iterations).fit(
-            self.dataset, self._rng, accountant=self._accountant
+        return self._cluster(
+            ClusteringSpec("dp-kmodes", n_clusters, epsilon, n_iterations)
         )
-        self._set_clustering(clustering)
+
+    def _cluster(self, spec: ClusteringSpec) -> ClusteringFunction:
+        """Fit a DP clustering spec via the shared pipeline.
+
+        Draws from the session's own stream and always fits *fresh*
+        (charging ``spec.epsilon`` each call): an explicit
+        ``cluster_dp_kmeans`` call is a request for a new release — e.g.
+        to escape a bad noisy initialisation — never for a cached one.
+        :meth:`run_pipeline` is the reuse-friendly entry point.
+        """
+        clustering, counts, _ = self._pipeline.fit(
+            spec, rng=self._rng, force_refit=True
+        )
+        self._clustering = clustering
+        self._counts = counts
         return clustering
+
+    def run_pipeline(
+        self,
+        spec: ClusteringSpec,
+        budget: ExplanationBudget | None = None,
+        n_candidates: int = 3,
+        weights: Weights | None = None,
+    ) -> PipelineResult:
+        """The paper's end-to-end setting in one call: fit + explain.
+
+        Clusters per ``spec`` (reusing the session's previous fit of the
+        same spec for free), adopts the clustering as the session
+        clustering, and runs DPClustX against it — all charges landing in
+        the one session ledger.  Returns the
+        :class:`~repro.pipeline.pipeline.PipelineResult` recording both
+        stages' spend.
+        """
+        result = self._pipeline.run(
+            spec, budget, n_candidates, weights, rng=self._rng
+        )
+        # Adopt the (memoised, zero-charge) fit as the session clustering.
+        clustering, counts, _ = self._pipeline.fit(spec, rng=self._rng)
+        self._clustering = clustering
+        self._counts = counts
+        return result
 
     def use_clustering(self, clustering: ClusteringFunction) -> None:
         """Adopt an externally-supplied clustering function.

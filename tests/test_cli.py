@@ -42,7 +42,7 @@ class TestDispatch:
 class TestHelpSmoke:
     """Every registered command must answer ``--help`` cleanly."""
 
-    @pytest.mark.parametrize("command", [*COMMANDS, "demo", "serve"])
+    @pytest.mark.parametrize("command", [*COMMANDS, "demo", "pipeline", "serve"])
     def test_help_exits_zero_and_prints_usage(self, command, capsys):
         with pytest.raises(SystemExit) as exc:
             main([command, "--help"])
@@ -55,4 +55,16 @@ class TestDemo:
         assert main(["demo", "--rows", "1500", "--clusters", "3"]) == 0
         out = capsys.readouterr().out
         assert "selected attributes" in out
+        assert "privacy ledger" in out
+
+
+class TestPipelineCommand:
+    def test_pipeline_runs_small_and_reuses_the_fit(self, capsys):
+        assert main([
+            "pipeline", "--rows", "1500", "--clusters", "3",
+            "--explanations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fitted dp-kmeans/k3" in out
+        assert "reused fit" in out  # second run, zero clustering charge
         assert "privacy ledger" in out

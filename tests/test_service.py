@@ -19,12 +19,13 @@ import urllib.request
 import numpy as np
 import pytest
 
-from repro import DPClustX, KMeans, diabetes_like
+from repro import ClusteringSpec, DPClustX, KMeans, diabetes_like
 from repro.core.counts import ClusteredCounts
 from repro.dataset.rebin import rebin_dataset
 from repro.service import (
     ExplainRequest,
     ExplanationService,
+    PipelineRequest,
     RequestQueue,
     ServiceClient,
     ServiceError,
@@ -643,6 +644,254 @@ class TestPersistence:
             accountant.spend(0.2, "over")  # 0.4 + 0.2 > 0.5
 
 
+class TestPipelineRoute:
+    """The /v1/pipeline path: server-side DP clustering under one ledger."""
+
+    def make_labels_free(self, dataset, **kwargs) -> ExplanationService:
+        service = ExplanationService(**kwargs)
+        service.register_dataset("raw", dataset)  # no clustering
+        return service
+
+    def test_explain_on_labels_free_dataset_is_refused_400(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("t", 5.0)
+        envelope = service.explain(ExplainRequest(tenant="t", dataset="raw"))
+        assert envelope["status"] == "error" and envelope["code"] == 400
+        assert envelope["error"]["reason"] == "no-clustering"
+        assert service.registry.tenant("t").accountant("raw").total() == 0.0
+
+    def test_pipeline_charges_both_stages_to_one_ledger(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("alice", 5.0)
+        envelope = service.pipeline(
+            PipelineRequest(
+                tenant="alice", dataset="raw", n_clusters=3,
+                clustering_epsilon=1.0,
+            )
+        )
+        assert envelope["status"] == "ok"
+        assert envelope["pipeline"]["clustering_cache"] == "miss"
+        assert envelope["pipeline"]["charged_clustering_epsilon"] == 1.0
+        assert envelope["meta"]["cache"] == "miss"
+        assert envelope["meta"]["charged_total_epsilon"] == pytest.approx(1.3)
+        # Both stages landed in the one (tenant, base-dataset) ledger.
+        accountant = service.registry.tenant("alice").accountant("raw")
+        assert accountant.total() == pytest.approx(1.3)
+        labels = [c.label for c in accountant]
+        assert any(label.startswith("pipeline: dp-kmeans") for label in labels)
+        assert any(label.startswith("service: DPClustX") for label in labels)
+
+    def test_repeat_request_hits_both_caches_at_zero_charge(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("alice", 5.0)
+        request = PipelineRequest(
+            tenant="alice", dataset="raw", n_clusters=3, clustering_epsilon=1.0
+        )
+        first = service.pipeline(request)
+        spent = service.registry.tenant("alice").accountant("raw").total()
+        second = service.pipeline(request)
+        assert second["pipeline"]["clustering_cache"] == "hit"
+        assert second["pipeline"]["charged_clustering_epsilon"] == 0.0
+        assert second["meta"]["cache"] == "hit"
+        assert second["meta"]["charged_total_epsilon"] == 0.0
+        assert json.dumps(first["result"], sort_keys=True) == json.dumps(
+            second["result"], sort_keys=True
+        )
+        after = service.registry.tenant("alice").accountant("raw").total()
+        assert after == spent == pytest.approx(1.3)
+
+    def test_new_explain_seed_reuses_the_fit(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("alice", 5.0)
+        request = PipelineRequest(
+            tenant="alice", dataset="raw", n_clusters=3, clustering_epsilon=1.0
+        )
+        service.pipeline(request)
+        fresh = service.pipeline(
+            PipelineRequest(
+                tenant="alice", dataset="raw", n_clusters=3,
+                clustering_epsilon=1.0, seed=9,
+            )
+        )
+        assert fresh["pipeline"]["clustering_cache"] == "hit"
+        assert fresh["meta"]["cache"] == "miss"  # new explanation release
+        accountant = service.registry.tenant("alice").accountant("raw")
+        assert accountant.total() == pytest.approx(1.3 + 0.3)
+
+    def test_fit_is_free_for_a_second_tenant(self, dataset):
+        """The fitted clustering is a released object: once paid for, any
+        tenant's pipeline request naming it reuses it (post-processing)."""
+        service = self.make_labels_free(dataset)
+        service.create_tenant("payer", 5.0)
+        service.create_tenant("rider", 5.0)
+        service.pipeline(
+            PipelineRequest(tenant="payer", dataset="raw", n_clusters=3)
+        )
+        rider = service.pipeline(
+            PipelineRequest(tenant="rider", dataset="raw", n_clusters=3)
+        )
+        assert rider["pipeline"]["clustering_cache"] == "hit"
+        assert rider["meta"]["cache"] == "hit"
+        assert service.registry.tenant("rider").accountant("raw").total() == 0.0
+
+    def test_over_budget_clustering_is_structured_429(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("poor", 0.5)  # < clustering_epsilon
+        envelope = service.pipeline(
+            PipelineRequest(
+                tenant="poor", dataset="raw", n_clusters=3,
+                clustering_epsilon=1.0,
+            )
+        )
+        assert envelope["status"] == "refused" and envelope["code"] == 429
+        assert envelope["error"]["reason"] == "budget-exhausted"
+        assert envelope["error"]["stage"] == "clustering"
+        assert envelope["error"]["requested_epsilon"] == 1.0
+        assert service.registry.tenant("poor").accountant("raw").total() == 0.0
+        assert len(service.fitted) == 0  # nothing was fitted
+
+    def test_bad_clustering_params_400_before_any_charge(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("t", 5.0)
+        envelope = service.pipeline(
+            PipelineRequest(tenant="t", dataset="raw", method="k-means")
+        )
+        assert envelope["status"] == "error" and envelope["code"] == 400
+        assert service.registry.tenant("t").accountant("raw").total() == 0.0
+
+    def test_response_matches_the_serial_pipeline(self, dataset):
+        """Served release == spec-seeded fit + serial DPClustX explain."""
+        service = self.make_labels_free(dataset)
+        service.create_tenant("t", 5.0)
+        envelope = service.pipeline(
+            PipelineRequest(
+                tenant="t", dataset="raw", n_clusters=3,
+                clustering_epsilon=1.0, clustering_seed=2, seed=5,
+            )
+        )
+        clustering = ClusteringSpec("dp-kmeans", 3, 1.0, seed=2).fit(dataset)
+        counts = ClusteredCounts(dataset, clustering)
+        serial = DPClustX().explain(dataset, clustering, rng=5, counts=counts)
+        assert envelope["result"]["combination"] == list(serial.combination)
+        for got, expected in zip(envelope["result"]["clusters"], serial):
+            assert np.array_equal(got["hist_cluster"], expected.hist_cluster)
+            assert np.array_equal(got["hist_rest"], expected.hist_rest)
+
+    def test_reregistering_evicts_fitted_and_derived_entries(
+        self, dataset, clustering
+    ):
+        """Extends the PR 3 orphan-eviction fix: replacing a dataset id
+        drops its fitted clusterings and derived entries alongside its
+        explanation cache entries."""
+        service = self.make_labels_free(dataset)
+        service.create_tenant("t", 10.0)
+        request = PipelineRequest(tenant="t", dataset="raw", n_clusters=3)
+        first = service.pipeline(request)
+        derived_id = first["pipeline"]["fitted_dataset"]
+        assert len(service.fitted) == 1 and len(service.cache) == 1
+        assert service.registry.dataset(derived_id) is not None
+
+        labels = clustering.assign(dataset)
+        service.register_dataset(
+            "raw", dataset, labels, n_clusters=clustering.n_clusters
+        )
+        assert len(service.fitted) == 0
+        assert len(service.cache) == 0
+        with pytest.raises(ServiceError):
+            service.registry.dataset(derived_id)  # derived entry dropped
+
+        # A repeat request refits (and legitimately re-charges).
+        again = service.pipeline(request)
+        assert again["pipeline"]["clustering_cache"] == "miss"
+
+    def test_identical_reregistration_keeps_the_caches(self, dataset):
+        service = self.make_labels_free(dataset)
+        service.create_tenant("t", 5.0)
+        service.pipeline(PipelineRequest(tenant="t", dataset="raw", n_clusters=3))
+        service.register_dataset("raw", dataset)  # same data, still labels-free
+        assert len(service.fitted) == 1
+        assert len(service.cache) == 1
+
+    def test_lru_evicted_fit_drops_its_derived_registry_entry(self, dataset):
+        """The registry must not become an unbounded shadow store: a fit
+        pushed out of the LRU takes its derived entry with it."""
+        service = ExplanationService(fitted_entries=1, auto_tenant_budget=100.0)
+        service.register_dataset("raw", dataset)
+        first = service.pipeline(
+            PipelineRequest(tenant="t", dataset="raw", n_clusters=3)
+        )
+        second = service.pipeline(
+            PipelineRequest(
+                tenant="t", dataset="raw", n_clusters=3, clustering_seed=1
+            )
+        )
+        assert len(service.fitted) == 1  # capacity bound held
+        with pytest.raises(ServiceError):
+            service.registry.dataset(first["pipeline"]["fitted_dataset"])
+        assert service.registry.dataset(second["pipeline"]["fitted_dataset"])
+
+    def test_registry_identity_guards(self, dataset, clustering):
+        from repro.service import DatasetEntry
+
+        registry = ServiceRegistry()
+        base = registry.register_dataset("d", dataset, clustering)
+        entry = DatasetEntry("d::x", dataset, clustering, base_id="d")
+        assert registry.add_entry_if_current(entry, base)
+        # Replacing the base makes the captured base object stale...
+        registry.register_dataset("d", dataset, clustering)
+        entry2 = DatasetEntry("d::y", dataset, clustering, base_id="d")
+        assert not registry.add_entry_if_current(entry2, base)
+        # ...and remove_entry only removes the exact registered object.
+        other = DatasetEntry("d::x", dataset, clustering, base_id="d")
+        assert not registry.remove_entry(other)
+        assert registry.remove_entry(entry)
+
+    def test_concurrent_pipeline_requests_cannot_overspend(self, dataset):
+        """ISSUE satellite: the 12-thread no-overspend proof, pipeline
+        flavour — one fit charge (single-flight), then exactly as many
+        explanation charges as the remaining cap affords."""
+        cap = 2.0  # 1.0 fit + exactly 3 explanations of 0.3
+        service = self.make_labels_free(dataset)
+        service.create_tenant("dave", cap)
+        service.start(workers=3)
+        try:
+            results: "list[dict]" = []
+            lock = threading.Lock()
+
+            def call(seed: int) -> None:
+                response = service.pipeline(
+                    PipelineRequest(
+                        tenant="dave", dataset="raw", n_clusters=3,
+                        clustering_epsilon=1.0, seed=seed,
+                    ),
+                    timeout=60.0,
+                )
+                with lock:
+                    results.append(response)
+
+            threads = [
+                threading.Thread(target=call, args=(seed,)) for seed in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            service.stop()
+
+        accountant = service.registry.tenant("dave").accountant("raw")
+        assert accountant.total() <= cap + 1e-9
+        ok = [r for r in results if r["status"] == "ok"]
+        refused = [r for r in results if r["status"] == "refused"]
+        assert len(ok) == 3 and len(refused) == 9
+        # The fit was charged exactly once despite 12 racing requests.
+        fit_charges = [
+            c for c in accountant if c.label.startswith("pipeline: dp-kmeans")
+        ]
+        assert len(fit_charges) == 1
+        assert service.stats.get("clustering_fits") == 1
+
+
 class TestHTTP:
     @pytest.fixture()
     def server(self, dataset, clustering):
@@ -685,6 +934,34 @@ class TestHTTP:
         status, ledger = self._get(server, "/v1/ledger/team%20a")
         assert status == 200 and ledger["tenant"] == "team a"
         assert ledger["ledgers"]["diabetes"]["spent"] == pytest.approx(EPS_TOTAL)
+
+    def test_pipeline_roundtrip(self, server):
+        status, envelope = self._post(
+            server,
+            "/v1/pipeline",
+            {
+                "tenant": "pipe",
+                "dataset": "diabetes",
+                "n_clusters": 3,
+                "clustering_epsilon": 0.5,
+            },
+        )
+        assert status == 200 and envelope["status"] == "ok"
+        assert envelope["pipeline"]["clustering_cache"] == "miss"
+        assert envelope["result"]["combination"]
+        status, ledger = self._get(server, "/v1/ledger/pipe")
+        # Clustering + explanation under the base dataset's one ledger.
+        assert ledger["ledgers"]["diabetes"]["spent"] == pytest.approx(
+            0.5 + EPS_TOTAL
+        )
+
+    def test_pipeline_unknown_field_maps_to_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(
+                server, "/v1/pipeline",
+                {"tenant": "t", "dataset": "diabetes", "evil": 1},
+            )
+        assert exc.value.code == 400
 
     def test_budget_refusal_maps_to_429(self, server):
         for seed in range(3):  # 3 * 0.3 exhausts the 1.0 auto budget

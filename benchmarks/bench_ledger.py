@@ -1,0 +1,219 @@
+"""Before/after benchmark of budget-ledger admission and persistence.
+
+Replays heavy charge traffic against two accounting designs:
+
+* ``seed`` — the PR 3/4-era ledger: every admission re-sums the whole
+  float charge list against the cap plus a ``1e-9`` tolerance (O(n) per
+  charge, O(n^2) over a ledger's life), and every request persists by
+  re-serializing the tenant's *entire* snapshot (O(n) bytes per request);
+* ``exact`` — the PR 5 integer micro-epsilon ledger: admission is one O(1)
+  integer compare-and-add on a running nano-eps total (and exact: zero
+  tolerance), and persistence is one O(1) append-only journal record per
+  charge.
+
+The artifact records admission throughput with a 100k-charge ledger
+already on the books, and persistence bytes-per-request at small vs large
+ledger sizes.  ``scripts/ci.sh`` fails if the admission speedup at 100k
+charges regresses below 10x or journal records stop being O(1).
+
+Entry points:
+
+* ``pytest benchmarks/bench_ledger.py`` — pytest-benchmark timings;
+* ``python benchmarks/bench_ledger.py [--ledger-size N --charges K]``
+  — standalone comparison emitting the ``BENCH_ledger.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.privacy.budget import PrivacyAccountant
+from repro.service.journal import TenantLedgerStore
+
+#: A realistic service ledger line (see ExplanationService._charge_label).
+LABEL = (
+    "service: DPClustX dataset=diabetes seed=12345 "
+    "eps=(0.1,0.1,0.1) k=3 w=(0.3333333333333333, 0.3333333333333333, "
+    "0.3333333333333333)"
+)
+CHARGE_EPS = 0.3
+
+
+class _SeedAccountant:
+    """The pre-PR-5 admission path: full-ledger float re-sum + tolerance."""
+
+    TOLERANCE = 1e-9
+
+    def __init__(self, limit: float):
+        self.limit = limit
+        self._charges: "list[tuple[str, float]]" = []
+
+    def total(self) -> float:
+        return float(sum(eps for _, eps in self._charges))
+
+    def spend(self, epsilon: float, label: str) -> None:
+        if self.total() + epsilon > self.limit + self.TOLERANCE:
+            raise ValueError("over budget")
+        self._charges.append((label, epsilon))
+
+    def preload(self, n: int) -> None:
+        self._charges.extend((LABEL, CHARGE_EPS) for _ in range(n))
+
+
+def _preloaded_exact(n: int, headroom: int) -> PrivacyAccountant:
+    acc = PrivacyAccountant(limit=CHARGE_EPS * (n + headroom))
+    for _ in range(n):
+        acc.spend(CHARGE_EPS, LABEL)
+    return acc
+
+
+def _admission_rps_seed(ledger_size: int, charges: int) -> float:
+    acc = _SeedAccountant(limit=CHARGE_EPS * (ledger_size + charges))
+    acc.preload(ledger_size)
+    t0 = time.perf_counter()
+    for _ in range(charges):
+        acc.spend(CHARGE_EPS, LABEL)
+    return charges / (time.perf_counter() - t0)
+
+
+def _admission_rps_exact(ledger_size: int, charges: int) -> float:
+    acc = _preloaded_exact(ledger_size, headroom=charges)
+    t0 = time.perf_counter()
+    for _ in range(charges):
+        acc.spend(CHARGE_EPS, LABEL)
+    return charges / (time.perf_counter() - t0)
+
+
+def _snapshot_bytes(ledger_size: int) -> int:
+    """Bytes the seed design wrote per request: the full tenant snapshot."""
+    snapshot = {
+        "tenant": "bench",
+        "budget_limit": CHARGE_EPS * (ledger_size + 1),
+        "ledgers": {
+            "diabetes": {
+                "limit": CHARGE_EPS * (ledger_size + 1),
+                "charges": [
+                    {
+                        "label": LABEL,
+                        "epsilon": CHARGE_EPS,
+                        "composition": "sequential",
+                    }
+                ]
+                * ledger_size,
+            }
+        },
+    }
+    return len(json.dumps(snapshot, indent=2)) + 1
+
+
+def _journal_bytes_per_record(ledger_size: int, records: int) -> float:
+    """Bytes the exact design writes per request, measured on a real store.
+
+    ``ledger_size`` only positions the charge stream deep into a ledger's
+    life (high seq/token values) — O(1) means the answer barely moves.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "bench")
+        acc = PrivacyAccountant(limit=CHARGE_EPS * (ledger_size + records))
+        store = TenantLedgerStore.create(
+            base,
+            {"tenant": "bench", "budget_limit": acc.limit, "ledgers": {}},
+            compact_every=10**9,
+        )
+        # Fast-forward the identity counters to "deep ledger" territory.
+        store._seq = ledger_size
+        for _ in range(ledger_size):
+            acc._next_token += 1
+        acc.set_observer(lambda event: store.record("diabetes", event))
+        for _ in range(records):
+            acc.spend(CHARGE_EPS, LABEL)
+        size = os.path.getsize(base + ".journal")
+        store.close()
+    return size / records
+
+
+def run_ledger_bench(
+    ledger_size: int = 100_000,
+    seed_charges: int = 300,
+    exact_charges: int = 50_000,
+    small_ledger: int = 1_000,
+    journal_records: int = 512,
+) -> dict:
+    seed_rps = _admission_rps_seed(ledger_size, seed_charges)
+    exact_rps = _admission_rps_exact(ledger_size, exact_charges)
+
+    seed_bytes_small = _snapshot_bytes(small_ledger)
+    seed_bytes_large = _snapshot_bytes(ledger_size)
+    journal_small = _journal_bytes_per_record(small_ledger, journal_records)
+    journal_large = _journal_bytes_per_record(ledger_size, journal_records)
+
+    return {
+        "benchmark": (
+            "exact O(1) integer ledger vs seed float re-sum + "
+            "snapshot-per-request"
+        ),
+        "ledger_size": ledger_size,
+        "seed_admission_rps": seed_rps,
+        "exact_admission_rps": exact_rps,
+        "admission_speedup": exact_rps / seed_rps,
+        "seed_bytes_per_request_small": seed_bytes_small,
+        "seed_bytes_per_request_large": seed_bytes_large,
+        "seed_bytes_growth": seed_bytes_large / seed_bytes_small,
+        "journal_bytes_per_request_small": journal_small,
+        "journal_bytes_per_request_large": journal_large,
+        "journal_bytes_growth": journal_large / journal_small,
+        "persistence_bytes_ratio_at_large": seed_bytes_large / journal_large,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------- #
+
+
+def test_admission_seed(benchmark):
+    acc = _SeedAccountant(limit=CHARGE_EPS * 20_000)
+    acc.preload(10_000)
+    benchmark(lambda: acc.spend(CHARGE_EPS, LABEL))
+
+
+def test_admission_exact(benchmark):
+    acc = _preloaded_exact(10_000, headroom=10**7)
+    benchmark(lambda: acc.spend(CHARGE_EPS, LABEL))
+
+
+# --------------------------------------------------------------------------- #
+# standalone before/after harness (JSON artifact)
+# --------------------------------------------------------------------------- #
+
+
+def main(argv: "list[str] | None" = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ledger-size", type=int, default=100_000)
+    parser.add_argument("--seed-charges", type=int, default=300)
+    parser.add_argument("--exact-charges", type=int, default=50_000)
+    parser.add_argument(
+        "--out",
+        default="BENCH_ledger.json",
+        help="JSON artifact path ('-' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+    result = run_ledger_bench(
+        ledger_size=args.ledger_size,
+        seed_charges=args.seed_charges,
+        exact_charges=args.exact_charges,
+    )
+    print(json.dumps(result, indent=2))
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,10 @@
 # clustering + explanation) against the /v1/pipeline path vs naive
 # refit-per-request execution and writes BENCH_pipeline.json; the spec-seeded
 # fits are byte-reproducible, so it also asserts payload byte-identity.
+# Bench 5 measures budget-ledger charge admission at a 100k-charge ledger
+# (exact O(1) integer accounting vs the seed's O(n) float re-sum) and
+# persistence bytes-per-request (append-only journal vs full snapshot
+# rewrite) and writes BENCH_ledger.json.
 # All artifacts live at the repo root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -110,6 +114,33 @@ assert result["exact_equal"], "pipeline payloads diverged from the naive path"
 assert speedup >= 3.0, f"pipeline speedup regressed below 3x: {speedup:.2f}x"
 assert result["clustering_fits"] == 1, (
     f"fit-once contract broken: {result['clustering_fits']} fits"
+)
+EOF
+
+echo "== ledger benchmark (writes BENCH_ledger.json) =="
+python benchmarks/bench_ledger.py --out BENCH_ledger.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_ledger.json") as fh:
+    result = json.load(fh)
+speedup = result["admission_speedup"]
+print(f"ledger admission speedup at {result['ledger_size']:,} charges: "
+      f"{speedup:.0f}x ({result['seed_admission_rps']:.0f} -> "
+      f"{result['exact_admission_rps']:.0f} charges/s); "
+      f"journal {result['journal_bytes_per_request_large']:.0f} B/request "
+      f"(growth {result['journal_bytes_growth']:.2f}x) vs snapshot rewrite "
+      f"{result['seed_bytes_per_request_large']:,} B/request")
+assert speedup >= 10.0, (
+    f"admission speedup at 100k charges regressed below 10x: {speedup:.1f}x"
+)
+assert result["journal_bytes_growth"] <= 1.5, (
+    "journal bytes/request must be O(1) in ledger size, grew "
+    f"{result['journal_bytes_growth']:.2f}x from 1k to 100k charges"
+)
+assert result["persistence_bytes_ratio_at_large"] >= 10.0, (
+    "journal records should be far smaller than full snapshot rewrites"
 )
 EOF
 echo "CI OK"

@@ -49,6 +49,7 @@ from ..core.quality.scores import (
     Weights,
 )
 from ..core.select_candidates import stage1_mechanism
+from ..privacy.budget import BudgetError, quantize_epsilon
 from ..privacy.exponential import ExponentialMechanism
 from ..privacy.rng import ensure_rng, spawn
 from ..privacy.topk import OneShotTopK
@@ -387,6 +388,22 @@ def run_pipeline_batched(
     clustering = spec.fit(dataset, accountant=accountant)
     counts = ClusteredCounts(dataset, clustering)
     ctx = SweepContext(counts)
+    if accountant is not None and seeds:
+        # Exact whole-sweep affordability, before any per-seed reservation:
+        # the sweep needs len(seeds) * budget.total on the accountant's
+        # integer grid, so a sweep the cap cannot fund is refused in O(1)
+        # instead of building (and rolling back) a pile of reservations.
+        balance = accountant.balance()
+        needed_units = quantize_epsilon(explainer.budget.total) * len(seeds)
+        if (
+            balance.remaining_units is not None
+            and needed_units > balance.remaining_units
+        ):
+            raise BudgetError(
+                f"explaining {len(seeds)} seeds needs "
+                f"eps={explainer.budget.total * len(seeds):.4g} but only "
+                f"{balance.remaining:.4g} remains after the fit"
+            )
     tokens: "list[int]" = []
     try:
         if accountant is not None:

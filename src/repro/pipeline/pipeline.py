@@ -164,9 +164,11 @@ class PrivatePipeline:
     # -- internals --------------------------------------------------------- #
 
     def _require(self, epsilon: float, what: str) -> None:
-        remaining = self.accountant.remaining()
-        if epsilon > remaining + PrivacyAccountant.TOLERANCE:
+        # The accountant's own exact O(1) admission check, as a query: no
+        # second tolerance window stacked on top of the ledger's arithmetic.
+        if not self.accountant.can_spend(epsilon):
             raise BudgetError(
                 f"{what} needs eps={epsilon:.4g} but only "
-                f"{remaining:.4g} remains in the pipeline ledger"
+                f"{self.accountant.remaining():.4g} remains in the pipeline "
+                f"ledger"
             )

@@ -8,11 +8,15 @@ from .bounds import (
     stage2_error_bound,
 )
 from .budget import (
+    GRID,
+    Balance,
     BudgetError,
     Charge,
     ExplanationBudget,
     PrivacyAccountant,
     check_epsilon,
+    epsilon_from_units,
+    quantize_epsilon,
 )
 from .postprocess import (
     clamp_nonnegative,
@@ -44,11 +48,15 @@ __all__ = [
     "project_to_simplex_total",
     "round_to_integers",
     "uniformity_distance",
+    "GRID",
+    "Balance",
     "BudgetError",
     "Charge",
     "ExplanationBudget",
     "PrivacyAccountant",
     "check_epsilon",
+    "epsilon_from_units",
+    "quantize_epsilon",
     "ExponentialMechanism",
     "HierarchicalHistogram",
     "GeometricHistogram",

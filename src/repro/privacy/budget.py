@@ -12,20 +12,52 @@ The DPClustX facade threads an accountant through Algorithms 1-2 so the
 end-to-end guarantee of Theorem 5.3 — ``eps_CandSet + eps_TopComb + eps_Hist``
 — is checked at run time rather than only on paper.
 
+Exact integer accounting
+------------------------
+
+The ledger does **no float arithmetic on the admission path**.  Every
+epsilon is quantized onto a fixed rational grid of *nano-epsilon* units
+(:data:`GRID` = 1e9 units per unit of epsilon) the moment it enters the
+accountant, and all cap checks are integer compare-and-add:
+
+* **Quantization policy** — an incoming float ``eps`` maps to
+  ``round(Fraction(eps) * GRID)`` (exact binary-rational arithmetic,
+  ties-to-even).  Two floats within half a nano-eps of the same grid point
+  coincide; a positive epsilon that rounds to zero units is *below the grid*
+  and refused.  The float is kept verbatim on the
+  :class:`Charge` for audit display; the ``units`` integer is the accounting
+  truth.
+* **Exactness** — a charge sequence whose quantized units sum exactly to the
+  quantized cap is admitted in full, and any further positive epsilon is
+  refused.  There is no tolerance window: the pre-PR-5 ``TOLERANCE = 1e-9``
+  slack (which admitted up to a nano-eps *past* the cap and required an
+  O(n) re-sum of the ledger per charge) is gone.
+* **O(1) admission** — the accountant maintains a running
+  ``_spent_units`` integer, so :meth:`spend` / :meth:`parallel` /
+  :meth:`can_spend` cost one integer comparison regardless of ledger length.
+
 The accountant is thread-safe: the cap check and the charge append happen
 atomically under an internal lock, so concurrent callers (the explanation
 service's worker pool) can never jointly overspend a limit.  The
 :meth:`PrivacyAccountant.snapshot` / :meth:`PrivacyAccountant.restore` pair
-round-trips the ledger through plain JSON-able dicts — the unit of the
-service layer's persistent per-(tenant, dataset) ledgers.
+round-trips the ledger through plain JSON-able dicts; snapshots written by
+the pre-quantization format (float epsilons only) load via quantization.
+An optional mutation observer (:meth:`PrivacyAccountant.set_observer`) is
+invoked under the lock for every charge/refund — the hook the service
+layer's append-only ledger journal hangs off.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterator, Mapping
+
+#: Nano-epsilon grid: integer accounting units per 1.0 of epsilon.
+GRID = 10**9
 
 
 class BudgetError(ValueError):
@@ -42,16 +74,71 @@ def check_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
     return eps
 
 
+def quantize_epsilon(epsilon: float, *, name: str = "epsilon") -> int:
+    """Map an epsilon onto the integer nano-eps grid (the quantization policy).
+
+    ``round(Fraction(eps) * GRID)`` — the float's exact binary rational,
+    scaled and rounded to the nearest grid point (ties-to-even), so e.g.
+    three charges of float ``0.1`` sum to *exactly* the quantization of a
+    ``0.3`` cap.  Raises :class:`BudgetError` for epsilons that are invalid
+    or so small they round to zero units (below the grid's resolution).
+    """
+    eps = check_epsilon(epsilon, name=name)
+    units = int(round(Fraction(eps) * GRID))
+    if units <= 0:
+        raise BudgetError(
+            f"{name} {epsilon!r} is below the accounting grid "
+            f"(resolution 1/{GRID} epsilon)"
+        )
+    return units
+
+
+def epsilon_from_units(units: int) -> float:
+    """The float epsilon a grid-unit count represents (display only)."""
+    return units / GRID
+
+
 @dataclass(frozen=True)
 class Charge:
-    """One recorded privacy expenditure."""
+    """One recorded privacy expenditure.
+
+    ``epsilon`` is the caller's float, kept verbatim for audit display;
+    ``units`` is its exact grid quantization and the value the accountant
+    actually sums.  ``units=0`` (the default) derives units from
+    ``epsilon`` — the back-compat path for charges rebuilt from
+    pre-quantization snapshots.
+    """
 
     label: str
     epsilon: float
     composition: str = "sequential"  # "sequential" | "parallel-group"
+    units: int = 0
+
+    def __post_init__(self) -> None:
+        if self.units <= 0:
+            object.__setattr__(
+                self, "units", quantize_epsilon(self.epsilon, name="charge")
+            )
 
 
-@dataclass
+@dataclass(frozen=True)
+class Balance:
+    """One atomic read of a ledger's position: spent/remaining/limit together.
+
+    Produced by :meth:`PrivacyAccountant.balance` under a single lock
+    acquisition, so ``spent + remaining == limit`` holds exactly (in units)
+    even while other threads charge — the invariant separate ``total()`` /
+    ``remaining()`` calls cannot give.
+    """
+
+    spent: float
+    remaining: float
+    limit: float | None
+    spent_units: int
+    remaining_units: int | None
+    limit_units: int | None
+
+
 class PrivacyAccountant:
     """Pure-epsilon ledger with sequential and parallel composition.
 
@@ -59,38 +146,94 @@ class PrivacyAccountant:
     ----------
     limit:
         Optional hard cap; :meth:`spend` raises once the sequential total
-        would exceed it (within a small float tolerance).
+        would exceed it.  Admission is exact on the nano-eps grid: the cap
+        fills to the last unit and refuses the first unit past it.
     """
 
-    limit: float | None = None
-    _charges: list[Charge] = field(default_factory=list)
-    _lock: threading.RLock = field(
-        default_factory=threading.RLock, repr=False, compare=False
-    )
-    # Per-charge refund tokens, aligned index-for-index with ``_charges``.
-    # Tokens are unique over the accountant's lifetime, so a refund can only
-    # ever remove the exact charge its reservation created — two charges with
-    # identical labels (same dataset+seed, different epsilon configs) are
-    # still distinguishable.
-    _tokens: list[int] = field(default_factory=list, repr=False, compare=False)
-    _next_token: int = field(default=0, repr=False, compare=False)
+    def __init__(self, limit: float | None = None):
+        self._lock = threading.RLock()
+        self._charges: list[Charge] = []
+        # Per-charge refund tokens, aligned index-for-index with _charges.
+        # Tokens are unique over the accountant's lifetime, so a refund can
+        # only ever remove the exact charge its reservation created — two
+        # charges with identical labels (same dataset+seed, different
+        # epsilon configs) are still distinguishable.  snapshot()/restore()
+        # preserve tokens, so a charge's identity survives persistence (the
+        # journal layer keys replay on it).
+        self._tokens: list[int] = []
+        self._next_token = 0
+        self._spent_units = 0
+        self._limit: float | None = None
+        self._limit_units: int | None = None
+        self._observer: "Callable[[dict], None] | None" = None
+        if limit is not None:
+            self._set_limit(limit)
 
-    TOLERANCE = 1e-9
+    def __repr__(self) -> str:
+        return (
+            f"PrivacyAccountant(limit={self._limit!r}, "
+            f"charges={len(self._charges)}, spent_units={self._spent_units})"
+        )
+
+    # -- limit ------------------------------------------------------------ #
+
+    def _set_limit(self, limit: float | None) -> None:
+        if limit is None:
+            self._limit = None
+            self._limit_units = None
+        else:
+            value = float(limit)
+            self._limit = value
+            self._limit_units = quantize_epsilon(value, name="limit")
+
+    @property
+    def limit(self) -> float | None:
+        return self._limit
+
+    @limit.setter
+    def limit(self, value: float | None) -> None:
+        with self._lock:
+            self._set_limit(value)
+
+    # -- observer --------------------------------------------------------- #
+
+    def set_observer(self, observer: "Callable[[dict], None] | None") -> None:
+        """Install a mutation hook, called *under the ledger lock* with one
+        event dict per charge (``{"op": "charge", "token", "label",
+        "epsilon", "units", "composition"}``) or refund (``{"op": "refund",
+        "token", "units"}``).  The service layer's journal appends (and
+        fsyncs) its record inside this hook, so a charge is durable before
+        :meth:`spend` returns — i.e. before any mechanism draws noise
+        against it.  :meth:`restore` does *not* emit events; callers that
+        restore a wired accountant must resync their sink out-of-band.
+        """
+        with self._lock:
+            self._observer = observer
+
+    def _notify(self, event: dict) -> None:
+        if self._observer is not None:
+            self._observer(event)
+
+    # -- charging --------------------------------------------------------- #
 
     def spend(self, epsilon: float, label: str) -> int:
         """Record a sequentially-composed charge of ``epsilon``.
 
-        The cap check and the append are one atomic step under the internal
-        lock, so parallel spenders cannot interleave past the limit.
+        The cap check and the append are one atomic O(1) step under the
+        internal lock (integer compare-and-add on the running units total),
+        so parallel spenders cannot interleave past the limit and admission
+        cost does not grow with ledger length.
 
         Returns an opaque token identifying *this* charge, accepted by
         :meth:`refund` — the only safe way to roll back a reservation when
         other charges may share its label.
         """
-        eps = check_epsilon(epsilon, name=f"charge {label!r}")
+        what = f"charge {label!r}"
+        eps = check_epsilon(epsilon, name=what)
+        units = quantize_epsilon(eps, name=what)
         with self._lock:
-            self._check_cap(eps, f"charge {label!r}")
-            return self._append(Charge(label, eps, "sequential"))
+            self._admit(units, what)
+            return self._append(Charge(label, eps, "sequential", units))
 
     def parallel(self, epsilons: list[float], label: str) -> int:
         """Record charges against *disjoint* partitions; only max(eps) counts.
@@ -102,39 +245,122 @@ class PrivacyAccountant:
 
         Returns a refund token, as :meth:`spend` does.
         """
+        what = f"parallel charge {label!r}"
         if not epsilons:
-            raise BudgetError(f"parallel charge {label!r} needs at least one epsilon")
-        eps = max(check_epsilon(e, name=f"parallel charge {label!r}") for e in epsilons)
+            raise BudgetError(f"{what} needs at least one epsilon")
+        eps = max(check_epsilon(e, name=what) for e in epsilons)
+        units = max(quantize_epsilon(e, name=what) for e in epsilons)
         with self._lock:
-            self._check_cap(eps, f"parallel charge {label!r}")
-            return self._append(Charge(label, eps, "parallel-group"))
+            self._admit(units, what)
+            return self._append(Charge(label, eps, "parallel-group", units))
+
+    def can_spend(self, epsilon: float) -> bool:
+        """O(1) admission query: would a charge of ``epsilon`` be admitted?
+
+        The exact same integer comparison :meth:`spend` performs, without
+        mutating the ledger — the replacement for the pre-PR-5 callers that
+        re-derived admission as ``epsilon > remaining + TOLERANCE``.
+        """
+        units = quantize_epsilon(epsilon)
+        with self._lock:
+            if self._limit_units is None:
+                return True
+            return self._spent_units + units <= self._limit_units
+
+    def _admit(self, units: int, what: str) -> None:
+        """Raise if ``units`` more would exceed the limit.  Caller holds the
+        lock.  One integer compare — no ledger traversal, no tolerance."""
+        if (
+            self._limit_units is not None
+            and self._spent_units + units > self._limit_units
+        ):
+            raise BudgetError(
+                f"{what} of {epsilon_from_units(units)} would exceed the "
+                f"budget limit {self._limit} "
+                f"(already spent {epsilon_from_units(self._spent_units)})"
+            )
 
     def _append(self, charge: Charge) -> int:
-        """Append a charge and mint its token.  Caller holds the lock."""
+        """Append a charge and mint its token.  Caller holds the lock.
+
+        If the observer (the durability hook) fails, the in-memory charge
+        is rolled back before the error propagates: a charge that could
+        not be journaled must not stand in memory either, or memory and
+        disk diverge and the epsilon is burned with no token to refund it
+        by.  Nothing was released (the caller's ``spend`` raises before
+        any mechanism runs), so the rollback is privacy-safe; the token is
+        retired either way, never re-minted.
+        """
         token = self._next_token
         self._next_token += 1
         self._charges.append(charge)
         self._tokens.append(token)
+        self._spent_units += charge.units
+        try:
+            self._notify(
+                {
+                    "op": "charge",
+                    "token": token,
+                    "label": charge.label,
+                    "epsilon": charge.epsilon,
+                    "units": charge.units,
+                    "composition": charge.composition,
+                }
+            )
+        except BaseException:
+            self._charges.pop()
+            self._tokens.pop()
+            self._spent_units -= charge.units
+            raise
         return token
 
-    def _check_cap(self, eps: float, what: str) -> None:
-        """Raise if ``eps`` more would exceed the limit.  Caller holds the lock."""
-        if self.limit is not None and self.total() + eps > self.limit + self.TOLERANCE:
-            raise BudgetError(
-                f"{what} of {eps} would exceed the budget limit "
-                f"{self.limit} (already spent {self.total()})"
-            )
+    # -- introspection ---------------------------------------------------- #
 
     def total(self) -> float:
         """Total epsilon under sequential composition of recorded charges."""
         with self._lock:
-            return float(sum(c.epsilon for c in self._charges))
+            return epsilon_from_units(self._spent_units)
+
+    def total_units(self) -> int:
+        """The running units total — the exact integer the cap checks use."""
+        with self._lock:
+            return self._spent_units
 
     def remaining(self) -> float:
         """Remaining budget, ``inf`` when no limit was set."""
-        if self.limit is None:
-            return float("inf")
-        return self.limit - self.total()
+        return self.balance().remaining
+
+    def balance(self) -> Balance:
+        """Spent, remaining and limit in **one** locked read.
+
+        Concurrent charges can land between two separate ``total()`` /
+        ``remaining()`` calls, yielding stats where spent + remaining !=
+        limit; this method is the atomic alternative every reporting path
+        (service ``/v1/ledger``, ``/v1/stats``, refusal envelopes,
+        :meth:`summary`) goes through.
+        """
+        with self._lock:
+            spent_units = self._spent_units
+            limit_units = self._limit_units
+            limit = self._limit
+        if limit_units is None:
+            return Balance(
+                spent=epsilon_from_units(spent_units),
+                remaining=float("inf"),
+                limit=None,
+                spent_units=spent_units,
+                remaining_units=None,
+                limit_units=None,
+            )
+        remaining_units = limit_units - spent_units
+        return Balance(
+            spent=epsilon_from_units(spent_units),
+            remaining=epsilon_from_units(remaining_units),
+            limit=limit,
+            spent_units=spent_units,
+            remaining_units=remaining_units,
+            limit_units=limit_units,
+        )
 
     def charges(self) -> tuple[Charge, ...]:
         with self._lock:
@@ -144,12 +370,16 @@ class PrivacyAccountant:
         return iter(self.charges())
 
     def summary(self) -> str:
-        """Human-readable ledger dump."""
-        charges = self.charges()
-        lines = [f"privacy ledger (total eps = {self.total():.6g})"]
+        """Human-readable ledger dump (total and rows from one locked read)."""
+        with self._lock:
+            total = epsilon_from_units(self._spent_units)
+            charges = tuple(self._charges)
+        lines = [f"privacy ledger (total eps = {total:.6g})"]
         for c in charges:
             lines.append(f"  {c.label:<40s} eps={c.epsilon:<10.6g} [{c.composition}]")
         return "\n".join(lines)
+
+    # -- refunds ----------------------------------------------------------- #
 
     def refund(self, token: int) -> None:
         """Remove the exact charge that :meth:`spend` minted ``token`` for.
@@ -167,39 +397,78 @@ class PrivacyAccountant:
                 i = self._tokens.index(token)
             except ValueError:
                 raise BudgetError(f"no charge with token {token!r} to refund") from None
-            del self._charges[i]
-            del self._tokens[i]
+            self._remove_at(i)
 
     def refund_last(self, label: str) -> None:
         """Remove the most recent charge with ``label`` (failure refund).
 
-        Prefer :meth:`refund` with the token returned by :meth:`spend`
-        whenever distinct charges can share a label — label matching removes
-        whichever matching charge is most recent, which may not be yours.
-        Never call this after a release has been observed.
+        .. deprecated:: PR 5
+            Label-matched refunds are unsafe — two distinct charges can
+            share a label (same dataset+seed, different epsilon configs),
+            and this removes whichever matching charge is most recent,
+            which may not be yours.  The service layer stopped using it
+            when :meth:`spend` grew refund tokens; use :meth:`refund` with
+            the token instead.  Behaviour is unchanged for now.
         """
+        warnings.warn(
+            "PrivacyAccountant.refund_last is deprecated: label-matched "
+            "refunds can remove another caller's charge when labels "
+            "collide; use refund(token) with the token spend() returned",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         with self._lock:
             for i in range(len(self._charges) - 1, -1, -1):
                 if self._charges[i].label == label:
-                    del self._charges[i]
-                    del self._tokens[i]
+                    self._remove_at(i)
                     return
         raise BudgetError(f"no charge labelled {label!r} to refund")
+
+    def _remove_at(self, i: int) -> None:
+        """Drop charge row ``i`` and its token.  Caller holds the lock.
+
+        Mirror of :meth:`_append`'s rollback: if the refund record cannot
+        be journaled, the charge is reinstated and the error propagates —
+        the ledger keeps the spend (overcounting: safe in the privacy
+        direction) rather than letting memory and disk diverge.
+        """
+        charge = self._charges[i]
+        token = self._tokens[i]
+        del self._charges[i]
+        del self._tokens[i]
+        self._spent_units -= charge.units
+        try:
+            self._notify({"op": "refund", "token": token, "units": charge.units})
+        except BaseException:
+            self._charges.insert(i, charge)
+            self._tokens.insert(i, token)
+            self._spent_units += charge.units
+            raise
 
     # -- persistence ----------------------------------------------------- #
 
     def snapshot(self) -> dict:
-        """A JSON-able copy of the ledger (limit + ordered charges)."""
+        """A JSON-able copy of the ledger (limit + ordered charges).
+
+        Each charge carries its exact ``units`` and its refund ``token``
+        (plus ``next_token``), so a restore reconstructs charge identity —
+        the property the service journal's replay keys on.  Pre-PR-5
+        readers ignore the extra fields; pre-PR-5 *snapshots* (float
+        epsilons only) load back via quantization.
+        """
         with self._lock:
             return {
-                "limit": self.limit,
+                "limit": self._limit,
+                "next_token": self._next_token,
                 "charges": [
                     {
                         "label": c.label,
                         "epsilon": c.epsilon,
                         "composition": c.composition,
+                        "units": c.units,
+                        "token": t,
                     }
-                    for c in self._charges
+                    for c, t in zip(self._charges, self._tokens)
                 ],
             }
 
@@ -209,30 +478,73 @@ class PrivacyAccountant:
         The restored charges are replayed against the *snapshot's* limit, so
         a ledger that was legal when persisted reloads verbatim; a tampered
         snapshot whose charges exceed its own limit raises
-        :class:`BudgetError` and leaves the accountant unchanged.
+        :class:`BudgetError` and leaves the accountant unchanged.  The
+        replay is exact integer arithmetic: charges carry their ``units``
+        when present (format 2) and are quantized from their float epsilon
+        otherwise (pre-PR-5 snapshots), and the overspend check has no
+        tolerance window.
+
+        Charge tokens are preserved when the snapshot carries them (so
+        persisted charge identity survives a restart); a token-less legacy
+        snapshot mints fresh tokens, invalidating any token from before the
+        restore.
         """
         limit = state.get("limit")
-        charges = []
-        spent = 0.0
+        limit_units = (
+            None if limit is None else quantize_epsilon(float(limit), name="limit")
+        )
+        charges: list[Charge] = []
+        tokens: list[int] = []
+        spent_units = 0
         for entry in state.get("charges", ()):
+            eps = check_epsilon(entry["epsilon"], name="restored charge")
+            raw_units = entry.get("units")
+            units = (
+                int(raw_units)
+                if raw_units is not None
+                else quantize_epsilon(eps, name="restored charge")
+            )
+            if units <= 0:
+                raise BudgetError(
+                    f"restored charge has non-positive units {raw_units!r}"
+                )
             c = Charge(
                 str(entry["label"]),
-                check_epsilon(entry["epsilon"], name="restored charge"),
+                eps,
                 str(entry.get("composition", "sequential")),
+                units,
             )
-            spent += c.epsilon
-            if limit is not None and spent > float(limit) + self.TOLERANCE:
+            spent_units += units
+            if limit_units is not None and spent_units > limit_units:
                 raise BudgetError(
-                    f"snapshot is overspent: {spent} exceeds its limit {limit}"
+                    f"snapshot is overspent: {epsilon_from_units(spent_units)} "
+                    f"exceeds its limit {limit}"
                 )
             charges.append(c)
+            token = entry.get("token")
+            tokens.append(int(token) if token is not None else -1)
+        have_tokens = all(t >= 0 for t in tokens) and len(set(tokens)) == len(tokens)
         with self._lock:
-            self.limit = None if limit is None else float(limit)
+            self._set_limit(limit)
             self._charges[:] = charges
-            # Restored charges get fresh tokens; any token minted before the
-            # restore refers to a charge that no longer exists.
-            self._tokens = [self._next_token + i for i in range(len(charges))]
-            self._next_token += len(charges)
+            if have_tokens:
+                self._tokens = tokens
+                floor = max(tokens) + 1 if tokens else 0
+                self._next_token = max(
+                    self._next_token, floor, int(state.get("next_token", 0))
+                )
+            else:
+                # Legacy snapshot: restored charges get fresh tokens; any
+                # token minted before the restore refers to a charge that
+                # no longer exists.  The fresh mint starts at or above the
+                # snapshot's own next_token so it can never re-issue a
+                # token that a journal record already names — a collision
+                # would make the journal's idempotent replay silently drop
+                # the newer charge (a privacy-budget undercount).
+                base = max(self._next_token, int(state.get("next_token", 0)))
+                self._tokens = [base + i for i in range(len(charges))]
+                self._next_token = base + len(charges)
+            self._spent_units = spent_units
 
     @classmethod
     def from_snapshot(cls, state: Mapping) -> "PrivacyAccountant":

@@ -100,6 +100,21 @@ class QueryEngine:
     def spent(self) -> float:
         return self._accountant.total()
 
+    @property
+    def remaining(self) -> float:
+        """Budget left under the accountant's cap (``inf`` uncapped)."""
+        return self._accountant.balance().remaining
+
+    def can_afford(self, epsilon: float) -> bool:
+        """Exact O(1) admission query: would a query of ``epsilon`` run?
+
+        The accountant's own grid arithmetic — a query loop can probe this
+        instead of catching :class:`~repro.privacy.budget.BudgetError`
+        mid-session, and the answer cannot disagree with what
+        :meth:`count`/:meth:`histogram` would actually admit.
+        """
+        return self._accountant.can_spend(epsilon)
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

@@ -25,6 +25,7 @@ Quickstart::
 
 from .cache import CacheEntry, ExplanationCache, canonical_json
 from .http import ServiceHTTPServer, make_server, serve_forever
+from .journal import LedgerStoreError, TenantLedgerStore
 from .queue import QueueClosed, RequestQueue
 from .registry import DatasetEntry, ServiceError, ServiceRegistry, Tenant
 from .service import (
@@ -42,6 +43,8 @@ __all__ = [
     "ServiceHTTPServer",
     "make_server",
     "serve_forever",
+    "LedgerStoreError",
+    "TenantLedgerStore",
     "QueueClosed",
     "RequestQueue",
     "DatasetEntry",

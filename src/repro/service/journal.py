@@ -1,0 +1,336 @@
+"""Append-only ledger journal: O(1) durable persistence per charge.
+
+Before PR 5 the service re-serialized the *entire* tenant snapshot after
+every successful request — O(n) bytes of I/O per charge over a long-lived
+ledger.  :class:`TenantLedgerStore` replaces that with write-ahead-log
+persistence:
+
+* **snapshot** (``<tenant>.json``) — the compacted base state, in the same
+  shape as :meth:`~repro.service.registry.Tenant.snapshot` (and readable as
+  one: PR 3/4-era snapshots load unchanged, their float epsilons quantized
+  onto the accounting grid by
+  :meth:`~repro.privacy.budget.PrivacyAccountant.restore`);
+* **journal** (``<tenant>.journal``) — an append-only JSONL tail of every
+  charge/refund since the snapshot, one fsync'd record per mutation, O(1)
+  bytes per request;
+* **crash replay** = snapshot + tail.  Replay is *idempotent*: charge
+  records key on the accountant's persistent ``(dataset, token)`` charge
+  identity, so a record that was already folded into the snapshot (crash
+  between the compaction's snapshot write and its journal rewrite) applies
+  as a no-op, and a refund of an already-folded removal skips cleanly.
+* **compaction** — when the tail reaches ``compact_every`` records, the
+  registry's next persistence checkpoint folds it back into the snapshot
+  and rewrites the journal, keeping any record appended concurrently with
+  the snapshot capture (idempotence makes the overlap safe).
+
+Durability ordering: the store's :meth:`record` runs inside the
+accountant's mutation hook (under the ledger lock), so a charge is on disk
+*before* ``spend()`` returns — before the engine draws any noise against
+it, and therefore before any response is released.  A crash can only lose
+a charge that never funded a release (safe), or persist a charge whose
+release never happened (overcounting — safe in the privacy direction).
+
+The store raises :class:`LedgerStoreError` (a ``ValueError``) on corrupt
+state; the registry maps it to its structured ``corrupt-ledger`` refusal.
+A truncated *final* journal line (torn write at crash) is not corruption —
+its record never committed, and the half-line is dropped on the next
+rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+
+class LedgerStoreError(ValueError):
+    """Corrupt or inconsistent persisted ledger state."""
+
+
+def _fsync_write(path: str, data: str) -> None:
+    """Crash-safe whole-file write: temp file + fsync + atomic replace."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class TenantLedgerStore:
+    """Snapshot + append-only journal for one tenant's privacy ledgers.
+
+    One instance per persisted tenant, owned by the
+    :class:`~repro.service.registry.ServiceRegistry`.  All methods are
+    thread-safe; :meth:`record` is designed to be called from
+    :meth:`PrivacyAccountant.set_observer
+    <repro.privacy.budget.PrivacyAccountant.set_observer>` hooks (the lock
+    order is always accountant-lock → store-lock, and the store never
+    acquires accountant locks, so the two layers cannot deadlock).
+    """
+
+    SNAPSHOT_SUFFIX = ".json"
+    JOURNAL_SUFFIX = ".journal"
+
+    def __init__(self, base_path: str, *, compact_every: int = 256):
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.base_path = os.fspath(base_path)
+        self.snapshot_path = self.base_path + self.SNAPSHOT_SUFFIX
+        self.journal_path = self.base_path + self.JOURNAL_SUFFIX
+        self.compact_every = compact_every
+        self._lock = threading.Lock()
+        self._fh = None  # append handle, opened lazily
+        self._seq = 0
+        self._tail_records = 0  # journal records since the last compaction
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    @classmethod
+    def create(cls, base_path: str, state: dict, *, compact_every: int = 256):
+        """Initialise the store for a brand-new tenant.
+
+        Writes the initial snapshot (the tenant's existence and cap must be
+        durable before any charge references them) and an empty journal.
+        """
+        store = cls(base_path, compact_every=compact_every)
+        store.compact(state)
+        return store
+
+    @classmethod
+    def open(cls, base_path: str, *, compact_every: int = 256):
+        """Open an existing store; returns ``(store, replayed_state)``.
+
+        ``replayed_state`` is the crash-recovered tenant state — snapshot
+        plus journal tail — in :meth:`Tenant.snapshot` shape, ready for
+        :meth:`Tenant.restore`.  Raises :class:`LedgerStoreError` (or
+        ``OSError``/``KeyError`` on unreadable files) when the persisted
+        state is corrupt.
+        """
+        store = cls(base_path, compact_every=compact_every)
+        state = store._replay()
+        return store, state
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- journaling ------------------------------------------------------- #
+
+    def record(self, dataset_id: str, event: dict) -> None:
+        """Append one fsync'd charge/refund record — O(1) bytes, O(1) time.
+
+        ``event`` is a :meth:`PrivacyAccountant.set_observer` event dict;
+        the record adds the dataset id (one tenant journal covers all of
+        the tenant's per-dataset ledgers) and a monotonic ``seq`` for
+        ordering diagnostics.
+        """
+        with self._lock:
+            self._seq += 1
+            line = json.dumps(
+                {"seq": self._seq, "dataset": dataset_id, **event},
+                separators=(",", ":"),
+            )
+            fh = self._open_journal()
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+            self._tail_records += 1
+
+    def _open_journal(self):
+        if self._fh is None:
+            self._fh = open(self.journal_path, "a")
+        return self._fh
+
+    @property
+    def tail_records(self) -> int:
+        """Journal records since the last compaction (the trigger metric)."""
+        with self._lock:
+            return self._tail_records
+
+    def should_compact(self) -> bool:
+        return self.tail_records >= self.compact_every
+
+    def current_seq(self) -> int:
+        """The seq of the newest committed record (the compaction fence).
+
+        Read this *before* capturing the tenant snapshot you pass to
+        :meth:`compact`: any record committed by then has seq <= this
+        value, and — because the accountant mutates before it notifies,
+        both under its ledger lock — its effect is necessarily visible to
+        a snapshot taken afterwards.
+        """
+        with self._lock:
+            return self._seq
+
+    # -- compaction ------------------------------------------------------- #
+
+    def compact(self, state: dict, covered_seq: int | None = None) -> None:
+        """Fold the journal tail into a fresh snapshot of ``state``.
+
+        ``covered_seq`` is the :meth:`current_seq` fence the caller read
+        *before* capturing ``state``: every record with seq <= the fence is
+        provably covered by the snapshot and is dropped from the journal;
+        records that raced in during/after the capture may or may not be
+        covered, so they are **kept**, and idempotent replay makes the
+        possible overlap harmless.  ``covered_seq=None`` (tenant creation,
+        post-restore rebase — no concurrent chargers by contract) folds
+        everything.  A crash between the snapshot replace and the journal
+        rewrite leaves snapshot + full old tail: replaying already-folded
+        records is a no-op by the same idempotence.
+        """
+        body = {
+            k: v for k, v in state.items() if k not in ("format", "journal_seq")
+        }
+        with self._lock:
+            fence = self._seq if covered_seq is None else int(covered_seq)
+            _fsync_write(
+                self.snapshot_path,
+                json.dumps(
+                    {"format": 2, "journal_seq": fence, **body}, indent=2
+                )
+                + "\n",
+            )
+            tail, _ = self._read_journal_locked()
+            tail = [rec for rec in tail if int(rec.get("seq", 0)) > fence]
+            self._rewrite_journal_locked(tail)
+
+    def _rewrite_journal_locked(self, records: "list[dict]") -> None:
+        """Atomically replace the journal contents.  Caller holds the lock."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        _fsync_write(
+            self.journal_path,
+            "".join(
+                json.dumps(rec, separators=(",", ":")) + "\n" for rec in records
+            ),
+        )
+        self._tail_records = len(records)
+
+    # -- replay ----------------------------------------------------------- #
+
+    def _replay(self) -> dict:
+        """Rebuild tenant state: snapshot + idempotent journal tail replay."""
+        try:
+            with open(self.snapshot_path) as fh:
+                state = json.load(fh)
+        except FileNotFoundError:
+            raise LedgerStoreError(
+                f"journal {self.journal_path!r} has no base snapshot "
+                f"{self.snapshot_path!r}"
+            ) from None
+        if not isinstance(state, dict):
+            raise LedgerStoreError(f"snapshot {self.snapshot_path!r} is not an object")
+        ledgers = state.setdefault("ledgers", {})
+        # (dataset, token) -> charge entry, insertion-ordered per dataset.
+        by_token: "dict[str, dict[int, dict]]" = {}
+        tokenless: "dict[str, list[dict]]" = {}
+        next_tokens: "dict[str, int]" = {}
+        for dataset_id, ledger in ledgers.items():
+            per = {}
+            loose = []
+            for entry in ledger.get("charges", ()):
+                token = entry.get("token")
+                if token is None:
+                    loose.append(entry)  # pre-PR-5 snapshot rows
+                else:
+                    per[int(token)] = entry
+            by_token[dataset_id] = per
+            tokenless[dataset_id] = loose
+            next_tokens[dataset_id] = int(ledger.get("next_token", 0))
+
+        with self._lock:
+            tail, dirty = self._read_journal_locked()
+            if dirty:
+                # A torn final line from a crash mid-append: its record
+                # never committed.  Drop it from disk *now*, before any new
+                # append would land after the half-line and corrupt the file.
+                self._rewrite_journal_locked(tail)
+            self._tail_records = len(tail)
+        max_seq = 0
+        for rec in tail:
+            seq = int(rec.get("seq", 0))
+            max_seq = max(max_seq, seq)
+            dataset_id = str(rec["dataset"])
+            per = by_token.setdefault(dataset_id, {})
+            tokenless.setdefault(dataset_id, [])
+            token = int(rec["token"])
+            op = rec.get("op")
+            if op == "charge":
+                # Idempotent: a record already folded into the snapshot
+                # (crash mid-compaction) re-applies as a no-op.
+                if token not in per:
+                    per[token] = {
+                        "label": str(rec["label"]),
+                        "epsilon": float(rec["epsilon"]),
+                        "composition": str(rec.get("composition", "sequential")),
+                        "units": int(rec["units"]),
+                        "token": token,
+                    }
+            elif op == "refund":
+                # Idempotent: refunds of an already-folded removal skip.
+                per.pop(token, None)
+            else:
+                raise LedgerStoreError(
+                    f"journal {self.journal_path!r} has unknown op {op!r}"
+                )
+            next_tokens[dataset_id] = max(
+                next_tokens.get(dataset_id, 0), token + 1
+            )
+
+        limit = state.get("budget_limit")
+        for dataset_id, per in by_token.items():
+            charges = tokenless.get(dataset_id, []) + [
+                per[t] for t in sorted(per)
+            ]
+            ledgers[dataset_id] = {
+                "limit": limit,
+                "next_token": next_tokens.get(dataset_id, 0),
+                "charges": charges,
+            }
+        with self._lock:
+            self._seq = max(self._seq, max_seq, int(state.get("journal_seq", 0)))
+        state.pop("format", None)
+        state.pop("journal_seq", None)
+        return state
+
+    def _read_journal_locked(self) -> "tuple[list[dict], bool]":
+        """Parse the journal, tolerating only a torn *final* line.
+
+        Returns ``(records, dirty)`` — ``dirty`` means the on-disk file has
+        a trailing fragment that must be rewritten away before appending.
+        """
+        try:
+            with open(self.journal_path) as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return [], False
+        records: "list[dict]" = []
+        lines = raw.split("\n")
+        torn_tail = bool(lines and lines[-1] != "")  # no trailing newline
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            last = i == len(lines) - 1
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                if last and torn_tail:
+                    return records, True  # the record never committed
+                raise LedgerStoreError(
+                    f"journal {self.journal_path!r} is corrupt at line {i + 1}"
+                ) from None
+            if not isinstance(rec, dict):
+                raise LedgerStoreError(
+                    f"journal {self.journal_path!r} line {i + 1} is not an object"
+                )
+            records.append(rec)
+        # A complete final record missing only its newline is committed but
+        # still needs the rewrite, or the next append glues to it.
+        return records, torn_tail

@@ -12,15 +12,21 @@ metered per dataset.  :class:`ServiceRegistry` owns:
 * the tenants — each a :class:`Tenant` holding one capped, thread-safe
   :class:`~repro.privacy.budget.PrivacyAccountant` per dataset id.
 
-Ledgers persist as one JSON file per tenant under ``ledger_dir``, written
-crash-safely (temp file + atomic ``os.replace``) after every successful
-charge and reloaded on construction — a restarted service refuses requests
-a crashed one could no longer afford.
+Ledgers persist under ``ledger_dir`` as one snapshot (``<tenant>.json``)
+plus one append-only journal (``<tenant>.journal``) per tenant — a
+:class:`~repro.service.journal.TenantLedgerStore`.  Every charge/refund is
+one fsync'd O(1) journal record, written from the accountant's mutation
+hook *before* the charging call returns (so a charge is durable before any
+noise is drawn against it); :meth:`ServiceRegistry.persist_tenant` is the
+periodic checkpoint that folds a grown journal back into the snapshot.
+Both files reload on construction — a restarted service refuses requests a
+crashed one could no longer afford — and PR 3/4-era snapshot-only
+directories load unchanged (float charges quantized onto the exact
+accounting grid, journal created on first write).
 """
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 
@@ -31,6 +37,7 @@ from ..core.counts import ClusteredCounts
 from ..dataset.table import Dataset
 from ..evaluation.sweeps import SweepContext
 from ..privacy.budget import BudgetError, PrivacyAccountant, check_epsilon
+from .journal import TenantLedgerStore
 
 
 class ServiceError(Exception):
@@ -123,6 +130,29 @@ class Tenant:
         self.budget_limit = check_epsilon(budget_limit, name="budget_limit")
         self._lock = threading.Lock()
         self._accountants: dict[str, PrivacyAccountant] = {}
+        self._store: "TenantLedgerStore | None" = None
+
+    def attach_store(self, store: "TenantLedgerStore | None") -> None:
+        """Wire every (current and future) ledger to the journal store.
+
+        Each accountant's mutation hook appends one fsync'd record to the
+        tenant's journal *under the ledger lock* — a charge is on disk
+        before ``spend()`` returns, replacing the old
+        snapshot-rewrite-per-request persistence.
+        """
+        with self._lock:
+            self._store = store
+            for dataset_id, acc in self._accountants.items():
+                self._wire_locked(dataset_id, acc)
+
+    def _wire_locked(self, dataset_id: str, acc: PrivacyAccountant) -> None:
+        store = self._store
+        if store is None:
+            acc.set_observer(None)
+        else:
+            acc.set_observer(
+                lambda event, d=dataset_id: store.record(d, event)
+            )
 
     def accountant(self, dataset_id: str) -> PrivacyAccountant:
         """The (lazily created) ledger for one dataset id."""
@@ -130,6 +160,7 @@ class Tenant:
             acc = self._accountants.get(dataset_id)
             if acc is None:
                 acc = PrivacyAccountant(limit=self.budget_limit)
+                self._wire_locked(dataset_id, acc)
                 self._accountants[dataset_id] = acc
             return acc
 
@@ -169,27 +200,52 @@ class Tenant:
             accountants[str(dataset_id)] = PrivacyAccountant.from_snapshot(replayed)
         with self._lock:
             self._accountants = accountants
+            for dataset_id, acc in accountants.items():
+                self._wire_locked(dataset_id, acc)
+            store = self._store
+        if store is not None:
+            # The journal tail describes the *replaced* ledgers; rebase the
+            # store on the restored state (restore is an admin/reload step,
+            # not concurrent with charging, so everything folds).
+            store.compact(self.snapshot())
 
     def describe(self) -> dict:
         with self._lock:
             accountants = dict(self._accountants)
+        ledgers = {}
+        for d, a in sorted(accountants.items()):
+            # One locked read per ledger: spent + remaining move together,
+            # so concurrent charges can never make them disagree with the
+            # cap (spent + remaining == limit, exactly, in grid units).
+            b = a.balance()
+            ledgers[d] = {"spent": b.spent, "remaining": b.remaining}
         return {
             "tenant": self.tenant_id,
             "budget_limit": self.budget_limit,
-            "ledgers": {
-                d: {"spent": a.total(), "remaining": a.remaining()}
-                for d, a in sorted(accountants.items())
-            },
+            "ledgers": ledgers,
         }
 
 
 class ServiceRegistry:
-    """Datasets + tenants + ledger persistence for one service instance."""
+    """Datasets + tenants + ledger persistence for one service instance.
 
-    def __init__(self, ledger_dir: "str | os.PathLike | None" = None):
+    ``compact_every`` bounds the per-tenant journal: once a journal holds
+    that many records, the next :meth:`persist_tenant` checkpoint folds it
+    back into the snapshot.  Between checkpoints persistence is O(1) bytes
+    per charge (one journal record), not O(ledger).
+    """
+
+    def __init__(
+        self,
+        ledger_dir: "str | os.PathLike | None" = None,
+        *,
+        compact_every: int = 256,
+    ):
         self._lock = threading.Lock()
         self._datasets: dict[str, DatasetEntry] = {}
         self._tenants: dict[str, Tenant] = {}
+        self._stores: dict[str, TenantLedgerStore] = {}
+        self.compact_every = compact_every
         self.ledger_dir = os.fspath(ledger_dir) if ledger_dir is not None else None
         if self.ledger_dir is not None:
             os.makedirs(self.ledger_dir, exist_ok=True)
@@ -290,6 +346,7 @@ class ServiceRegistry:
             if tenant_id in self._tenants:
                 raise ValueError(f"tenant {tenant_id!r} already exists")
             tenant = Tenant(tenant_id, budget_limit)
+            self._provision_store_locked(tenant)
             self._tenants[tenant_id] = tenant
             return tenant
 
@@ -305,8 +362,27 @@ class ServiceRegistry:
                         404, "unknown-tenant", f"no tenant named {tenant_id!r}"
                     )
                 tenant = Tenant(tenant_id, auto_budget)
+                self._provision_store_locked(tenant)
                 self._tenants[tenant_id] = tenant
             return tenant
+
+    def _provision_store_locked(self, tenant: Tenant) -> None:
+        """Create and attach a brand-new tenant's journal store (if persisting).
+
+        The initial snapshot (tenant id + cap, empty ledgers) is written
+        and fsync'd here, so the tenant's existence and its cap are durable
+        before any charge can reference them; from then on every charge is
+        one O(1) journal record.
+        """
+        if self.ledger_dir is None:
+            return
+        store = TenantLedgerStore.create(
+            self._ledger_base(tenant.tenant_id),
+            tenant.snapshot(),
+            compact_every=self.compact_every,
+        )
+        self._stores[tenant.tenant_id] = store
+        tenant.attach_store(store)
 
     def tenants(self) -> tuple[Tenant, ...]:
         with self._lock:
@@ -314,64 +390,85 @@ class ServiceRegistry:
 
     # -- persistence ----------------------------------------------------- #
 
-    def _ledger_path(self, tenant_id: str) -> str:
+    def _ledger_base(self, tenant_id: str) -> str:
         # Tenant ids become file names via percent-encoding — a *bijective*
         # mapping, so two distinct ids ('team a' vs 'team_a') can never
         # collide on one file and silently clobber each other's persisted
-        # privacy spend.
-        return os.path.join(self.ledger_dir, f"{quote(tenant_id, safe='')}.json")
+        # privacy spend.  The store appends ``.json`` (snapshot) and
+        # ``.journal`` (tail) to this base.
+        return os.path.join(self.ledger_dir, quote(tenant_id, safe=""))
 
-    def persist_tenant(self, tenant: Tenant) -> None:
-        """Crash-safe write of one tenant's ledgers (no-op without a dir).
+    def persist_tenant(self, tenant: Tenant, *, force: bool = False) -> None:
+        """Compaction checkpoint for one tenant (no-op without a dir).
 
-        The snapshot lands in a temp file first and is moved into place with
-        ``os.replace``; a crash mid-write leaves the previous ledger intact
-        and at worst an orphaned ``*.tmp`` the loader ignores.
+        Durability itself no longer lives here: every charge/refund was
+        already fsync'd as one O(1) journal record inside the accountant
+        call that made it.  This method folds the journal back into the
+        snapshot once it has grown past ``compact_every`` records (or
+        always, with ``force=True``) — the crash-safe temp-file +
+        ``os.replace`` snapshot write, amortised over many requests
+        instead of paid on every one.
         """
         if self.ledger_dir is None:
             return
-        path = self._ledger_path(tenant.tenant_id)
-        tmp = f"{path}.tmp"
-        with open(tmp, "w") as fh:
-            json.dump(tenant.snapshot(), fh, indent=2)
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        with self._lock:
+            store = self._stores.get(tenant.tenant_id)
+        if store is None:
+            # A tenant constructed outside create_tenant()/tenant() (tests,
+            # embedders) gets its store on first persistence.
+            with self._lock:
+                self._provision_store_locked(tenant)
+            return
+        if force or store.should_compact():
+            # Fence *before* the snapshot capture: every record committed
+            # by now is provably covered by the snapshot; later racers stay
+            # in the journal and replay idempotently.
+            fence = store.current_seq()
+            store.compact(tenant.snapshot(), covered_seq=fence)
 
     def persist_all(self) -> None:
         for tenant in self.tenants():
-            self.persist_tenant(tenant)
+            self.persist_tenant(tenant, force=True)
 
     def _load_ledgers(self) -> None:
         """Reload every persisted tenant ledger (service restart path).
 
-        The tenant's cap is taken from the file's top-level
-        ``budget_limit`` — after a restart the ledger directory is the only
-        record of what each tenant was provisioned with, so it is trusted
-        by construction.  Anyone who can edit these files can rewrite caps
-        and charges alike; keep ``ledger_dir`` on storage with the same
-        integrity protections as the service itself.  (What the loader
-        *does* defend against: per-dataset ``limit`` fields disagreeing
-        with the tenant cap — :meth:`Tenant.restore` ignores them — and
-        files whose charges exceed their own declared cap, which fail the
-        replay and refuse to load.)
+        Crash recovery is snapshot + journal-tail replay via
+        :meth:`TenantLedgerStore.open`; a PR 3/4-era directory (snapshot
+        only, float charges, no journal) loads the same way, with the float
+        epsilons quantized onto the accounting grid.  The tenant's cap is
+        taken from the snapshot's top-level ``budget_limit`` — after a
+        restart the ledger directory is the only record of what each
+        tenant was provisioned with, so it is trusted by construction.
+        Anyone who can edit these files can rewrite caps and charges
+        alike; keep ``ledger_dir`` on storage with the same integrity
+        protections as the service itself.  (What the loader *does* defend
+        against: per-dataset ``limit`` fields disagreeing with the tenant
+        cap — :meth:`Tenant.restore` ignores them — charge replays
+        exceeding the declared cap, torn journal tails from a crash
+        mid-append, and truly corrupt files, which refuse to load.)
         """
         for name in sorted(os.listdir(self.ledger_dir)):
-            if not name.endswith(".json"):
-                continue  # *.tmp partials from a crash mid-write, etc.
+            if not name.endswith(TenantLedgerStore.SNAPSHOT_SUFFIX):
+                continue  # *.journal tails, *.tmp partials from a crash, etc.
             path = os.path.join(self.ledger_dir, name)
+            base = path[: -len(TenantLedgerStore.SNAPSHOT_SUFFIX)]
             try:
-                with open(path) as fh:
-                    state = json.load(fh)
+                store, state = TenantLedgerStore.open(
+                    base, compact_every=self.compact_every
+                )
                 tenant = Tenant(
                     str(state["tenant"]), float(state["budget_limit"])
                 )
                 tenant.restore(state)
             except (OSError, ValueError, KeyError, BudgetError) as exc:
+                # LedgerStoreError is a ValueError: corrupt snapshots and
+                # corrupt journal interiors both land here.
                 raise ServiceError(
                     500,
                     "corrupt-ledger",
                     f"cannot reload tenant ledger {path!r}: {exc}",
                 ) from exc
+            tenant.attach_store(store)
             self._tenants[tenant.tenant_id] = tenant
+            self._stores[tenant.tenant_id] = store

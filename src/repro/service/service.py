@@ -759,6 +759,9 @@ class ExplanationService:
             t.join(timeout=10.0)
         self._workers = []
         self.process_pending()
+        # Shutdown checkpoint: fold every tenant's journal tail back into
+        # its snapshot so a clean restart replays nothing.
+        self.registry.persist_all()
 
     def __enter__(self) -> "ExplanationService":
         return self
@@ -1079,6 +1082,10 @@ class ExplanationService:
         accountant: PrivacyAccountant,
         exc: BudgetError,
     ) -> dict:
+        # One locked read: spent/remaining/limit move together, so a
+        # concurrent charge can never make this envelope report
+        # spent + remaining != limit.
+        balance = accountant.balance()
         return {
             "status": "refused",
             "code": 429,
@@ -1088,9 +1095,9 @@ class ExplanationService:
                 "tenant": tenant_id,
                 "dataset": dataset_id,
                 "requested_epsilon": requested,
-                "spent": accountant.total(),
-                "remaining": accountant.remaining(),
-                "limit": accountant.limit,
+                "spent": balance.spent,
+                "remaining": balance.remaining,
+                "limit": balance.limit,
             },
         }
 

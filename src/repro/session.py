@@ -221,7 +221,9 @@ class PrivateAnalysisSession:
     # -- internals --------------------------------------------------------
 
     def _require(self, epsilon: float) -> None:
-        if epsilon > self.remaining + PrivacyAccountant.TOLERANCE:
+        # The accountant's own exact O(1) admission check, as a query: no
+        # second tolerance window stacked on top of the ledger's arithmetic.
+        if not self._accountant.can_spend(epsilon):
             raise BudgetError(
                 f"operation needs eps={epsilon:.4g} but only "
                 f"{self.remaining:.4g} of {self.total_epsilon:.4g} remains"

@@ -44,11 +44,17 @@ class TestAccountant:
         with pytest.raises(BudgetError, match="exceed"):
             acc.spend(0.1, "b")
 
-    def test_limit_tolerates_float_noise(self):
+    def test_cap_fills_exactly_on_the_grid(self):
+        """0.1 * 3 != 0.3 in floats, but the nano-eps grid makes the three
+        charges sum to exactly the cap: full admission, zero remaining, and
+        the next positive epsilon refused with zero slack."""
         acc = PrivacyAccountant(limit=0.3)
         for _ in range(3):
-            acc.spend(0.1, "x")  # 0.1 * 3 != 0.3 exactly in floats
-        assert acc.remaining() == pytest.approx(0.0, abs=1e-9)
+            acc.spend(0.1, "x")
+        assert acc.remaining() == 0.0
+        assert acc.total_units() == 300_000_000
+        with pytest.raises(BudgetError, match="exceed"):
+            acc.spend(1e-9, "one more nano-eps")
 
     def test_remaining_without_limit(self):
         assert PrivacyAccountant().remaining() == float("inf")
@@ -111,15 +117,26 @@ class TestAccountantConcurrency:
             t.start()
         for t in threads:
             t.join()
-        assert acc.total() <= 0.5 + PrivacyAccountant.TOLERANCE
+        assert acc.total() <= 0.5  # exact: no tolerance window exists any more
 
 
 class TestRefundLast:
+    """refund_last is deprecated (label-matched refunds are unsafe); its
+    behaviour is unchanged until removal, but every call must warn."""
+
+    def test_refund_last_emits_deprecation_warning(self):
+        acc = PrivacyAccountant()
+        acc.spend(0.2, "a")
+        with pytest.warns(DeprecationWarning, match="refund_last"):
+            acc.refund_last("a")
+        assert acc.total() == 0.0
+
     def test_refund_removes_the_matching_charge(self):
         acc = PrivacyAccountant(limit=0.5)
         acc.spend(0.2, "a")
         acc.spend(0.3, "b")
-        acc.refund_last("b")
+        with pytest.warns(DeprecationWarning):
+            acc.refund_last("b")
         assert acc.total() == pytest.approx(0.2)
         acc.spend(0.3, "b")  # room is back
         assert acc.total() == pytest.approx(0.5)
@@ -128,11 +145,14 @@ class TestRefundLast:
         acc = PrivacyAccountant()
         acc.spend(0.1, "x")
         acc.spend(0.2, "x")
-        acc.refund_last("x")
+        with pytest.warns(DeprecationWarning):
+            acc.refund_last("x")
         assert [c.epsilon for c in acc] == [pytest.approx(0.1)]
 
     def test_refund_unknown_label_raises(self):
-        with pytest.raises(BudgetError, match="refund"):
+        with pytest.raises(BudgetError, match="refund"), pytest.warns(
+            DeprecationWarning
+        ):
             PrivacyAccountant().refund_last("never-charged")
 
 
@@ -188,7 +208,8 @@ class TestTokenRefund:
         acc = PrivacyAccountant()
         first = acc.spend(0.1, "x")
         acc.spend(0.2, "x")
-        acc.refund_last("x")  # removes the 0.2 charge
+        with pytest.warns(DeprecationWarning):
+            acc.refund_last("x")  # removes the 0.2 charge
         acc.refund(first)  # token still maps to the right row
         assert acc.total() == pytest.approx(0.0)
 

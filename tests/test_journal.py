@@ -1,0 +1,414 @@
+"""Tests for the append-only ledger journal (PR 5 tentpole, durability half).
+
+The contract under test: persistence is **one fsync'd O(1) record per
+charge/refund** (no full-snapshot rewrite per request), crash replay =
+snapshot + journal tail, replay is idempotent (a record already folded into
+a snapshot re-applies as a no-op), compaction folds the tail back
+periodically, and PR 3/4-era snapshot-only directories migrate in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.privacy.budget import BudgetError, PrivacyAccountant
+from repro.service.journal import LedgerStoreError, TenantLedgerStore
+from repro.service.registry import ServiceRegistry, Tenant
+
+
+def make_tenant(tmp_path, tenant_id="t", cap=10.0, compact_every=1000):
+    """A journal-backed tenant plus its store, as the registry wires them."""
+    store = TenantLedgerStore.create(
+        str(tmp_path / tenant_id),
+        Tenant(tenant_id, cap).snapshot(),
+        compact_every=compact_every,
+    )
+    tenant = Tenant(tenant_id, cap)
+    tenant.attach_store(store)
+    return tenant, store
+
+
+def reload_state(tmp_path, tenant_id="t", cap=10.0):
+    """Crash-recover the tenant from disk alone (snapshot + tail replay)."""
+    _, state = TenantLedgerStore.open(str(tmp_path / tenant_id))
+    tenant = Tenant(str(state["tenant"]), float(state["budget_limit"]))
+    tenant.restore(state)
+    return tenant
+
+
+def ledger_units(tenant: Tenant, dataset_id: str) -> int:
+    return tenant.accountant(dataset_id).total_units()
+
+
+class TestRecordPerMutation:
+    def test_each_charge_appends_one_record(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        for i in range(5):
+            acc.spend(0.1, f"c{i}")
+        lines = (tmp_path / "t.journal").read_text().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(ln)["op"] == "charge" for ln in lines)
+
+    def test_snapshot_file_not_rewritten_per_charge(self, tmp_path):
+        """The O(1)-bytes-per-request contract: charging must not touch the
+        snapshot file at all (only the journal grows)."""
+        tenant, store = make_tenant(tmp_path)
+        before = (tmp_path / "t.json").read_bytes()
+        acc = tenant.accountant("d")
+        for i in range(20):
+            acc.spend(0.1, f"c{i}")
+        assert (tmp_path / "t.json").read_bytes() == before
+
+    def test_refund_appends_a_refund_record(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        token = acc.spend(0.5, "reserved")
+        acc.refund(token)
+        ops = [
+            json.loads(ln)["op"]
+            for ln in (tmp_path / "t.journal").read_text().splitlines()
+        ]
+        assert ops == ["charge", "refund"]
+        assert reload_state(tmp_path).accountant("d").total_units() == 0
+
+    def test_reload_replays_charges_and_refunds(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        acc.spend(0.3, "kept")
+        token = acc.spend(0.4, "rolled back")
+        acc.refund(token)
+        acc.spend(0.2, "kept too")
+        reloaded = reload_state(tmp_path)
+        assert reloaded.accountant("d").total_units() == ledger_units(tenant, "d")
+        labels = [c.label for c in reloaded.accountant("d")]
+        assert labels == ["kept", "kept too"]
+
+    def test_multiple_datasets_share_one_journal(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        tenant.accountant("a").spend(0.1, "on a")
+        tenant.accountant("b").spend(0.2, "on b")
+        reloaded = reload_state(tmp_path)
+        assert reloaded.accountant("a").total_units() == 100_000_000
+        assert reloaded.accountant("b").total_units() == 200_000_000
+
+
+class TestCrashReplayIdentity:
+    def test_truncation_at_every_record_boundary_matches_memory(self, tmp_path):
+        """Crash injection: cutting the journal after record i must replay to
+        exactly the in-memory ledger as of mutation i — for every i."""
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        expected: "list[dict]" = []  # accountant snapshot after each mutation
+        tokens = {}
+        script = [
+            ("spend", 0.3, "a"),
+            ("spend", 0.1, "b"),
+            ("refund", None, "a"),
+            ("spend", 0.25, "c"),
+            ("refund", None, "b"),
+            ("spend", 0.5, "d"),
+        ]
+        for op, eps, label in script:
+            if op == "spend":
+                tokens[label] = acc.spend(eps, label)
+            else:
+                acc.refund(tokens[label])
+            expected.append(acc.snapshot())
+
+        journal = (tmp_path / "t.journal").read_text().splitlines(keepends=True)
+        assert len(journal) == len(script)
+        for i in range(len(script)):
+            crash_dir = tmp_path / f"crash{i}"
+            crash_dir.mkdir()
+            (crash_dir / "t.json").write_bytes((tmp_path / "t.json").read_bytes())
+            (crash_dir / "t.journal").write_text("".join(journal[: i + 1]))
+            replayed = reload_state(crash_dir).accountant("d")
+            want = PrivacyAccountant.from_snapshot(
+                {**expected[i], "limit": 10.0}
+            )
+            assert replayed.total_units() == want.total_units()
+            assert [
+                (c.label, c.units, c.composition) for c in replayed
+            ] == [(c.label, c.units, c.composition) for c in want]
+
+    def test_torn_final_line_is_dropped_and_repaired(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        acc.spend(0.3, "committed")
+        path = tmp_path / "t.journal"
+        with open(path, "a") as fh:
+            fh.write('{"seq": 99, "dataset": "d", "op": "ch')  # torn write
+        reloaded = reload_state(tmp_path)
+        assert reloaded.accountant("d").total_units() == 300_000_000
+        # The half-line is rewritten away so later appends cannot glue to it.
+        repaired = path.read_text()
+        assert '"seq": 99' not in repaired
+        assert all(json.loads(ln) for ln in repaired.splitlines())
+
+    def test_corrupt_interior_line_refuses_to_load(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        acc.spend(0.3, "a")
+        acc.spend(0.2, "b")
+        path = tmp_path / "t.journal"
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("GARBAGE\n" + lines[1])
+        with pytest.raises(LedgerStoreError, match="corrupt"):
+            TenantLedgerStore.open(str(tmp_path / "t"))
+
+    def test_journal_without_snapshot_refuses_to_load(self, tmp_path):
+        (tmp_path / "ghost.journal").write_text("")
+        with pytest.raises(LedgerStoreError, match="snapshot"):
+            TenantLedgerStore.open(str(tmp_path / "ghost"))
+
+
+class TestCompaction:
+    def test_compaction_folds_tail_into_snapshot(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        for i in range(7):
+            acc.spend(0.1, f"c{i}")
+        fence = store.current_seq()
+        store.compact(tenant.snapshot(), covered_seq=fence)
+        assert (tmp_path / "t.journal").read_text() == ""
+        state = json.loads((tmp_path / "t.json").read_text())
+        assert len(state["ledgers"]["d"]["charges"]) == 7
+        assert reload_state(tmp_path).accountant("d").total_units() == (
+            7 * 100_000_000
+        )
+
+    def test_crash_between_snapshot_and_journal_rewrite_is_idempotent(
+        self, tmp_path
+    ):
+        """The mid-compaction crash: the new snapshot already contains the
+        tail, but the old journal survives.  Replaying the stale tail over
+        the fresh snapshot must not double-count a single charge."""
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        acc.spend(0.3, "a")
+        token = acc.spend(0.1, "b")
+        acc.refund(token)
+        stale_journal = (tmp_path / "t.journal").read_bytes()
+        store.compact(tenant.snapshot(), covered_seq=store.current_seq())
+        # Simulated crash: the journal rewrite never happened.
+        (tmp_path / "t.journal").write_bytes(stale_journal)
+        reloaded = reload_state(tmp_path)
+        assert reloaded.accountant("d").total_units() == 300_000_000
+        assert [c.label for c in reloaded.accountant("d")] == ["a"]
+
+    def test_refund_after_compaction_finds_the_folded_charge(self, tmp_path):
+        tenant, store = make_tenant(tmp_path)
+        acc = tenant.accountant("d")
+        token = acc.spend(0.4, "folded")
+        store.compact(tenant.snapshot(), covered_seq=store.current_seq())
+        acc.refund(token)  # the refund record lands in a fresh journal
+        reloaded = reload_state(tmp_path)
+        assert reloaded.accountant("d").total_units() == 0
+
+    def test_registry_checkpoint_compacts_only_past_threshold(
+        self, tmp_path
+    ):
+        registry = ServiceRegistry(ledger_dir=tmp_path, compact_every=5)
+        tenant = registry.create_tenant("t", 10.0)
+        acc = tenant.accountant("d")
+        for i in range(3):
+            acc.spend(0.1, f"c{i}")
+            registry.persist_tenant(tenant)
+        assert len((tmp_path / "t.journal").read_text().splitlines()) == 3
+        for i in range(3, 6):
+            acc.spend(0.1, f"c{i}")
+            registry.persist_tenant(tenant)
+        # The checkpoint after the 5th record folded the tail.
+        assert len((tmp_path / "t.journal").read_text().splitlines()) < 5
+        reloaded = ServiceRegistry(ledger_dir=tmp_path)
+        assert reloaded.tenant("t").accountant("d").total_units() == (
+            6 * 100_000_000
+        )
+
+
+class TestTokenIdentityAcrossRestarts:
+    def test_legacy_restore_never_reissues_a_journaled_token(self, tmp_path):
+        """Crash-only restarts over a legacy-rooted ledger: run 1 journals
+        charges and a refund of an *earlier* token; run 2's restore goes
+        through the token-less legacy branch and must mint its fresh
+        tokens above everything the journal has ever named, or run 3's
+        idempotent replay silently drops run 2's charge (an undercount)."""
+        legacy = {
+            "tenant": "t",
+            "budget_limit": 10.0,
+            "ledgers": {
+                "d": {
+                    "limit": 10.0,
+                    "charges": [
+                        {"label": "old0", "epsilon": 0.1,
+                         "composition": "sequential"},
+                        {"label": "old1", "epsilon": 0.2,
+                         "composition": "sequential"},
+                    ],
+                }
+            },
+        }
+        (tmp_path / "t.json").write_text(json.dumps(legacy))
+
+        # Run 1: journals tokens 2, 3; refunds token 2 (the *earlier* one).
+        store1, state1 = TenantLedgerStore.open(str(tmp_path / "t"))
+        run1 = Tenant("t", 10.0)
+        run1.restore(state1)
+        run1.attach_store(store1)
+        acc1 = run1.accountant("d")
+        early = acc1.spend(0.3, "run1-a")
+        acc1.spend(0.4, "run1-b")
+        acc1.refund(early)
+        store1.close()
+
+        # Run 2 (crash restart, no compaction): restore is the legacy
+        # branch (mixed token-less rows); its next charge must not reuse
+        # the still-live journaled token of "run1-b".
+        store2, state2 = TenantLedgerStore.open(str(tmp_path / "t"))
+        run2 = Tenant("t", 10.0)
+        run2.restore(state2)
+        run2.attach_store(store2)
+        acc2 = run2.accountant("d")
+        in_memory_before = acc2.total_units()
+        acc2.spend(0.5, "run2-new")
+        expected_units = in_memory_before + 500_000_000
+        assert acc2.total_units() == expected_units
+        store2.close()
+
+        # Run 3: the replayed ledger must equal run 2's in-memory ledger —
+        # every spent epsilon accounted, nothing dropped.
+        run3 = reload_state(tmp_path)
+        acc3 = run3.accountant("d")
+        assert acc3.total_units() == expected_units
+        assert sorted(c.label for c in acc3) == sorted(
+            c.label for c in acc2
+        )
+
+
+class TestObserverFailureAtomicity:
+    def test_failed_journal_write_rolls_back_the_charge(self, tmp_path):
+        """A charge that cannot be made durable must not stand in memory:
+        spend() raises, the ledger is unchanged, and the room is re-usable
+        once the disk recovers."""
+        acc = PrivacyAccountant(limit=1.0)
+        acc.spend(0.4, "kept")
+        boom = {"on": True}
+
+        def flaky_observer(event):
+            if boom["on"]:
+                raise OSError("disk full")
+
+        acc.set_observer(flaky_observer)
+        with pytest.raises(OSError):
+            acc.spend(0.5, "never durable")
+        assert acc.total_units() == 400_000_000
+        assert [c.label for c in acc] == ["kept"]
+        boom["on"] = False
+        acc.spend(0.5, "durable now")  # the room was really rolled back
+        assert acc.total_units() == 900_000_000
+
+    def test_failed_refund_record_keeps_the_charge(self):
+        """The mirror direction: a refund whose record cannot be written is
+        not applied — the spend stays on the books (overcount, the safe
+        privacy direction) and memory never diverges from disk."""
+        acc = PrivacyAccountant(limit=1.0)
+        events = []
+        acc.set_observer(lambda e: events.append(e))
+        token = acc.spend(0.4, "reserved")
+        acc.set_observer(lambda e: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError):
+            acc.refund(token)
+        assert acc.total_units() == 400_000_000
+        acc.set_observer(None)
+        acc.refund(token)  # recovers once the sink does
+        assert acc.total_units() == 0
+
+
+class TestMigrationFromSnapshotOnly:
+    def test_pr3_era_float_snapshot_loads_via_quantization(self, tmp_path):
+        """A PR 3/4 ledger dir: one JSON snapshot, float epsilons, no units,
+        no tokens, no journal.  It must load, quantized, and keep enforcing
+        its cap exactly."""
+        legacy = {
+            "tenant": "old",
+            "budget_limit": 0.5,
+            "ledgers": {
+                "d": {
+                    "limit": 0.5,
+                    "charges": [
+                        {"label": "a", "epsilon": 0.1,
+                         "composition": "sequential"},
+                        {"label": "b", "epsilon": 0.2,
+                         "composition": "parallel-group"},
+                    ],
+                }
+            },
+        }
+        (tmp_path / "old.json").write_text(json.dumps(legacy))
+        registry = ServiceRegistry(ledger_dir=tmp_path)
+        acc = registry.tenant("old").accountant("d")
+        assert acc.total_units() == 300_000_000
+        assert [c.composition for c in acc] == ["sequential", "parallel-group"]
+        with pytest.raises(BudgetError):
+            acc.spend(0.3, "over")  # 0.3 + 0.3 > 0.5, exactly
+        acc.spend(0.2, "fills")  # lands exactly on the cap
+        assert acc.balance().remaining_units == 0
+        # The new charge went to a journal the legacy dir never had.
+        assert (tmp_path / "old.journal").exists()
+        reloaded = ServiceRegistry(ledger_dir=tmp_path)
+        assert reloaded.tenant("old").accountant("d").total_units() == (
+            500_000_000
+        )
+
+    def test_legacy_overspent_beyond_grid_refuses(self, tmp_path):
+        legacy = {
+            "tenant": "old",
+            "budget_limit": 0.2,
+            "ledgers": {
+                "d": {
+                    "limit": 0.2,
+                    "charges": [
+                        {"label": "a", "epsilon": 0.3,
+                         "composition": "sequential"}
+                    ],
+                }
+            },
+        }
+        (tmp_path / "old.json").write_text(json.dumps(legacy))
+        with pytest.raises(Exception, match="corrupt-ledger|overspent"):
+            ServiceRegistry(ledger_dir=tmp_path)
+
+
+class TestRestoreRebase:
+    def test_runtime_restore_rebases_the_store(self, tmp_path):
+        """Tenant.restore replaces the ledgers wholesale; the journal tail
+        describes the *old* ledgers, so restore must fold the restored
+        state into a fresh snapshot and drop the stale tail."""
+        tenant, store = make_tenant(tmp_path, cap=1.0)
+        tenant.accountant("d").spend(0.9, "old world")
+        tenant.restore(
+            {
+                "budget_limit": 1.0,
+                "ledgers": {
+                    "d": {
+                        "limit": 1.0,
+                        "charges": [
+                            {"label": "new world", "epsilon": 0.2,
+                             "composition": "sequential"}
+                        ],
+                    }
+                },
+            }
+        )
+        assert (tmp_path / "t.journal").read_text() == ""
+        reloaded = reload_state(tmp_path, cap=1.0)
+        acc = reloaded.accountant("d")
+        assert acc.total_units() == 200_000_000
+        assert [c.label for c in acc] == ["new world"]
+        # And the restored accountants are re-wired: new charges journal.
+        tenant.accountant("d").spend(0.1, "after restore")
+        assert len((tmp_path / "t.journal").read_text().splitlines()) == 1

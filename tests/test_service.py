@@ -539,6 +539,44 @@ class TestPersistence:
         refusal = ServiceClient(reloaded, "alice", "diabetes").explain(seed=1)
         assert refusal["status"] == "refused" and refusal["code"] == 429
 
+    def test_requests_append_o1_journal_records_not_snapshot_rewrites(
+        self, dataset, clustering, tmp_path
+    ):
+        """PR 5 contract: serving a request appends one journal record and
+        leaves the tenant snapshot file untouched (persistence is O(1)
+        bytes per request, not O(ledger))."""
+        service = make_service(dataset, clustering, ledger_dir=tmp_path)
+        service.create_tenant("alice", 5.0)
+        snapshot_before = (tmp_path / "alice.json").read_bytes()
+        for seed in range(3):
+            ServiceClient(service, "alice", "diabetes").explain(seed=seed)
+        assert (tmp_path / "alice.json").read_bytes() == snapshot_before
+        lines = (tmp_path / "alice.journal").read_text().splitlines()
+        assert len(lines) == 3
+        sizes = [len(ln) for ln in lines]
+        assert max(sizes) - min(sizes) <= 4  # O(1) record size
+
+        reloaded = make_service(dataset, clustering, ledger_dir=tmp_path)
+        acc = reloaded.registry.tenant("alice").accountant("diabetes")
+        assert acc.total_units() == 3 * 300_000_000
+
+    def test_cap_fills_exactly_with_zero_slack(self, dataset, clustering):
+        """A 0.9 cap funds exactly three 0.3 requests — the third lands on
+        the cap to the nano-eps — and the fourth is refused, with the
+        refusal envelope's spent/remaining/limit mutually consistent."""
+        service = make_service(dataset, clustering)
+        service.create_tenant("eve", 0.9)
+        client = ServiceClient(service, "eve", "diabetes")
+        for seed in range(3):
+            assert client.explain(seed=seed)["status"] == "ok"
+        accountant = service.registry.tenant("eve").accountant("diabetes")
+        assert accountant.balance().remaining_units == 0
+        refusal = client.explain(seed=3)
+        assert refusal["status"] == "refused" and refusal["code"] == 429
+        err = refusal["error"]
+        assert err["remaining"] == 0.0
+        assert err["spent"] == err["limit"] == pytest.approx(0.9)
+
     def test_similar_tenant_ids_never_share_a_ledger_file(
         self, dataset, clustering, tmp_path
     ):

@@ -9,6 +9,11 @@ invocation.  ``benchmarks/conftest.py`` builds its fixtures on top of these.
 
 from __future__ import annotations
 
+import json
+import multiprocessing
+import os
+import time
+
 BENCH_ROWS = {"Diabetes": 8_000, "Census": 8_000, "StackOverflow": 8_000}
 
 
@@ -17,3 +22,67 @@ def show(title: str, table: str) -> None:
     output on failures)."""
     print(f"\n=== {title} ===")
     print(table)
+
+
+def _measured_entry(conn, fn, args, kwargs) -> None:
+    """Spawn-child entry: run ``fn`` and report wall time + peak RSS.
+
+    Runs in a fresh interpreter, so ``ru_maxrss`` is a clean high-water mark
+    for this one call (plus interpreter/numpy baseline, reported separately
+    as ``baseline_rss_mb`` so budgets can subtract it if needed).
+    """
+    import resource
+
+    baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    wall_s = time.perf_counter() - t0
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send(
+        {
+            "wall_s": wall_s,
+            "peak_rss_mb": peak_kb / 1024.0,
+            "baseline_rss_mb": baseline_kb / 1024.0,
+            "result": result,
+        }
+    )
+    conn.close()
+
+
+def run_measured(fn, *args, **kwargs) -> dict:
+    """Run ``fn(*args, **kwargs)`` in a spawn child, measuring time and RSS.
+
+    ``fn`` must be picklable (a module-level function) and return something
+    JSON-able.  Returns ``{"wall_s", "peak_rss_mb", "baseline_rss_mb",
+    "result"}``; wall time covers only the call, not interpreter startup.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_measured_entry, args=(child_conn, fn, args, kwargs))
+    proc.start()
+    child_conn.close()
+    try:
+        payload = parent_conn.recv()
+    finally:
+        proc.join()
+        parent_conn.close()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"measured child exited with {proc.exitcode}")
+    return payload
+
+
+def merge_json_artifact(path: str, updates: dict) -> dict:
+    """Merge ``updates`` into the JSON artifact at ``path`` (created if absent).
+
+    Benches that extend an existing artifact (e.g. the scale rows riding on
+    ``BENCH_scoring.json``) use this instead of clobbering the file.
+    """
+    data = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+    data.update(updates)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    return data

@@ -22,6 +22,12 @@
 # (exact O(1) integer accounting vs the seed's O(n) float re-sum) and
 # persistence bytes-per-request (append-only journal vs full snapshot
 # rewrite) and writes BENCH_ledger.json.
+# Bench 6 (bench_scale.py standalone) measures the large-n regime and merges
+# a "scale" section into BENCH_scoring.json: streaming counts materialisation
+# at 1M and 10M rows (wall time + peak RSS in a fresh spawn child — the raw
+# table is never held, so RSS is gated against a fixed budget) and per-task
+# sweep fan-out cost at 50k vs 1M rows (the shared-memory stack handoff must
+# keep it flat; gated at 1.2x).
 # All artifacts live at the repo root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,6 +61,57 @@ print(f"scoring speedup: {speedup:.1f}x (cold {result['speedup_cold']:.1f}x), "
       f"max rel diff {agree:.2e}")
 assert speedup >= 10.0, f"scoring speedup regressed below 10x: {speedup:.2f}x"
 assert agree < 1e-12, f"batched/scalar scoring disagree: {agree:.2e}"
+
+backend = result["backend"]
+fused = result["fused_kernel_speedup"]
+print(f"kernel backend: {backend}, fused/unfused speedup {fused:.2f}x")
+try:
+    import numba  # noqa: F401
+    have_numba = True
+except ImportError:
+    have_numba = False
+if not have_numba:
+    # The numpy fallback must be the path actually exercised when numba is
+    # not installed (REPRO_NUMBA set or not).
+    assert backend == "numpy", f"no numba installed but backend is {backend!r}"
+assert fused >= 0.9, (
+    f"fused kernel slower than composing unfused kernels: {fused:.2f}x"
+)
+EOF
+
+echo "== scale benchmark (merges 'scale' into BENCH_scoring.json) =="
+python benchmarks/bench_scale.py --out BENCH_scoring.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_scoring.json") as fh:
+    scale = json.load(fh)["scale"]
+
+budget = scale["peak_rss_budget_mb"]
+for row in scale["materialise"]:
+    print(f"materialise {row['rows']:>11,} rows: {row['wall_s']:.1f}s, "
+          f"peak RSS {row['peak_rss_mb']:.0f} MB "
+          f"(child baseline {row['baseline_rss_mb']:.0f} MB)")
+big = max(scale["materialise"], key=lambda r: r["rows"])
+assert big["rows"] >= 10_000_000, "scale bench must cover the 10M-row regime"
+assert big["peak_rss_mb"] <= budget, (
+    f"streaming materialise at {big['rows']:,} rows peaked at "
+    f"{big['peak_rss_mb']:.0f} MB (> {budget:.0f} MB budget) — "
+    "the one-pass chunked path must not hold the table"
+)
+
+fan = scale["fanout"]
+print(f"fan-out per-task: shared {fan['shared_per_task_small_s']*1e3:.2f} -> "
+      f"{fan['shared_per_task_large_s']*1e3:.2f} ms "
+      f"(ratio {fan['shared_ratio']:.2f} at "
+      f"{fan['rows_small']:,} -> {fan['rows_large']:,} rows); "
+      f"legacy ratio {fan['legacy_ratio']:.1f}")
+assert fan["shared_ratio"] <= 1.2, (
+    f"shared-stack fan-out cost is no longer flat in |D|: "
+    f"{fan['shared_ratio']:.2f}x from {fan['rows_small']:,} to "
+    f"{fan['rows_large']:,} rows"
+)
 EOF
 
 echo "== sweep benchmark (writes BENCH_sweeps.json) =="

@@ -6,15 +6,22 @@ The engine is the vectorised middle layer between the group-by counts
 layering.
 """
 
-from . import kernels
+from . import accel, kernels
 from .engine import ScoringEngine, scoring_engine
+from .shm import SharedStack, SharedStackHandle, StackCounts, attach_counts, share_stack
 from .stacks import CountsStack, DomainBucket, get_stack
 
 __all__ = [
+    "accel",
     "kernels",
     "ScoringEngine",
     "scoring_engine",
     "CountsStack",
     "DomainBucket",
     "get_stack",
+    "SharedStack",
+    "SharedStackHandle",
+    "StackCounts",
+    "attach_counts",
+    "share_stack",
 ]

@@ -1,0 +1,104 @@
+"""Optional numba acceleration for the fused kernels (``REPRO_NUMBA``).
+
+The fused single-sweep kernels in :mod:`repro.core.engine.kernels` have two
+interchangeable backends:
+
+* **numpy** (default, always available) — vectorised ufunc passes over each
+  domain bucket with preallocated scratch buffers;
+* **numba** — opt-in tight loops compiled with ``@njit``, enabled by setting
+  ``REPRO_NUMBA=1`` in the environment *and* having numba importable.
+
+The flag is re-read on every call so tests can flip it with
+``monkeypatch.setenv``; the compiled kernel table is built at most once per
+process.  When the flag is set but numba is missing, the engine silently
+stays on the numpy backend — :func:`backend` reports which one is live, and
+CI asserts the fallback is the one actually exercised on numba-free
+installs.
+
+Numerics: both backends implement the same clamp/mask conventions as the
+unfused kernels, but the loop backend sums sequentially while numpy uses
+pairwise summation, so results may differ by a few ULPs.  Both stay within
+the 1e-12 oracle tolerance of ``tests/test_engine.py``; bit-identical
+streaming guarantees are only claimed for the default numpy backend.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+_TRUE_VALUES = frozenset({"1", "true", "yes", "on"})
+
+
+def flag_requested() -> bool:
+    """Whether ``REPRO_NUMBA`` asks for the numba backend (re-read each call)."""
+    return os.environ.get("REPRO_NUMBA", "").strip().lower() in _TRUE_VALUES
+
+
+@functools.lru_cache(maxsize=1)
+def _load_numba_kernels():
+    """Compile the njit kernel table once, or None if numba is unavailable."""
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    @numba.njit(cache=False)
+    def fused_score_bucket(h_c, full, n, n_c, gamma_int, gamma_suf, out):
+        # out[a, c] = gamma_int * Int_p + gamma_suf * Suf_p for one bucket.
+        n_attrs, n_clusters, width = h_c.shape
+        for a in range(n_attrs):
+            na = n[a]
+            safe = na if na > 0.0 else 1.0
+            for c in range(n_clusters):
+                ratio = n_c[a, c] / safe
+                acc_int = 0.0
+                acc_suf = 0.0
+                for v in range(width):
+                    f = full[a, v]
+                    h = h_c[a, c, v]
+                    acc_int += abs(h - ratio * f)
+                    if h > 0.0:
+                        denom = f if f > h else h
+                        if denom < 1e-12:
+                            denom = 1e-12
+                        acc_suf += h * h / denom
+                val = gamma_suf * acc_suf
+                if na > 0.0:
+                    val += gamma_int * 0.5 * acc_int
+                out[a, c] = val
+
+    @numba.njit(cache=False)
+    def pair_tvd_bucket(h_c, sizes, out):
+        # out[a, c, c2] = Definition 4.8's TVD for one bucket.
+        n_attrs, n_clusters, width = h_c.shape
+        for a in range(n_attrs):
+            for c in range(n_clusters):
+                nc = sizes[a, c]
+                if nc < 1.0:
+                    nc = 1.0
+                for c2 in range(n_clusters):
+                    n2 = sizes[a, c2]
+                    if n2 < 1.0:
+                        n2 = 1.0
+                    acc = 0.0
+                    for v in range(width):
+                        acc += abs(h_c[a, c, v] / nc - h_c[a, c2, v] / n2)
+                    out[a, c, c2] = 0.5 * acc
+
+    return {
+        "fused_score_bucket": fused_score_bucket,
+        "pair_tvd_bucket": pair_tvd_bucket,
+    }
+
+
+def numba_kernels():
+    """The compiled kernel table when the flag is on and numba exists, else None."""
+    if not flag_requested():
+        return None
+    return _load_numba_kernels()
+
+
+def backend() -> str:
+    """``"numba"`` when accelerated kernels are live, ``"numpy"`` otherwise."""
+    return "numba" if numba_kernels() is not None else "numpy"

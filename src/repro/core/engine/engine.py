@@ -45,8 +45,11 @@ class ScoringEngine:
         except TypeError:
             self._counts_ref = lambda: counts
         self._stack = get_stack(counts, names)
-        self._matrices: dict[str, np.ndarray] = {}
+        self._matrices: dict = {}
         self._tvd_square: dict[str, np.ndarray] = {}
+        # Scratch buffers for the fused kernels, reused across calls; the
+        # pool is thread-local inside so service worker threads never race.
+        self._scratch = kernels.ScratchPool()
 
     # -- structure --------------------------------------------------------- #
 
@@ -107,6 +110,37 @@ class ScoringEngine:
 
     # -- Stage-1 score matrices -------------------------------------------- #
 
+    def _fused_stage(
+        self, gamma_int: float, gamma_suf: float, want_pair_tvd: bool = False
+    ) -> np.ndarray:
+        """The cached fused ``Score_gamma`` matrix for one gamma pair.
+
+        Fills the per-``(gamma_int, gamma_suf)`` score cache and, when asked,
+        the ``pair_tvd`` cache from one :func:`kernels.fused_stage_pass`
+        bucket sweep, so Stage-1 scoring and Stage-2 diversity walk the
+        stacked tensors once between them.  Cached arrays are frozen
+        read-only: they are returned to callers without copying.
+        """
+        key = ("score", float(gamma_int), float(gamma_suf))
+        need_score = key not in self._matrices
+        need_pair = want_pair_tvd and "pair_tvd" not in self._matrices
+        if need_score or need_pair:
+            score, pair = kernels.fused_stage_pass(
+                self._stack,
+                gamma_int,
+                gamma_suf,
+                want_score=need_score,
+                want_pair_tvd=need_pair,
+                scratch=self._scratch,
+            )
+            if need_score:
+                score.flags.writeable = False
+                self._matrices[key] = score
+            if need_pair:
+                pair.flags.writeable = False
+                self._matrices["pair_tvd"] = pair
+        return self._matrices[key]
+
     def score_matrix(
         self,
         gamma_int: float,
@@ -116,13 +150,11 @@ class ScoringEngine:
         """``Score_gamma`` (Definition 4.11) for every (cluster, attribute).
 
         Returns a ``(|C|, |names|)`` matrix with columns in ``names`` order
-        (all stack attributes when omitted).
+        (all stack attributes when omitted).  Served by the fused
+        single-sweep kernel, memoised per gamma pair; the full-width result
+        is a shared read-only array.
         """
-        out = np.zeros((self.n_clusters, self._stack.n_attributes))
-        if gamma_int:
-            out = out + gamma_int * self.interestingness_matrix()
-        if gamma_suf:
-            out = out + gamma_suf * self.sufficiency_matrix()
+        out = self._fused_stage(gamma_int, gamma_suf)
         if names is not None and tuple(names) != self._stack.names:
             out = out[:, self.columns(names)]
         return out
@@ -209,7 +241,13 @@ class ScoringEngine:
         tensor = np.zeros(shape, dtype=np.float64)
 
         # Additive per-cluster part: (lInt * Int_p + lSuf * Suf_p) / |C|.
-        base = self.score_matrix(weights.lambda_int, weights.lambda_suf)
+        # One fused sweep also fills the pair-TVD cache the diversity part
+        # reads below, so Stage-1 + Stage-2 walk the bucket tensors once.
+        base = self._fused_stage(
+            weights.lambda_int,
+            weights.lambda_suf,
+            want_pair_tvd=bool(weights.lambda_div) and n_clusters >= 2,
+        )
         for c in range(n_clusters):
             shp = [1] * n_clusters
             shp[c] = shape[c]
@@ -281,7 +319,11 @@ class ScoringEngine:
         tensor = np.zeros(shape, dtype=np.float64)
 
         # Per-cluster Int/Suf subset sums, averaged over all |C|*ell candidates.
-        base = self.score_matrix(weights.lambda_int, weights.lambda_suf)
+        base = self._fused_stage(
+            weights.lambda_int,
+            weights.lambda_suf,
+            want_pair_tvd=bool(weights.lambda_div) and n_clusters >= 2,
+        )
         for c in range(n_clusters):
             shp = [1] * n_clusters
             shp[c] = shape[c]

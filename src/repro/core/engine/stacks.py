@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import functools
 import types
+import weakref
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -189,13 +190,39 @@ class CountsStack:
         )
 
 
+# Fallback-stack memo for providers without by_cluster_stack(): weakly keyed
+# on provider identity, holding {names subset -> stack}.  Stacks are
+# snapshots, so the memo assumes a provider's counts never change once
+# stacked — true for every in-tree provider (counts are built once and
+# read-only thereafter).
+_FALLBACK_STACKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def get_stack(counts, names: Sequence[str] | None = None) -> CountsStack:
-    """The provider's cached full stack, or a fresh subset stack.
+    """The provider's cached full stack, or its memoised subset stack.
 
     Providers exposing ``by_cluster_stack()`` (all in-tree providers do) keep
-    one lazily-built stack for their whole attribute set; a ``names`` subset
-    always builds a fresh stack since subsets are rarely reused.
+    one lazily-built stack for their whole attribute set.  Other providers —
+    and ``names`` subsets — are served from a per-provider weak memo, so
+    repeated engine builds over the same provider stack it once instead of
+    re-walking every attribute; unhashable or unweakrefable providers simply
+    skip the memo.
     """
     if names is None and hasattr(counts, "by_cluster_stack"):
         return counts.by_cluster_stack()
-    return CountsStack.from_provider(counts, names)
+    key = tuple(names) if names is not None else None
+    try:
+        per = _FALLBACK_STACKS.get(counts)
+    except TypeError:  # unhashable provider
+        return CountsStack.from_provider(counts, names)
+    if per is None:
+        per = {}
+        try:
+            _FALLBACK_STACKS[counts] = per
+        except TypeError:  # unweakrefable provider
+            return CountsStack.from_provider(counts, names)
+    stack = per.get(key)
+    if stack is None:
+        stack = CountsStack.from_provider(counts, names)
+        per[key] = stack
+    return stack

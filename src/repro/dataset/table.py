@@ -24,6 +24,79 @@ from .schema import Attribute, Schema, SchemaError
 CODE_DTYPE = np.int64
 
 
+def chunk_spans(n_rows: int, chunk_rows: int) -> "Iterable[slice]":
+    """Fixed-size row spans covering ``[0, n_rows)`` (last one may be short).
+
+    The canonical chunk grid shared by every streaming consumer: the chunked
+    ``materialise`` path, the streaming fingerprint, and the large-``n``
+    synthetic generators all walk the same spans, so their per-chunk work
+    lines up without any coordination.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    for start in range(0, n_rows, chunk_rows):
+        yield slice(start, min(start + chunk_rows, n_rows))
+
+
+def _update_str(h, s: str) -> None:
+    """Length-prefixed string update (no in-band separator can be forged)."""
+    b = s.encode("utf-8")
+    h.update(len(b).to_bytes(8, "big"))
+    h.update(b)
+
+
+def schema_digest_update(h, schema: Schema) -> None:
+    """Feed a schema's identity (names + full ordered domains) into ``h``."""
+    h.update(len(schema).to_bytes(8, "big"))
+    for attr in schema:
+        _update_str(h, attr.name)
+        h.update(len(attr.domain).to_bytes(8, "big"))
+        for value in attr.domain:
+            _update_str(h, value)
+
+
+class FingerprintAccumulator:
+    """Streaming computation of :meth:`Dataset.fingerprint`.
+
+    Feed row chunks (as ``{name: code array}`` mappings) in order with
+    :meth:`update`; :meth:`hexdigest` then equals the fingerprint of the
+    ``Dataset`` holding the concatenation of those chunks.  One SHA-256
+    hasher per column absorbs that column's code bytes chunk by chunk —
+    column bytes concatenate across chunks, so the per-column digests (and
+    therefore the combined hash) are independent of the chunking.
+    """
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._n = 0
+        self._hashers = {n: hashlib.sha256() for n in schema.names}
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    def update(self, columns: Mapping[str, np.ndarray]) -> int:
+        """Absorb one row chunk; returns the chunk's row count."""
+        lengths = set()
+        for name in self._schema.names:
+            col = np.ascontiguousarray(columns[name], dtype=CODE_DTYPE)
+            lengths.add(col.shape[0])
+            self._hashers[name].update(col.tobytes())
+        if len(lengths) != 1:
+            raise SchemaError(f"ragged chunk columns: lengths {sorted(lengths)}")
+        k = lengths.pop()
+        self._n += k
+        return k
+
+    def hexdigest(self) -> str:
+        h = hashlib.sha256()
+        schema_digest_update(h, self._schema)
+        h.update(f"n={self._n}".encode("ascii"))
+        for name in self._schema.names:
+            h.update(self._hashers[name].digest())
+        return h.hexdigest()
+
+
 class Dataset:
     """A bag of tuples over a :class:`~repro.dataset.schema.Schema`.
 
@@ -110,35 +183,41 @@ class Dataset:
 
         Covers attribute names, the full ordered domains (so re-binned or
         re-labelled schemas — whose bin edges are encoded in the interval
-        domain labels — hash differently) and every column's code bytes.
-        Two datasets fingerprint equally iff they hold the same tuples in
-        the same order over the same schema; the explanation service uses
-        this as the dataset half of its cache / ledger keys.  Computed once
-        and cached — datasets are immutable by contract (every mutation
-        helper returns a new object).
+        domain labels — hash differently) and a per-column SHA-256 digest of
+        every column's code bytes (strings are length-prefixed so no in-band
+        separator can be forged by a domain value containing it).  Two
+        datasets fingerprint equally iff they hold the same tuples in the
+        same order over the same schema; the explanation service uses this
+        as the dataset half of its cache / ledger keys.  Computed once and
+        cached — datasets are immutable by contract (every mutation helper
+        returns a new object).
+
+        The per-column sub-digest layout makes the hash computable in one
+        streaming pass over row chunks (:class:`FingerprintAccumulator`):
+        column bytes concatenate across chunks, so a chunked build of the
+        same rows — including one that never holds the full table — yields
+        the identical fingerprint.
         """
         if self._fingerprint is None:
-            # Every variable-length string is length-prefixed so the
-            # encoding is unambiguous: no in-band separator can be forged
-            # by a domain value that happens to contain it (e.g. the
-            # domains ['a\x1fb'] and ['a', 'b'] must hash differently).
-            def update_str(h, s: str) -> None:
-                b = s.encode("utf-8")
-                h.update(len(b).to_bytes(8, "big"))
-                h.update(b)
-
-            h = hashlib.sha256()
-            h.update(len(self._schema).to_bytes(8, "big"))
-            for attr in self._schema:
-                update_str(h, attr.name)
-                h.update(len(attr.domain).to_bytes(8, "big"))
-                for value in attr.domain:
-                    update_str(h, value)
-            h.update(f"n={self._n}".encode("ascii"))
-            for name in self._schema.names:
-                h.update(np.ascontiguousarray(self._columns[name]).tobytes())
-            self._fingerprint = h.hexdigest()
+            acc = FingerprintAccumulator(self._schema)
+            if self._n:
+                acc.update(self._columns)
+            self._fingerprint = acc.hexdigest()
         return self._fingerprint
+
+    def iter_chunks(self, chunk_rows: int) -> "Iterable[tuple[slice, dict[str, np.ndarray]]]":
+        """Walk the dataset in fixed-size row chunks (zero-copy views).
+
+        Yields ``(span, {name: codes[span]})`` pairs covering all rows in
+        order.  The column slices are read-only views, so iterating a
+        memory-mapped dataset touches only ``chunk_rows`` rows' worth of
+        pages at a time — the adapter between column sources (in-RAM arrays
+        or ``np.memmap``-backed columns, both accepted by the constructor)
+        and the streaming consumers (:class:`FingerprintAccumulator`,
+        ``ClusteredCounts.materialise``, ``StreamingCountsBuilder``).
+        """
+        for span in chunk_spans(self._n, chunk_rows):
+            yield span, {n: self.column(n)[span] for n in self._schema.names}
 
     def row(self, i: int) -> tuple[str, ...]:
         """The ``i``-th tuple, decoded to domain values."""

@@ -488,9 +488,11 @@ class _GridTask:
     """One (dataset, method) cell with its epsilon grid — a pool work unit.
 
     Grouping all epsilon points of a cell into one task lets the worker
-    build the dataset/clustering/counts once (via the memoised loaders in
-    :mod:`repro.experiments.common`) and share one :class:`SweepContext`
-    across the grid points.
+    serve every grid point from one counts materialisation and one
+    :class:`SweepContext`.  With ``stack_handle`` set, the worker attaches
+    the parent's shared-memory :class:`~repro.core.engine.stacks.CountsStack`
+    (a size-independent handle) instead of re-loading the dataset and
+    re-fitting the clustering behind its own process-local caches.
     """
 
     dataset: str
@@ -499,6 +501,7 @@ class _GridTask:
     config: object
     n_clusters: int | None
     explainers: tuple[str, ...] | None
+    stack_handle: "object | None" = None
 
 
 def _run_grid_task(task: _GridTask) -> list[dict]:
@@ -506,43 +509,52 @@ def _run_grid_task(task: _GridTask) -> list[dict]:
     from ..experiments.common import clustered_counts, clustering_epsilon_for
     from .runner import make_selectors
 
-    counts = clustered_counts(
-        task.dataset, task.method, task.config, task.n_clusters
-    )
+    if task.stack_handle is not None:
+        from ..core.engine.shm import attach_counts
+
+        counts = attach_counts(task.stack_handle)
+    else:
+        counts = clustered_counts(
+            task.dataset, task.method, task.config, task.n_clusters
+        )
     ctx = SweepContext(counts)
     clustering_eps = clustering_epsilon_for(task.method)
     rows: list[dict] = []
-    for eps in task.eps_grid:
-        selectors = make_selectors(eps, task.config.n_candidates)
-        if task.explainers is not None:
-            selectors = {
-                name: sel
-                for name, sel in selectors.items()
-                if name in task.explainers
-            }
-        for r in run_trials_batched(
-            counts,
-            selectors,
-            task.config.n_runs,
-            rng=task.config.seed,
-            context=ctx,
-        ):
-            rows.append(
-                {
-                    "dataset": task.dataset,
-                    "method": task.method,
-                    "epsilon": eps,
-                    # The clustering's own DP spend and the end-to-end
-                    # epsilon: "epsilon" alone is only the selection budget
-                    # and understates the privacy cost of DP-k-means cells.
-                    "clustering_epsilon": clustering_eps,
-                    "epsilon_total": eps + clustering_eps,
-                    "explainer": r.explainer,
-                    "quality": r.quality_mean,
-                    "quality_std": r.quality_std,
-                    "mae": r.mae_mean,
+    try:
+        for eps in task.eps_grid:
+            selectors = make_selectors(eps, task.config.n_candidates)
+            if task.explainers is not None:
+                selectors = {
+                    name: sel
+                    for name, sel in selectors.items()
+                    if name in task.explainers
                 }
-            )
+            for r in run_trials_batched(
+                counts,
+                selectors,
+                task.config.n_runs,
+                rng=task.config.seed,
+                context=ctx,
+            ):
+                rows.append(
+                    {
+                        "dataset": task.dataset,
+                        "method": task.method,
+                        "epsilon": eps,
+                        # The clustering's own DP spend and the end-to-end
+                        # epsilon: "epsilon" alone is only the selection budget
+                        # and understates the privacy cost of DP-k-means cells.
+                        "clustering_epsilon": clustering_eps,
+                        "epsilon_total": eps + clustering_eps,
+                        "explainer": r.explainer,
+                        "quality": r.quality_mean,
+                        "quality_std": r.quality_std,
+                        "mae": r.mae_mean,
+                    }
+                )
+    finally:
+        if task.stack_handle is not None:
+            counts.close()
     return rows
 
 
@@ -551,13 +563,22 @@ def run_grid(
     n_clusters: int | None = None,
     explainers: tuple[str, ...] | None = None,
     processes: int | None = None,
+    share_stacks: bool = True,
 ) -> list[dict]:
     """The (dataset, method, epsilon) sweep behind Figures 5/6/11/12.
 
     Runs every cell through the batched trial runner; with ``processes > 1``
-    the (dataset, method) cells fan out across a process pool, each worker
-    holding its own memoised dataset/clustering/counts cache.  Row order is
-    deterministic and independent of the pool size.
+    the (dataset, method) cells fan out across a process pool.  By default
+    the parent materialises each cell's counts once and hands workers the
+    stack through shared memory (``share_stacks=True``): the only per-task
+    payload is a segment name plus schema metadata, so fan-out cost is flat
+    in dataset size and no worker duplicates the dataset, the clustering
+    fit, or the ``lru``-cached loaders.  ``share_stacks=False`` restores
+    the legacy re-materialise-per-worker path (each worker warming its own
+    dataset/clustering caches).  Row order — and every row value — is
+    deterministic and independent of the pool size and the handoff mode:
+    the stack holds the exact integer counts, so scores and noisy releases
+    are bit-identical either way.
     """
     from ..experiments.common import eps_grid_for, methods_for
 
@@ -576,8 +597,32 @@ def run_grid(
     if processes is not None and processes > 1 and len(tasks) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            per_task = list(pool.map(_run_grid_task, tasks))
+        if not share_stacks:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                per_task = list(pool.map(_run_grid_task, tasks))
+            return [row for rows in per_task for row in rows]
+
+        from dataclasses import replace
+
+        from ..core.engine.shm import share_stack
+        from ..experiments.common import clustered_counts
+
+        shared = []
+        try:
+            handed = []
+            for task in tasks:
+                counts = clustered_counts(
+                    task.dataset, task.method, task.config, task.n_clusters
+                )
+                seg = share_stack(counts.by_cluster_stack())
+                shared.append(seg)
+                handed.append(replace(task, stack_handle=seg.handle))
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                per_task = list(pool.map(_run_grid_task, handed))
+        finally:
+            for seg in shared:
+                seg.close()
+                seg.unlink()
     else:
         per_task = [_run_grid_task(t) for t in tasks]
     return [row for rows in per_task for row in rows]

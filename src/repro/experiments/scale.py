@@ -14,13 +14,18 @@ Run: ``python -m repro.experiments.scale`` (or ``python -m repro scale``)
 from __future__ import annotations
 
 import argparse
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from ..baselines.tabee import TabEE
-from ..core.counts import ClusteredCounts
+from ..core.counts import ClusteredCounts, StreamedCounts, StreamingCountsBuilder
 from ..core.dpclustx import DPClustX
 from ..core.quality.scores import Weights
+from ..dataset.schema import Schema
+from ..dataset.table import CODE_DTYPE, Dataset, chunk_spans
 from ..evaluation.quality import QualityEvaluator
 from ..evaluation.runner import format_results_table
 from ..evaluation.sweeps import select_batched
@@ -31,6 +36,221 @@ from .common import ExperimentConfig, fit_clustering, load_dataset
 COLUMNS = ("dataset", "n_rows", "avg_cluster", "quality_dp", "quality_tabee", "ratio")
 ROW_GRID = (5_000, 10_000, 25_000, 60_000)
 DEFAULT_EPS = 0.1  # the regime where Figure 5 shows the visible gap
+
+
+# --------------------------------------------------------------------------- #
+# chunked synthetic source for the large-n (1M-10M row) regime
+# --------------------------------------------------------------------------- #
+
+# Domain sizes cycled across attributes — mixed power-of-two classes so the
+# resulting stack exercises several buckets, like the real datasets do.
+_DOMAIN_CYCLE = (8, 12, 6, 16, 10, 5, 20, 9, 14, 7, 11)
+
+
+def _peaked(m: int, peak: int, sharpness: float = 2.5) -> np.ndarray:
+    """A unimodal categorical distribution over ``m`` values peaked at ``peak``."""
+    x = np.arange(m, dtype=np.float64)
+    w = 1.0 / (1.0 + np.abs(x - peak)) ** sharpness
+    return w / w.sum()
+
+
+@dataclass(frozen=True)
+class ChunkedPlantedSource:
+    """Deterministic planted-cluster rows generated chunk by chunk.
+
+    The large-n counterpart of :mod:`repro.synth`: every row carries a
+    planted group label and per-attribute values drawn from group-peaked
+    categorical distributions, but rows are *generated* in fixed-size chunks
+    so the 10M-row benchmarks never hold the full table — feed
+    :meth:`chunks` straight into a
+    :class:`~repro.core.counts.StreamingCountsBuilder`.
+
+    Determinism: row ``i`` is a pure function of ``(seed, i)``.  Each row
+    consumes a fixed, 4-aligned number of Philox draws, and each chunk
+    resumes the counter at ``start * draws_per_row`` via
+    ``Philox.advance`` — so the generated stream is *identical for every
+    chunking*, not just for the default ``chunk_rows``.
+    """
+
+    n_rows: int
+    n_attributes: int = 11
+    n_groups: int = 8
+    seed: int = 0
+    chunk_rows: int = 262_144
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0:
+            raise ValueError("n_rows must be non-negative")
+        if not 1 <= self.n_attributes:
+            raise ValueError("need at least one attribute")
+        if self.n_groups < 1:
+            raise ValueError("need at least one group")
+
+    @cached_property
+    def schema(self) -> Schema:
+        sizes = [
+            _DOMAIN_CYCLE[j % len(_DOMAIN_CYCLE)] for j in range(self.n_attributes)
+        ]
+        return Schema.from_domains(
+            {
+                f"a{j}": tuple(f"v{v}" for v in range(m))
+                for j, m in enumerate(sizes)
+            }
+        )
+
+    @cached_property
+    def _cdfs(self) -> tuple[np.ndarray, ...]:
+        """Per-attribute ``(n_groups, m_j)`` CDF tables of the planted mixture."""
+        cdfs = []
+        for j, attr in enumerate(self.schema):
+            m = attr.domain_size
+            probs = np.stack(
+                [_peaked(m, (g * (j + 3)) % m) for g in range(self.n_groups)]
+            )
+            cdfs.append(np.cumsum(probs, axis=1))
+        return tuple(cdfs)
+
+    @property
+    def _draws_per_row(self) -> int:
+        # 1 label word + 1 word per attribute, padded up to a multiple of 4:
+        # Philox.advance() moves in 4-draw counter blocks, so a 4-aligned row
+        # width is what makes mid-stream chunk starts land exactly.
+        return -(-(self.n_attributes + 1) // 4) * 4
+
+    def _generate_span(
+        self, span: slice
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        length = span.stop - span.start
+        bit_gen = np.random.Philox(key=self.seed)
+        bit_gen.advance(span.start * self._draws_per_row // 4)
+        u = np.random.Generator(bit_gen).random((length, self._draws_per_row))
+        labels = np.minimum(
+            (u[:, 0] * self.n_groups).astype(np.int64), self.n_groups - 1
+        )
+        columns: dict[str, np.ndarray] = {}
+        for j, attr in enumerate(self.schema):
+            cdf = self._cdfs[j]
+            codes = np.empty(length, dtype=CODE_DTYPE)
+            for g in range(self.n_groups):
+                mask = labels == g
+                codes[mask] = np.searchsorted(cdf[g], u[mask, j + 1], side="right")
+            np.minimum(codes, attr.domain_size - 1, out=codes)
+            columns[attr.name] = codes
+        return columns, labels
+
+    def chunks(
+        self, chunk_rows: int | None = None
+    ) -> Iterator[tuple[Mapping[str, np.ndarray], np.ndarray]]:
+        """Yield ``(columns, labels)`` chunks covering all ``n_rows``."""
+        for span in chunk_spans(self.n_rows, chunk_rows or self.chunk_rows):
+            yield self._generate_span(span)
+
+    def counts(self, chunk_rows: int | None = None) -> StreamedCounts:
+        """Stream-materialise the exact planted-group counts (bounded memory)."""
+        builder = StreamingCountsBuilder(self.schema, self.n_groups)
+        for columns, labels in self.chunks(chunk_rows):
+            builder.add_chunk(columns, labels)
+        return builder.finalise()
+
+    def dataset(self) -> tuple[Dataset, np.ndarray]:
+        """The full in-RAM ``(Dataset, labels)`` — small ``n_rows`` only."""
+        column_parts: dict[str, list[np.ndarray]] = {
+            n: [] for n in self.schema.names
+        }
+        label_parts: list[np.ndarray] = []
+        for columns, labels in self.chunks():
+            for name in self.schema.names:
+                column_parts[name].append(columns[name])
+            label_parts.append(labels)
+        columns = {
+            n: np.concatenate(parts) if parts else np.empty(0, dtype=CODE_DTYPE)
+            for n, parts in column_parts.items()
+        }
+        labels = (
+            np.concatenate(label_parts) if label_parts else np.empty(0, np.int64)
+        )
+        return Dataset(self.schema, columns), labels
+
+
+def streaming_materialise_stats(
+    n_rows: int,
+    n_attributes: int = 11,
+    n_groups: int = 8,
+    seed: int = 0,
+    chunk_rows: int = 262_144,
+) -> dict:
+    """Stream-materialise ``n_rows`` planted rows and describe the result.
+
+    Importable by name so benchmark harnesses can run it inside a fresh
+    spawn child whose ``ru_maxrss`` high-water mark isolates this one
+    materialisation.
+    """
+    source = ChunkedPlantedSource(
+        n_rows=n_rows,
+        n_attributes=n_attributes,
+        n_groups=n_groups,
+        seed=seed,
+        chunk_rows=chunk_rows,
+    )
+    counts = source.counts()
+    return {
+        "rows": int(counts.n),
+        "n_attributes": n_attributes,
+        "n_clusters": n_groups,
+        "chunk_rows": chunk_rows,
+        "signature": counts.signature()[:16],
+    }
+
+
+def attach_and_score_stats(handle, gamma: tuple[float, float] = (0.5, 0.5)) -> dict:
+    """One sweep worker's task body: attach to a shared stack and score it.
+
+    Mirrors what a ``run_grid`` worker does under the shared-stack handoff —
+    attach, build an engine, evaluate the Stage-1 matrix — and reports the
+    time spent, so the fan-out benchmark can compare per-task cost across
+    dataset sizes (it must be flat: nothing here depends on ``|D|``).
+    """
+    import time
+
+    from ..core.engine import ScoringEngine, attach_counts
+
+    t0 = time.perf_counter()
+    counts = attach_counts(handle)
+    try:
+        engine = ScoringEngine(counts)
+        matrix = engine.score_matrix(*gamma)
+        elapsed = time.perf_counter() - t0
+        return {
+            "task_s": elapsed,
+            "n_attributes": int(matrix.shape[1]),
+            "n_clusters": int(matrix.shape[0]),
+        }
+    finally:
+        counts.close()
+
+
+def rematerialise_and_score_stats(
+    n_rows: int, gamma: tuple[float, float] = (0.5, 0.5), **source_kwargs
+) -> dict:
+    """The legacy worker task body: regenerate counts, then score.
+
+    What every pool worker paid before the shared-stack handoff — cost is
+    linear in ``n_rows``, which is exactly the contrast the fan-out
+    benchmark records.
+    """
+    import time
+
+    from ..core.engine import ScoringEngine
+
+    t0 = time.perf_counter()
+    counts = ChunkedPlantedSource(n_rows=n_rows, **source_kwargs).counts()
+    engine = ScoringEngine(counts)
+    matrix = engine.score_matrix(*gamma)
+    return {
+        "task_s": time.perf_counter() - t0,
+        "n_attributes": int(matrix.shape[1]),
+        "n_clusters": int(matrix.shape[0]),
+    }
 
 
 def run(

@@ -1,0 +1,154 @@
+"""Streaming materialisation: chunked must be byte-identical to one-shot.
+
+The exactness contract of the big-data path (`core/counts.py`,
+`experiments/scale.py`): integer `np.bincount` sums are associative, so the
+chunked one-pass builder, `ClusteredCounts.materialise(chunk_rows=...)`, and
+the in-RAM one-shot path must agree bit-for-bit — counts, fingerprints,
+signatures — for *every* chunking, with no tolerance at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import random_dataset
+from repro.core.counts import (
+    ClusteredCounts,
+    StreamingCountsBuilder,
+    materialise_stream,
+)
+from repro.dataset.table import FingerprintAccumulator, chunk_spans
+from repro.experiments.scale import ChunkedPlantedSource
+
+_domains = st.lists(st.integers(2, 9), min_size=1, max_size=5).map(tuple)
+
+
+def _labels(rng: np.random.Generator, n: int, k: int) -> np.ndarray:
+    return rng.integers(0, k, size=n, dtype=np.int64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_rows=st.integers(0, 400),
+    chunk_rows=st.integers(1, 450),
+    domains=_domains,
+    k=st.integers(1, 5),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_chunked_materialise_identical_to_one_shot(
+    n_rows, chunk_rows, domains, k, seed
+):
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, n_rows, domains)
+    labels = _labels(rng, n_rows, k)
+
+    one_shot = ClusteredCounts(data, labels, k)
+    one_shot.materialise()
+    chunked = ClusteredCounts(data, labels, k)
+    chunked.materialise(chunk_rows=chunk_rows)
+
+    for name in one_shot.names:
+        assert np.array_equal(one_shot.by_cluster(name), chunked.by_cluster(name))
+        assert np.array_equal(one_shot.full(name), chunked.full(name))
+    assert one_shot.signature() == chunked.signature()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_rows=st.integers(0, 400),
+    chunk_rows=st.integers(1, 450),
+    domains=_domains,
+    k=st.integers(1, 5),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_streaming_builder_identical_to_in_ram(
+    n_rows, chunk_rows, domains, k, seed
+):
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, n_rows, domains)
+    labels = _labels(rng, n_rows, k)
+
+    reference = ClusteredCounts(data, labels, k)
+    streamed = (
+        StreamingCountsBuilder(data.schema, k)
+        .add_dataset(data, labels, chunk_rows=chunk_rows)
+        .finalise()
+    )
+
+    assert streamed.n == reference.n
+    assert streamed.names == reference.names
+    for name in reference.names:
+        assert np.array_equal(streamed.by_cluster(name), reference.by_cluster(name))
+        assert np.array_equal(streamed.full(name), reference.full(name))
+        assert streamed.total(name) == reference.total(name)
+        for c in range(k):
+            assert streamed.cluster_size(name, c) == reference.cluster_size(name, c)
+    # Content hashes are chunking-independent: cache/ledger keys must not
+    # depend on how the rows arrived.
+    assert streamed.fingerprint() == data.fingerprint()
+    assert streamed.signature() == reference.signature()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_rows=st.integers(0, 300),
+    chunk_rows=st.integers(1, 350),
+    domains=_domains,
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fingerprint_chunking_independent(n_rows, chunk_rows, domains, seed):
+    rng = np.random.default_rng(seed)
+    data = random_dataset(rng, n_rows, domains)
+
+    acc = FingerprintAccumulator(data.schema)
+    for _, cols in data.iter_chunks(chunk_rows):
+        acc.update(cols)
+    assert acc.hexdigest() == data.fingerprint()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_rows=st.integers(0, 500),
+    chunk_rows=st.integers(1, 550),
+)
+def test_chunk_spans_partition(n_rows, chunk_rows):
+    spans = list(chunk_spans(n_rows, chunk_rows))
+    covered = [i for s in spans for i in range(s.start, s.stop)]
+    assert covered == list(range(n_rows))
+    assert all(s.stop - s.start <= chunk_rows for s in spans)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_rows=st.integers(0, 2_000),
+    chunk_rows=st.integers(1, 2_500),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_planted_source_chunking_invariant(n_rows, chunk_rows, seed):
+    """The large-n generator is a pure function of (seed, row index)."""
+    src = ChunkedPlantedSource(n_rows=n_rows, n_attributes=4, n_groups=3, seed=seed)
+    reference = src.counts(chunk_rows=max(n_rows, 1))
+    rechunked = src.counts(chunk_rows=chunk_rows)
+    assert rechunked.signature() == reference.signature()
+    for name in reference.names:
+        assert np.array_equal(rechunked.by_cluster(name), reference.by_cluster(name))
+
+
+def test_planted_source_matches_in_ram_counts():
+    """Streaming the planted source == clustering its materialised dataset."""
+    src = ChunkedPlantedSource(n_rows=5_000, seed=11, chunk_rows=777)
+    streamed = src.counts()
+    data, labels = src.dataset()
+    reference = ClusteredCounts(data, labels, src.n_groups)
+    assert streamed.signature() == reference.signature()
+    assert streamed.fingerprint() == data.fingerprint()
+    for name in reference.names:
+        assert np.array_equal(streamed.by_cluster(name), reference.by_cluster(name))
+
+
+def test_materialise_stream_helper():
+    src = ChunkedPlantedSource(n_rows=1_000, seed=3)
+    via_helper = materialise_stream(src.schema, src.chunks(), src.n_groups)
+    assert via_helper.signature() == src.counts().signature()

@@ -439,3 +439,49 @@ class TestMemoisedExperimentCells:
         assert a is b
         c = load_dataset("Diabetes", 2_000, n_groups=3, seed=2)
         assert c is not a
+
+
+class TestRunGridHandoffModes:
+    """run_grid rows must be identical across serial / shared / legacy paths."""
+
+    def test_rows_identical_across_pool_modes(self):
+        from repro.evaluation.sweeps import run_grid
+        from repro.experiments.common import ExperimentConfig
+
+        config = ExperimentConfig(
+            datasets=("Diabetes",),
+            methods=("k-means",),
+            n_runs=2,
+            rows={"Diabetes": 1_500, "Census": 1_500, "StackOverflow": 1_500},
+        )
+        serial = run_grid(config, explainers=("DPClustX", "TabEE"))
+        shared = run_grid(
+            config, explainers=("DPClustX", "TabEE"), processes=2, share_stacks=True
+        )
+        legacy = run_grid(
+            config, explainers=("DPClustX", "TabEE"), processes=2, share_stacks=False
+        )
+        assert serial == shared == legacy
+        assert len(serial) > 0
+
+    def test_no_shared_segments_leak(self):
+        import os
+
+        from repro.evaluation.sweeps import run_grid
+        from repro.experiments.common import ExperimentConfig
+
+        def segments():
+            try:
+                return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+            except FileNotFoundError:
+                return set()
+
+        config = ExperimentConfig(
+            datasets=("Diabetes",),
+            methods=("k-means",),
+            n_runs=1,
+            rows={"Diabetes": 1_000, "Census": 1_000, "StackOverflow": 1_000},
+        )
+        before = segments()
+        run_grid(config, explainers=("TabEE",), processes=2)
+        assert segments() == before

@@ -42,7 +42,7 @@ from repro.service import (
     explanation_payload,
 )
 
-from bench_common import BENCH_ROWS
+from bench_common import BENCH_ROWS, merge_json_artifact
 
 
 def _dataset_and_clustering(n_rows: int, n_clusters: int):
@@ -204,9 +204,9 @@ def main(argv: "list[str] | None" = None) -> dict:
     )
     print(json.dumps(result, indent=2))
     if args.out != "-":
-        with open(args.out, "w") as fh:
-            json.dump(result, fh, indent=2)
-            fh.write("\n")
+        # Merge, don't clobber: bench_load.py adds a "sharded" section to
+        # the same artifact.
+        merge_json_artifact(args.out, result)
     return result
 
 

@@ -22,6 +22,13 @@
 # (exact O(1) integer accounting vs the seed's O(n) float re-sum) and
 # persistence bytes-per-request (append-only journal vs full snapshot
 # rewrite) and writes BENCH_ledger.json.
+# Bench 7 (bench_load.py standalone) drives the sharded multi-process tier
+# through the async front end — open-loop Poisson arrivals with zipf
+# tenant/seed skew (p50/p99/p999 latency) plus a closed-loop saturation
+# flood vs a single-process service — and merges a "sharded" section into
+# BENCH_service.json.  DP-release byte-identity across deployments is
+# always asserted; the >=3x multi-worker saturation speedup only where
+# >=8 cores exist to scale onto (recorded in the artifact either way).
 # Bench 6 (bench_scale.py standalone) measures the large-n regime and merges
 # a "scale" section into BENCH_scoring.json: streaming counts materialisation
 # at 1M and 10M rows (wall time + peak RSS in a fresh spawn child — the raw
@@ -150,6 +157,42 @@ assert speedup >= 5.0, f"service speedup regressed below 5x: {speedup:.2f}x"
 assert result["cache_hit_ratio"] >= 0.5, (
     f"cache hit ratio collapsed: {result['cache_hit_ratio']:.2f}"
 )
+EOF
+
+echo "== sharded load benchmark (merges 'sharded' into BENCH_service.json) =="
+python benchmarks/bench_load.py --out BENCH_service.json
+
+python - <<'EOF'
+import json
+
+with open("BENCH_service.json") as fh:
+    sharded = json.load(fh)["sharded"]
+
+ol = sharded["open_loop"]
+sat = sharded["saturation"]
+cores = sharded["cores"]
+print(f"open loop @ {ol['offered_rps']:.0f} req/s offered: "
+      f"achieved {ol['achieved_rps']:.0f} req/s, "
+      f"p50 {ol['p50_ms']:.1f} ms, p99 {ol['p99_ms']:.1f} ms, "
+      f"p999 {ol['p999_ms']:.1f} ms ({ol['errors']} errors)")
+print(f"saturation: single-process {sat['single_process_rps']:.0f} req/s vs "
+      f"{sharded['workers']}-worker sharded {sat['sharded_rps']:.0f} req/s "
+      f"(speedup {sat['speedup']:.2f}x on {cores} core(s))")
+assert sharded["exact_equal"], (
+    "sharded tier's DP releases diverged from the single-process service"
+)
+assert ol["errors"] == 0, f"open-loop load produced {ol['errors']} errors"
+for key in ("p50_ms", "p99_ms", "p999_ms"):
+    assert ol[key] > 0.0, f"latency histogram missing {key}"
+assert ol["p50_ms"] <= ol["p99_ms"] <= ol["p999_ms"], "quantiles disordered"
+if cores >= 8:
+    assert sat["speedup"] >= 3.0, (
+        f"multi-worker saturation speedup below 3x on {cores} cores: "
+        f"{sat['speedup']:.2f}x"
+    )
+else:
+    print(f"(skipping >=3x multi-worker gate: only {cores} core(s); "
+          f"workers share one CPU, so parallel speedup is impossible here)")
 EOF
 
 echo "== pipeline benchmark (writes BENCH_pipeline.json) =="

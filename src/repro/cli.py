@@ -125,8 +125,12 @@ def _run_serve(argv: Sequence[str]) -> int:
                         help="rows of the demo diabetes_like dataset")
     parser.add_argument("--clusters", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--workers", type=int, default=2,
-                        help="coalescing worker threads")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shard worker PROCESSES for the multi-process "
+                             "tier (tenants partitioned by stable hash; "
+                             "0 = single-process in-memory service)")
+    parser.add_argument("--threads", type=int, default=2,
+                        help="coalescing threads per service/worker")
     parser.add_argument("--tenant-budget", type=float, default=1.0,
                         help="per-(tenant, dataset) epsilon cap for "
                              "auto-provisioned tenants")
@@ -143,16 +147,34 @@ def _run_serve(argv: Sequence[str]) -> int:
         n_rows=args.rows, n_groups=args.clusters, seed=args.seed
     )
     clustering = KMeans(args.clusters).fit(data, rng=args.seed)
-    service = ExplanationService(
-        ledger_dir=args.ledger_dir,
-        cache_entries=args.cache_entries,
-        auto_tenant_budget=args.tenant_budget,
-    )
-    entry = service.register_dataset("diabetes", data, clustering)
-    print(f"registered dataset 'diabetes' "
-          f"(rows={len(data)}, |C|={entry.counts.n_clusters}, "
-          f"fingerprint={entry.fingerprint[:12]}…)")
-    service.start(args.workers)
+    if args.workers > 0:
+        from .service.frontend import ShardedService
+
+        service = ShardedService(
+            args.workers,
+            ledger_dir=args.ledger_dir,
+            cache_entries=args.cache_entries,
+            auto_tenant_budget=args.tenant_budget,
+            service_threads=args.threads,
+        )
+        service.start()
+        frame = service.register_dataset("diabetes", data, clustering)
+        print(f"sharded tier: {args.workers} worker processes "
+              f"({args.threads} coalescing threads each)")
+        print(f"registered dataset 'diabetes' "
+              f"(rows={len(data)}, |C|={frame['handle']['n_clusters']}, "
+              f"fingerprint={frame['fingerprint'][:12]}…)")
+    else:
+        service = ExplanationService(
+            ledger_dir=args.ledger_dir,
+            cache_entries=args.cache_entries,
+            auto_tenant_budget=args.tenant_budget,
+        )
+        entry = service.register_dataset("diabetes", data, clustering)
+        print(f"registered dataset 'diabetes' "
+              f"(rows={len(data)}, |C|={entry.counts.n_clusters}, "
+              f"fingerprint={entry.fingerprint[:12]}…)")
+        service.start(args.threads)
     serve_forever(service, args.host, args.port)
     return 0
 

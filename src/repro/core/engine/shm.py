@@ -254,11 +254,19 @@ class StackCounts:
     them.  Counts come back float64 (the stack's dtype); they are exact
     integer values well inside float64's 2**53 integer range, so every
     downstream score and release is bit-identical to the int64 path.
+
+    ``dataset`` optionally carries a schema-bearing dataset descriptor
+    (anything exposing ``.schema``, ``__len__`` and ``fingerprint()``): the
+    histogram-release path reads ``counts.dataset.schema`` for attribute
+    domains, so a shard worker that serves full explanations — not just
+    Stage-1 scoring — attaches with the descriptor its registration frame
+    shipped alongside the handle.
     """
 
-    def __init__(self, stack: CountsStack, shm=None):
+    def __init__(self, stack: CountsStack, shm=None, dataset=None):
         self._stack = stack
         self._shm = shm
+        self.dataset = dataset
         self._closed = False
 
     @property
@@ -322,12 +330,14 @@ class StackCounts:
         self.close()
 
 
-def attach_counts(handle: SharedStackHandle) -> StackCounts:
+def attach_counts(handle: SharedStackHandle, dataset=None) -> StackCounts:
     """Attach to a shared stack segment as a read-only counts provider.
 
-    Raises ``FileNotFoundError`` once the owner has unlinked the segment.
+    ``dataset`` (optional) is the schema-bearing descriptor forwarded to
+    :class:`StackCounts` for consumers that release histograms.  Raises
+    ``FileNotFoundError`` once the owner has unlinked the segment.
     """
     shm = _RawSegment(handle.segment)
     views = _segment_views(shm, handle)
     stack = _stack_from_views(views, handle, writeable=False)
-    return StackCounts(stack, shm)
+    return StackCounts(stack, shm, dataset=dataset)

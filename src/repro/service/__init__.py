@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from .cache import CacheEntry, ExplanationCache, canonical_json
+from .frontend import AsyncFrontend, ShardedService
 from .http import ServiceHTTPServer, make_server, serve_forever
 from .journal import LedgerStoreError, TenantLedgerStore
 from .queue import QueueClosed, RequestQueue
@@ -35,11 +36,23 @@ from .service import (
     ServiceClient,
     explanation_payload,
 )
+from .shard import ShardWorker, WorkerConfig, shard_of, worker_main
+from .supervisor import ShardSupervisor, SupervisorError
+from .transport import (
+    FrameError,
+    FrameSocket,
+    read_frame,
+    read_frame_async,
+    write_frame,
+    write_frame_async,
+)
 
 __all__ = [
     "CacheEntry",
     "ExplanationCache",
     "canonical_json",
+    "AsyncFrontend",
+    "ShardedService",
     "ServiceHTTPServer",
     "make_server",
     "serve_forever",
@@ -56,4 +69,16 @@ __all__ = [
     "PipelineRequest",
     "ServiceClient",
     "explanation_payload",
+    "ShardWorker",
+    "WorkerConfig",
+    "shard_of",
+    "worker_main",
+    "ShardSupervisor",
+    "SupervisorError",
+    "FrameError",
+    "FrameSocket",
+    "read_frame",
+    "read_frame_async",
+    "write_frame",
+    "write_frame_async",
 ]

@@ -1,0 +1,388 @@
+"""Asyncio front end for the sharded tier, plus a blocking facade.
+
+:class:`AsyncFrontend` is the data path: it holds one asyncio unix-socket
+connection per shard worker, routes every request to its tenant's owner
+(``shard_of``), and **coalesces same-configuration requests into batches**
+before they hit the wire — requests sharing an
+:meth:`~repro.service.service.ExplainRequest.engine_key` that arrive within
+``batch_window_s`` of each other are flushed as one ``explain_batch`` frame,
+so a burst of equal-parameter requests costs one frame (and, worker-side,
+one batched engine pass) instead of N.  Replies carry the request id and may
+arrive in any order; a reader task per connection matches them to futures.
+
+Failover semantics (the front-end half of the supervisor's contract): when
+a worker connection drops, every in-flight and still-buffered request for
+that worker resolves *immediately* with a structured 503
+(``worker-restarting``) envelope — callers never hang on a dead process —
+and a reconnect loop re-establishes the connection once the supervisor has
+respawned the worker.  Requests arriving while the link is down get the
+same 503; the journal guarantees their tenants' ledgers are exact when the
+worker returns.
+
+:class:`ShardedService` wraps the front end and the supervisor behind the
+blocking ``ExplanationService`` surface the HTTP layer consumes
+(``explain`` / ``pipeline`` / ``describe`` / ``ledger_describe`` /
+``dataset_listing`` / ``stop``), running the event loop on a background
+thread.  ``/v1/pipeline`` is *not supported* sharded — the pipeline route
+needs the raw rows for server-side clustering, and rows never leave the
+supervisor — so it returns a structured 501.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from dataclasses import asdict
+
+from .service import ExplainRequest, PipelineRequest
+from .shard import shard_of, worker_restarting_envelope
+from .supervisor import ShardSupervisor
+from .transport import FrameError, read_frame_async, write_frame_async
+
+
+class _Link:
+    """One worker connection: reader task, pending futures, batch buffers."""
+
+    __slots__ = (
+        "index",
+        "reader",
+        "writer",
+        "alive",
+        "pending",
+        "buffers",
+        "flush_handle",
+        "reader_task",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.reader = None
+        self.writer = None
+        self.alive = False
+        self.pending: "dict[int, asyncio.Future]" = {}
+        self.buffers: "dict[tuple, list]" = {}
+        self.flush_handle: "asyncio.TimerHandle | None" = None
+        self.reader_task: "asyncio.Task | None" = None
+
+
+class AsyncFrontend:
+    """The async data path over one :class:`ShardSupervisor` deployment."""
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        *,
+        batch_window_s: float = 0.002,
+        max_batch: int = 64,
+    ):
+        self.supervisor = supervisor
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self._links = [_Link(i) for i in range(supervisor.n_workers)]
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._closed = False
+        self._next_id = 0
+        self.batches_sent = 0
+        self.requests_sent = 0
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    async def start(self) -> "AsyncFrontend":
+        self._loop = asyncio.get_running_loop()
+        for link in self._links:
+            await self._connect(link)
+        # A respawn notification wakes the reconnect path early; the
+        # reader's own reconnect loop is the fallback when the callback
+        # beats the respawned socket.
+        self.supervisor.on_worker_restart(self._notify_restart)
+        return self
+
+    async def _connect(self, link: _Link) -> None:
+        reader, writer = await asyncio.open_unix_connection(
+            self.supervisor.socket_path(link.index)
+        )
+        link.reader, link.writer = reader, writer
+        link.alive = True
+        link.reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(link)
+        )
+
+    def _notify_restart(self, index: int) -> None:
+        # Called from the supervisor's monitor thread.
+        loop = self._loop
+        if loop is not None and not self._closed:
+            loop.call_soon_threadsafe(lambda: None)  # nudge the loop awake
+
+    async def close(self) -> None:
+        self._closed = True
+        for link in self._links:
+            if link.flush_handle is not None:
+                link.flush_handle.cancel()
+                link.flush_handle = None
+            if link.reader_task is not None:
+                link.reader_task.cancel()
+            if link.writer is not None:
+                link.writer.close()
+            self._fail_link(link)
+        for link in self._links:
+            if link.reader_task is not None:
+                try:
+                    await link.reader_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                link.reader_task = None
+
+    # -- data path -------------------------------------------------------- #
+
+    async def explain(
+        self, request: ExplainRequest, timeout_s: float = 60.0
+    ) -> dict:
+        """Route one request to its owner worker; resolve to the envelope."""
+        index = shard_of(request.tenant, self.supervisor.n_workers)
+        link = self._links[index]
+        if not link.alive:
+            return worker_restarting_envelope(index)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[dict]" = loop.create_future()
+        self._next_id += 1
+        rid = self._next_id
+        link.pending[rid] = future
+        bucket = link.buffers.setdefault(request.engine_key(), [])
+        bucket.append({"id": rid, "request": asdict(request)})
+        self.requests_sent += 1
+        if sum(len(b) for b in link.buffers.values()) >= self.max_batch:
+            await self._flush(link)
+        elif link.flush_handle is None:
+            link.flush_handle = loop.call_later(
+                self.batch_window_s,
+                lambda: loop.create_task(self._flush(link)),
+            )
+        try:
+            return await asyncio.wait_for(future, timeout_s)
+        except TimeoutError:
+            link.pending.pop(rid, None)
+            raise
+
+    async def _flush(self, link: _Link) -> None:
+        if link.flush_handle is not None:
+            link.flush_handle.cancel()
+            link.flush_handle = None
+        buffers, link.buffers = link.buffers, {}
+        if not buffers or not link.alive:
+            for items in buffers.values():
+                for item in items:
+                    self._resolve(
+                        link, item["id"], worker_restarting_envelope(link.index)
+                    )
+            return
+        try:
+            # One explain_batch frame per engine key: the worker enqueues
+            # the whole frame before its coalescing queue takes a batch, so
+            # same-key requests land in one engine pass.
+            for items in buffers.values():
+                await write_frame_async(
+                    link.writer, {"op": "explain_batch", "items": items}
+                )
+                self.batches_sent += 1
+        except (FrameError, OSError, ConnectionError):
+            self._drop_link(link)
+
+    async def _read_loop(self, link: _Link) -> None:
+        try:
+            while True:
+                frame = await read_frame_async(link.reader)
+                if frame is None:
+                    break
+                self._resolve(link, frame.get("id"), frame.get("envelope"))
+        except (FrameError, OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        self._drop_link(link)
+        await self._reconnect(link)
+
+    def _resolve(self, link: _Link, rid, envelope) -> None:
+        future = link.pending.pop(rid, None)
+        if future is not None and not future.done():
+            future.set_result(envelope)
+
+    def _drop_link(self, link: _Link) -> None:
+        """Connection lost: fail everything outstanding, mark dead."""
+        if not link.alive:
+            return
+        link.alive = False
+        if link.writer is not None:
+            link.writer.close()
+        self._fail_link(link)
+
+    def _fail_link(self, link: _Link) -> None:
+        envelope = worker_restarting_envelope(link.index)
+        for items in link.buffers.values():
+            for item in items:
+                self._resolve(link, item["id"], dict(envelope))
+        link.buffers = {}
+        for rid in list(link.pending):
+            self._resolve(link, rid, dict(envelope))
+
+    async def _reconnect(self, link: _Link) -> None:
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    self.supervisor.socket_path(link.index)
+                )
+            except OSError:
+                await asyncio.sleep(0.1)
+                continue
+            link.reader, link.writer = reader, writer
+            link.alive = True
+            link.reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(link)
+            )
+            return
+
+    # -- control reads ----------------------------------------------------- #
+
+    def describe(self) -> dict:
+        body = self.supervisor.describe()
+        body["frontend"] = {
+            "batches_sent": self.batches_sent,
+            "requests_sent": self.requests_sent,
+            "links_alive": sum(1 for link in self._links if link.alive),
+        }
+        return body
+
+
+class ShardedService:
+    """Blocking facade: the ``ExplanationService`` surface, served by shards.
+
+    Spawns the supervisor, runs an :class:`AsyncFrontend` on a background
+    event-loop thread, and exposes the exact method set the HTTP handler
+    and CLI consume — so ``python -m repro serve --workers N`` swaps the
+    in-process service for the sharded tier without touching the routes.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        ledger_dir: "str | None" = None,
+        auto_tenant_budget: "float | None" = None,
+        cache_entries: int = 256,
+        compact_every: int = 256,
+        service_threads: int = 2,
+        batch_window_s: float = 0.002,
+        max_batch: int = 64,
+        socket_dir: "str | None" = None,
+    ):
+        self.supervisor = ShardSupervisor(
+            n_workers,
+            ledger_dir=ledger_dir,
+            auto_tenant_budget=auto_tenant_budget,
+            cache_entries=cache_entries,
+            compact_every=compact_every,
+            service_threads=service_threads,
+            socket_dir=socket_dir,
+        )
+        self.frontend = AsyncFrontend(
+            self.supervisor,
+            batch_window_s=batch_window_s,
+            max_batch=max_batch,
+        )
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread: "threading.Thread | None" = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def start(self, workers: int | None = None) -> "ShardedService":
+        """Spawn the deployment (``workers`` kept for signature parity)."""
+        if self._started:
+            return self
+        self.supervisor.start()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="shard-frontend", daemon=True
+        )
+        self._loop_thread.start()
+        self._run(self.frontend.start())
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop front end, then workers (each takes a final checkpoint)."""
+        if self._loop_thread is not None:
+            try:
+                self._run(self.frontend.close())
+            except RuntimeError:
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop_thread.join(timeout=5.0)
+            self._loop_thread = None
+        self.supervisor.stop()
+
+    def _run(self, coro, timeout: "float | None" = None):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    # -- the service surface ---------------------------------------------- #
+
+    def register_dataset(
+        self, dataset_id: str, dataset, clustering=None, n_clusters=None
+    ) -> dict:
+        return self.supervisor.register_dataset(
+            dataset_id, dataset, clustering, n_clusters
+        )
+
+    def explain(
+        self,
+        request: "ExplainRequest | None" = None,
+        timeout: float = 60.0,
+        **kwargs,
+    ) -> dict:
+        if request is None:
+            request = ExplainRequest(**kwargs)
+        # Validation parity with the in-process service: reject malformed
+        # requests here (no budget anywhere was touched) instead of paying
+        # a round trip to a worker that would reject them identically.
+        request = request.validated()
+        return self._run(
+            self.frontend.explain(request, timeout_s=timeout),
+            # The async side owns the timeout; leave headroom so the
+            # worker-side 504 wins over a racing facade-side one.
+            timeout=timeout + 5.0,
+        )
+
+    def pipeline(
+        self,
+        request: "PipelineRequest | None" = None,
+        timeout: float = 60.0,
+        **kwargs,
+    ) -> dict:
+        del timeout
+        if request is None:
+            request = PipelineRequest(**kwargs)
+        return {
+            "status": "error",
+            "code": 501,
+            "error": {
+                "reason": "pipeline-unsupported",
+                "message": (
+                    "/v1/pipeline needs the raw rows for server-side "
+                    "clustering; rows never leave the supervisor in a "
+                    "sharded deployment. Fit the clustering before "
+                    "registering, or run a single-process service."
+                ),
+            },
+        }
+
+    def describe(self) -> dict:
+        return self.frontend.describe()
+
+    def ledger_describe(self, tenant_id: str) -> dict:
+        return self.supervisor.ledger(tenant_id)
+
+    def dataset_listing(self) -> "list[dict]":
+        return self.supervisor.dataset_listing()
+
+    def __enter__(self) -> "ShardedService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

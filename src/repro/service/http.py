@@ -45,17 +45,32 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
 
 from .registry import ServiceError
-from .service import ExplainRequest, ExplanationService, PipelineRequest
+from .service import ExplainRequest, PipelineRequest
 
 MAX_BODY_BYTES = 1_000_000
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """An HTTP server bound to one :class:`ExplanationService`."""
+    """An HTTP server bound to one service instance.
+
+    ``service`` is anything exposing the handler surface — ``explain`` /
+    ``pipeline`` / ``describe`` / ``ledger_describe`` / ``dataset_listing``
+    / ``stop`` — i.e. an in-process
+    :class:`~repro.service.service.ExplanationService` or the sharded
+    :class:`~repro.service.frontend.ShardedService` facade; the routes are
+    identical either way.
+
+    ``daemon_threads`` keeps in-flight handler threads from pinning the
+    process open after shutdown; ``allow_reuse_address`` (SO_REUSEADDR)
+    lets a restarted server rebind its port while the previous socket
+    lingers in TIME_WAIT — without it a quick stop/start cycle fails with
+    ``EADDRINUSE`` for up to a minute.
+    """
 
     daemon_threads = True
+    allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: ExplanationService):
+    def __init__(self, address: tuple[str, int], service):
         super().__init__(address, ExplanationHandler)
         self.service = service
 
@@ -96,16 +111,12 @@ class ExplanationHandler(BaseHTTPRequestHandler):
             elif self.path == "/v1/stats":
                 self._send_json(200, service.describe())
             elif self.path == "/v1/datasets":
-                self._send_json(
-                    200,
-                    {"datasets": [e.describe() for e in service.registry.datasets()]},
-                )
+                self._send_json(200, {"datasets": service.dataset_listing()})
             elif self.path.startswith("/v1/ledger/"):
                 # Tenant ids are arbitrary strings; the URL path carries
                 # them percent-encoded ("a b" → /v1/ledger/a%20b).
                 tenant_id = unquote(self.path[len("/v1/ledger/") :])
-                tenant = service.registry.tenant(tenant_id)
-                self._send_json(200, tenant.describe())
+                self._send_json(200, service.ledger_describe(tenant_id))
             else:
                 raise ServiceError(404, "not-found", f"no route for {self.path!r}")
         except ServiceError as exc:
@@ -144,7 +155,7 @@ class ExplanationHandler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    service: ExplanationService, host: str = "127.0.0.1", port: int = 8080
+    service, host: str = "127.0.0.1", port: int = 8080
 ) -> ServiceHTTPServer:
     """Bind (without serving) — ``port=0`` picks a free port for tests."""
     return ServiceHTTPServer((host, port), service)
@@ -165,7 +176,7 @@ def is_loopback_host(host: str) -> bool:
 
 
 def serve_forever(
-    service: ExplanationService, host: str = "127.0.0.1", port: int = 8080
+    service, host: str = "127.0.0.1", port: int = 8080
 ) -> None:  # pragma: no cover - interactive entry point
     """Blocking serve loop for ``python -m repro serve``."""
     server = make_server(service, host, port)
@@ -188,5 +199,11 @@ def serve_forever(
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.server_close()
+        # Order matters: stop() first drains the queue — every accepted
+        # request resolves and its charge takes the final journal
+        # checkpoint — *while* handler threads can still write their
+        # responses out.  Only then does the server stop accepting and
+        # release the socket; closing the server first would race handler
+        # threads against a service whose workers are already gone.
         service.stop()
+        server.server_close()

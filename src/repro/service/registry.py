@@ -30,7 +30,8 @@ from __future__ import annotations
 import os
 import threading
 
-from urllib.parse import quote
+from typing import Callable
+from urllib.parse import quote, unquote
 
 from ..clustering.base import ClusteringFunction
 from ..core.counts import ClusteredCounts
@@ -92,6 +93,39 @@ class DatasetEntry:
             self.signature = self.counts.signature()
             self.context = SweepContext(self.counts)
         self.fingerprint = dataset.fingerprint()
+
+    @classmethod
+    def from_shared(
+        cls,
+        dataset_id: str,
+        dataset,
+        counts,
+        signature: "str | None",
+    ) -> "DatasetEntry":
+        """Build an entry over an already-materialised counts provider.
+
+        The shard tier's registration path: a worker process attaches the
+        parent's :class:`~repro.core.engine.shm.SharedStackHandle` as a
+        zero-copy :class:`~repro.core.engine.shm.StackCounts` and registers
+        it here without ever holding the rows.  ``dataset`` only needs the
+        slice of the :class:`~repro.dataset.table.Dataset` surface the
+        service reads — ``schema``, ``__len__`` and ``fingerprint()`` (the
+        shard worker passes a lightweight descriptor rebuilt from the
+        registration frame); ``signature`` is the *parent's*
+        ``ClusteredCounts.signature()``, carried verbatim so cache keys —
+        and therefore response bytes — match the in-process deployment
+        exactly.
+        """
+        entry = cls.__new__(cls)
+        entry.dataset_id = dataset_id
+        entry.dataset = dataset
+        entry.base_id = dataset_id
+        entry.clustering_spec = None
+        entry.counts = counts
+        entry.signature = signature
+        entry.context = SweepContext(counts) if counts is not None else None
+        entry.fingerprint = dataset.fingerprint()
+        return entry
 
     @property
     def is_derived(self) -> bool:
@@ -233,6 +267,13 @@ class ServiceRegistry:
     that many records, the next :meth:`persist_tenant` checkpoint folds it
     back into the snapshot.  Between checkpoints persistence is O(1) bytes
     per charge (one journal record), not O(ledger).
+
+    ``tenant_filter`` scopes this registry to a *partition* of the tenants
+    sharing ``ledger_dir``: reload skips tenants the predicate rejects, so
+    N shard workers can point at one directory while each replays (and
+    therefore owns — the routing layer never sends a tenant's requests to
+    two workers) only its own tenants' ledger files.  No cross-process
+    locking is needed because ownership is exclusive by partition.
     """
 
     def __init__(
@@ -240,12 +281,14 @@ class ServiceRegistry:
         ledger_dir: "str | os.PathLike | None" = None,
         *,
         compact_every: int = 256,
+        tenant_filter: "Callable[[str], bool] | None" = None,
     ):
         self._lock = threading.Lock()
         self._datasets: dict[str, DatasetEntry] = {}
         self._tenants: dict[str, Tenant] = {}
         self._stores: dict[str, TenantLedgerStore] = {}
         self.compact_every = compact_every
+        self.tenant_filter = tenant_filter
         self.ledger_dir = os.fspath(ledger_dir) if ledger_dir is not None else None
         if self.ledger_dir is not None:
             os.makedirs(self.ledger_dir, exist_ok=True)
@@ -274,6 +317,20 @@ class ServiceRegistry:
         entry = DatasetEntry(dataset_id, dataset, clustering, n_clusters)
         with self._lock:
             self._datasets[dataset_id] = entry
+        return entry
+
+    def add_entry(self, entry: DatasetEntry) -> DatasetEntry:
+        """Register (or replace) a pre-built entry under its own id.
+
+        The shard-worker registration path: the entry was assembled from a
+        shared-memory registration frame (:func:`repro.service.shard.entry_from_frame`)
+        rather than from a raw dataset, so ``register_dataset``'s
+        counts-building constructor does not apply.
+        """
+        if not entry.dataset_id:
+            raise ValueError("dataset id must be non-empty")
+        with self._lock:
+            self._datasets[entry.dataset_id] = entry
         return entry
 
     def add_entry_if_current(
@@ -451,6 +508,10 @@ class ServiceRegistry:
         for name in sorted(os.listdir(self.ledger_dir)):
             if not name.endswith(TenantLedgerStore.SNAPSHOT_SUFFIX):
                 continue  # *.journal tails, *.tmp partials from a crash, etc.
+            if self.tenant_filter is not None:
+                tenant_id = unquote(name[: -len(TenantLedgerStore.SNAPSHOT_SUFFIX)])
+                if not self.tenant_filter(tenant_id):
+                    continue  # another shard worker's tenant — not ours
             path = os.path.join(self.ledger_dir, name)
             base = path[: -len(TenantLedgerStore.SNAPSHOT_SUFFIX)]
             try:

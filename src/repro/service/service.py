@@ -31,6 +31,7 @@ requests from many tenants over registered datasets.  A request's lifecycle:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 
@@ -291,20 +292,97 @@ class PipelineRequest:
         return self
 
 
+def _request_class(envelope: dict) -> str:
+    """The latency class of a resolved envelope: how the request was served."""
+    meta = envelope.get("meta")
+    if meta and "cache" in meta:
+        return str(meta["cache"])  # "hit" | "miss" | "coalesced"
+    if envelope.get("status") == "refused":
+        return "refused"
+    return "error"
+
+
 @dataclass
 class _Pending:
-    """One queued request and the future its caller is waiting on."""
+    """One queued request and the future its caller is waiting on.
+
+    ``enqueued`` is stamped at admission, so :meth:`resolve` can record the
+    full enqueue→resolve wall time — queue wait, coalescing, funding, and
+    the engine pass — in the service's latency histograms, classed by how
+    the request was ultimately served.
+    """
 
     request: ExplainRequest
+    stats: "_Stats | None" = None
     future: "Future[dict]" = field(default_factory=Future)
+    enqueued: float = field(default_factory=time.monotonic)
 
     def resolve(self, envelope: dict) -> None:
         if not self.future.done():
+            if self.stats is not None:
+                self.stats.observe(
+                    _request_class(envelope), time.monotonic() - self.enqueued
+                )
             self.future.set_result(envelope)
 
 
+# Latency histogram geometry: geometric buckets from 100µs up, factor √2
+# (half-powers of two), with one overflow bucket — 44 buckets cover past
+# 200s, beyond every timeout in the service.  Bucketed histograms make
+# `observe` O(1) with no allocation, mergeable across stats shards, and
+# small enough to serialise into every ``/v1/stats`` body.
+_LATENCY_BASE_S = 1e-4
+_LATENCY_GROWTH = 2.0 ** 0.5
+_LATENCY_BUCKETS = 44
+
+
+def _latency_bucket(seconds: float) -> int:
+    if seconds <= _LATENCY_BASE_S:
+        return 0
+    b = int(math.log(seconds / _LATENCY_BASE_S) / math.log(_LATENCY_GROWTH)) + 1
+    return min(b, _LATENCY_BUCKETS - 1)
+
+
+def _latency_upper_bound(bucket: int) -> float:
+    """The inclusive upper edge of a bucket (the quantile estimate)."""
+    return _LATENCY_BASE_S * _LATENCY_GROWTH**bucket
+
+
+def _histogram_quantile(buckets: "list[int]", q: float) -> float | None:
+    total = sum(buckets)
+    if total == 0:
+        return None
+    rank = q * total
+    seen = 0
+    for b, count in enumerate(buckets):
+        seen += count
+        if seen >= rank:
+            return _latency_upper_bound(b)
+    return _latency_upper_bound(len(buckets) - 1)
+
+
+class _StatsShard:
+    """One lock's worth of counters + latency buckets (see :class:`_Stats`)."""
+
+    __slots__ = ("lock", "counts", "latency")
+
+    def __init__(self, fields: tuple[str, ...]):
+        self.lock = threading.Lock()
+        self.counts = {f: 0 for f in fields}
+        self.latency: "dict[str, list[int]]" = {}
+
+
 class _Stats:
-    """Thread-safe monotone counters for the service's observability."""
+    """Sharded thread-safe counters + per-class latency histograms.
+
+    Counters are *sharded per thread*: each thread is pinned (round-robin
+    at first touch) to one of ``n_shards`` independently-locked shards, so
+    ``incr`` from the worker pool, the HTTP handler threads and a shard
+    worker's connection threads never contend on one hot lock — the merge
+    cost moves to :meth:`as_dict`/:meth:`get`, which only observability
+    reads pay.  Latency histograms live in the same shards: ``observe`` is
+    one O(1) bucket increment under the caller's own shard lock.
+    """
 
     FIELDS = (
         "requests",
@@ -320,21 +398,77 @@ class _Stats:
         "clustering_cache_hits",
     )
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counts = {f: 0 for f in self.FIELDS}
+    def __init__(self, n_shards: int = 8):
+        self._shards = tuple(_StatsShard(self.FIELDS) for _ in range(n_shards))
+        self._local = threading.local()
+        self._assign_lock = threading.Lock()
+        self._next_shard = 0
+
+    def _shard(self) -> _StatsShard:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            # Round-robin assignment spreads threads evenly regardless of
+            # thread-id alignment (ids are pointers — `id % n` would pile
+            # every thread onto shard 0).
+            with self._assign_lock:
+                shard = self._shards[self._next_shard % len(self._shards)]
+                self._next_shard += 1
+            self._local.shard = shard
+        return shard
 
     def incr(self, field_name: str, by: int = 1) -> None:
-        with self._lock:
-            self._counts[field_name] += by
+        shard = self._shard()
+        with shard.lock:
+            shard.counts[field_name] += by
+
+    def observe(self, request_class: str, seconds: float) -> None:
+        """Record one enqueue→resolve latency under ``request_class``."""
+        b = _latency_bucket(seconds)
+        shard = self._shard()
+        with shard.lock:
+            buckets = shard.latency.get(request_class)
+            if buckets is None:
+                buckets = [0] * _LATENCY_BUCKETS
+                shard.latency[request_class] = buckets
+            buckets[b] += 1
 
     def get(self, field_name: str) -> int:
-        with self._lock:
-            return self._counts[field_name]
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += shard.counts[field_name]
+        return total
 
     def as_dict(self) -> dict:
-        with self._lock:
-            return dict(self._counts)
+        merged = {f: 0 for f in self.FIELDS}
+        for shard in self._shards:
+            with shard.lock:
+                for f, v in shard.counts.items():
+                    merged[f] += v
+        return merged
+
+    def latency_summary(self) -> dict:
+        """Merged per-class latency: count + p50/p99 (the /v1/stats block).
+
+        Quantiles are bucket upper bounds — within one √2 factor of the
+        true value, which is the resolution tail-latency dashboards need
+        without the service ever holding per-request samples.
+        """
+        merged: "dict[str, list[int]]" = {}
+        for shard in self._shards:
+            with shard.lock:
+                for klass, buckets in shard.latency.items():
+                    acc = merged.setdefault(klass, [0] * _LATENCY_BUCKETS)
+                    for i, c in enumerate(buckets):
+                        acc[i] += c
+        summary = {}
+        for klass, buckets in sorted(merged.items()):
+            summary[klass] = {
+                "count": sum(buckets),
+                "p50_s": _histogram_quantile(buckets, 0.50),
+                "p99_s": _histogram_quantile(buckets, 0.99),
+            }
+        return summary
 
 
 def explanation_payload(
@@ -485,7 +619,7 @@ class ExplanationService:
 
     def submit(self, request: ExplainRequest) -> "Future[dict]":
         """Admit a request; returns a future resolving to the envelope."""
-        pending = _Pending(request)
+        pending = _Pending(request, self.stats)
         self.stats.incr("requests")
         try:
             request.validated()
@@ -1114,6 +1248,7 @@ class ExplanationService:
         """Stats + cache + registered datasets/tenants (the /v1/stats body)."""
         return {
             "stats": self.stats.as_dict(),
+            "latency": self.stats.latency_summary(),
             "cache": self.cache.stats(),
             "fitted_clusterings": self.fitted.stats(),
             "datasets": [e.describe() for e in self.registry.datasets()],
@@ -1121,6 +1256,14 @@ class ExplanationService:
             "workers": len(self._workers),
             "queued": len(self._queue),
         }
+
+    def ledger_describe(self, tenant_id: str) -> dict:
+        """One tenant's per-dataset ledgers (the /v1/ledger/<tenant> body)."""
+        return self.registry.tenant(tenant_id).describe()
+
+    def dataset_listing(self) -> "list[dict]":
+        """Registered datasets with fingerprints (the /v1/datasets body)."""
+        return [e.describe() for e in self.registry.datasets()]
 
 
 class ServiceClient:

@@ -1,0 +1,160 @@
+"""Length-prefixed JSON frames: the shard tier's wire protocol.
+
+Every message between the async front end / supervisor and a shard worker
+is one *frame*: a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The format is deliberately minimal — no schema
+registry, no varints, no compression — because the payloads are small
+(requests, envelopes, dataset registration descriptors; the actual count
+tensors travel out-of-band through the PR 6 shared-memory segments) and
+because both a blocking ``socket`` and an ``asyncio`` stream can parse it
+with the same two reads.
+
+Framing rules:
+
+* a frame body is at most :data:`MAX_FRAME_BYTES` (oversized frames raise
+  :class:`FrameError` on both ends — a corrupted length prefix must not
+  trigger a multi-gigabyte allocation);
+* a clean EOF *between* frames returns ``None`` (peer closed politely);
+* EOF *inside* a frame raises :class:`FrameError` (torn write — the peer
+  died mid-send and the stream is unusable).
+
+Concurrency contract: writers interleave whole frames, so concurrent
+senders on one socket must serialise via a lock (:class:`FrameSocket`
+does).  Readers are single-consumer by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+
+_LEN = struct.Struct("!I")
+
+#: Hard cap on one frame's JSON body.  Large enough for any envelope the
+#: service produces (histograms over categorical domains), small enough
+#: that a garbage length prefix fails fast instead of allocating.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """Torn, oversized, or malformed frame — the stream is unusable."""
+
+
+def encode_frame(obj) -> bytes:
+    """Serialise one frame: length prefix + compact JSON body."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds "
+                         f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def _decode_body(body: bytes):
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed frame body: {exc}") from None
+
+
+def _check_length(n: int) -> int:
+    if n > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {n} bytes exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+        )
+    return n
+
+
+# --------------------------------------------------------------------------- #
+# blocking socket side (shard workers, supervisor control channels)
+# --------------------------------------------------------------------------- #
+
+
+def _recv_exactly(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a frame boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if at_boundary and got == 0:
+                return None
+            raise FrameError(
+                f"EOF after {got} of {n} frame bytes (peer died mid-send)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket):
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _LEN.size, at_boundary=True)
+    if header is None:
+        return None
+    n = _check_length(_LEN.unpack(header)[0])
+    body = _recv_exactly(sock, n, at_boundary=False)
+    return _decode_body(body)
+
+
+def write_frame(sock: socket.socket, obj) -> None:
+    """Write one whole frame (caller serialises concurrent writers)."""
+    sock.sendall(encode_frame(obj))
+
+
+class FrameSocket:
+    """A blocking socket with locked whole-frame writes and single-reader reads.
+
+    The thread-safety split mirrors how the shard tier uses connections:
+    many threads may *reply* on one worker connection (each reply is one
+    locked :meth:`write`), while exactly one thread per connection *reads*.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._wlock = threading.Lock()
+
+    def read(self):
+        return read_frame(self._sock)
+
+    def write(self, obj) -> None:
+        with self._wlock:
+            write_frame(self._sock, obj)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+# --------------------------------------------------------------------------- #
+# asyncio side (the front end)
+# --------------------------------------------------------------------------- #
+
+
+async def read_frame_async(reader: asyncio.StreamReader):
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("EOF inside a frame header") from None
+    n = _check_length(_LEN.unpack(header)[0])
+    try:
+        body = await reader.readexactly(n)
+    except asyncio.IncompleteReadError:
+        raise FrameError(
+            f"EOF inside a {n}-byte frame body (peer died mid-send)"
+        ) from None
+    return _decode_body(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, obj) -> None:
+    """Write one frame and drain (asyncio writers are per-task serialised)."""
+    writer.write(encode_frame(obj))
+    await writer.drain()

@@ -1034,3 +1034,65 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as exc:
             urllib.request.urlopen(request)
         assert exc.value.code == 400
+
+
+class TestLatencyStats:
+    """Per-request-class latency histograms surfaced through describe()."""
+
+    def test_latency_summary_by_request_class(self, dataset, clustering):
+        service = make_service(dataset, clustering, auto_tenant_budget=5.0)
+        try:
+            service.explain(tenant="a", dataset="diabetes", seed=0)  # miss
+            service.explain(tenant="a", dataset="diabetes", seed=0)  # hit
+        finally:
+            service.stop()
+        latency = service.describe()["latency"]
+        assert set(latency) >= {"miss", "hit"}
+        for cls in ("miss", "hit"):
+            block = latency[cls]
+            assert block["count"] == 1
+            assert 0.0 < block["p50_s"] <= block["p99_s"]
+
+    def test_refusals_are_their_own_class(self, dataset, clustering):
+        service = make_service(dataset, clustering, auto_tenant_budget=0.3)
+        try:
+            service.explain(tenant="a", dataset="diabetes", seed=0)
+            refused = service.explain(tenant="a", dataset="diabetes", seed=1)
+            assert refused["code"] == 429
+        finally:
+            service.stop()
+        latency = service.describe()["latency"]
+        assert latency["refused"]["count"] == 1
+
+    def test_sharded_counters_stay_exact_under_threads(self):
+        from repro.service.service import _Stats
+
+        stats = _Stats(n_shards=4)
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                stats.incr("requests")
+                stats.observe("miss", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.get("requests") == n_threads * per_thread
+        summary = stats.latency_summary()
+        assert summary["miss"]["count"] == n_threads * per_thread
+        assert summary["miss"]["p50_s"] <= summary["miss"]["p99_s"]
+
+    def test_quantiles_bracket_observed_values(self):
+        from repro.service.service import _Stats
+
+        stats = _Stats()
+        for ms in (1, 1, 1, 1, 1, 1, 1, 1, 1, 100):
+            stats.observe("miss", ms / 1000.0)
+        summary = stats.latency_summary()["miss"]
+        # Geometric buckets: quantiles are upper bounds of their bucket, so
+        # p50 sits near 1ms (within one growth factor) and p99 near 100ms.
+        assert 0.0005 < summary["p50_s"] < 0.002
+        assert 0.05 < summary["p99_s"] < 0.2

@@ -25,6 +25,19 @@ excluded by design: a single process dedups cache hits across tenants,
 while shards only dedup within their own partition, so cache/charge
 annotations legitimately differ.)
 
+Observability rides along too (both tiers run with per-tenant journal
+ledgers, so the fsync path is part of what is measured):
+
+* the ``obs`` section floods the single-process service with the metrics
+  registry enabled and disabled (best-of-N each); ``throughput_ratio``
+  is enabled/disabled — ``scripts/ci.sh`` gates it at >= 0.95 — and
+  ``byte_identical`` asserts instrumentation never perturbs DP bytes;
+* the sharded deployment is scraped through the front end's merged
+  snapshot before shutdown; the artifact records per-span observation
+  counts and that the snapshot renders as Prometheus text;
+* open-loop and saturation results both break errors down per class
+  (``"<code>:<reason>"``), so a 429 surge is distinguishable from 503s.
+
 Entry point::
 
     python benchmarks/bench_load.py [--workers N --rate R --duration S]
@@ -38,11 +51,18 @@ import argparse
 import asyncio
 import json
 import os
+import tempfile
 import time
 
 import numpy as np
 
 from repro.experiments.common import fit_clustering, load_dataset
+from repro.obs import (
+    SPAN_HISTOGRAM,
+    MetricsRegistry,
+    prometheus_text,
+    snapshot_series,
+)
 from repro.service import ExplainRequest, ExplanationService
 from repro.service.cache import canonical_json
 from repro.service.frontend import AsyncFrontend
@@ -111,6 +131,18 @@ def _quantile(sorted_xs: "list[float]", q: float) -> float:
     return sorted_xs[idx]
 
 
+def _error_classes(envelopes) -> "dict[str, int]":
+    """Non-ok envelopes bucketed as ``"<code>:<reason>"`` counts."""
+    counts: "dict[str, int]" = {}
+    for e in envelopes:
+        if e.get("status") == "ok":
+            continue
+        reason = (e.get("error") or {}).get("reason", "unknown")
+        key = f"{e.get('code')}:{reason}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
 async def _open_loop(
     frontend: AsyncFrontend, schedule, timeout_s: float
 ) -> dict:
@@ -133,10 +165,12 @@ async def _open_loop(
     pairs = await asyncio.gather(*tasks)
     total_s = loop.time() - t0
     latencies = sorted(p[0] for p in pairs)
-    errors = sum(1 for _, e in pairs if e.get("status") != "ok")
+    envelopes = [e for _, e in pairs]
+    errors = sum(1 for e in envelopes if e.get("status") != "ok")
     return {
         "requests": len(schedule),
         "errors": errors,
+        "error_classes": _error_classes(envelopes),
         "offered_rps": len(schedule) / schedule[-1][0],
         "achieved_rps": len(schedule) / total_s,
         "p50_ms": _quantile(latencies, 0.50) * 1e3,
@@ -157,17 +191,37 @@ async def _flood(
     return loop.time() - t0, list(envelopes)
 
 
-def _flood_single_process(data, clustering, requests) -> "tuple[float, list[dict]]":
-    """The single-process baseline: same workload, one coalescing service."""
-    service = ExplanationService(auto_tenant_budget=1e9)
-    service.register_dataset("diabetes", data, clustering)
-    t0 = time.perf_counter()
-    futures = [service.submit(r) for r in requests]
-    service.process_pending()
-    envelopes = [f.result(timeout=120) for f in futures]
-    elapsed = time.perf_counter() - t0
-    service.stop()
+def _flood_single_process(
+    data, clustering, requests, *, obs_enabled: bool = True
+) -> "tuple[float, list[dict]]":
+    """The single-process baseline: same workload, one coalescing service.
+
+    Runs against a throwaway journal ledger directory so the fsync path is
+    exercised like the sharded tier's; ``obs_enabled=False`` keeps every
+    metric and span a no-op, which is what the overhead ratio compares.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-load-ledgers-") as ledgers:
+        service = ExplanationService(
+            ledger_dir=ledgers,
+            auto_tenant_budget=1e9,
+            metrics=MetricsRegistry(enabled=obs_enabled),
+        )
+        service.register_dataset("diabetes", data, clustering)
+        t0 = time.perf_counter()
+        futures = [service.submit(r) for r in requests]
+        service.process_pending()
+        envelopes = [f.result(timeout=120) for f in futures]
+        elapsed = time.perf_counter() - t0
+        service.stop()
     return elapsed, envelopes
+
+
+def _span_counts(snapshot: dict) -> "dict[str, int]":
+    """Observation count per span label in a merged registry snapshot."""
+    return {
+        labels[0]: cell["count"]
+        for labels, cell in snapshot_series(snapshot, SPAN_HISTOGRAM).items()
+    }
 
 
 def _result_bytes(envelopes) -> "list[str]":
@@ -185,6 +239,7 @@ def run_load_bench(
     duration_s: float = 3.0,
     flood_requests: int = 200,
     timeout_s: float = 120.0,
+    obs_repeats: int = 2,
 ) -> dict:
     data, clustering = _dataset_and_clustering(n_rows, n_clusters)
     schedule = make_workload(
@@ -197,27 +252,60 @@ def run_load_bench(
         )
     ]
 
-    single_s, single_envelopes = _flood_single_process(data, clustering, flood)
+    # Instrumentation overhead: best-of-N floods with the registry enabled
+    # vs disabled (fresh service + ledger dir each run, so caches and
+    # journal replay never favour one side).  The enabled envelopes double
+    # as the single-process baseline for the sharded comparison below.
+    _flood_single_process(data, clustering, flood)  # warmup (not timed)
+    enabled_times, disabled_times = [], []
+    single_envelopes = disabled_envelopes = None
+    for _ in range(max(1, obs_repeats)):
+        t_on, env_on = _flood_single_process(data, clustering, flood)
+        t_off, env_off = _flood_single_process(
+            data, clustering, flood, obs_enabled=False
+        )
+        enabled_times.append(t_on)
+        disabled_times.append(t_off)
+        single_envelopes, disabled_envelopes = env_on, env_off
+    single_s = min(enabled_times)
+    obs = {
+        "enabled_s": min(enabled_times),
+        "disabled_s": min(disabled_times),
+        "throughput_ratio": min(disabled_times) / min(enabled_times),
+        "byte_identical": _result_bytes(single_envelopes)
+        == _result_bytes(disabled_envelopes),
+    }
 
-    supervisor = ShardSupervisor(workers, auto_tenant_budget=1e9)
-    supervisor.start()
-    try:
-        supervisor.register_dataset("diabetes", data, clustering)
+    with tempfile.TemporaryDirectory(prefix="bench-load-shards-") as ledgers:
+        supervisor = ShardSupervisor(
+            workers, ledger_dir=ledgers, auto_tenant_budget=1e9
+        )
+        supervisor.start()
+        try:
+            supervisor.register_dataset("diabetes", data, clustering)
 
-        async def session():
-            frontend = AsyncFrontend(supervisor)
-            await frontend.start()
-            open_loop = await _open_loop(frontend, schedule, timeout_s)
-            flood_s, flood_envelopes = await _flood(frontend, flood, timeout_s)
-            await frontend.close()
-            return open_loop, flood_s, flood_envelopes
+            async def session():
+                frontend = AsyncFrontend(supervisor)
+                await frontend.start()
+                open_loop = await _open_loop(frontend, schedule, timeout_s)
+                flood_s, flood_envelopes = await _flood(
+                    frontend, flood, timeout_s
+                )
+                snapshot = frontend.metrics_snapshot()
+                await frontend.close()
+                return open_loop, flood_s, flood_envelopes, snapshot
 
-        open_loop, flood_s, flood_envelopes = asyncio.run(session())
-        worker_latency = [
-            w.get("latency") for w in supervisor.describe()["workers"]
-        ]
-    finally:
-        supervisor.stop()
+            open_loop, flood_s, flood_envelopes, snapshot = asyncio.run(
+                session()
+            )
+            worker_latency = [
+                w.get("latency") for w in supervisor.describe()["workers"]
+            ]
+        finally:
+            supervisor.stop()
+
+    obs["span_counts"] = _span_counts(snapshot)
+    obs["prometheus_text_ok"] = prometheus_text(snapshot).startswith("# HELP")
 
     exact_equal = _result_bytes(single_envelopes) == _result_bytes(
         flood_envelopes
@@ -236,7 +324,9 @@ def run_load_bench(
             "sharded_s": flood_s,
             "sharded_rps": len(flood) / flood_s,
             "speedup": single_s / flood_s,
+            "error_classes": _error_classes(flood_envelopes),
         },
+        "obs": obs,
         "exact_equal": exact_equal,
         "worker_latency": worker_latency,
     }
@@ -253,6 +343,8 @@ def main(argv: "list[str] | None" = None) -> dict:
                         help="open-loop phase length (s)")
     parser.add_argument("--flood-requests", type=int, default=200,
                         help="closed-loop saturation workload size")
+    parser.add_argument("--obs-repeats", type=int, default=2,
+                        help="best-of-N repeats for the metrics-overhead ratio")
     parser.add_argument(
         "--out",
         default="BENCH_service.json",
@@ -266,6 +358,7 @@ def main(argv: "list[str] | None" = None) -> dict:
         rate_rps=args.rate,
         duration_s=args.duration,
         flood_requests=args.flood_requests,
+        obs_repeats=args.obs_repeats,
     )
     print(json.dumps(result, indent=2))
     if args.out != "-":

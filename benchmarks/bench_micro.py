@@ -122,6 +122,17 @@ def _median_time(fn, repeats: int) -> float:
     return statistics.median(times)
 
 
+def _best_time(fn, repeats: int) -> float:
+    """Best-of-N: the noise-robust estimator for sub-millisecond kernels,
+    where a median over few repeats still jitters by tens of percent."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def run_scoring_bench(
     n_rows: int = 50_000,
     n_clusters: int = 8,
@@ -203,8 +214,8 @@ def run_scoring_bench(
         return kernels.fused_score_matrix(stack, *gamma)
 
     assert np.array_equal(fused_kernel_run(), unfused_kernel_run())
-    unfused_kernel_s = _median_time(unfused_kernel_run, repeats)
-    fused_kernel_s = _median_time(fused_kernel_run, repeats)
+    unfused_kernel_s = _best_time(unfused_kernel_run, repeats * 5)
+    fused_kernel_s = _best_time(fused_kernel_run, repeats * 5)
 
     return {
         "benchmark": "stage1+stage2 scoring",

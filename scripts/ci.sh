@@ -29,6 +29,11 @@
 # BENCH_service.json.  DP-release byte-identity across deployments is
 # always asserted; the >=3x multi-worker saturation speedup only where
 # >=8 cores exist to scale onto (recorded in the artifact either way).
+# Bench 7 also gates the observability layer: the metrics registry must
+# cost <=5% single-process throughput (obs.throughput_ratio >= 0.95), must
+# never perturb DP bytes (obs.byte_identical), and the sharded scrape must
+# show non-zero frontend-queue / frame-rtt / engine-score / journal-fsync
+# span counts.
 # Bench 6 (bench_scale.py standalone) measures the large-n regime and merges
 # a "scale" section into BENCH_scoring.json: streaming counts materialisation
 # at 1M and 10M rows (wall time + peak RSS in a fresh spawn child — the raw
@@ -193,6 +198,22 @@ if cores >= 8:
 else:
     print(f"(skipping >=3x multi-worker gate: only {cores} core(s); "
           f"workers share one CPU, so parallel speedup is impossible here)")
+
+obs = sharded["obs"]
+spans = obs["span_counts"]
+print(f"observability: registry overhead ratio "
+      f"{obs['throughput_ratio']:.3f}x (>=0.95 required), "
+      f"byte_identical={obs['byte_identical']}, spans={spans}")
+assert obs["throughput_ratio"] >= 0.95, (
+    f"metrics registry costs more than 5% throughput: "
+    f"{obs['throughput_ratio']:.3f}x"
+)
+assert obs["byte_identical"], (
+    "DP releases changed between obs-enabled and obs-disabled runs"
+)
+assert obs["prometheus_text_ok"], "merged snapshot failed to render as text"
+for span in ("frontend-queue", "frame-rtt", "engine-score", "journal-fsync"):
+    assert spans.get(span, 0) > 0, f"no observations for span {span!r}"
 EOF
 
 echo "== pipeline benchmark (writes BENCH_pipeline.json) =="

@@ -34,6 +34,8 @@ its own memoised dataset/clustering/counts cache
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -318,6 +320,7 @@ def explain_batched(
     counts: CountsProvider,
     rngs: Sequence["np.random.Generator | int | None"],
     context: SweepContext | None = None,
+    metrics=None,
 ):
     """All seeds of ``DPClustX.explain``, batched — one scoring pass.
 
@@ -333,14 +336,32 @@ def explain_batched(
     Privacy accounting is deliberately *not* threaded through here: each
     entry is a full ``budget.total`` release, and callers (the service's
     per-tenant ledgers, ``PrivateAnalysisSession``) charge per seed.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) records the
+    two kernel phases into the span histogram — ``engine-score`` for the
+    batched selection pass, ``mechanism-release`` for the per-seed
+    histogram releases.  Timing wraps the calls; it never touches the rng
+    streams, so instrumented output stays byte-identical.
     """
     ctx = context if context is not None else SweepContext(counts)
     children = [ensure_rng(r) for r in rngs]
+    spans = None
+    if metrics is not None:
+        from ..obs.tracing import span_histogram  # local: keep layering acyclic
+
+        spans = span_histogram(metrics)
+    t0 = time.perf_counter()
     combos = select_batched(explainer, counts, children, ctx)
-    return [
+    if spans is not None:
+        spans.observe(time.perf_counter() - t0, ("engine-score",))
+    t0 = time.perf_counter()
+    released = [
         explainer.release_histograms(counts, combo, child)
         for combo, child in zip(combos, children)
     ]
+    if spans is not None:
+        spans.observe(time.perf_counter() - t0, ("mechanism-release",))
+    return released
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,89 @@
+"""Prometheus text exposition (format 0.0.4) for registry snapshots.
+
+:func:`prometheus_text` renders a (possibly merged) snapshot from
+:mod:`repro.obs.metrics` into the classic text format any Prometheus
+scraper accepts: ``# HELP``/``# TYPE`` headers, label escaping, and for
+histograms the cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.  The JSON "exposition" is the snapshot itself — ``/v1/stats``
+embeds it verbatim under ``"metrics"``.
+"""
+
+from __future__ import annotations
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)
+    if f != f:
+        return "NaN"
+    if f == float("inf"):
+        return "+Inf"
+    if f == float("-inf"):
+        return "-Inf"
+    return repr(f)
+
+
+def _label_str(names, values, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(f'{name}="{value}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a snapshot as Prometheus text exposition format 0.0.4."""
+    lines: "list[str]" = []
+    metrics = snapshot.get("metrics", {})
+    for name in sorted(metrics):
+        block = metrics[name]
+        kind = block.get("type", "untyped")
+        label_names = block.get("labels", ())
+        help_text = block.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            base = block["base"]
+            growth = block["growth"]
+            for values, cell in block.get("series", ()):
+                buckets = cell["buckets"]
+                cumulative = 0
+                # The final bucket is the overflow bucket: its lower edge
+                # is finite but it holds everything above, so it renders
+                # as the le="+Inf" series (which must equal _count).
+                for i, count in enumerate(buckets):
+                    cumulative += count
+                    if i < len(buckets) - 1:
+                        le = format(base * growth**i, ".9g")
+                    else:
+                        le = "+Inf"
+                    labels = _label_str(label_names, values, (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _label_str(label_names, values)
+                # Sums are integers in SUM_SCALE (nano) units; export in
+                # base units as Prometheus expects.
+                lines.append(f"{name}_sum{labels} {_fmt_value(cell['sum'] / 1e9)}")
+                lines.append(f"{name}_count{labels} {cell['count']}")
+        else:
+            for values, value in block.get("series", ()):
+                labels = _label_str(label_names, values)
+                lines.append(f"{name}{labels} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -45,7 +45,7 @@ class FittedClusteringCache:
     cache already let go.  Callbacks run outside the cache lock.
     """
 
-    def __init__(self, max_entries: int = 64, on_evict=None):
+    def __init__(self, max_entries: int = 64, on_evict=None, *, metrics=None):
         if max_entries < 1:
             raise ValueError("cache needs room for at least one entry")
         self._max = int(max_entries)
@@ -54,16 +54,27 @@ class FittedClusteringCache:
         self._entries: "OrderedDict[FittedKey, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        if metrics is not None:
+            self._events = metrics.counter(
+                "repro_cache_events_total",
+                "Cache lookup/eviction outcomes by cache and event.",
+                ("cache", "event"),
+            )
+        else:
+            self._events = None
 
     def get(self, key: FittedKey):
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if self._events is not None:
+            self._events.inc(1, ("fitted", "miss" if entry is None else "hit"))
+        return entry
 
     def put(self, key: FittedKey, entry) -> None:
         evicted: "list[tuple[FittedKey, object]]" = []
@@ -72,6 +83,9 @@ class FittedClusteringCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._max:
                 evicted.append(self._entries.popitem(last=False))
+            self._evictions += len(evicted)
+        if evicted and self._events is not None:
+            self._events.inc(len(evicted), ("fitted", "eviction"))
         if self._on_evict is not None:
             for k, e in evicted:
                 self._on_evict(k, e)
@@ -105,5 +119,7 @@ class FittedClusteringCache:
                 "max_entries": self._max,
                 "hits": self._hits,
                 "misses": self._misses,
-                "hit_ratio": (self._hits / lookups) if lookups else 0.0,
+                "evictions": self._evictions,
+                # None, not 0.0: an untouched cache has no hit ratio.
+                "hit_ratio": (self._hits / lookups) if lookups else None,
             }

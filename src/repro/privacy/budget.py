@@ -201,11 +201,15 @@ class PrivacyAccountant:
         """Install a mutation hook, called *under the ledger lock* with one
         event dict per charge (``{"op": "charge", "token", "label",
         "epsilon", "units", "composition"}``) or refund (``{"op": "refund",
-        "token", "units"}``).  The service layer's journal appends (and
-        fsyncs) its record inside this hook, so a charge is durable before
-        :meth:`spend` returns — i.e. before any mechanism draws noise
-        against it.  :meth:`restore` does *not* emit events; callers that
-        restore a wired accountant must resync their sink out-of-band.
+        "token", "units"}``).  Both events also carry the post-mutation
+        position (``"spent_units"``, ``"limit_units"``) so telemetry sinks
+        can publish budget-remaining gauges without a second lock round —
+        the journal layer strips these before persisting.  The service
+        layer's journal appends (and fsyncs) its record inside this hook,
+        so a charge is durable before :meth:`spend` returns — i.e. before
+        any mechanism draws noise against it.  :meth:`restore` does *not*
+        emit events; callers that restore a wired accountant must resync
+        their sink out-of-band.
         """
         with self._lock:
             self._observer = observer
@@ -305,6 +309,8 @@ class PrivacyAccountant:
                     "epsilon": charge.epsilon,
                     "units": charge.units,
                     "composition": charge.composition,
+                    "spent_units": self._spent_units,
+                    "limit_units": self._limit_units,
                 }
             )
         except BaseException:
@@ -438,7 +444,15 @@ class PrivacyAccountant:
         del self._tokens[i]
         self._spent_units -= charge.units
         try:
-            self._notify({"op": "refund", "token": token, "units": charge.units})
+            self._notify(
+                {
+                    "op": "refund",
+                    "token": token,
+                    "units": charge.units,
+                    "spent_units": self._spent_units,
+                    "limit_units": self._limit_units,
+                }
+            )
         except BaseException:
             self._charges.insert(i, charge)
             self._tokens.insert(i, token)

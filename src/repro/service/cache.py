@@ -49,9 +49,16 @@ class CacheEntry:
 
 
 class ExplanationCache:
-    """Thread-safe LRU cache of released explanation payloads."""
+    """Thread-safe LRU cache of released explanation payloads.
 
-    def __init__(self, max_entries: int = 256):
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) adds
+    hit/miss/eviction counters to ``repro_cache_events_total`` labelled
+    ``cache="explanation"``; the local integer counters behind
+    :meth:`stats` are kept regardless — they are the exact counts the
+    service tests and ``/v1/stats`` always had.
+    """
+
+    def __init__(self, max_entries: int = 256, *, metrics=None):
         if max_entries < 1:
             raise ValueError("cache needs room for at least one entry")
         self._max = int(max_entries)
@@ -59,23 +66,41 @@ class ExplanationCache:
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        if metrics is not None:
+            self._events = metrics.counter(
+                "repro_cache_events_total",
+                "Cache lookup/eviction outcomes by cache and event.",
+                ("cache", "event"),
+            )
+        else:
+            self._events = None
 
     def get(self, key: CacheKey) -> CacheEntry | None:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        if self._events is not None:
+            self._events.inc(
+                1, ("explanation", "miss" if entry is None else "hit")
+            )
+        return entry
 
     def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self._max:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted and self._events is not None:
+            self._events.inc(evicted, ("explanation", "eviction"))
 
     def invalidate_fingerprint(self, fingerprint: str) -> int:
         """Evict every entry whose dataset fingerprint matches; return count.
@@ -106,5 +131,8 @@ class ExplanationCache:
                 "max_entries": self._max,
                 "hits": self._hits,
                 "misses": self._misses,
-                "hit_ratio": (self._hits / lookups) if lookups else 0.0,
+                "evictions": self._evictions,
+                # None, not 0.0: an untouched cache has no hit ratio, and
+                # reporting zero reads as "everything missed".
+                "hit_ratio": (self._hits / lookups) if lookups else None,
             }

@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 from dataclasses import asdict
 
+from ..obs.metrics import MetricsRegistry, merge_snapshots
+from ..obs.tracing import attach_trace, new_trace_id, span_histogram
 from .service import ExplainRequest, PipelineRequest
 from .shard import shard_of, worker_restarting_envelope
 from .supervisor import ShardSupervisor
@@ -42,7 +45,13 @@ from .transport import FrameError, read_frame_async, write_frame_async
 
 
 class _Link:
-    """One worker connection: reader task, pending futures, batch buffers."""
+    """One worker connection: reader task, pending futures, batch buffers.
+
+    ``enqueued``/``sent`` hold per-request ``time.monotonic()`` stamps
+    (buffered → flushed-to-wire), ``traces`` the request's trace id — all
+    keyed by request id and popped together on resolve, so the span
+    bookkeeping can never outlive its future.
+    """
 
     __slots__ = (
         "index",
@@ -53,6 +62,9 @@ class _Link:
         "buffers",
         "flush_handle",
         "reader_task",
+        "enqueued",
+        "sent",
+        "traces",
     )
 
     def __init__(self, index: int):
@@ -64,6 +76,9 @@ class _Link:
         self.buffers: "dict[tuple, list]" = {}
         self.flush_handle: "asyncio.TimerHandle | None" = None
         self.reader_task: "asyncio.Task | None" = None
+        self.enqueued: "dict[int, float]" = {}
+        self.sent: "dict[int, float]" = {}
+        self.traces: "dict[int, str]" = {}
 
 
 class AsyncFrontend:
@@ -75,6 +90,7 @@ class AsyncFrontend:
         *,
         batch_window_s: float = 0.002,
         max_batch: int = 64,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.supervisor = supervisor
         self.batch_window_s = batch_window_s
@@ -85,6 +101,20 @@ class AsyncFrontend:
         self._next_id = 0
         self.batches_sent = 0
         self.requests_sent = 0
+        # Default to the supervisor's registry so respawn counters, control
+        # frame counters and front-end spans land in one snapshot.
+        self.metrics = metrics if metrics is not None else supervisor.metrics
+        self._spans = span_histogram(self.metrics)
+        self._frames = self.metrics.counter(
+            "repro_frames_total",
+            "Frames read/written on shard-tier sockets by direction.",
+            ("direction",),
+        )
+        self._batch_size = self.metrics.histogram(
+            "repro_frontend_batch_size",
+            "Requests per explain_batch frame sent to a worker.",
+            base=1.0, growth=2.0, n_buckets=12,
+        )
 
     # -- lifecycle -------------------------------------------------------- #
 
@@ -138,16 +168,29 @@ class AsyncFrontend:
     async def explain(
         self, request: ExplainRequest, timeout_s: float = 60.0
     ) -> dict:
-        """Route one request to its owner worker; resolve to the envelope."""
+        """Route one request to its owner worker; resolve to the envelope.
+
+        The trace id is minted here when the caller did not bring one —
+        this is the sharded deployment's edge — and rides the request dict
+        through the frame protocol; refusals produced *on this side* of
+        the wire (worker down, link drop) carry the same id, so a 503 is
+        as attributable as a served response.
+        """
+        if not request.trace_id:
+            request = request.with_trace(new_trace_id())
         index = shard_of(request.tenant, self.supervisor.n_workers)
         link = self._links[index]
         if not link.alive:
-            return worker_restarting_envelope(index)
+            return attach_trace(
+                worker_restarting_envelope(index), request.trace_id
+            )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[dict]" = loop.create_future()
         self._next_id += 1
         rid = self._next_id
         link.pending[rid] = future
+        link.enqueued[rid] = time.monotonic()
+        link.traces[rid] = request.trace_id
         bucket = link.buffers.setdefault(request.engine_key(), [])
         bucket.append({"id": rid, "request": asdict(request)})
         self.requests_sent += 1
@@ -162,6 +205,9 @@ class AsyncFrontend:
             return await asyncio.wait_for(future, timeout_s)
         except TimeoutError:
             link.pending.pop(rid, None)
+            link.enqueued.pop(rid, None)
+            link.sent.pop(rid, None)
+            link.traces.pop(rid, None)
             raise
 
     async def _flush(self, link: _Link) -> None:
@@ -181,9 +227,20 @@ class AsyncFrontend:
             # the whole frame before its coalescing queue takes a batch, so
             # same-key requests land in one engine pass.
             for items in buffers.values():
+                now = time.monotonic()
+                oldest = now
+                for item in items:
+                    t_in = link.enqueued.get(item["id"])
+                    if t_in is not None:
+                        oldest = min(oldest, t_in)
+                        self._spans.observe(now - t_in, ("frontend-queue",))
+                    link.sent[item["id"]] = now
+                self._spans.observe(now - oldest, ("coalesce-window",))
+                self._batch_size.observe(len(items))
                 await write_frame_async(
                     link.writer, {"op": "explain_batch", "items": items}
                 )
+                self._frames.inc(1, ("written",))
                 self.batches_sent += 1
         except (FrameError, OSError, ConnectionError):
             self._drop_link(link)
@@ -194,6 +251,7 @@ class AsyncFrontend:
                 frame = await read_frame_async(link.reader)
                 if frame is None:
                     break
+                self._frames.inc(1, ("read",))
                 self._resolve(link, frame.get("id"), frame.get("envelope"))
         except (FrameError, OSError, ConnectionError, asyncio.CancelledError):
             pass
@@ -202,7 +260,14 @@ class AsyncFrontend:
 
     def _resolve(self, link: _Link, rid, envelope) -> None:
         future = link.pending.pop(rid, None)
+        link.enqueued.pop(rid, None)
+        t_sent = link.sent.pop(rid, None)
+        trace = link.traces.pop(rid, None)
         if future is not None and not future.done():
+            if t_sent is not None:
+                self._spans.observe(time.monotonic() - t_sent, ("frame-rtt",))
+            if trace is not None:
+                envelope = attach_trace(envelope, trace)
             future.set_result(envelope)
 
     def _drop_link(self, link: _Link) -> None:
@@ -250,6 +315,25 @@ class AsyncFrontend:
         }
         return body
 
+    def metrics_snapshot(self) -> dict:
+        """Deployment-wide snapshot: this process's registry + every worker.
+
+        Exact by construction — counters in the merged snapshot equal the
+        sum of the per-worker registries (plus the front end's own) because
+        the merge is plain integer addition over identical bucket
+        geometries.  A worker that cannot be scraped (mid-respawn) is
+        skipped; its journal-durable state reappears on the next scrape.
+        """
+        snapshots = [self.metrics.snapshot()]
+        if self.supervisor.metrics is not self.metrics:
+            snapshots.append(self.supervisor.metrics.snapshot())
+        for i in range(self.supervisor.n_workers):
+            try:
+                snapshots.append(self.supervisor.worker_metrics(i))
+            except Exception:  # noqa: BLE001 — a dead worker must not fail a scrape
+                continue
+        return merge_snapshots(snapshots)
+
 
 class ShardedService:
     """Blocking facade: the ``ExplanationService`` surface, served by shards.
@@ -272,7 +356,11 @@ class ShardedService:
         batch_window_s: float = 0.002,
         max_batch: int = 64,
         socket_dir: "str | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
+        # One registry spans the facade, supervisor and front end; worker
+        # registries live in their own processes and merge in at scrape.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.supervisor = ShardSupervisor(
             n_workers,
             ledger_dir=ledger_dir,
@@ -281,11 +369,13 @@ class ShardedService:
             compact_every=compact_every,
             service_threads=service_threads,
             socket_dir=socket_dir,
+            metrics=self.metrics,
         )
         self.frontend = AsyncFrontend(
             self.supervisor,
             batch_window_s=batch_window_s,
             max_batch=max_batch,
+            metrics=self.metrics,
         )
         self._loop = asyncio.new_event_loop()
         self._loop_thread: "threading.Thread | None" = None
@@ -358,7 +448,9 @@ class ShardedService:
         del timeout
         if request is None:
             request = PipelineRequest(**kwargs)
-        return {
+        if not request.trace_id:
+            request = request.with_trace(new_trace_id())
+        envelope = {
             "status": "error",
             "code": 501,
             "error": {
@@ -371,9 +463,16 @@ class ShardedService:
                 ),
             },
         }
+        return attach_trace(envelope, request.trace_id)
 
     def describe(self) -> dict:
         return self.frontend.describe()
+
+    def metrics_snapshot(self) -> dict:
+        return self.frontend.metrics_snapshot()
+
+    def health(self, deep: bool = False) -> dict:
+        return self.supervisor.health(deep=deep)
 
     def ledger_describe(self, tenant_id: str) -> dict:
         return self.supervisor.ledger(tenant_id)

@@ -12,10 +12,20 @@ dependency-free constraint.  Endpoints:
   :meth:`~repro.service.service.PipelineRequest.from_json`: fits a DP
   clustering server-side (fit-once-cached) under the tenant's ledger, then
   explains it; same envelope plus a ``"pipeline"`` block.
-* ``GET /v1/stats`` — service counters, cache stats, datasets, tenants.
+* ``GET /v1/stats`` — service counters, cache stats, datasets, tenants,
+  plus the metrics-registry snapshot (JSON twin of ``/metrics``).
 * ``GET /v1/ledger/<tenant>`` — the tenant's per-dataset budget ledgers.
 * ``GET /v1/datasets`` — registered datasets with fingerprints.
-* ``GET /healthz`` — liveness probe.
+* ``GET /metrics`` — Prometheus text exposition; sharded deployments merge
+  every worker's registry snapshot into one scrape.
+* ``GET /healthz`` — liveness probe; ``?deep=1`` adds per-worker liveness,
+  last-respawn times and per-tenant journal tail lengths (cheap reads only).
+
+Request tracing: every POST body is assigned a ``trace_id`` here (the HTTP
+edge) unless the caller supplied one; it comes back in the envelope's
+``meta``/``error`` block — including structured 429/503/504 refusals — so
+one id follows a request from the edge through the frame protocol to a
+shard worker and back.
 
 ``ThreadingHTTPServer`` gives one handler thread per connection; handlers
 just submit into the service, so concurrent posts still coalesce into
@@ -42,8 +52,10 @@ import json
 
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote, urlsplit
 
+from ..obs.export import prometheus_text
+from ..obs.tracing import attach_trace, new_trace_id
 from .registry import ServiceError
 from .service import ExplainRequest, PipelineRequest
 
@@ -91,31 +103,59 @@ class ExplanationHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_error_envelope(self, exc: ServiceError) -> None:
-        self._send_json(
-            exc.code,
-            {
-                "status": "error",
-                "code": exc.code,
-                "error": {"reason": exc.reason, "message": str(exc)},
-            },
-        )
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_envelope(
+        self, exc: ServiceError, trace_id: str = ""
+    ) -> None:
+        envelope = {
+            "status": "error",
+            "code": exc.code,
+            "error": {"reason": exc.reason, "message": str(exc)},
+        }
+        self._send_json(exc.code, attach_trace(envelope, trace_id))
 
     # -- routes ----------------------------------------------------------- #
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
+        parts = urlsplit(self.path)
+        path = parts.path
         try:
-            if self.path == "/healthz":
-                self._send_json(200, {"status": "ok"})
-            elif self.path == "/v1/stats":
-                self._send_json(200, service.describe())
-            elif self.path == "/v1/datasets":
+            if path == "/healthz":
+                deep = parse_qs(parts.query).get("deep", ["0"])[0] not in ("0", "")
+                health = getattr(service, "health", None)
+                body = health(deep=deep) if health is not None else {"status": "ok"}
+                self._send_json(200, body)
+            elif path == "/metrics":
+                snapshot_of = getattr(service, "metrics_snapshot", None)
+                if snapshot_of is None:
+                    raise ServiceError(
+                        404, "not-found", "this service exposes no metrics"
+                    )
+                self._send_text(
+                    200,
+                    prometheus_text(snapshot_of()),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/v1/stats":
+                body = service.describe()
+                snapshot_of = getattr(service, "metrics_snapshot", None)
+                if snapshot_of is not None:
+                    body["metrics"] = snapshot_of()
+                self._send_json(200, body)
+            elif path == "/v1/datasets":
                 self._send_json(200, {"datasets": service.dataset_listing()})
-            elif self.path.startswith("/v1/ledger/"):
+            elif path.startswith("/v1/ledger/"):
                 # Tenant ids are arbitrary strings; the URL path carries
                 # them percent-encoded ("a b" → /v1/ledger/a%20b).
-                tenant_id = unquote(self.path[len("/v1/ledger/") :])
+                tenant_id = unquote(path[len("/v1/ledger/") :])
                 self._send_json(200, service.ledger_describe(tenant_id))
             else:
                 raise ServiceError(404, "not-found", f"no route for {self.path!r}")
@@ -124,6 +164,8 @@ class ExplanationHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
+        # Minted before parsing: even a 400 for unparsable JSON is traceable.
+        trace_id = new_trace_id()
         try:
             if self.path not in ("/v1/explain", "/v1/pipeline"):
                 raise ServiceError(404, "not-found", f"no route for {self.path!r}")
@@ -138,6 +180,11 @@ class ExplanationHandler(BaseHTTPRequestHandler):
                 raise ServiceError(
                     400, "invalid-request", f"bad JSON: {exc}"
                 ) from None
+            if isinstance(body, dict):
+                if body.get("trace_id"):
+                    trace_id = str(body["trace_id"])
+                else:
+                    body = {**body, "trace_id": trace_id}
             try:
                 if self.path == "/v1/pipeline":
                     envelope = service.pipeline(PipelineRequest.from_json(body))
@@ -151,7 +198,7 @@ class ExplanationHandler(BaseHTTPRequestHandler):
                 ) from None
             self._send_json(envelope["code"], envelope)
         except ServiceError as exc:
-            self._send_error_envelope(exc)
+            self._send_error_envelope(exc, trace_id)
 
 
 def make_server(
@@ -184,7 +231,7 @@ def serve_forever(
     print(f"explanation service listening on http://{bound_host}:{bound_port}")
     print(
         "  POST /v1/explain  /v1/pipeline   "
-        "GET /v1/stats  /v1/ledger/<tenant>  /healthz"
+        "GET /v1/stats  /v1/ledger/<tenant>  /metrics  /healthz[?deep=1]"
     )
     if not is_loopback_host(host):
         print(

@@ -42,6 +42,9 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
+
+from ..obs.tracing import span_histogram
 
 
 class LedgerStoreError(ValueError):
@@ -73,7 +76,8 @@ class TenantLedgerStore:
     SNAPSHOT_SUFFIX = ".json"
     JOURNAL_SUFFIX = ".journal"
 
-    def __init__(self, base_path: str, *, compact_every: int = 256):
+    def __init__(self, base_path: str, *, compact_every: int = 256,
+                 metrics=None):
         if compact_every < 1:
             raise ValueError("compact_every must be >= 1")
         self.base_path = os.fspath(base_path)
@@ -84,22 +88,35 @@ class TenantLedgerStore:
         self._fh = None  # append handle, opened lazily
         self._seq = 0
         self._tail_records = 0  # journal records since the last compaction
+        if metrics is not None:
+            self._spans = span_histogram(metrics)
+            self._m_records = metrics.counter(
+                "repro_journal_records_total",
+                "Charge/refund records appended to tenant journals.",
+            )
+            self._m_compactions = metrics.counter(
+                "repro_journal_compactions_total",
+                "Journal-tail folds into the base snapshot.",
+            )
+        else:
+            self._spans = self._m_records = self._m_compactions = None
 
     # -- lifecycle -------------------------------------------------------- #
 
     @classmethod
-    def create(cls, base_path: str, state: dict, *, compact_every: int = 256):
+    def create(cls, base_path: str, state: dict, *, compact_every: int = 256,
+               metrics=None):
         """Initialise the store for a brand-new tenant.
 
         Writes the initial snapshot (the tenant's existence and cap must be
         durable before any charge references them) and an empty journal.
         """
-        store = cls(base_path, compact_every=compact_every)
+        store = cls(base_path, compact_every=compact_every, metrics=metrics)
         store.compact(state)
         return store
 
     @classmethod
-    def open(cls, base_path: str, *, compact_every: int = 256):
+    def open(cls, base_path: str, *, compact_every: int = 256, metrics=None):
         """Open an existing store; returns ``(store, replayed_state)``.
 
         ``replayed_state`` is the crash-recovered tenant state — snapshot
@@ -108,7 +125,7 @@ class TenantLedgerStore:
         ``OSError``/``KeyError`` on unreadable files) when the persisted
         state is corrupt.
         """
-        store = cls(base_path, compact_every=compact_every)
+        store = cls(base_path, compact_every=compact_every, metrics=metrics)
         state = store._replay()
         return store, state
 
@@ -128,6 +145,7 @@ class TenantLedgerStore:
         the tenant's per-dataset ledgers) and a monotonic ``seq`` for
         ordering diagnostics.
         """
+        t0 = time.perf_counter()
         with self._lock:
             self._seq += 1
             line = json.dumps(
@@ -139,6 +157,9 @@ class TenantLedgerStore:
             fh.flush()
             os.fsync(fh.fileno())
             self._tail_records += 1
+        if self._spans is not None:
+            self._spans.observe(time.perf_counter() - t0, ("journal-fsync",))
+            self._m_records.inc()
 
     def _open_journal(self):
         if self._fh is None:
@@ -197,6 +218,8 @@ class TenantLedgerStore:
             tail, _ = self._read_journal_locked()
             tail = [rec for rec in tail if int(rec.get("seq", 0)) > fence]
             self._rewrite_journal_locked(tail)
+        if self._m_compactions is not None:
+            self._m_compactions.inc()
 
     def _rewrite_journal_locked(self, records: "list[dict]") -> None:
         """Atomically replace the journal contents.  Caller holds the lock."""

@@ -23,19 +23,38 @@ class QueueClosed(Exception):
 
 
 class RequestQueue:
-    """An unbounded FIFO of ``(key, item)`` pairs with same-key batch pops."""
+    """An unbounded FIFO of ``(key, item)`` pairs with same-key batch pops.
 
-    def __init__(self):
+    ``metrics`` adds a queue-depth gauge and a coalesce fan-in histogram
+    (batch size per :meth:`take_batch`, in powers-of-two buckets).
+    """
+
+    def __init__(self, metrics=None):
         self._cv = threading.Condition()
         self._items: "deque[tuple[Hashable, object]]" = deque()
         self._closed = False
+        if metrics is not None:
+            self._depth = metrics.gauge(
+                "repro_queue_depth",
+                "Requests waiting in the coalescing queue.",
+            )
+            self._fanin = metrics.histogram(
+                "repro_coalesce_fanin",
+                "Same-key requests drained per coalesced batch.",
+                base=1.0, growth=2.0, n_buckets=12,
+            )
+        else:
+            self._depth = self._fanin = None
 
     def put(self, key: Hashable, item: object) -> None:
         with self._cv:
             if self._closed:
                 raise QueueClosed("queue is closed")
             self._items.append((key, item))
+            depth = len(self._items)
             self._cv.notify()
+        if self._depth is not None:
+            self._depth.set(depth)
 
     def __len__(self) -> int:
         with self._cv:
@@ -77,7 +96,11 @@ class RequestQueue:
                 else:
                     rest.append((k, item))
             self._items = rest
-            return batch
+            depth = len(rest)
+        if self._depth is not None:
+            self._depth.set(depth)
+            self._fanin.observe(len(batch))
+        return batch
 
 
 def run_worker(

@@ -37,8 +37,69 @@ from ..clustering.base import ClusteringFunction
 from ..core.counts import ClusteredCounts
 from ..dataset.table import Dataset
 from ..evaluation.sweeps import SweepContext
-from ..privacy.budget import BudgetError, PrivacyAccountant, check_epsilon
+from ..obs.metrics import MetricsRegistry
+from ..privacy.budget import (
+    BudgetError,
+    PrivacyAccountant,
+    check_epsilon,
+    epsilon_from_units,
+)
 from .journal import TenantLedgerStore
+
+#: The accountant-event keys the journal persists.  Observer events also
+#: carry the post-mutation balance (``spent_units``/``limit_units``) for
+#: telemetry; stripping here keeps the journal format unchanged — replay
+#: rejects unknown *ops*, and older journals must stay byte-compatible.
+_JOURNAL_EVENT_KEYS = ("op", "token", "label", "epsilon", "units", "composition")
+
+
+class _BudgetMetrics:
+    """Per-registry budget telemetry fed from the accountant observer hook.
+
+    Called under the accountant's ledger lock (zero new locking on the
+    charge path); exceptions are swallowed by the caller so telemetry can
+    never veto — and therefore never roll back — an admitted charge.
+    """
+
+    def __init__(self, metrics: MetricsRegistry):
+        labels = ("tenant", "dataset")
+        self._charges = metrics.counter(
+            "repro_budget_charges_total",
+            "Admitted privacy charges per (tenant, dataset) ledger.",
+            labels,
+        )
+        self._refunds = metrics.counter(
+            "repro_budget_refunds_total",
+            "Refunded (rolled-back) charges per (tenant, dataset) ledger.",
+            labels,
+        )
+        self._spent = metrics.gauge(
+            "repro_budget_spent_epsilon",
+            "Epsilon spent so far on a (tenant, dataset) ledger.",
+            labels,
+        )
+        self._remaining = metrics.gauge(
+            "repro_budget_remaining_epsilon",
+            "Epsilon left under the cap on a (tenant, dataset) ledger.",
+            labels,
+        )
+
+    def __call__(self, tenant_id: str, dataset_id: str, event: dict) -> None:
+        key = (tenant_id, dataset_id)
+        op = event.get("op")
+        if op == "charge":
+            self._charges.inc(1, key)
+        elif op == "refund":
+            self._refunds.inc(1, key)
+        spent_units = event.get("spent_units")
+        if spent_units is None:
+            return
+        self._spent.set(epsilon_from_units(spent_units), key)
+        limit_units = event.get("limit_units")
+        if limit_units is not None:
+            self._remaining.set(
+                epsilon_from_units(limit_units - spent_units), key
+            )
 
 
 class ServiceError(Exception):
@@ -165,6 +226,7 @@ class Tenant:
         self._lock = threading.Lock()
         self._accountants: dict[str, PrivacyAccountant] = {}
         self._store: "TenantLedgerStore | None" = None
+        self._metrics_sink: "Callable[[str, str, dict], None] | None" = None
 
     def attach_store(self, store: "TenantLedgerStore | None") -> None:
         """Wire every (current and future) ledger to the journal store.
@@ -179,14 +241,40 @@ class Tenant:
             for dataset_id, acc in self._accountants.items():
                 self._wire_locked(dataset_id, acc)
 
+    def attach_metrics(
+        self, sink: "Callable[[str, str, dict], None] | None"
+    ) -> None:
+        """Wire a telemetry sink (``sink(tenant_id, dataset_id, event)``)
+        into every (current and future) ledger's mutation hook, composed
+        *after* the journal append — durability first, telemetry second.
+        """
+        with self._lock:
+            self._metrics_sink = sink
+            for dataset_id, acc in self._accountants.items():
+                self._wire_locked(dataset_id, acc)
+
     def _wire_locked(self, dataset_id: str, acc: PrivacyAccountant) -> None:
         store = self._store
-        if store is None:
+        sink = self._metrics_sink
+        if store is None and sink is None:
             acc.set_observer(None)
-        else:
-            acc.set_observer(
-                lambda event, d=dataset_id: store.record(d, event)
-            )
+            return
+        tenant_id = self.tenant_id
+
+        def observer(event: dict, d: str = dataset_id) -> None:
+            if store is not None:
+                # Journal first: a failed append must roll the charge back
+                # (the accountant's _append contract), untouched by metrics.
+                store.record(
+                    d, {k: event[k] for k in _JOURNAL_EVENT_KEYS if k in event}
+                )
+            if sink is not None:
+                try:
+                    sink(tenant_id, d, event)
+                except Exception:
+                    pass  # telemetry must never undo a durable charge
+
+        acc.set_observer(observer)
 
     def accountant(self, dataset_id: str) -> PrivacyAccountant:
         """The (lazily created) ledger for one dataset id."""
@@ -282,6 +370,7 @@ class ServiceRegistry:
         *,
         compact_every: int = 256,
         tenant_filter: "Callable[[str], bool] | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self._lock = threading.Lock()
         self._datasets: dict[str, DatasetEntry] = {}
@@ -289,6 +378,8 @@ class ServiceRegistry:
         self._stores: dict[str, TenantLedgerStore] = {}
         self.compact_every = compact_every
         self.tenant_filter = tenant_filter
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._budget_metrics = _BudgetMetrics(self.metrics)
         self.ledger_dir = os.fspath(ledger_dir) if ledger_dir is not None else None
         if self.ledger_dir is not None:
             os.makedirs(self.ledger_dir, exist_ok=True)
@@ -403,6 +494,7 @@ class ServiceRegistry:
             if tenant_id in self._tenants:
                 raise ValueError(f"tenant {tenant_id!r} already exists")
             tenant = Tenant(tenant_id, budget_limit)
+            tenant.attach_metrics(self._budget_metrics)
             self._provision_store_locked(tenant)
             self._tenants[tenant_id] = tenant
             return tenant
@@ -419,6 +511,7 @@ class ServiceRegistry:
                         404, "unknown-tenant", f"no tenant named {tenant_id!r}"
                     )
                 tenant = Tenant(tenant_id, auto_budget)
+                tenant.attach_metrics(self._budget_metrics)
                 self._provision_store_locked(tenant)
                 self._tenants[tenant_id] = tenant
             return tenant
@@ -437,6 +530,7 @@ class ServiceRegistry:
             self._ledger_base(tenant.tenant_id),
             tenant.snapshot(),
             compact_every=self.compact_every,
+            metrics=self.metrics,
         )
         self._stores[tenant.tenant_id] = store
         tenant.attach_store(store)
@@ -487,6 +581,15 @@ class ServiceRegistry:
         for tenant in self.tenants():
             self.persist_tenant(tenant, force=True)
 
+    def journal_tails(self) -> "dict[str, int]":
+        """Per-tenant journal tail lengths — the deep-health cheap read."""
+        with self._lock:
+            stores = dict(self._stores)
+        return {
+            tenant_id: store.tail_records
+            for tenant_id, store in sorted(stores.items())
+        }
+
     def _load_ledgers(self) -> None:
         """Reload every persisted tenant ledger (service restart path).
 
@@ -516,7 +619,7 @@ class ServiceRegistry:
             base = path[: -len(TenantLedgerStore.SNAPSHOT_SUFFIX)]
             try:
                 store, state = TenantLedgerStore.open(
-                    base, compact_every=self.compact_every
+                    base, compact_every=self.compact_every, metrics=self.metrics
                 )
                 tenant = Tenant(
                     str(state["tenant"]), float(state["budget_limit"])
@@ -530,6 +633,7 @@ class ServiceRegistry:
                     "corrupt-ledger",
                     f"cannot reload tenant ledger {path!r}: {exc}",
                 ) from exc
+            tenant.attach_metrics(self._budget_metrics)
             tenant.attach_store(store)
             self._tenants[tenant.tenant_id] = tenant
             self._stores[tenant.tenant_id] = store

@@ -31,18 +31,19 @@ requests from many tenants over registered datasets.  A request's lifecycle:
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from ..core.dpclustx import DPClustX
 from ..core.hbe import GlobalExplanation
 from ..core.quality.scores import Weights
 from ..evaluation.sweeps import explain_batched
+from ..obs.metrics import MetricsRegistry, histogram_quantile
+from ..obs.tracing import attach_trace, new_trace_id, span_histogram, trace_id_of
 from ..pipeline import ClusteringSpec, FittedClusteringCache
 from ..privacy.budget import BudgetError, ExplanationBudget, PrivacyAccountant
 from .cache import CacheEntry, ExplanationCache, canonical_json
@@ -60,6 +61,12 @@ class ExplainRequest:
     Section 6.1); ``seed`` names the seed stream of the DP noise draws and is
     part of the cache key — two requests with equal parameters *and* seed
     are the same release.
+
+    ``trace_id`` is observability metadata minted at the serving edge (or
+    via :meth:`with_trace`): it rides the frame protocol inside
+    ``asdict(request)`` and is tagged onto the response envelope, but is
+    deliberately **not** part of :meth:`engine_key` / :meth:`cache_key` —
+    tracing must never perturb coalescing, caching, or release bytes.
     """
 
     tenant: str
@@ -71,6 +78,7 @@ class ExplainRequest:
     weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
     seed: int = 0
     explainer: str = "DPClustX"
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         # Programmatic callers naturally pass weights as a list; normalise
@@ -103,9 +111,15 @@ class ExplainRequest:
             for key in ("n_candidates", "seed"):
                 if key in kwargs:
                     kwargs[key] = int(kwargs[key])
+            if "trace_id" in kwargs:
+                kwargs["trace_id"] = str(kwargs["trace_id"])
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, "invalid-request", str(exc)) from None
         return cls(**kwargs)
+
+    def with_trace(self, trace_id: str) -> "ExplainRequest":
+        """A copy carrying ``trace_id`` (same release identity)."""
+        return replace(self, trace_id=trace_id)
 
     def budget(self) -> ExplanationBudget:
         return ExplanationBudget(self.eps_cand_set, self.eps_top_comb, self.eps_hist)
@@ -156,6 +170,8 @@ class ExplainRequest:
             raise ServiceError(400, "invalid-request", "seed must be an integer")
         if self.seed < 0:
             raise ServiceError(400, "invalid-request", "seed must be >= 0")
+        if not isinstance(self.trace_id, str):
+            raise ServiceError(400, "invalid-request", "trace_id must be a string")
         return self
 
     def engine_key(self) -> tuple:
@@ -214,6 +230,7 @@ class PipelineRequest:
     weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
     seed: int = 0
     explainer: str = "DPClustX"
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if isinstance(self.weights, list):
@@ -254,9 +271,15 @@ class PipelineRequest:
             ):
                 if key in kwargs:
                     kwargs[key] = int(kwargs[key])
+            if "trace_id" in kwargs:
+                kwargs["trace_id"] = str(kwargs["trace_id"])
         except (TypeError, ValueError) as exc:
             raise ServiceError(400, "invalid-request", str(exc)) from None
         return cls(**kwargs)
+
+    def with_trace(self, trace_id: str) -> "PipelineRequest":
+        """A copy carrying ``trace_id`` (same release identity)."""
+        return replace(self, trace_id=trace_id)
 
     def spec(self) -> ClusteringSpec:
         """The clustering half of the request as its release identity."""
@@ -280,6 +303,7 @@ class PipelineRequest:
             weights=self.weights,
             seed=self.seed,
             explainer=self.explainer,
+            trace_id=self.trace_id,
         )
 
     def validated(self) -> "PipelineRequest":
@@ -319,6 +343,7 @@ class _Pending:
 
     def resolve(self, envelope: dict) -> None:
         if not self.future.done():
+            envelope = attach_trace(envelope, self.request.trace_id)
             if self.stats is not None:
                 self.stats.observe(
                     _request_class(envelope), time.monotonic() - self.enqueued
@@ -326,62 +351,20 @@ class _Pending:
             self.future.set_result(envelope)
 
 
-# Latency histogram geometry: geometric buckets from 100µs up, factor √2
-# (half-powers of two), with one overflow bucket — 44 buckets cover past
-# 200s, beyond every timeout in the service.  Bucketed histograms make
-# `observe` O(1) with no allocation, mergeable across stats shards, and
-# small enough to serialise into every ``/v1/stats`` body.
-_LATENCY_BASE_S = 1e-4
-_LATENCY_GROWTH = 2.0 ** 0.5
-_LATENCY_BUCKETS = 44
-
-
-def _latency_bucket(seconds: float) -> int:
-    if seconds <= _LATENCY_BASE_S:
-        return 0
-    b = int(math.log(seconds / _LATENCY_BASE_S) / math.log(_LATENCY_GROWTH)) + 1
-    return min(b, _LATENCY_BUCKETS - 1)
-
-
-def _latency_upper_bound(bucket: int) -> float:
-    """The inclusive upper edge of a bucket (the quantile estimate)."""
-    return _LATENCY_BASE_S * _LATENCY_GROWTH**bucket
-
-
-def _histogram_quantile(buckets: "list[int]", q: float) -> float | None:
-    total = sum(buckets)
-    if total == 0:
-        return None
-    rank = q * total
-    seen = 0
-    for b, count in enumerate(buckets):
-        seen += count
-        if seen >= rank:
-            return _latency_upper_bound(b)
-    return _latency_upper_bound(len(buckets) - 1)
-
-
-class _StatsShard:
-    """One lock's worth of counters + latency buckets (see :class:`_Stats`)."""
-
-    __slots__ = ("lock", "counts", "latency")
-
-    def __init__(self, fields: tuple[str, ...]):
-        self.lock = threading.Lock()
-        self.counts = {f: 0 for f in fields}
-        self.latency: "dict[str, list[int]]" = {}
-
-
 class _Stats:
-    """Sharded thread-safe counters + per-class latency histograms.
+    """Service counters + per-class latency histograms on the obs registry.
 
-    Counters are *sharded per thread*: each thread is pinned (round-robin
-    at first touch) to one of ``n_shards`` independently-locked shards, so
-    ``incr`` from the worker pool, the HTTP handler threads and a shard
-    worker's connection threads never contend on one hot lock — the merge
-    cost moves to :meth:`as_dict`/:meth:`get`, which only observability
-    reads pay.  Latency histograms live in the same shards: ``observe`` is
-    one O(1) bucket increment under the caller's own shard lock.
+    Historically this class owned its own per-thread sharded counters;
+    those now live in :class:`~repro.obs.metrics.MetricsRegistry` (which
+    generalised the same trick), and ``_Stats`` is the service-facing view:
+    the lifecycle counter family ``repro_service_events_total{event=...}``
+    and the enqueue→resolve latency histogram
+    ``repro_request_duration_seconds{class=...}``.  One code path serves
+    ``/v1/stats``, ``/metrics``, and cross-worker snapshot merging.
+
+    The latency geometry is unchanged from the pre-registry histograms:
+    geometric buckets from 100µs up, factor √2 (half-powers of two), 44
+    buckets covering past 200s — beyond every timeout in the service.
     """
 
     FIELDS = (
@@ -398,53 +381,35 @@ class _Stats:
         "clustering_cache_hits",
     )
 
-    def __init__(self, n_shards: int = 8):
-        self._shards = tuple(_StatsShard(self.FIELDS) for _ in range(n_shards))
-        self._local = threading.local()
-        self._assign_lock = threading.Lock()
-        self._next_shard = 0
-
-    def _shard(self) -> _StatsShard:
-        shard = getattr(self._local, "shard", None)
-        if shard is None:
-            # Round-robin assignment spreads threads evenly regardless of
-            # thread-id alignment (ids are pointers — `id % n` would pile
-            # every thread onto shard 0).
-            with self._assign_lock:
-                shard = self._shards[self._next_shard % len(self._shards)]
-                self._next_shard += 1
-            self._local.shard = shard
-        return shard
+    def __init__(self, n_shards: int = 8, registry: "MetricsRegistry | None" = None):
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(n_shards=n_shards)
+        )
+        self._events = self.registry.counter(
+            "repro_service_events_total",
+            "Service lifecycle events by kind (requests, hits, refusals...).",
+            ("event",),
+        )
+        self._latency = self.registry.histogram(
+            "repro_request_duration_seconds",
+            "Enqueue-to-resolve request latency by serving class.",
+            ("class",),
+        )
 
     def incr(self, field_name: str, by: int = 1) -> None:
-        shard = self._shard()
-        with shard.lock:
-            shard.counts[field_name] += by
+        self._events.inc(by, (field_name,))
 
     def observe(self, request_class: str, seconds: float) -> None:
         """Record one enqueue→resolve latency under ``request_class``."""
-        b = _latency_bucket(seconds)
-        shard = self._shard()
-        with shard.lock:
-            buckets = shard.latency.get(request_class)
-            if buckets is None:
-                buckets = [0] * _LATENCY_BUCKETS
-                shard.latency[request_class] = buckets
-            buckets[b] += 1
+        self._latency.observe(seconds, (request_class,))
 
     def get(self, field_name: str) -> int:
-        total = 0
-        for shard in self._shards:
-            with shard.lock:
-                total += shard.counts[field_name]
-        return total
+        return self._events.value((field_name,))
 
     def as_dict(self) -> dict:
         merged = {f: 0 for f in self.FIELDS}
-        for shard in self._shards:
-            with shard.lock:
-                for f, v in shard.counts.items():
-                    merged[f] += v
+        for (event,), value in self._events.series().items():
+            merged[event] = merged.get(event, 0) + value
         return merged
 
     def latency_summary(self) -> dict:
@@ -454,19 +419,13 @@ class _Stats:
         true value, which is the resolution tail-latency dashboards need
         without the service ever holding per-request samples.
         """
-        merged: "dict[str, list[int]]" = {}
-        for shard in self._shards:
-            with shard.lock:
-                for klass, buckets in shard.latency.items():
-                    acc = merged.setdefault(klass, [0] * _LATENCY_BUCKETS)
-                    for i, c in enumerate(buckets):
-                        acc[i] += c
+        hist = self._latency
         summary = {}
-        for klass, buckets in sorted(merged.items()):
+        for (klass,), (buckets, count, _sum) in sorted(hist.series().items()):
             summary[klass] = {
-                "count": sum(buckets),
-                "p50_s": _histogram_quantile(buckets, 0.50),
-                "p99_s": _histogram_quantile(buckets, 0.99),
+                "count": count,
+                "p50_s": histogram_quantile(buckets, 0.50, hist.base, hist.growth),
+                "p99_s": histogram_quantile(buckets, 0.99, hist.base, hist.growth),
             }
         return summary
 
@@ -541,11 +500,23 @@ class ExplanationService:
         cache_entries: int = 256,
         fitted_entries: int = 64,
         auto_tenant_budget: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if registry is not None and ledger_dir is not None:
             raise ValueError("pass ledger_dir to the registry or here, not both")
-        self.registry = registry or ServiceRegistry(ledger_dir=ledger_dir)
-        self.cache = ExplanationCache(cache_entries)
+        # One metrics registry per service instance — adopted from the
+        # service registry when one is passed in (so budget/journal
+        # instrumentation and request instrumentation land in the same
+        # snapshot), else created here and shared downward.
+        if registry is not None:
+            self.registry = registry
+            self.metrics = metrics if metrics is not None else registry.metrics
+        else:
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self.registry = ServiceRegistry(
+                ledger_dir=ledger_dir, metrics=self.metrics
+            )
+        self.cache = ExplanationCache(cache_entries, metrics=self.metrics)
         # Server-side fitted clusterings (the /v1/pipeline route), keyed by
         # (fingerprint, method, params, seed).  LRU evictions also drop the
         # fit's derived registry entry (on_evict), so the registry stays
@@ -554,12 +525,18 @@ class ExplanationService:
         # charge one clustering fit, not N, while fits of *different* keys
         # (almost always on different stripes) proceed in parallel.
         self.fitted = FittedClusteringCache(
-            fitted_entries, on_evict=self._on_fitted_evicted
+            fitted_entries, on_evict=self._on_fitted_evicted, metrics=self.metrics
         )
         self._fit_stripes = [threading.Lock() for _ in range(16)]
-        self.stats = _Stats()
+        self.stats = _Stats(registry=self.metrics)
+        self._spans = span_histogram(self.metrics)
+        self._budget_refusals = self.metrics.counter(
+            "repro_budget_refusals_total",
+            "Requests refused because the tenant ledger could not cover them.",
+            ("tenant", "dataset"),
+        )
         self.auto_tenant_budget = auto_tenant_budget
-        self._queue = RequestQueue()
+        self._queue = RequestQueue(metrics=self.metrics)
         self._stop = threading.Event()
         self._workers: list[threading.Thread] = []
         self._drain_lock = threading.Lock()
@@ -618,7 +595,16 @@ class ExplanationService:
     # -- request entry points ------------------------------------------- #
 
     def submit(self, request: ExplainRequest) -> "Future[dict]":
-        """Admit a request; returns a future resolving to the envelope."""
+        """Admit a request; returns a future resolving to the envelope.
+
+        A request arriving without a trace id is minted one here — the
+        in-process edge.  The id rides the (dataclass-copied) request
+        through coalescing and is attached to the envelope's meta/error
+        block on resolve; it is *not* part of the engine or cache key, so
+        tracing never perturbs coalescing, caching, or released bytes.
+        """
+        if not request.trace_id:
+            request = request.with_trace(new_trace_id())
         pending = _Pending(request, self.stats)
         self.stats.incr("requests")
         try:
@@ -645,7 +631,9 @@ class ExplanationService:
             self.stats.incr("errors")
             pending.resolve(self._error_envelope(exc))
             return pending.future
+        t0 = time.perf_counter()
         cached = self.cache.get(request.cache_key(entry))
+        self._spans.observe(time.perf_counter() - t0, ("cache-lookup",))
         if cached is not None:
             self.stats.incr("cache_hits")
             pending.resolve(self._ok_envelope(request, cached, "hit", 0.0))
@@ -694,6 +682,8 @@ class ExplanationService:
         """
         if request is None:
             request = PipelineRequest(**kwargs)
+        if not request.trace_id:
+            request = request.with_trace(new_trace_id())
         self.stats.incr("pipeline_requests")
         try:
             request.validated()
@@ -709,7 +699,7 @@ class ExplanationService:
                 )
         except ServiceError as exc:
             self.stats.incr("errors")
-            return self._error_envelope(exc)
+            return attach_trace(self._error_envelope(exc), request.trace_id)
         spec = request.spec()
         try:
             entry, fit_status, charged_fit = self._fitted_entry(
@@ -717,20 +707,25 @@ class ExplanationService:
             )
         except BudgetError as exc:
             self.stats.incr("refused")
+            self._budget_refusals.inc(1, (request.tenant, request.dataset))
             tenant = self.registry.tenant(request.tenant, self.auto_tenant_budget)
             accountant = tenant.accountant(base.base_id)
-            envelope = self._budget_refusal(
-                request.tenant, request.dataset, spec.epsilon, accountant, exc
+            envelope = attach_trace(
+                self._budget_refusal(
+                    request.tenant, request.dataset, spec.epsilon, accountant, exc
+                ),
+                request.trace_id,
             )
             envelope["error"]["stage"] = "clustering"
             return envelope
         except ServiceError as exc:
             self.stats.incr("errors")
-            return self._error_envelope(exc)
+            return attach_trace(self._error_envelope(exc), request.trace_id)
         except Exception as exc:  # noqa: BLE001 — fit failure must not 500 raw
             self.stats.incr("errors")
-            return self._error_envelope(
-                ServiceError(500, "internal-error", repr(exc))
+            return attach_trace(
+                self._error_envelope(ServiceError(500, "internal-error", repr(exc))),
+                request.trace_id,
             )
         envelope = self.explain(
             request.explain_request(entry.dataset_id), timeout=timeout
@@ -985,7 +980,11 @@ class ExplanationService:
             seeds = [payer.request.seed for _, _, payer, _, _ in funded]
             try:
                 explanations = explain_batched(
-                    explainer, entry.counts, seeds, context=entry.context
+                    explainer,
+                    entry.counts,
+                    seeds,
+                    context=entry.context,
+                    metrics=self.metrics,
                 )
             except Exception:
                 for key, group, payer, tenant, charge_token in funded:
@@ -1169,6 +1168,7 @@ class ExplanationService:
                 return p, tenant, token
             except BudgetError as exc:
                 self.stats.incr("refused")
+                self._budget_refusals.inc(1, (request.tenant, request.dataset))
                 p.resolve(self._refusal_envelope(request, accountant, exc))
         return None, None, None
 
@@ -1257,6 +1257,28 @@ class ExplanationService:
             "queued": len(self._queue),
         }
 
+    def metrics_snapshot(self) -> dict:
+        """This process's metrics registry snapshot (mergeable across workers)."""
+        return self.metrics.snapshot()
+
+    def health(self, deep: bool = False) -> dict:
+        """The /healthz body: liveness plus (``deep``) cheap internal reads.
+
+        Deep mode adds per-tenant journal tail lengths and registry counts
+        — pure lock-guarded reads, never a scoring pass or a fsync.
+        """
+        body = {
+            "status": "ok",
+            "sharded": False,
+            "workers": len(self._workers),
+            "queued": len(self._queue),
+        }
+        if deep:
+            body["datasets"] = len(self.registry.datasets())
+            body["tenants"] = len(self.registry.tenants())
+            body["journal_tails"] = self.registry.journal_tails()
+        return body
+
     def ledger_describe(self, tenant_id: str) -> dict:
         """One tenant's per-dataset ledgers (the /v1/ledger/<tenant> body)."""
         return self.registry.tenant(tenant_id).describe()
@@ -1274,6 +1296,10 @@ class ServiceClient:
         client = ServiceClient(service, tenant="alice", dataset="diabetes")
         response = client.explain(seed=3)
         response["result"]["combination"]
+
+    ``last_trace_id`` holds the trace id of the most recent response —
+    success *or* structured refusal/error (429/503/...) — so a caller
+    that just got refused can quote the id the server logged it under.
     """
 
     def __init__(
@@ -1287,13 +1313,16 @@ class ServiceClient:
         self.tenant = tenant
         self.dataset = dataset
         self.timeout = timeout
+        self.last_trace_id: "str | None" = None
 
     def explain(self, dataset: str | None = None, **params) -> dict:
         target = dataset or self.dataset
         if target is None:
             raise ValueError("no dataset given (per-call or client default)")
         request = ExplainRequest(tenant=self.tenant, dataset=target, **params)
-        return self._service.explain(request, timeout=self.timeout)
+        envelope = self._service.explain(request, timeout=self.timeout)
+        self.last_trace_id = trace_id_of(envelope)
+        return envelope
 
     def pipeline(self, dataset: str | None = None, **params) -> dict:
         """End-to-end request: server-side DP clustering + explanation."""
@@ -1301,7 +1330,9 @@ class ServiceClient:
         if target is None:
             raise ValueError("no dataset given (per-call or client default)")
         request = PipelineRequest(tenant=self.tenant, dataset=target, **params)
-        return self._service.pipeline(request, timeout=self.timeout)
+        envelope = self._service.pipeline(request, timeout=self.timeout)
+        self.last_trace_id = trace_id_of(envelope)
+        return envelope
 
     def ledger(self) -> dict:
         return self._service.registry.tenant(self.tenant).describe()

@@ -28,10 +28,17 @@ worker answers each request from a future callback as it resolves).  Ops:
 ``explain``        one explanation request → service envelope
 ``explain_batch``  many requests in one frame (the front end's coalescing)
 ``stats``          the worker's ``describe()`` + worker identity
+``metrics``        the worker's metrics-registry snapshot (scrape merge input)
+``health``         the worker's ``health(deep=...)`` body + worker identity
 ``ledger``         one tenant's ledger description
 ``ping``           liveness + identity probe
 ``shutdown``       graceful stop: final journal checkpoint, then exit
 =================  =========================================================
+
+Request tracing rides the same frames: an ``explain`` request body may
+carry a ``trace_id`` minted at the HTTP/front-end edge; the worker's
+service attaches it to the reply envelope's meta/error block, so one id
+follows a request across the process boundary and back.
 
 Partition contract: a worker refuses requests for tenants it does not own
 with a structured 421 (``wrong-shard``) envelope — routing bugs surface
@@ -204,7 +211,7 @@ class ShardWorker:
                     break
                 t = threading.Thread(
                     target=self._serve_connection,
-                    args=(FrameSocket(conn),),
+                    args=(FrameSocket(conn, metrics=self.service.metrics),),
                     name=f"shard-{self.config.index}-conn",
                     daemon=True,
                 )
@@ -254,6 +261,14 @@ class ShardWorker:
                 frames.write({"id": rid, "ok": True, "dataset": frame["dataset"]})
             elif op == "stats":
                 body = self.service.describe()
+                body["worker"] = self.identity()
+                frames.write({"id": rid, "ok": True, "result": body})
+            elif op == "metrics":
+                frames.write(
+                    {"id": rid, "ok": True, "result": self.service.metrics_snapshot()}
+                )
+            elif op == "health":
+                body = self.service.health(deep=bool(frame.get("deep")))
                 body["worker"] = self.identity()
                 frames.write({"id": rid, "ok": True, "result": body})
             elif op == "ledger":

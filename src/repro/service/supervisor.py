@@ -36,6 +36,7 @@ from multiprocessing.connection import wait as sentinel_wait
 
 from ..core.counts import ClusteredCounts
 from ..core.engine.shm import share_stack
+from ..obs.metrics import MetricsRegistry
 from .registry import ServiceError
 from .shard import WorkerConfig, registration_frame, worker_main
 from .transport import FrameError, FrameSocket
@@ -97,6 +98,7 @@ class ShardSupervisor:
         socket_dir: "str | None" = None,
         ready_timeout_s: float = 60.0,
         respawn: bool = True,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -127,6 +129,17 @@ class ShardSupervisor:
         self._shared: "list" = []  # SharedStack owners, kept mapped until stop()
         self._restart_listeners: "list" = []
         self.restarts = 0
+        # Supervisor-process metrics: respawn counters plus the frame
+        # counters of every control channel.  A front end sharing this
+        # registry folds them into one scrape-side snapshot.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._respawns = self.metrics.counter(
+            "repro_worker_respawns_total",
+            "Successful shard-worker respawns after a process death.",
+            ("worker",),
+        )
+        self._restart_counts = [0] * n_workers
+        self._last_respawn: "list[float | None]" = [None] * n_workers
 
     # -- lifecycle -------------------------------------------------------- #
 
@@ -196,7 +209,8 @@ class ShardSupervisor:
             FrameSocket(
                 self.connect(
                     index, timeout_s=max(0.1, deadline - time.monotonic())
-                )
+                ),
+                metrics=self.metrics,
             )
         )
         reply = control.request({"op": "ping"})
@@ -261,6 +275,44 @@ class ShardSupervisor:
 
     def worker_stats(self, index: int) -> dict:
         return self._control_request(index, {"op": "stats"})["result"]
+
+    def worker_metrics(self, index: int) -> dict:
+        """One worker's metrics-registry snapshot (merge input for scrapes)."""
+        return self._control_request(index, {"op": "metrics"})["result"]
+
+    def health(self, deep: bool = False) -> dict:
+        """Deployment liveness: per-worker state, degraded if any slot is down.
+
+        Shallow mode reads only supervisor-side process state (no worker
+        round-trips); ``deep`` adds each live worker's own
+        ``health(deep=True)`` body — journal tail lengths and registry
+        counts, all cheap lock-guarded reads.
+        """
+        workers = []
+        for i in range(self.n_workers):
+            proc = self._procs[i]
+            info = {
+                "index": i,
+                "alive": bool(proc is not None and proc.is_alive()),
+                "pid": proc.pid if proc is not None else None,
+                "restarts": self._restart_counts[i],
+                "last_respawn_unix": self._last_respawn[i],
+            }
+            if deep and info["alive"]:
+                try:
+                    info["detail"] = self._control_request(
+                        i, {"op": "health", "deep": True}
+                    )["result"]
+                except (ServiceError, SupervisorError, FrameError, OSError):
+                    info["alive"] = False
+            workers.append(info)
+        return {
+            "status": "ok" if all(w["alive"] for w in workers) else "degraded",
+            "sharded": True,
+            "n_workers": self.n_workers,
+            "restarts": self.restarts,
+            "workers": workers,
+        }
 
     def describe(self) -> dict:
         """Deployment-wide view: per-worker stats + supervisor state."""
@@ -344,6 +396,9 @@ class ShardSupervisor:
             # live sentinel, and callers get worker-restarting envelopes.
             return
         self.restarts += 1
+        self._restart_counts[index] += 1
+        self._last_respawn[index] = time.time()
+        self._respawns.inc(1, (str(index),))
         for callback in list(self._restart_listeners):
             try:
                 callback(index)

@@ -110,18 +110,34 @@ class FrameSocket:
     The thread-safety split mirrors how the shard tier uses connections:
     many threads may *reply* on one worker connection (each reply is one
     locked :meth:`write`), while exactly one thread per connection *reads*.
+
+    ``metrics`` (duck-typed so this wire-level module never imports the
+    obs package) counts frames into ``repro_frames_total{direction}``.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket, metrics=None):
         self._sock = sock
         self._wlock = threading.Lock()
+        if metrics is not None:
+            self._frames = metrics.counter(
+                "repro_frames_total",
+                "Frames read/written on shard-tier sockets by direction.",
+                ("direction",),
+            )
+        else:
+            self._frames = None
 
     def read(self):
-        return read_frame(self._sock)
+        frame = read_frame(self._sock)
+        if frame is not None and self._frames is not None:
+            self._frames.inc(1, ("read",))
+        return frame
 
     def write(self, obj) -> None:
         with self._wlock:
             write_frame(self._sock, obj)
+        if self._frames is not None:
+            self._frames.inc(1, ("written",))
 
     def close(self) -> None:
         try:

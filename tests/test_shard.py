@@ -65,6 +65,21 @@ def _request(tenant, seed=0, **kw):
     return ExplainRequest(tenant=tenant, dataset="diabetes", seed=seed, **kw)
 
 
+def _untraced(envelope):
+    """The envelope minus its trace id — the only legitimately unique field.
+
+    Trace ids are minted per request at the serving edge, so byte-identity
+    across deployments holds for everything *except* them.
+    """
+    out = dict(envelope)
+    for block in ("meta", "error"):
+        if isinstance(out.get(block), dict):
+            out[block] = {
+                k: v for k, v in out[block].items() if k != "trace_id"
+            }
+    return out
+
+
 # --------------------------------------------------------------------------- #
 # partitioning
 # --------------------------------------------------------------------------- #
@@ -295,7 +310,7 @@ class TestDeployment:
         twos = [deployment.explain(r) for r in requests]
         twos_shared = [deployment.explain(r) for r in shared]
         for one, two in zip(ones, twos):
-            assert canonical_json(one) == canonical_json(two)
+            assert canonical_json(_untraced(one)) == canonical_json(_untraced(two))
         for one, two in zip(ones_shared, twos_shared):
             assert canonical_json(one["result"]) == canonical_json(two["result"])
 
@@ -308,7 +323,7 @@ class TestDeployment:
         finally:
             inproc.stop()
         got = deployment.explain(request)
-        assert canonical_json(expected) == canonical_json(got)
+        assert canonical_json(_untraced(expected)) == canonical_json(_untraced(got))
 
 
 # --------------------------------------------------------------------------- #
@@ -349,8 +364,15 @@ class TestFailover:
             # a SIGKILL'd worker replays to the exact in-memory ledger.
             assert after == before
             # The respawned worker replays registrations too: it serves.
-            out = service.explain(_request("alice", seed=2))
-            assert out["status"] == "ok"
+            # The front end's data link reconnects independently of the
+            # control channel polled above, so allow it the same deadline.
+            out = None
+            while time.monotonic() < deadline:
+                out = service.explain(_request("alice", seed=2))
+                if out["status"] == "ok":
+                    break
+                time.sleep(0.1)
+            assert out["status"] == "ok", out
         finally:
             service.stop()
 

@@ -239,7 +239,7 @@ def run_load_bench(
     duration_s: float = 3.0,
     flood_requests: int = 200,
     timeout_s: float = 120.0,
-    obs_repeats: int = 2,
+    obs_repeats: int = 4,
 ) -> dict:
     data, clustering = _dataset_and_clustering(n_rows, n_clusters)
     schedule = make_workload(
@@ -254,18 +254,27 @@ def run_load_bench(
 
     # Instrumentation overhead: best-of-N floods with the registry enabled
     # vs disabled (fresh service + ledger dir each run, so caches and
-    # journal replay never favour one side).  The enabled envelopes double
-    # as the single-process baseline for the sharded comparison below.
+    # journal replay never favour one side).  Each repeat alternates which
+    # side runs first: when ambient load is decaying (this bench runs right
+    # after heavier ones in CI) a fixed order hands the first runner a
+    # systematic penalty that best-of-N alone cannot cancel.  N=2 also
+    # proved too few on a busy single-core box, so the default is
+    # best-of-4.  The enabled envelopes double as the single-process
+    # baseline for the sharded comparison below.
     _flood_single_process(data, clustering, flood)  # warmup (not timed)
     enabled_times, disabled_times = [], []
     single_envelopes = disabled_envelopes = None
-    for _ in range(max(1, obs_repeats)):
-        t_on, env_on = _flood_single_process(data, clustering, flood)
-        t_off, env_off = _flood_single_process(
-            data, clustering, flood, obs_enabled=False
-        )
-        enabled_times.append(t_on)
-        disabled_times.append(t_off)
+    for i in range(max(1, obs_repeats)):
+        sides = ("on", "off") if i % 2 == 0 else ("off", "on")
+        for side in sides:
+            if side == "on":
+                t_on, env_on = _flood_single_process(data, clustering, flood)
+                enabled_times.append(t_on)
+            else:
+                t_off, env_off = _flood_single_process(
+                    data, clustering, flood, obs_enabled=False
+                )
+                disabled_times.append(t_off)
         single_envelopes, disabled_envelopes = env_on, env_off
     single_s = min(enabled_times)
     obs = {
@@ -343,7 +352,7 @@ def main(argv: "list[str] | None" = None) -> dict:
                         help="open-loop phase length (s)")
     parser.add_argument("--flood-requests", type=int, default=200,
                         help="closed-loop saturation workload size")
-    parser.add_argument("--obs-repeats", type=int, default=2,
+    parser.add_argument("--obs-repeats", type=int, default=4,
                         help="best-of-N repeats for the metrics-overhead ratio")
     parser.add_argument(
         "--out",

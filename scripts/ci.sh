@@ -40,6 +40,9 @@
 # table is never held, so RSS is gated against a fixed budget) and per-task
 # sweep fan-out cost at 50k vs 1M rows (the shared-memory stack handoff must
 # keep it flat; gated at 1.2x).
+# Before any of that, repro-lint (python -m repro lint src/) gates the run:
+# zero findings allowed, suppressions must carry reasons, and the JSON
+# report is archived as LINT_report.json.
 # All artifacts live at the repo root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,6 +55,42 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 PYTEST_ARGS=(-q)
 if [[ "${1:-}" == "--fast" ]]; then
     PYTEST_ARGS=(-x -q)
+fi
+
+echo "== repro-lint static analysis (writes LINT_report.json) =="
+# Hard gate: the AST-based DP-invariant checker (repro.analysis) must find
+# nothing in src/, and every inline suppression must carry its reason.  The
+# JSON report (stable schema v1, see src/repro/analysis/model.py) is
+# archived at the repo root next to the BENCH_*.json artifacts.
+lint_status=0
+python -m repro lint src/ --format=json > LINT_report.json || lint_status=$?
+
+python - <<'EOF'
+import json
+
+with open("LINT_report.json") as fh:
+    report = json.load(fh)
+assert report["version"] == 1, f"unexpected lint schema version: {report['version']}"
+summary = report["summary"]
+for finding in report["findings"]:
+    print(f"LINT: {finding['path']}:{finding['line']}:{finding['col']}: "
+          f"{finding['rule']} {finding['severity']}: {finding['message']}")
+print(f"repro-lint: {summary['total']} finding(s), "
+      f"{summary['suppressed']} suppressed, {report['files']} file(s), "
+      f"rules: {', '.join(summary['rules_run'])}")
+assert summary["total"] == 0, (
+    f"repro-lint found {summary['total']} violation(s) — fix them or add a "
+    "reasoned '# repro-lint: disable=<rule> — <why>' suppression"
+)
+for entry in report["suppressed"]:
+    assert entry["reason"].strip(), (
+        f"unexplained suppression at {entry['path']}:{entry['line']}"
+    )
+EOF
+
+if [[ "$lint_status" -ne 0 ]]; then
+    echo "repro-lint exited $lint_status" >&2
+    exit "$lint_status"
 fi
 
 echo "== tier-1 tests =="

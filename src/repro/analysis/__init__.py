@@ -1,0 +1,69 @@
+"""``repro.analysis`` — the repro-lint static-analysis framework.
+
+A stdlib-``ast`` checker for this codebase's DP and serving invariants
+(charge-before-release, integer-grid epsilon arithmetic, explicit RNG
+streams, trace-key hygiene, monotonic deadlines, locked ledger mutation,
+in-hook journal durability, copy-on-write cached envelopes).  Run it with
+``python -m repro lint [paths] [--format=text|json] [--rule=NAME]``; it is
+wired into ``scripts/ci.sh`` as a hard gate.
+
+Public surface: :func:`lint_paths` / :class:`Linter` to run,
+:class:`Finding` / :class:`LintResult` to consume results, ``ALL_RULES`` /
+``RULE_NAMES`` for the shipping rule suite, and the suppression helpers
+(:func:`parse_suppression_comment`, :func:`render_suppression`).
+"""
+
+from .engine import (
+    FRAMEWORK_RULES,
+    Linter,
+    format_json,
+    format_text,
+    lint_paths,
+)
+from .loader import (
+    Module,
+    RULE_NAME_RE,
+    Suppression,
+    iter_python_files,
+    load_module,
+    parse_suppression_comment,
+    parse_suppressions,
+    render_suppression,
+)
+from .model import (
+    Finding,
+    JSON_SCHEMA_VERSION,
+    LintResult,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    SuppressedFinding,
+    sort_findings,
+)
+from .rules import ALL_RULES, LintContext, RULE_NAMES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "FRAMEWORK_RULES",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "LintResult",
+    "Linter",
+    "Module",
+    "RULE_NAMES",
+    "RULE_NAME_RE",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SuppressedFinding",
+    "Suppression",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_paths",
+    "load_module",
+    "parse_suppression_comment",
+    "parse_suppressions",
+    "render_suppression",
+    "sort_findings",
+]

@@ -1,0 +1,119 @@
+"""Intra-package call-graph construction for interprocedural lint rules.
+
+Static DP invariants are rarely confined to one function body: the PR-4
+charge-after-release bug would have survived a purely local checker the
+moment ``fit`` delegated its noise draws to a ``_release_counts`` helper.
+This module indexes every function/method definition across the analysed
+modules and resolves the two call shapes that matter inside one package:
+
+* ``name(...)``      — a module-level function in the same module, or (when
+  the name is imported via ``from .x import name`` / unique package-wide) a
+  function in a sibling module;
+* ``self.name(...)`` — a method of the lexically enclosing class.
+
+Resolution is deliberately conservative: calls on arbitrary objects
+(``mech.release(...)``, ``topk.select(...)``) are *not* resolved here —
+rules classify those by name heuristics instead — and an ambiguous bare
+name (defined in several sibling modules, none imported) resolves to
+nothing rather than to a guess.  Rules follow resolved edges a bounded
+number of hops (see ``rules.py``); the graph itself is unbounded.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+
+from .loader import Module
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition, with enough context to recurse."""
+
+    module: Module
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    qualname: str  # "func" or "Class.method"
+    class_name: "str | None"
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class CallGraph:
+    """Index of definitions plus the import table needed to resolve calls."""
+
+    #: (module path, qualname) -> definition
+    functions: "dict[tuple[str, str], FunctionInfo]" = field(default_factory=dict)
+    #: bare name -> every definition with that name (any module, incl. methods)
+    by_name: "dict[str, list[FunctionInfo]]" = field(default_factory=dict)
+    #: module path -> {local name: imported function name} for
+    #: ``from <anywhere> import name [as alias]`` statements.
+    imports: "dict[str, dict[str, str]]" = field(default_factory=dict)
+
+    def add(self, info: FunctionInfo) -> None:
+        self.functions[(info.module.path, info.qualname)] = info
+        self.by_name.setdefault(info.name, []).append(info)
+
+    def resolve(
+        self,
+        call: ast.Call,
+        module: Module,
+        class_name: "str | None",
+    ) -> "FunctionInfo | None":
+        """Resolve a call node to a definition, or ``None`` when unknown."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            # Same module first.
+            info = self.functions.get((module.path, func.id))
+            if info is not None:
+                return info
+            # An explicitly imported name, or a package-wide unique one.
+            target = self.imports.get(module.path, {}).get(func.id, func.id)
+            candidates = [
+                f for f in self.by_name.get(target, ()) if f.class_name is None
+            ]
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and class_name is not None
+        ):
+            return self.functions.get(
+                (module.path, f"{class_name}.{func.attr}")
+            )
+        return None
+
+
+def build_callgraph(modules: "list[Module]") -> CallGraph:
+    graph = CallGraph()
+    for module in modules:
+        table: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name != "*":
+                        table[alias.asname or alias.name] = alias.name
+        graph.imports[module.path] = table
+        for node in module.tree.body:
+            _index_scope(graph, module, node, class_name=None)
+    return graph
+
+
+def _index_scope(
+    graph: CallGraph, module: Module, node: ast.AST, class_name: "str | None"
+) -> None:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        graph.add(FunctionInfo(module, node, qual, class_name))
+        # Nested defs are not indexed: they are closures, not package API,
+        # and resolving them would need scope analysis the rules don't.
+    elif isinstance(node, ast.ClassDef):
+        for child in node.body:
+            _index_scope(graph, module, child, class_name=node.name)

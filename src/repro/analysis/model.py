@@ -1,0 +1,131 @@
+"""Finding model and the stable JSON report schema of ``repro lint``.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects with a total ordering (path, line, col, rule) so reports
+are deterministic regardless of rule-execution order — the property the CI
+gate's archived ``LINT_report.json`` diffs rely on.
+
+JSON report schema (``--format=json``), version 1 — **stable**: fields are
+only ever added, never renamed or removed, so downstream tooling can pin on
+``version``::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "files": <int: python files analysed>,
+      "findings": [            # active findings, sorted
+        {"rule": str, "path": str, "line": int, "col": int,
+         "severity": "error"|"warning", "message": str}
+      ],
+      "suppressed": [          # findings silenced by an inline disable
+        {... same fields ..., "reason": str}
+      ],
+      "summary": {
+        "total": <int: len(findings)>,
+        "suppressed": <int: len(suppressed)>,
+        "by_rule": {rule: count, ...},       # active findings only
+        "rules_run": [rule, ...]             # every rule that executed
+      }
+    }
+
+The CI gate asserts ``summary.total == 0`` and that every entry in
+``suppressed`` carries a non-empty ``reason`` (the linter itself refuses
+reason-less suppressions with a ``bad-suppression`` finding, so the second
+assertion is belt-and-braces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Bump only when a field is renamed/removed (never done lightly; additions
+#: keep the version).
+JSON_SCHEMA_VERSION = 1
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: rule severity: message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding silenced by an inline ``# repro-lint: disable=`` comment."""
+
+    finding: Finding
+    reason: str
+
+    def as_dict(self) -> dict:
+        out = self.finding.as_dict()
+        out["reason"] = self.reason
+        return out
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """The outcome of one lint run over a set of paths."""
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[SuppressedFinding, ...]
+    files: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def report(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "files": self.files,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [s.as_dict() for s in self.suppressed],
+            "summary": {
+                "total": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "by_rule": by_rule,
+                "rules_run": list(self.rules_run),
+            },
+        }
+
+
+def sort_findings(findings: Iterable[Finding]) -> tuple[Finding, ...]:
+    """Deterministic report order: (path, line, col, rule)."""
+    return tuple(sorted(findings))

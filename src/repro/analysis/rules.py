@@ -1,0 +1,1080 @@
+"""The repro-lint rule suite: this codebase's DP and serving invariants.
+
+Every rule here encodes a convention the repo already paid a bugfix PR for
+(or a guarantee a later PR's correctness silently leans on):
+
+==============================  =============================================
+rule                            invariant (origin)
+==============================  =============================================
+charge-before-release           no noise draw reachable in an accounting
+                                ``fit``/``release``/``explain`` body before
+                                the accountant charge on every path (PR 4)
+no-float-epsilon-arithmetic     no float comparison / floor-division /
+                                tolerance slack on epsilon values outside
+                                ``privacy/budget.py`` — decisions route
+                                through ``quantize_epsilon`` units (PR 5)
+no-global-rng                   no argless ``default_rng()`` / module-level
+                                ``np.random.*`` — byte-reproducibility
+trace-key-hygiene               ``trace_id`` must not reach engine/cache key
+                                or fingerprint constructions (PR 8)
+monotonic-deadlines             ``time.time()`` is wall clock; deadlines use
+                                ``time.monotonic()`` (PR 3 review)
+locked-ledger-mutation          accountant ledger state mutates only under
+                                ``with self._lock`` (PR 3/5)
+fsync-in-hook                   journal appends happen inside the accountant
+                                mutation hook, never after ``spend`` returns
+                                (PR 5 durability contract)
+no-cached-envelope-mutation     objects from cache ``.get`` paths are
+                                copy-on-write, never mutated in place (PR 8)
+==============================  =============================================
+
+Heuristics are scoped to keep the signal clean (see each rule's docstring);
+intentional exceptions carry ``# repro-lint: disable=<rule> — <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from dataclasses import dataclass
+
+from .callgraph import CallGraph, FunctionInfo
+from .loader import Module
+from .model import Finding, SEVERITY_ERROR, SEVERITY_WARNING
+
+
+class Rule:
+    """Base class: a named check producing findings for one module."""
+
+    name: str = ""
+    severity: str = SEVERITY_ERROR
+    description: str = ""
+
+    def check(self, module: Module, ctx: "LintContext") -> "list[Finding]":
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+@dataclass
+class LintContext:
+    """Shared state handed to every rule."""
+
+    modules: "list[Module]"
+    callgraph: CallGraph
+
+
+# --------------------------------------------------------------------------- #
+# shared AST helpers
+# --------------------------------------------------------------------------- #
+
+def _attr_chain(node: ast.AST) -> "list[str]":
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure name chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _receiver_tail(func: ast.Attribute) -> str:
+    """The innermost receiver name of ``<recv>.method`` (or '')."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return ""
+
+
+def _walk_no_lambda(node: ast.AST):
+    """``ast.walk`` that does not descend into lambda/nested-def bodies."""
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        for child in ast.iter_child_nodes(n):
+            if isinstance(
+                child, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _calls_in_order(node: ast.AST) -> "list[ast.Call]":
+    calls = [n for n in _walk_no_lambda(node) if isinstance(n, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def _iter_functions(module: Module):
+    """Yield ``(func_node, class_name)`` for every def, including methods."""
+    def scope(node: ast.AST, class_name: "str | None"):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                yield from scope(child, class_name)
+            elif isinstance(child, ast.ClassDef):
+                yield from scope(child, child.name)
+            else:
+                yield from scope(child, class_name)
+
+    yield from scope(module.tree, None)
+
+
+def _norm_path(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+# --------------------------------------------------------------------------- #
+# charge-before-release
+# --------------------------------------------------------------------------- #
+
+#: Methods that charge a ledger.
+CHARGE_METHODS = {"spend", "parallel"}
+
+#: Receiver names that look like a ``numpy.random.Generator``.
+GEN_NAME_RE = re.compile(r"^(gen|rng|g)$|(_rng|_gen)$|^generator$")
+
+#: ``Generator`` sampling methods (drawing on one of these advances the
+#: noise stream — i.e. it *is* the release, for accounting purposes).
+GEN_DRAW_METHODS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "f", "gamma", "geometric", "gumbel", "hypergeometric",
+    "integers", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_hypergeometric", "multivariate_normal",
+    "negative_binomial", "noncentral_chisquare", "noncentral_f", "normal",
+    "pareto", "permutation", "permuted", "poisson", "power", "random",
+    "rayleigh", "shuffle", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_normal", "standard_t", "triangular",
+    "uniform", "vonmises", "wald", "weibull", "zipf",
+}
+
+#: Mechanism methods/functions that draw noise internally.  ``release`` and
+#: ``select`` additionally require at least one argument — ``lock.release()``
+#: and GUI-ish ``x.select()`` are zero-arg, mechanism releases never are.
+MECH_DRAW_METHODS = {
+    "randomise", "randomize", "sample_noise", "noisy_scores", "release",
+    "release_rows", "release_blocks", "release_column", "gumbel_rows",
+    "select", "select_index", "select_indices", "select_batch",
+}
+_ARG_REQUIRED = {"release", "select"}
+
+#: Plumbing that touches generators without drawing from them.
+NEUTRAL_FUNCS = {
+    "ensure_rng", "default_rng", "spawn", "check_epsilon",
+    "quantize_epsilon", "batch_score_rows",
+}
+
+
+def _is_charge_call(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in CHARGE_METHODS
+    )
+
+
+def _is_draw_call(call: ast.Call) -> bool:
+    func = call.func
+    has_args = bool(call.args or call.keywords)
+    if isinstance(func, ast.Attribute):
+        if func.attr in MECH_DRAW_METHODS:
+            return func.attr not in _ARG_REQUIRED or has_args
+        if func.attr in GEN_DRAW_METHODS and GEN_NAME_RE.search(
+            _receiver_tail(func)
+        ):
+            return True
+        return False
+    if isinstance(func, ast.Name):
+        return func.id in MECH_DRAW_METHODS and (
+            func.id not in _ARG_REQUIRED or has_args
+        )
+    return False
+
+
+def _references_accountant(node: ast.AST) -> bool:
+    for n in _walk_no_lambda(node):
+        if isinstance(n, ast.Name) and n.id == "accountant":
+            return True
+        if isinstance(n, ast.Attribute) and n.attr in (
+            "accountant", "_accountant"
+        ):
+            return True
+        if isinstance(n, ast.keyword) and n.arg == "accountant":
+            return True
+    return False
+
+
+@dataclass
+class _FlowSummary:
+    """What a callee does to the charge/draw ordering, any-path."""
+
+    charges: bool = False
+    uncharged_draw: "ast.Call | None" = None
+
+
+class ChargeBeforeReleaseRule(Rule):
+    """PR 4's invariant, machine-checked.
+
+    Scope: every function that references an accountant (parameter, local,
+    ``self._accountant`` attribute, or ``accountant=`` keyword) — i.e. the
+    functions *responsible* for accounting.  Within one, walking statements
+    in order (descending into loop/branch bodies; a charge on any branch of
+    an ``if`` counts, which is exactly the ``if accountant is not None:``
+    idiom), every noise draw must be preceded by a ledger charge.  Calls are
+    followed up to two hops through the intra-package call graph, so a
+    ``fit`` that delegates its draws to ``self._release_counts`` is still
+    caught.  Mechanism primitives that take no accountant (``mech.release``)
+    are classified as draws at the call site by name.
+    """
+
+    name = "charge-before-release"
+    severity = SEVERITY_ERROR
+    description = (
+        "noise must never be drawn before the accountant charge that funds "
+        "it has been admitted (a BudgetError after a release has been "
+        "sampled burns privacy the ledger never saw)"
+    )
+
+    _MAX_HOPS = 2
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        findings: list[Finding] = []
+        self._summaries: dict[tuple[str, str], _FlowSummary] = {}
+        self._in_progress: set[tuple[str, str]] = set()
+        for func, class_name in _iter_functions(module):
+            if not _references_accountant(func):
+                continue
+            offending: list[tuple[ast.Call, str]] = []
+            self._scan_body(
+                func.body, False, offending, module, class_name, ctx,
+                self._MAX_HOPS,
+            )
+            for call, via in offending:
+                where = f" (via {via})" if via else ""
+                findings.append(
+                    self.finding(
+                        module,
+                        call,
+                        f"noise draw{where} reachable in "
+                        f"{class_name + '.' if class_name else ''}{func.name} "
+                        "before any accountant.spend/parallel charge — "
+                        "charge the ledger first, then sample",
+                    )
+                )
+        return findings
+
+    # -- ordered-statement flow scan ---------------------------------- #
+
+    def _scan_body(self, body, charged, offending, module, class_name,
+                   ctx, hops) -> bool:
+        for stmt in body:
+            charged = self._scan_stmt(
+                stmt, charged, offending, module, class_name, ctx, hops
+            )
+        return charged
+
+    def _scan_stmt(self, stmt, charged, offending, module, class_name,
+                   ctx, hops) -> bool:
+        scan_body = self._scan_body
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+                else stmt.test
+            charged = self._scan_expr(
+                head, charged, offending, module, class_name, ctx, hops
+            )
+            after = scan_body(
+                stmt.body, charged, offending, module, class_name, ctx, hops
+            )
+            after = scan_body(
+                stmt.orelse, after, offending, module, class_name, ctx, hops
+            )
+            return charged or after
+        if isinstance(stmt, ast.If):
+            charged = self._scan_expr(
+                stmt.test, charged, offending, module, class_name, ctx, hops
+            )
+            then = scan_body(
+                stmt.body, charged, offending, module, class_name, ctx, hops
+            )
+            other = scan_body(
+                stmt.orelse, charged, offending, module, class_name, ctx, hops
+            )
+            # Any-path: `if accountant is not None: accountant.spend(...)`
+            # is the repo's charging idiom — the uncharged branch is the
+            # accountant-less run, which has nothing to fund.
+            return then or other
+        if isinstance(stmt, ast.Try):
+            after = scan_body(
+                stmt.body, charged, offending, module, class_name, ctx, hops
+            )
+            for handler in stmt.handlers:
+                scan_body(
+                    handler.body, charged, offending, module, class_name,
+                    ctx, hops,
+                )
+            after = scan_body(
+                stmt.orelse, after, offending, module, class_name, ctx, hops
+            )
+            return scan_body(
+                stmt.finalbody, after, offending, module, class_name, ctx,
+                hops,
+            )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                charged = self._scan_expr(
+                    item.context_expr, charged, offending, module,
+                    class_name, ctx, hops,
+                )
+            return scan_body(
+                stmt.body, charged, offending, module, class_name, ctx, hops
+            )
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return charged  # nested scopes are their own analysis unit
+        return self._scan_expr(
+            stmt, charged, offending, module, class_name, ctx, hops
+        )
+
+    def _scan_expr(self, node, charged, offending, module, class_name,
+                   ctx, hops) -> bool:
+        for call in _calls_in_order(node):
+            func = call.func
+            callee_name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if callee_name in NEUTRAL_FUNCS:
+                continue
+            if _is_charge_call(call):
+                charged = True
+                continue
+            if _is_draw_call(call):
+                if not charged:
+                    offending.append((call, ""))
+                continue
+            if hops <= 0:
+                continue
+            info = ctx.callgraph.resolve(call, module, class_name)
+            if info is None:
+                continue
+            summary = self._summarize(info, ctx, hops - 1)
+            if summary.uncharged_draw is not None and not charged:
+                offending.append((call, f"{info.qualname} draws first"))
+            if summary.charges:
+                charged = True
+        return charged
+
+    def _summarize(self, info: FunctionInfo, ctx: LintContext,
+                   hops: int) -> _FlowSummary:
+        key = (info.module.path, info.qualname)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:  # recursion: assume nothing
+            return _FlowSummary()
+        self._in_progress.add(key)
+        offending: list[tuple[ast.Call, str]] = []
+        charged = self._scan_body(
+            info.node.body, False, offending, info.module, info.class_name,
+            ctx, hops,
+        )
+        summary = _FlowSummary(
+            charges=charged,
+            uncharged_draw=offending[0][0] if offending else None,
+        )
+        self._in_progress.discard(key)
+        self._summaries[key] = summary
+        return summary
+
+
+# --------------------------------------------------------------------------- #
+# no-float-epsilon-arithmetic
+# --------------------------------------------------------------------------- #
+
+EPS_NAME_RE = re.compile(r"(^|_)eps", re.IGNORECASE)
+
+
+def _node_names(node: ast.AST) -> "list[str]":
+    names: list[str] = []
+    for n in _walk_no_lambda(node):
+        if isinstance(n, ast.Name):
+            names.append(n.id)
+        elif isinstance(n, ast.Attribute):
+            names.append(n.attr)
+        elif isinstance(n, ast.Call) and isinstance(n.func, ast.Name):
+            names.append(n.func.id)
+        elif isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute):
+            names.append(n.func.attr)
+    return names
+
+
+def _mentions_eps(node: ast.AST) -> bool:
+    return any(EPS_NAME_RE.search(name) for name in _node_names(node))
+
+
+def _routes_through_units(node: ast.AST) -> bool:
+    return any(
+        name == "quantize_epsilon" or "units" in name.lower()
+        for name in _node_names(node)
+    )
+
+
+def _is_zero_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+class FloatEpsilonArithmeticRule(Rule):
+    """PR 5's invariant: epsilon *decisions* happen on the integer grid.
+
+    Budget splits (``eps / T``, ``eps / 2``) are mechanism parameterization
+    and stay float — they feed noise scales, not admission decisions.  What
+    this rule forbids, outside ``privacy/budget.py``:
+
+    * ordering comparisons (``<``, ``<=``, ``>``, ``>=``) whose operands
+      mention an ``eps*``/``epsilon*`` name — unless the expression routes
+      through ``quantize_epsilon``/``*units*`` values, or compares against
+      a literal ``0`` (sign checks are float-exact);
+    * floor-division / modulo on epsilon values (``eps // (2 * probe)``
+      mis-counts: ``0.3 // 0.1 == 2.0`` in binary floats);
+    * any ``TOLERANCE`` name — the pre-PR-5 slack must never come back.
+    """
+
+    name = "no-float-epsilon-arithmetic"
+    severity = SEVERITY_ERROR
+    description = (
+        "epsilon comparisons and floor-divisions outside privacy/budget.py "
+        "must route through quantize_epsilon / integer units"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        if _norm_path(module.path).endswith("privacy/budget.py"):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name) and "TOLERANCE" in node.id:
+                findings.append(
+                    self.finding(
+                        module, node,
+                        f"tolerance slack {node.id!r} on the admission path "
+                        "— the ledger's integer grid has no tolerance window",
+                    )
+                )
+            elif isinstance(node, ast.Compare):
+                if not any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                ):
+                    continue
+                operands = [node.left, *node.comparators]
+                if not any(_mentions_eps(o) for o in operands):
+                    continue
+                if any(_is_zero_literal(o) for o in operands):
+                    continue  # sign check against literal zero: exact
+                if _routes_through_units(node):
+                    continue
+                findings.append(
+                    self.finding(
+                        module, node,
+                        "float ordering comparison on an epsilon value — "
+                        "compare quantize_epsilon() integer units instead",
+                    )
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.FloorDiv, ast.Mod)
+            ):
+                if not _mentions_eps(node):
+                    continue
+                if _routes_through_units(node):
+                    continue
+                op = "floor-division" if isinstance(node.op, ast.FloorDiv) \
+                    else "modulo"
+                findings.append(
+                    self.finding(
+                        module, node,
+                        f"float {op} on an epsilon value mis-counts on "
+                        "binary floats (0.3 // 0.1 == 2.0) — divide "
+                        "quantize_epsilon() integer units instead",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# no-global-rng
+# --------------------------------------------------------------------------- #
+
+_NP_MODULE_RNG = GEN_DRAW_METHODS | {
+    "seed", "rand", "randn", "randint", "random_sample", "ranf", "sample",
+    "random_integers",
+}
+_STDLIB_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+
+class GlobalRngRule(Rule):
+    """Byte-reproducibility: all randomness flows from explicit generators.
+
+    Flags an **argless** ``default_rng()`` (fresh OS entropy — two runs of
+    the same release can never be byte-compared) and any call on the
+    module-level ``np.random.*`` / stdlib ``random.*`` global state (shared
+    across threads, reseedable from anywhere — the opposite of the
+    per-request seed streams the service's byte-identity contract needs).
+    """
+
+    name = "no-global-rng"
+    severity = SEVERITY_WARNING
+    description = (
+        "argless default_rng() / module-level np.random or random.* calls "
+        "break byte-reproducibility of releases"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        np_aliases = {"numpy"}
+        random_aliases = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        np_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if (
+                len(chain) == 3
+                and chain[0] in np_aliases
+                and chain[1] == "random"
+            ):
+                method = chain[2]
+                if method == "default_rng" and not (node.args or node.keywords):
+                    findings.append(
+                        self.finding(
+                            module, node,
+                            "argless default_rng() seeds from OS entropy — "
+                            "releases stop being byte-reproducible; pass an "
+                            "explicit seed or Generator",
+                        )
+                    )
+                elif method in _NP_MODULE_RNG:
+                    findings.append(
+                        self.finding(
+                            module, node,
+                            f"np.random.{method} uses the process-global "
+                            "RNG — draw from an explicit "
+                            "numpy.random.Generator instead",
+                        )
+                    )
+            elif (
+                len(chain) == 2
+                and chain[0] in random_aliases
+                and chain[1] in _STDLIB_RANDOM_FNS
+            ):
+                findings.append(
+                    self.finding(
+                        module, node,
+                        f"random.{chain[1]} uses the process-global RNG — "
+                        "draw from an explicit numpy.random.Generator "
+                        "instead",
+                    )
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "default_rng"
+                and not (node.args or node.keywords)
+            ):
+                findings.append(
+                    self.finding(
+                        module, node,
+                        "argless default_rng() seeds from OS entropy — "
+                        "releases stop being byte-reproducible; pass an "
+                        "explicit seed or Generator",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# trace-key-hygiene
+# --------------------------------------------------------------------------- #
+
+_KEY_FUNC_RE = re.compile(r"(^|_)(engine_key|cache_key|key)$|fingerprint|^signature$")
+_OBS_FIELDS = {"trace_id", "last_trace_id"}
+
+
+class TraceKeyHygieneRule(Rule):
+    """PR 8's contract: tracing never splits coalescing or misses caches.
+
+    Inside any function whose name looks like a key/fingerprint constructor
+    (``engine_key``, ``cache_key``, ``*_key``, ``fingerprint*``,
+    ``signature``), any reference to ``trace_id`` — as a name, an attribute,
+    or the literal string ``"trace_id"`` — is flagged: a trace id in a cache
+    or engine key would split request coalescing, miss every cache, and
+    (worst) let observability metadata perturb which DP release a request
+    maps to.
+    """
+
+    name = "trace-key-hygiene"
+    severity = SEVERITY_ERROR
+    description = (
+        "trace_id/observability fields must not appear in engine_key/"
+        "cache_key/fingerprint constructions"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        findings: list[Finding] = []
+        for func, class_name in _iter_functions(module):
+            if not _KEY_FUNC_RE.search(func.name):
+                continue
+            qual = f"{class_name + '.' if class_name else ''}{func.name}"
+            for node in _walk_no_lambda(func):
+                hit = None
+                if isinstance(node, ast.Name) and node.id in _OBS_FIELDS:
+                    hit = node.id
+                elif isinstance(node, ast.Attribute) and node.attr in _OBS_FIELDS:
+                    hit = node.attr
+                elif isinstance(node, ast.Constant) and node.value in _OBS_FIELDS:
+                    hit = node.value
+                if hit is not None:
+                    findings.append(
+                        self.finding(
+                            module, node,
+                            f"{hit!r} referenced inside key constructor "
+                            f"{qual} — observability fields are excluded "
+                            "from release identity (they would split "
+                            "coalescing and miss caches)",
+                        )
+                    )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# monotonic-deadlines
+# --------------------------------------------------------------------------- #
+
+class MonotonicDeadlinesRule(Rule):
+    """Deadlines and timeouts must be immune to wall-clock steps.
+
+    Flags **every** ``time.time()`` call: a wall-clock read that feeds any
+    deadline, timeout, or duration arithmetic breaks under NTP steps and
+    DST. ``time.monotonic()`` (or ``time.perf_counter()`` for spans) is the
+    correct source.  Genuine wall-clock timestamps (e.g. a ``*_unix`` field
+    exported for humans) are rare enough to carry an explicit suppression
+    stating they never enter deadline math.
+    """
+
+    name = "monotonic-deadlines"
+    severity = SEVERITY_ERROR
+    description = (
+        "time.time() is wall clock; deadline/timeout arithmetic uses "
+        "time.monotonic() — display timestamps need an explicit suppression"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        imported_bare_time = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "time"
+            and any(a.name == "time" and a.asname is None for a in node.names)
+            for a_node in [module.tree]
+            for node in ast.walk(a_node)
+        )
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            is_time_time = chain == ["time", "time"] or (
+                imported_bare_time
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "time"
+            )
+            if is_time_time:
+                findings.append(
+                    self.finding(
+                        module, node,
+                        "time.time() is wall clock (steps under NTP/DST) — "
+                        "use time.monotonic() for deadlines/timeouts; a "
+                        "genuine display timestamp needs a suppression "
+                        "saying so",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# locked-ledger-mutation
+# --------------------------------------------------------------------------- #
+
+_LEDGER_ATTR_RE = re.compile(
+    r"^_(charges|tokens|spent_units|next_token|limit|limit_units|observer)$"
+)
+_MUTATING_METHODS = {"append", "pop", "insert", "remove", "clear", "extend"}
+_LOCK_NAME_RE = re.compile(r"lock", re.IGNORECASE)
+
+
+class LockedLedgerMutationRule(Rule):
+    """The accountant's atomic check-and-charge contract (PR 3/5).
+
+    Scope: classes whose name contains ``Accountant``.  Every write to
+    ledger state (``_charges``, ``_tokens``, ``_spent_units``,
+    ``_next_token``, ``_limit*``, ``_observer`` — assignment, aug-assign,
+    ``del``, subscript store, or ``.append/.pop/...`` call) must be:
+
+    * lexically inside a ``with ...lock...:`` block, or
+    * in ``__init__`` (the object is not shared before construction
+      returns), or
+    * in a private helper whose every intra-module call site is itself
+      under a lock or in an exempt method — the "caller holds the lock"
+      idiom (``_append``, ``_remove_at``), verified instead of trusted.
+    """
+
+    name = "locked-ledger-mutation"
+    severity = SEVERITY_ERROR
+    description = (
+        "accountant/ledger state mutates only under the ledger lock "
+        "(atomic check-and-charge; racing spenders must never interleave "
+        "past the cap)"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and "Accountant" in node.name:
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: Module, cls: ast.ClassDef):
+        methods = {
+            n.name: n
+            for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        # method name -> list of (caller method, under lock / exempt?)
+        call_sites: dict[str, list[bool]] = {}
+        for name, method in methods.items():
+            exempt = name == "__init__"
+            for call, locked in self._calls_with_lock_state(method):
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == "self"
+                    and call.func.attr in methods
+                ):
+                    call_sites.setdefault(call.func.attr, []).append(
+                        locked or exempt
+                    )
+        findings: list[Finding] = []
+        for name, method in methods.items():
+            if name == "__init__":
+                continue
+            private_ok = name.startswith("_") and all(
+                call_sites.get(name, [])
+            )
+            for node, locked in self._mutations_with_lock_state(method):
+                if locked or private_ok:
+                    continue
+                findings.append(
+                    self.finding(
+                        module, node,
+                        f"ledger state mutated in {cls.name}.{name} outside "
+                        "a `with self._lock` scope (and not a private "
+                        "helper whose callers all hold the lock)",
+                    )
+                )
+        return findings
+
+    # -- lock-aware traversal ------------------------------------------ #
+
+    def _walk_with_lock(self, node: ast.AST, locked: bool):
+        """Yield (node, locked) pairs, tracking `with *lock*` scopes."""
+        yield node, locked
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(
+                any(
+                    _LOCK_NAME_RE.search(n)
+                    for n in _node_names(item.context_expr)
+                )
+                for item in node.items
+            )
+            for item in node.items:
+                yield from self._walk_with_lock(item.context_expr, locked)
+            for child in node.body:
+                yield from self._walk_with_lock(child, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                locked is not None:
+            pass
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Lambda,)):
+                continue
+            yield from self._walk_with_lock(child, locked)
+
+    def _calls_with_lock_state(self, method):
+        seen = set()
+        for node, locked in self._walk_with_lock(method, False):
+            if isinstance(node, ast.Call) and id(node) not in seen:
+                seen.add(id(node))
+                yield node, locked
+
+    def _mutations_with_lock_state(self, method):
+        seen = set()
+        for node, locked in self._walk_with_lock(method, False):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for t in targets:
+                    if self._is_ledger_target(t):
+                        yield node, locked
+                        break
+            elif isinstance(node, ast.Delete):
+                if any(self._is_ledger_target(t) for t in node.targets):
+                    yield node, locked
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "self"
+                    and _LEDGER_ATTR_RE.match(func.value.attr)
+                ):
+                    yield node, locked
+
+    @staticmethod
+    def _is_ledger_target(t: ast.AST) -> bool:
+        if isinstance(t, (ast.Subscript,)):
+            t = t.value
+        return (
+            isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+            and bool(_LEDGER_ATTR_RE.match(t.attr))
+        )
+
+
+# --------------------------------------------------------------------------- #
+# fsync-in-hook
+# --------------------------------------------------------------------------- #
+
+_JOURNAL_APPEND_METHODS = {
+    "append", "append_event", "append_record", "record", "write_event",
+}
+_JOURNAL_RECV_RE = re.compile(r"journal|store|ledger", re.IGNORECASE)
+
+
+class FsyncInHookRule(Rule):
+    """PR 5's durability contract: charges are on disk before spend returns.
+
+    The journal record for a charge is written (and fsync'd) *inside* the
+    accountant's mutation observer, under the ledger lock — so by the time
+    ``spend()`` returns, the charge is durable and no noise has been drawn
+    against an unpersisted reservation.  This rule flags the anti-pattern
+    that would silently re-open the crash window: a journal/store append
+    (or raw ``os.fsync``/``_fsync_write``) issued *after* a
+    ``spend``/``parallel`` call in the same function body — durability
+    bolted on after the charge already returned.
+    """
+
+    name = "fsync-in-hook"
+    severity = SEVERITY_ERROR
+    description = (
+        "journal appends belong inside the accountant mutation hook, not "
+        "after spend() has already returned (crash between the two loses "
+        "the charge)"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        findings: list[Finding] = []
+        for func, class_name in _iter_functions(module):
+            charged_line: "int | None" = None
+            for call in _calls_in_order(func):
+                if _is_charge_call(call):
+                    charged_line = charged_line or call.lineno
+                    continue
+                if charged_line is None:
+                    continue
+                if self._is_journal_append(call):
+                    qual = f"{class_name + '.' if class_name else ''}{func.name}"
+                    findings.append(
+                        self.finding(
+                            module, call,
+                            f"journal append in {qual} after the charge on "
+                            f"line {charged_line} returned — write it in "
+                            "the accountant's mutation hook instead, so a "
+                            "crash cannot separate the charge from its "
+                            "durability record",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_journal_append(call: ast.Call) -> bool:
+        func = call.func
+        chain = _attr_chain(func)
+        if chain[-2:] == ["os", "fsync"] or chain == ["os", "fsync"]:
+            return True
+        if isinstance(func, ast.Name) and func.id == "_fsync_write":
+            return True
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _JOURNAL_APPEND_METHODS:
+            receiver = _receiver_tail(func)
+            return bool(_JOURNAL_RECV_RE.search(receiver))
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# no-cached-envelope-mutation
+# --------------------------------------------------------------------------- #
+
+_CACHE_RECV_RE = re.compile(r"cache|cached", re.IGNORECASE)
+_DICT_MUTATORS = {"update", "setdefault", "pop", "popitem", "clear"}
+
+
+class CachedEnvelopeMutationRule(Rule):
+    """PR 8's copy-on-write contract for cached payloads.
+
+    A value fetched through a cache ``.get`` path is shared: mutating it in
+    place (subscript store, ``del``, ``.update/.setdefault/.pop/...``)
+    poisons every future hit — the bug class PR 8 closed by attaching
+    ``trace_id`` copy-on-write.  Tracked per function: names bound from a
+    ``<...cache...>.get(...)`` call; mutations of a tracked name (until it
+    is rebound) are flagged.  ``entry.payload()`` copies are deliberately
+    not tracked — that is the sanctioned mutation route.
+    """
+
+    name = "no-cached-envelope-mutation"
+    severity = SEVERITY_ERROR
+    description = (
+        "objects returned from cache .get paths are shared — mutate a "
+        "copy (dict(x) / entry.payload()), never the cached object"
+    )
+
+    def check(self, module: Module, ctx: LintContext) -> "list[Finding]":
+        findings: list[Finding] = []
+        for func, class_name in _iter_functions(module):
+            qual = f"{class_name + '.' if class_name else ''}{func.name}"
+            tracked: set[str] = set()
+            for stmt in self._linear_statements(func):
+                self._scan_statement(module, stmt, tracked, qual, findings)
+        return findings
+
+    def _linear_statements(self, func):
+        """Every statement in the function, in source order."""
+        stmts = []
+        for node in _walk_no_lambda(func):
+            if isinstance(node, ast.stmt) and node is not func:
+                stmts.append(node)
+        stmts.sort(key=lambda s: (s.lineno, s.col_offset))
+        return stmts
+
+    def _scan_statement(self, module, stmt, tracked, qual, findings):
+        def msg(name):
+            return (
+                f"{name!r} came from a cache .get path in {qual} — mutating "
+                "it in place poisons every future cache hit; mutate a copy "
+                "(dict(x) / entry.payload()) instead"
+            )
+
+        if isinstance(stmt, ast.Assign):
+            from_cache = any(
+                self._is_cache_get(c) for c in _calls_in_order(stmt.value)
+            )
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    if from_cache:
+                        tracked.add(t.id)
+                    else:
+                        tracked.discard(t.id)
+                elif isinstance(t, ast.Subscript) and \
+                        self._names_tracked_base(t.value, tracked):
+                    findings.append(self.finding(
+                        module, stmt, msg(self._base_name(t.value))))
+                elif isinstance(t, ast.Subscript) and any(
+                    self._is_cache_get(c) for c in _calls_in_order(t.value)
+                ):
+                    findings.append(self.finding(
+                        module, stmt,
+                        f"subscript store into a cache .get result in {qual}"
+                        " — mutate a copy, never the cached object"))
+        elif isinstance(stmt, ast.AugAssign):
+            t = stmt.target
+            if isinstance(t, ast.Subscript) and \
+                    self._names_tracked_base(t.value, tracked):
+                findings.append(self.finding(
+                    module, stmt, msg(self._base_name(t.value))))
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                if isinstance(t, ast.Subscript) and \
+                        self._names_tracked_base(t.value, tracked):
+                    findings.append(self.finding(
+                        module, stmt, msg(self._base_name(t.value))))
+        elif isinstance(stmt, ast.Expr):
+            for call in _calls_in_order(stmt):
+                func = call.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _DICT_MUTATORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in tracked
+                ):
+                    findings.append(self.finding(
+                        module, call, msg(func.value.id)))
+
+    @staticmethod
+    def _is_cache_get(call: ast.Call) -> bool:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "get"):
+            return False
+        return any(
+            _CACHE_RECV_RE.search(part) for part in _attr_chain(func.value)
+        )
+
+    @staticmethod
+    def _base_name(node: ast.AST) -> str:
+        return node.id if isinstance(node, ast.Name) else "<expr>"
+
+    @staticmethod
+    def _names_tracked_base(node: ast.AST, tracked: "set[str]") -> bool:
+        return isinstance(node, ast.Name) and node.id in tracked
+
+
+#: The shipping rule suite, in catalogue order.
+ALL_RULES: "tuple[Rule, ...]" = (
+    ChargeBeforeReleaseRule(),
+    FloatEpsilonArithmeticRule(),
+    GlobalRngRule(),
+    TraceKeyHygieneRule(),
+    MonotonicDeadlinesRule(),
+    LockedLedgerMutationRule(),
+    FsyncInHookRule(),
+    CachedEnvelopeMutationRule(),
+)
+
+RULE_NAMES: "tuple[str, ...]" = tuple(rule.name for rule in ALL_RULES)

@@ -69,12 +69,12 @@ class DPTabEE:
         score_matrix = scoring_engine(counts).sensitive_score_matrix(
             gamma[0], gamma[1], names
         )
+        if accountant is not None:
+            accountant.spend(self.budget.eps_cand_set, "dp-tabee stage1")
         sets: list[tuple[str, ...]] = []
         for c in range(n_clusters):
             idx = topk.select(score_matrix[c], gen)
             sets.append(tuple(names[i] for i in idx))
-        if accountant is not None:
-            accountant.spend(self.budget.eps_cand_set, "dp-tabee stage1")
 
         # Stage-2: EM on the sensitive Quality of each combination.
         evaluator = QualityEvaluator(counts, self.weights, 0)
@@ -82,9 +82,9 @@ class DPTabEE:
         em = ExponentialMechanism(
             self.budget.eps_top_comb, SENSITIVE_SCORE_SENSITIVITY
         )
-        chosen = combos[em.select_index(scores, gen)]
         if accountant is not None:
             accountant.spend(self.budget.eps_top_comb, "dp-tabee stage2")
+        chosen = combos[em.select_index(scores, gen)]
         return AttributeCombination(tuple(chosen))
 
     def explain(
@@ -106,9 +106,13 @@ class DPTabEE:
         eps_hist_cluster = self.budget.eps_hist / 2.0
         full_mech = self.histogram_mechanism.with_epsilon(eps_hist_all)
         cluster_mech = self.histogram_mechanism.with_epsilon(eps_hist_cluster)
-        noisy_full = {a: full_mech.release(counts.full(a), gen) for a in distinct}
         if accountant is not None:
             accountant.spend(eps_hist_all * len(distinct), "dp-tabee full hists")
+        noisy_full = {a: full_mech.release(counts.full(a), gen) for a in distinct}
+        if accountant is not None:
+            accountant.parallel(
+                [eps_hist_cluster] * counts.n_clusters, "dp-tabee cluster hists"
+            )
         explanations = []
         for c in range(counts.n_clusters):
             a = combination[c]
@@ -120,10 +124,6 @@ class DPTabEE:
                     hist_rest=np.maximum(noisy_full[a] - noisy_c, 0.0),
                     hist_cluster=noisy_c,
                 )
-            )
-        if accountant is not None:
-            accountant.parallel(
-                [eps_hist_cluster] * counts.n_clusters, "dp-tabee cluster hists"
             )
         return GlobalExplanation(
             per_cluster=tuple(explanations),

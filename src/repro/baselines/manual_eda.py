@@ -34,7 +34,12 @@ import numpy as np
 from ..core.counts import CountsProvider
 from ..core.engine.kernels import tvd_rows
 from ..core.hbe import AttributeCombination
-from ..privacy.budget import PrivacyAccountant, check_epsilon
+from ..privacy.budget import (
+    BudgetError,
+    PrivacyAccountant,
+    check_epsilon,
+    quantize_epsilon,
+)
 from ..privacy.histograms import GeometricHistogram, HistogramMechanism
 from ..privacy.rng import ensure_rng
 
@@ -61,13 +66,18 @@ class ManualEDASession:
     def __post_init__(self) -> None:
         check_epsilon(self.epsilon)
         check_epsilon(self.eps_probe, name="eps_probe")
-        if 2 * self.eps_probe > self.epsilon:
+        if 2 * quantize_epsilon(self.eps_probe) > quantize_epsilon(self.epsilon):
             raise ValueError("budget does not cover even one probe round")
 
     @property
     def n_rounds(self) -> int:
-        """How many attributes the session can afford to inspect."""
-        return int(self.epsilon // (2 * self.eps_probe))
+        """How many attributes the session can afford to inspect.
+
+        Counted on the integer nano-epsilon grid: float floor-division
+        mis-counts here (``0.3 // 0.1 == 2.0`` in binary floats — one
+        whole probe round lost to representation error).
+        """
+        return int(quantize_epsilon(self.epsilon) // (2 * quantize_epsilon(self.eps_probe)))
 
     def select_combination(
         self,
@@ -82,6 +92,29 @@ class ManualEDASession:
         n_clusters = counts.n_clusters
         mech = self.histogram_mechanism.with_epsilon(self.eps_probe)
         n_probed = min(self.n_rounds, len(names))
+
+        # The whole session is charged before the first draw; a refused
+        # charge rolls back so refusal leaves ledger and generator untouched.
+        if accountant is not None:
+            tokens: list[int] = []
+            try:
+                tokens.append(
+                    accountant.spend(
+                        self.eps_probe * n_probed,
+                        "manual-eda: full-data histograms",
+                    )
+                )
+                tokens.append(
+                    accountant.parallel(
+                        [self.eps_probe * n_probed] * n_clusters,
+                        "manual-eda: cluster histograms",
+                    )
+                )
+            except BudgetError:
+                for token in reversed(tokens):
+                    accountant.refund(token)
+                raise
+
         order = gen.permutation(len(names))[:n_probed]
 
         best_attr = [names[int(order[0])]] * n_clusters
@@ -98,14 +131,6 @@ class ManualEDASession:
             best_score = np.where(improved, scores, best_score)
             for c in np.flatnonzero(improved):
                 best_attr[int(c)] = a
-        if accountant is not None:
-            accountant.spend(
-                self.eps_probe * n_probed, "manual-eda: full-data histograms"
-            )
-            accountant.parallel(
-                [self.eps_probe * n_probed] * n_clusters,
-                "manual-eda: cluster histograms",
-            )
         return AttributeCombination(tuple(best_attr))
 
     def session_cost(self, n_attributes: int) -> float:

@@ -179,6 +179,41 @@ def _run_serve(argv: Sequence[str]) -> int:
     return 0
 
 
+def _run_lint(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Statically check the codebase's DP and serving invariants "
+            "(charge-before-release, integer-grid epsilon arithmetic, "
+            "explicit RNG streams, ...).  Exit 0 when no findings, 1 "
+            "otherwise.  See ARCHITECTURE.md 'Static analysis' for the "
+            "rule catalog and the suppression policy."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json follows the stable "
+                             "schema documented in repro.analysis.model)")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="NAME",
+                        help="run only this rule (repeatable)")
+    args = parser.parse_args(list(argv))
+
+    from .analysis import format_json, format_text, lint_paths
+
+    try:
+        result = lint_paths(
+            args.paths or ["src"],
+            only=tuple(args.rule) if args.rule else None,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(format_json(result) if args.format == "json" else format_text(result))
+    return 0 if result.ok else 1
+
+
 def _run_list(argv: Sequence[str]) -> int:
     print("available commands (paper artifact each regenerates):")
     for name, (module, artifact) in COMMANDS.items():
@@ -186,6 +221,7 @@ def _run_list(argv: Sequence[str]) -> int:
     print("  demo          quickstart pipeline")
     print("  pipeline      end-to-end private pipeline (DP cluster + explain)")
     print("  serve         multi-tenant explanation service (HTTP)")
+    print("  lint          static DP-invariant checker (repro-lint)")
     return 0
 
 
@@ -202,6 +238,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_pipeline(rest)
     if command == "serve":
         return _run_serve(rest)
+    if command == "lint":
+        return _run_lint(rest)
     if command == "list":
         return _run_list(rest)
     if command not in COMMANDS:

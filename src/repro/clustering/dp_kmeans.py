@@ -65,6 +65,7 @@ class DPKMeans:
         count_mech = LaplaceMechanism(eps_count, sensitivity=1.0)
         sum_mech = LaplaceMechanism(eps_sum, sensitivity=float(max(d, 1)))
 
+        # repro-lint: disable=charge-before-release — init centers are data-independent (uniform over the encoded cube, no dataset input), so this draw consumes no privacy; every data-dependent draw below is charged per iteration first
         centers = gen.uniform(-1.0, 1.0, size=(self.n_clusters, d))
         for it in range(self.n_iterations):
             labels = nearest_center(points, centers)

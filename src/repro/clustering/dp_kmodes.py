@@ -63,6 +63,7 @@ class DPKModes:
         # Data-independent init: uniform random modes over the domains.
         modes = np.stack(
             [
+                # repro-lint: disable=charge-before-release — init modes are drawn uniformly over the schema domains (data-independent), so no privacy is consumed; the per-iteration releases below charge first
                 np.array([gen.integers(m) for m in domain_sizes])
                 for _ in range(self.n_clusters)
             ]

@@ -166,6 +166,10 @@ class DPClustX:
             counts, candidates.candidate_sets, self.weights
         )
         em = ExponentialMechanism(self.budget.eps_top_comb, SCORE_SENSITIVITY)
+        if accountant is not None:
+            accountant.spend(
+                self.budget.eps_top_comb, "stage2: combination (exponential mech.)"
+            )
         flat_index = em.select_index(tensor.reshape(-1), gen)
         picks = np.unravel_index(flat_index, tensor.shape)
         combination = AttributeCombination(
@@ -173,10 +177,6 @@ class DPClustX:
                 candidates.candidate_sets[c][int(j)] for c, j in enumerate(picks)
             )
         )
-        if accountant is not None:
-            accountant.spend(
-                self.budget.eps_top_comb, "stage2: combination (exponential mech.)"
-            )
         return SelectionResult(combination, candidates)
 
     # ------------------------------------------------------------------ #
@@ -232,14 +232,16 @@ class DPClustX:
         eps_hist_cluster = self.budget.eps_hist / 2.0
 
         # Lines 10-12: full-dataset histograms (sequential composition).
+        # Charged before sampling: once noise is drawn the privacy is spent
+        # whether or not the ledger admitted it.
         full_mech = self.histogram_mechanism.with_epsilon(eps_hist_all)
-        noisy_full: dict[str, np.ndarray] = {}
-        for a in distinct:
-            noisy_full[a] = full_mech.release(counts.full(a), gen)
         if accountant is not None:
             accountant.spend(
                 eps_hist_all * len(distinct), "histograms: full dataset"
             )
+        noisy_full: dict[str, np.ndarray] = {}
+        for a in distinct:
+            noisy_full[a] = full_mech.release(counts.full(a), gen)
 
         # Lines 14-19: per-cluster histograms (parallel composition) and
         # out-of-cluster histograms by post-processing (Line 17).  When all
@@ -250,6 +252,11 @@ class DPClustX:
         # widths or mechanisms without ``release_rows`` keep the loop.
         cluster_mech = self.histogram_mechanism.with_epsilon(eps_hist_cluster)
         rows = [counts.cluster(combination[c], c) for c in range(counts.n_clusters)]
+        if accountant is not None:
+            accountant.parallel(
+                [eps_hist_cluster] * counts.n_clusters,
+                "histograms: clusters (parallel)",
+            )
         widths = {row.shape[0] for row in rows}
         if len(widths) == 1 and hasattr(cluster_mech, "release_rows"):
             noisy_rows = cluster_mech.release_rows(np.stack(rows), gen)
@@ -269,12 +276,6 @@ class DPClustX:
                     hist_cluster=noisy_c,
                 )
             )
-        if accountant is not None:
-            accountant.parallel(
-                [eps_hist_cluster] * counts.n_clusters,
-                "histograms: clusters (parallel)",
-            )
-
         provenance: dict[str, object] = {
             "framework": "DPClustX",
             "budget": self.budget,

@@ -129,13 +129,13 @@ class MultiDPClustX:
             per_cluster_sets, self.weights
         )
         em = ExponentialMechanism(self.budget.eps_top_comb, SCORE_SENSITIVITY)
+        if accountant is not None:
+            accountant.spend(self.budget.eps_top_comb, "stage2: multi combination")
         flat_index = em.select_index(tensor.reshape(-1), gen)
         picks = np.unravel_index(flat_index, tensor.shape)
         chosen = MultiAttributeCombination(
             tuple(per_cluster_sets[c][int(s)] for c, s in enumerate(picks))
         )
-        if accountant is not None:
-            accountant.spend(self.budget.eps_top_comb, "stage2: multi combination")
         return chosen
 
     def explain(
@@ -158,11 +158,16 @@ class MultiDPClustX:
         eps_hist_cluster = self.budget.eps_hist / (2.0 * self.ell)
 
         full_mech = self.histogram_mechanism.with_epsilon(eps_hist_all)
-        noisy_full = {a: full_mech.release(counts.full(a), gen) for a in distinct}
         if accountant is not None:
             accountant.spend(eps_hist_all * len(distinct), "histograms: full dataset")
+        noisy_full = {a: full_mech.release(counts.full(a), gen) for a in distinct}
 
         cluster_mech = self.histogram_mechanism.with_epsilon(eps_hist_cluster)
+        if accountant is not None:
+            accountant.parallel(
+                [eps_hist_cluster * self.ell] * counts.n_clusters,
+                "histograms: clusters (parallel across, sequential within)",
+            )
         per_cluster: list[tuple[SingleClusterExplanation, ...]] = []
         for c in range(counts.n_clusters):
             cluster_expls = []
@@ -178,11 +183,6 @@ class MultiDPClustX:
                     )
                 )
             per_cluster.append(tuple(cluster_expls))
-        if accountant is not None:
-            accountant.parallel(
-                [eps_hist_cluster * self.ell] * counts.n_clusters,
-                "histograms: clusters (parallel across, sequential within)",
-            )
         return MultiGlobalExplanation(
             per_cluster=tuple(per_cluster),
             combination=combination,

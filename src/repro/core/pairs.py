@@ -207,9 +207,14 @@ def explain_with_pairs(
     full_mech = explainer.histogram_mechanism.with_epsilon(eps_hist_all)
     cluster_mech = explainer.histogram_mechanism.with_epsilon(eps_hist_cluster)
 
-    noisy_full = {a: full_mech.release(counts.full(a), gen) for a in distinct}
+    # Charge each composition block before its noise is sampled.
     if accountant is not None:
         accountant.spend(eps_hist_all * len(distinct), "pair histograms: full")
+    noisy_full = {a: full_mech.release(counts.full(a), gen) for a in distinct}
+    if accountant is not None:
+        accountant.parallel(
+            [eps_hist_cluster] * counts.n_clusters, "pair histograms: clusters"
+        )
     explanations = []
     for c in range(counts.n_clusters):
         a_c = combination[c]
@@ -221,10 +226,6 @@ def explain_with_pairs(
                 hist_rest=np.maximum(noisy_full[a_c] - noisy_c, 0.0),
                 hist_cluster=noisy_c,
             )
-        )
-    if accountant is not None:
-        accountant.parallel(
-            [eps_hist_cluster] * counts.n_clusters, "pair histograms: clusters"
         )
     return GlobalExplanation(
         per_cluster=tuple(explanations),

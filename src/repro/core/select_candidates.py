@@ -127,6 +127,11 @@ def select_candidates(
     else:
         score_matrix = None
 
+    # Charge before any noise is sampled: a BudgetError past this point
+    # would mean privacy already burned that the ledger never saw.
+    if accountant is not None:
+        accountant.spend(eps_cand_set, "stage1: candidate sets (one-shot top-k)")
+
     sets: list[tuple[str, ...]] = []
     released_scores: list[tuple[float, ...]] = []
     for c in range(n_clusters):  # Line 3
@@ -139,6 +144,4 @@ def select_candidates(
         top = order[:k]  # Lines 8-9
         sets.append(tuple(names[i] for i in top))
         released_scores.append(tuple(float(noisy[i]) for i in top))
-    if accountant is not None:
-        accountant.spend(eps_cand_set, "stage1: candidate sets (one-shot top-k)")
     return CandidateSelection(tuple(sets), tuple(released_scores))  # Line 11

@@ -171,9 +171,9 @@ class QueryEngine:
             epsilon / 2.0, sensitivity=float(max(attr.domain_size - 1, 1))
         )
         cnt_mech = LaplaceMechanism(epsilon / 2.0, sensitivity=1.0)
+        self._accountant.spend(epsilon, f"mean({attribute})")
         noisy_sum = float(sum_mech.randomise(float(codes.sum()), self._rng))
         noisy_cnt = float(cnt_mech.randomise(float(len(codes)), self._rng))
-        self._accountant.spend(epsilon, f"mean({attribute})")
         return noisy_sum / max(noisy_cnt, 1.0)
 
     # ------------------------------------------------------------------ #
@@ -213,12 +213,12 @@ class QueryEngine:
         attr = self._dataset.schema.attribute(partition_attribute)
         codes = np.asarray(self._dataset.column(partition_attribute))
         mech = self._hist_mech.with_epsilon(epsilon)
-        out: dict[str, np.ndarray] = {}
-        for i, value in enumerate(attr.domain):
-            counts = self._dataset.histogram(target_attribute, mask=codes == i)
-            out[value] = mech.release(counts, self._rng)
         self._accountant.parallel(
             [epsilon] * attr.domain_size,
             f"partitioned histograms({partition_attribute} -> {target_attribute})",
         )
+        out: dict[str, np.ndarray] = {}
+        for i, value in enumerate(attr.domain):
+            counts = self._dataset.histogram(target_attribute, mask=codes == i)
+            out[value] = mech.release(counts, self._rng)
         return out

@@ -17,6 +17,7 @@ RngLike = "np.random.Generator | int | None"
 def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
     """Coerce ``None`` / seed / generator into a ``numpy.random.Generator``."""
     if rng is None:
+        # repro-lint: disable=no-global-rng — None is the caller explicitly requesting fresh OS entropy; every reproducible path passes a seed or Generator
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng

@@ -397,6 +397,7 @@ class ShardSupervisor:
             return
         self.restarts += 1
         self._restart_counts[index] += 1
+        # repro-lint: disable=monotonic-deadlines — wall-clock unix stamp exported as last_respawn_unix in healthz for humans; never enters deadline math (the ready deadline above uses time.monotonic())
         self._last_respawn[index] = time.time()
         self._respawns.inc(1, (str(index),))
         for callback in list(self._restart_listeners):

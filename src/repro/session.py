@@ -214,9 +214,8 @@ class PrivateAnalysisSession:
 
         self._require(epsilon)
         mech = GeometricHistogram(epsilon)
-        out = mech.release_column(self.dataset, attribute, self._rng)
         self._accountant.spend(epsilon, f"ad-hoc histogram: {attribute}")
-        return out
+        return mech.release_column(self.dataset, attribute, self._rng)
 
     # -- internals --------------------------------------------------------
 

@@ -1,0 +1,8 @@
+"""Fixture: noise drawn before the accountant charge — must fire."""
+
+
+def release_counts(counts, mechanism, gen, accountant=None):
+    noisy = mechanism.release(counts, gen)
+    if accountant is not None:
+        accountant.spend(1.0, "counts")
+    return noisy

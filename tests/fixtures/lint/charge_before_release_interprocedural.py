@@ -1,0 +1,16 @@
+"""Fixture: the draw hides one call-graph hop away — must still fire.
+
+``fit`` looks clean locally (no draw before the spend), but the helper it
+calls first samples noise; the rule follows the ``self._release_counts``
+edge through the intra-package call graph.
+"""
+
+
+class HiddenDrawMechanism:
+    def fit(self, data, gen, accountant):
+        noisy = self._release_counts(data, gen)
+        accountant.spend(1.0, "fit")
+        return noisy
+
+    def _release_counts(self, data, gen):
+        return gen.laplace(size=len(data))

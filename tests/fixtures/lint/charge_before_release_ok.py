@@ -1,0 +1,7 @@
+"""Fixture: charge admitted before the draw — must not fire."""
+
+
+def release_counts(counts, mechanism, gen, accountant=None):
+    if accountant is not None:
+        accountant.spend(1.0, "counts")
+    return mechanism.release(counts, gen)

@@ -1,0 +1,7 @@
+"""Fixture: journal append bolted on after the charge returned — must fire."""
+
+
+def spend_and_journal(accountant, journal, units):
+    token = accountant.spend(units, "charge")
+    journal.append({"units": units, "token": token})
+    return token

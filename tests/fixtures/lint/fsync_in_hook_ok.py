@@ -1,0 +1,13 @@
+"""Fixture: the journal writes from inside the accountant's mutation hook
+(durable before spend() returns) — must not fire."""
+
+
+def attach_journal(accountant, journal):
+    def hook(event):
+        journal.append(event)
+
+    accountant.set_observer(hook)
+
+
+def spend(accountant, units):
+    return accountant.spend(units, "charge")

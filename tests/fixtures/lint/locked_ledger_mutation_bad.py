@@ -1,0 +1,14 @@
+"""Fixture: ledger state mutated without the lock — must fire (two)."""
+
+import threading
+
+
+class RacyAccountant:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._charges = []
+        self._spent_units = 0
+
+    def spend(self, units, label):
+        self._charges.append((units, label))
+        self._spent_units += units

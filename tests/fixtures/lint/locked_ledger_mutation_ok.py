@@ -1,0 +1,19 @@
+"""Fixture: all ledger writes under the lock (incl. the private-helper
+"caller holds the lock" idiom) — must not fire."""
+
+import threading
+
+
+class SafeAccountant:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._charges = []
+        self._spent_units = 0
+
+    def spend(self, units, label):
+        with self._lock:
+            self._append(units, label)
+
+    def _append(self, units, label):
+        self._charges.append((units, label))
+        self._spent_units += units

@@ -1,0 +1,11 @@
+"""Fixture: wall-clock deadline arithmetic — must fire (two findings)."""
+
+import time
+
+
+def wait_until_ready(probe, timeout_s):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if probe():
+            return True
+    return False

@@ -1,0 +1,11 @@
+"""Fixture: monotonic deadline arithmetic — must not fire."""
+
+import time
+
+
+def wait_until_ready(probe, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if probe():
+            return True
+    return False

@@ -1,0 +1,9 @@
+"""Fixture: in-place mutation of a cached envelope — must fire (two)."""
+
+
+def serve(cache, key, trace_id):
+    envelope = cache.get(key)
+    if envelope is not None:
+        envelope["trace_id"] = trace_id
+        envelope.update(status="hit")
+    return envelope

@@ -1,0 +1,10 @@
+"""Fixture: copy-on-write on the cache-hit path — must not fire."""
+
+
+def serve(cache, key, trace_id):
+    envelope = cache.get(key)
+    if envelope is None:
+        return None
+    out = dict(envelope)
+    out["trace_id"] = trace_id
+    return out

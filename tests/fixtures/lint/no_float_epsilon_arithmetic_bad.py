@@ -1,0 +1,11 @@
+"""Fixture: float epsilon decisions — must fire (three findings)."""
+
+TOLERANCE = 1e-9
+
+
+def can_afford(spent_epsilon, epsilon, limit):
+    return spent_epsilon + epsilon < limit + TOLERANCE
+
+
+def rounds(epsilon, eps_probe):
+    return int(epsilon // (2 * eps_probe))

@@ -1,0 +1,22 @@
+"""Fixture: epsilon decisions routed through integer units — must not fire."""
+
+
+def quantize_epsilon(eps):
+    return round(eps * 10**9)
+
+
+def can_afford(spent_units, epsilon, limit_units):
+    return spent_units + quantize_epsilon(epsilon) <= limit_units
+
+
+def rounds(epsilon, eps_probe):
+    return quantize_epsilon(epsilon) // (2 * quantize_epsilon(eps_probe))
+
+
+def check_epsilon(epsilon):
+    if epsilon <= 0:  # sign check against literal zero is float-exact
+        raise ValueError("epsilon must be positive")
+
+
+def split(epsilon, n):
+    return epsilon / n  # budget splits stay float: they feed noise scales

@@ -1,0 +1,12 @@
+"""Fixture: global/unseeded randomness — must fire (three findings)."""
+
+import random
+
+import numpy as np
+
+
+def sample(n):
+    gen = np.random.default_rng()
+    noise = np.random.laplace(size=n)
+    jitter = random.random()
+    return gen, noise, jitter

@@ -1,0 +1,8 @@
+"""Fixture: explicit, seeded generators only — must not fire."""
+
+import numpy as np
+
+
+def sample(seed, n):
+    gen = np.random.default_rng(seed)
+    return gen.laplace(size=n)

@@ -1,0 +1,26 @@
+"""Fixture: the exact PR-4 ``DPKMeans.fit`` charge-after-release shape.
+
+Before PR 4, every iteration drew its noisy counts/sums *first* and charged
+the accountant at the end of the loop body — so a BudgetError on iteration
+``t`` fired after iteration ``t``'s noise had already been sampled, burning
+privacy the ledger never recorded.  The charge-before-release rule must
+flag this shape, proving the linter would have caught the original bug.
+"""
+
+
+class DPKMeansFixture:
+    def __init__(self, n_clusters, epsilon, n_iterations):
+        self.n_clusters = n_clusters
+        self.epsilon = epsilon
+        self.n_iterations = n_iterations
+
+    def fit(self, points, gen, accountant=None):
+        eps_iter = self.epsilon / self.n_iterations
+        centers = points[: self.n_clusters]
+        for it in range(self.n_iterations):
+            noisy_counts = gen.laplace(scale=1.0 / eps_iter, size=self.n_clusters)
+            noisy_sums = gen.laplace(scale=1.0 / eps_iter, size=centers.shape)
+            centers = noisy_sums / noisy_counts[:, None]
+            if accountant is not None:  # BUG: charged after the draws above
+                accountant.spend(eps_iter, f"iteration {it}")
+        return centers

@@ -1,0 +1,8 @@
+"""Fixture: a real violation silenced by a well-formed suppression —
+zero findings, one suppressed entry carrying the reason."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=monotonic-deadlines — fixture: display-only wall-clock timestamp, never in deadline math

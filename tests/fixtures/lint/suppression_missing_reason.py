@@ -1,0 +1,8 @@
+"""Fixture: a disable without its mandatory reason — the suppression is
+itself a ``bad-suppression`` finding AND the violation stays active."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=monotonic-deadlines

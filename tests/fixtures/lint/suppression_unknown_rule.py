@@ -1,0 +1,8 @@
+"""Fixture: a disable naming a rule the suite has never heard of — a
+``bad-suppression`` finding (typos must not silently suppress nothing)."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=no-such-rule — typo'd rule name

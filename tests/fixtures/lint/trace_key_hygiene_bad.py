@@ -1,0 +1,9 @@
+"""Fixture: trace_id leaking into release identity — must fire (two)."""
+
+
+def engine_key(dataset_id, epsilon, trace_id):
+    return (dataset_id, epsilon, trace_id)
+
+
+def cache_key(request):
+    return (request["dataset"], request["epsilon"], request["trace_id"])

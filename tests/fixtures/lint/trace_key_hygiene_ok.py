@@ -1,0 +1,13 @@
+"""Fixture: keys exclude observability fields — must not fire."""
+
+
+def engine_key(dataset_id, epsilon, seed):
+    return (dataset_id, epsilon, seed)
+
+
+def annotate_envelope(envelope, trace_id):
+    # Not a key constructor: attaching the trace to the response copy is
+    # exactly what the copy-on-write contract sanctions.
+    out = dict(envelope)
+    out["trace"] = trace_id
+    return out

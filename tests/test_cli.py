@@ -17,6 +17,7 @@ class TestDispatch:
         out = capsys.readouterr().out
         assert "serve" in out
         assert "demo" in out
+        assert "lint" in out
 
     def test_no_args_shows_help(self, capsys):
         assert main([]) == 0
@@ -42,7 +43,9 @@ class TestDispatch:
 class TestHelpSmoke:
     """Every registered command must answer ``--help`` cleanly."""
 
-    @pytest.mark.parametrize("command", [*COMMANDS, "demo", "pipeline", "serve"])
+    @pytest.mark.parametrize(
+        "command", [*COMMANDS, "demo", "pipeline", "serve", "lint"]
+    )
     def test_help_exits_zero_and_prints_usage(self, command, capsys):
         with pytest.raises(SystemExit) as exc:
             main([command, "--help"])

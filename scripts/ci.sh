@@ -40,9 +40,11 @@
 # table is never held, so RSS is gated against a fixed budget) and per-task
 # sweep fan-out cost at 50k vs 1M rows (the shared-memory stack handoff must
 # keep it flat; gated at 1.2x).
-# Before any of that, repro-lint (python -m repro lint src/) gates the run:
-# zero findings allowed, suppressions must carry reasons, and the JSON
-# report is archived as LINT_report.json.
+# Before any of that, repro-lint (python -m repro lint src/ --engine=all)
+# gates the run with both the AST rule suite and the interprocedural
+# taint+lockset flow engine: zero findings allowed, suppressions must carry
+# reasons, and the JSON report is archived as LINT_report.json with a SARIF
+# 2.1.0 twin at LINT_report.sarif.
 # All artifacts live at the repo root — the perf-trajectory record across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,20 +59,28 @@ if [[ "${1:-}" == "--fast" ]]; then
     PYTEST_ARGS=(-x -q)
 fi
 
-echo "== repro-lint static analysis (writes LINT_report.json) =="
-# Hard gate: the AST-based DP-invariant checker (repro.analysis) must find
-# nothing in src/, and every inline suppression must carry its reason.  The
-# JSON report (stable schema v1, see src/repro/analysis/model.py) is
-# archived at the repo root next to the BENCH_*.json artifacts.
+echo "== repro-lint static analysis (writes LINT_report.json + .sarif) =="
+# Hard gate: both engines — the AST-based DP-invariant rules AND the
+# interprocedural flow engine (taint + lockset, repro.analysis.flow) —
+# must find nothing in src/, and every inline suppression must carry its
+# reason.  The JSON report (schema v2: v1 plus per-finding flow traces,
+# see src/repro/analysis/model.py) is archived at the repo root next to
+# the BENCH_*.json artifacts, with a SARIF 2.1.0 twin for code-scanning
+# consumers.
 lint_status=0
-python -m repro lint src/ --format=json > LINT_report.json || lint_status=$?
+python -m repro lint src/ --engine=all --format=json \
+    --sarif LINT_report.sarif > LINT_report.json || lint_status=$?
 
 python - <<'EOF'
 import json
 
 with open("LINT_report.json") as fh:
     report = json.load(fh)
-assert report["version"] == 1, f"unexpected lint schema version: {report['version']}"
+assert report["version"] == 2, f"unexpected lint schema version: {report['version']}"
+with open("LINT_report.sarif") as fh:
+    sarif = json.load(fh)
+assert sarif["version"] == "2.1.0", "SARIF version drifted"
+assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
 summary = report["summary"]
 for finding in report["findings"]:
     print(f"LINT: {finding['path']}:{finding['line']}:{finding['col']}: "

@@ -14,11 +14,14 @@ Public surface: :func:`lint_paths` / :class:`Linter` to run,
 """
 
 from .engine import (
+    ENGINES,
     FRAMEWORK_RULES,
     Linter,
     format_json,
     format_text,
+    known_rule_names,
     lint_paths,
+    rules_for_engine,
 )
 from .loader import (
     Module,
@@ -37,12 +40,16 @@ from .model import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
     SuppressedFinding,
+    TraceHop,
+    parse_trace,
+    render_trace,
     sort_findings,
 )
 from .rules import ALL_RULES, LintContext, RULE_NAMES, Rule
 
 __all__ = [
     "ALL_RULES",
+    "ENGINES",
     "FRAMEWORK_RULES",
     "Finding",
     "JSON_SCHEMA_VERSION",
@@ -57,13 +64,18 @@ __all__ = [
     "SEVERITY_WARNING",
     "SuppressedFinding",
     "Suppression",
+    "TraceHop",
     "format_json",
     "format_text",
     "iter_python_files",
+    "known_rule_names",
     "lint_paths",
     "load_module",
     "parse_suppression_comment",
     "parse_suppressions",
+    "parse_trace",
     "render_suppression",
+    "render_trace",
+    "rules_for_engine",
     "sort_findings",
 ]

@@ -31,16 +31,56 @@ from .rules import ALL_RULES, LintContext, Rule
 #: Rules emitted by the framework itself (not suppressible, always known).
 FRAMEWORK_RULES = ("parse-error", "bad-suppression")
 
+#: Selectable rule suites.  ``flow`` is imported lazily so a plain AST run
+#: never pays for (or depends on) the dataflow engine.
+ENGINES = ("ast", "flow", "all")
+
+
+def _flow_rules() -> "tuple[Rule, ...]":
+    from .flow import FLOW_RULES
+
+    return FLOW_RULES
+
+
+def rules_for_engine(engine: str) -> "tuple[Rule, ...]":
+    if engine == "ast":
+        return ALL_RULES
+    if engine == "flow":
+        return _flow_rules()
+    if engine == "all":
+        return ALL_RULES + _flow_rules()
+    raise ValueError(
+        f"unknown engine {engine!r} — available: {', '.join(ENGINES)}"
+    )
+
+
+def known_rule_names() -> "set[str]":
+    """Every rule name either engine can emit, plus the framework's own.
+
+    Suppression validation uses this cross-suite set regardless of which
+    engine is running: a file carrying ``disable=taint-error-envelope`` for
+    the flow gate must not be flagged as naming an unknown rule when the
+    AST engine lints the same tree.
+    """
+    return (
+        {r.name for r in ALL_RULES}
+        | {r.name for r in _flow_rules()}
+        | set(FRAMEWORK_RULES)
+    )
+
 
 @dataclass
 class Linter:
-    """A configured lint run: a rule suite plus an optional name filter."""
+    """A configured lint run: an engine's rule suite plus a name filter."""
 
-    rules: "tuple[Rule, ...]" = ALL_RULES
+    rules: "tuple[Rule, ...] | None" = None
     only: "tuple[str, ...] | None" = None  # --rule filter (None = all)
+    engine: str = "ast"
     _selected: "tuple[Rule, ...]" = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.rules is None:
+            self.rules = rules_for_engine(self.engine)
         known = {r.name for r in self.rules}
         if self.only is not None:
             unknown = [name for name in self.only if name not in known]
@@ -69,7 +109,7 @@ class Linter:
             modules.append(module)
 
         ctx = LintContext(modules=modules, callgraph=build_callgraph(modules))
-        known_rules = {r.name for r in self.rules} | set(FRAMEWORK_RULES)
+        known_rules = known_rule_names()
         suppressed: list[SuppressedFinding] = []
 
         for module in modules:
@@ -115,10 +155,12 @@ class Linter:
 
 
 def lint_paths(
-    paths: "list[str]", only: "tuple[str, ...] | None" = None
+    paths: "list[str]",
+    only: "tuple[str, ...] | None" = None,
+    engine: str = "ast",
 ) -> LintResult:
-    """Run the full (or filtered) rule suite over ``paths``."""
-    return Linter(only=only).run(paths)
+    """Run the selected engine's (optionally filtered) suite over ``paths``."""
+    return Linter(only=only, engine=engine).run(paths)
 
 
 # --------------------------------------------------------------------------- #

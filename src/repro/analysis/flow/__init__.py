@@ -1,0 +1,56 @@
+"""``repro.analysis.flow`` — the interprocedural flow engine (``--engine=flow``).
+
+Two rule families on one fixpoint dataflow substrate:
+
+* **Privacy taint** (``taint.py`` over ``dataflow.py``): sources are the raw
+  row/count accessors, sanitizers are the mechanism release methods declared
+  in :mod:`repro.privacy.manifest` (new backends self-register), sinks are
+  the serving tier's output channels.  Any source → sink path that never
+  crosses a sanitizer is a ``taint-unsanitized-release`` finding; tainted
+  values in exception messages / error envelopes are
+  ``taint-error-envelope`` findings.  Findings carry a full flow trace
+  (source → hops → sink) in the v2 JSON schema.
+
+* **Lockset** (``lockset.py``): infers guarded-by relations for shared
+  mutable attributes in classes that own locks, verifies the
+  caller-holds-lock helper idiom by fixpoint, and reports accesses outside
+  the inferred lockset (``lockset-unguarded-access``) plus inconsistent
+  lock-acquisition orders (``lockset-order-cycle``).
+
+The rules plug into the same :class:`~repro.analysis.engine.Linter`
+framework as the AST engine: same Finding/suppression model, same report
+schema, same CLI.
+"""
+
+from .dataflow import FlowAnalysis, FunctionSummary, Taint, TaintConfig, fixpoint
+from .lockset import LocksetOrderCycleRule, LocksetUnguardedAccessRule
+from .taint import (
+    TaintErrorEnvelopeRule,
+    TaintUnsanitizedReleaseRule,
+    load_taint_config,
+)
+
+#: The flow-engine rule suite, in catalogue order.
+FLOW_RULES = (
+    TaintUnsanitizedReleaseRule(),
+    TaintErrorEnvelopeRule(),
+    LocksetUnguardedAccessRule(),
+    LocksetOrderCycleRule(),
+)
+
+FLOW_RULE_NAMES = tuple(rule.name for rule in FLOW_RULES)
+
+__all__ = [
+    "FLOW_RULES",
+    "FLOW_RULE_NAMES",
+    "FlowAnalysis",
+    "FunctionSummary",
+    "LocksetOrderCycleRule",
+    "LocksetUnguardedAccessRule",
+    "Taint",
+    "TaintConfig",
+    "TaintErrorEnvelopeRule",
+    "TaintUnsanitizedReleaseRule",
+    "fixpoint",
+    "load_taint_config",
+]

@@ -1,0 +1,610 @@
+"""The fixpoint interprocedural dataflow engine behind ``--engine=flow``.
+
+One analysis unit is a function body.  The transfer function walks its
+statements in source order, carrying an environment that maps local names
+(and ``self.<attr>`` pseudo-names) to sets of :class:`Taint` values.  Taint
+enters at *sources* (raw row/count accessors from the privacy manifest),
+stops at *sanitizers* (mechanism release methods), and is reported when it
+reaches a *sink* (envelope constructions, logging, metrics label values,
+journal records, frame writers, trace attachments, exception messages).
+
+Interprocedural propagation is context-insensitive: each function gets a
+:class:`FunctionSummary` saying (a) what its return value's taint is in
+terms of its parameters and any internal sources, and (b) which parameters
+flow into sinks inside it.  Summaries are computed over the extended call
+graph (``analysis/callgraph.py`` — ``name()``, ``self.m()``, ``Cls.m()``,
+``super().m()``, ``pkg.mod.fn()``) by iterating :func:`fixpoint` until no
+summary changes; summaries only ever grow, so termination is by
+monotonicity plus the trace/set caps below.
+
+Every taint carries a bounded trace of :class:`~repro.analysis.model.
+TraceHop` — the evidence path rendered into the v2 JSON schema.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+
+from ..callgraph import CallGraph, FunctionInfo
+from ..loader import Module
+from ..model import TraceHop
+
+#: Caps keeping the lattice finite: hops per trace, taints per value.
+MAX_TRACE_HOPS = 16
+MAX_TAINTS = 32
+#: Fixpoint iteration bound (reached only by pathological call cycles).
+MAX_ROUNDS = 12
+
+TAG_DATA = "data"   # derived from raw rows/counts
+TAG_EXC = "exc"     # text of a broadly-caught exception (may embed raw data)
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: Builtins whose results never carry their arguments' data.
+CLEAN_FUNCS = {
+    "type", "isinstance", "issubclass", "hasattr", "callable", "super",
+    "range", "enumerate", "id", "iter", "next", "property", "classmethod",
+    "staticmethod",
+}
+
+
+@dataclass(frozen=True)
+class TaintConfig:
+    """The vocabularies the transfer function classifies call sites with."""
+
+    source_methods: "frozenset[str]"
+    source_attrs: "frozenset[str]"
+    source_recv_re: "object"          # compiled regex over receiver names
+    sanitizers: "frozenset[str]"
+    sink_channels: "dict[str, frozenset[str]]"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tracked taint on a value.
+
+    ``kind`` is ``"source"`` (originates inside the analysed body or a
+    callee) or ``"param"`` (flows from the enclosing function's parameter
+    ``param`` — the currency of summaries).  ``tag`` distinguishes raw
+    row/count data from broad-exception text, which feed different rules.
+    """
+
+    kind: str            # "source" | "param"
+    tag: str = TAG_DATA
+    param: int = -1
+    trace: "tuple[TraceHop, ...]" = ()
+
+    def with_hop(self, hop: TraceHop) -> "Taint":
+        if len(self.trace) >= MAX_TRACE_HOPS:
+            return self
+        return Taint(self.kind, self.tag, self.param, self.trace + (hop,))
+
+    def sort_key(self):
+        return (self.kind, self.tag, self.param, len(self.trace),
+                tuple((h.path, h.line, h.note) for h in self.trace))
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A taint reaching a sink — a finding (source-kind) or a summary entry
+    (param-kind, reported at whichever caller supplies tainted data)."""
+
+    channel: str
+    node_line: int
+    node_col: int
+    taint: Taint
+    hop: TraceHop  # the sink hop itself
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Context-insensitive effect of calling one function."""
+
+    #: Taints of the return value (param-kind entries mean flow-through).
+    returns: "frozenset[Taint]" = frozenset()
+    #: (param index, channel, hops from param entry to sink incl. sink hop).
+    param_sinks: "frozenset[tuple[int, str, tuple[TraceHop, ...]]]" = frozenset()
+
+
+def fixpoint(step, max_rounds: int = MAX_ROUNDS) -> int:
+    """Iterate ``step()`` (returns True when anything changed) to stability.
+
+    The shared driver for taint summaries and the lockset caller-holds-lock
+    inference.  Returns the number of rounds taken.
+    """
+    for i in range(max_rounds):
+        if not step():
+            return i + 1
+    return max_rounds
+
+
+def _limit(taints: "set[Taint]") -> "frozenset[Taint]":
+    if len(taints) <= MAX_TAINTS:
+        return frozenset(taints)
+    return frozenset(sorted(taints, key=Taint.sort_key)[:MAX_TAINTS])
+
+
+def _receiver_tail(node: ast.AST) -> str:
+    """The innermost receiver name of ``<recv>.attr`` (or '')."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _receiver_tail(node.func)
+    return ""
+
+
+def _const_keys(node: ast.Dict) -> "set[str]":
+    return {
+        k.value
+        for k in node.keys
+        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+    }
+
+
+class FlowAnalysis:
+    """Whole-tree taint analysis: summaries by fixpoint, then findings.
+
+    Construct once per lint run (the flow rules share one instance through
+    the :class:`~repro.analysis.rules.LintContext` cache), then read
+    ``sink_hits`` — every source-kind taint that reached a sink, attributed
+    to the module/function where source and sink met.
+    """
+
+    def __init__(self, modules: "list[Module]", callgraph: CallGraph,
+                 config: TaintConfig):
+        self.modules = modules
+        self.callgraph = callgraph
+        self.config = config
+        self.summaries: "dict[tuple[str, str], FunctionSummary]" = {}
+        #: (module path) -> list of resolved sink hits with their functions
+        self.hits: "list[tuple[Module, FunctionInfo, SinkHit]]" = []
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> None:
+        if self._ran:
+            return
+        self._ran = True
+        infos = list(self.callgraph.functions.values())
+
+        def round_() -> bool:
+            changed = False
+            for info in infos:
+                new = self._analyze(info, collect=None)
+                key = (info.module.path, info.qualname)
+                if self.summaries.get(key) != new:
+                    self.summaries[key] = new
+                    changed = True
+            return changed
+
+        fixpoint(round_)
+        # Reporting pass with stable summaries.
+        for info in infos:
+            hits: "list[SinkHit]" = []
+            self._analyze(info, collect=hits)
+            for hit in hits:
+                self.hits.append((info.module, info, hit))
+
+    # ------------------------------------------------------------------ #
+    # per-function transfer
+    # ------------------------------------------------------------------ #
+
+    def _analyze(self, info: FunctionInfo,
+                 collect: "list[SinkHit] | None") -> FunctionSummary:
+        node = info.node
+        env: "dict[str, set[Taint]]" = {}
+        params = [a.arg for a in (
+            list(node.args.posonlyargs) + list(node.args.args)
+        )]
+        offset = 1 if params and params[0] in ("self", "cls") else 0
+        for i, name in enumerate(params[offset:]):
+            env[name] = {Taint("param", param=i)}
+        state = _State(self, info, env, collect)
+        state.exec_stmts(node.body)
+        return FunctionSummary(
+            returns=_limit(state.returns),
+            param_sinks=frozenset(state.param_sinks),
+        )
+
+
+class _State:
+    """Mutable walk state for one function body."""
+
+    def __init__(self, analysis: FlowAnalysis, info: FunctionInfo,
+                 env: "dict[str, set[Taint]]",
+                 collect: "list[SinkHit] | None"):
+        self.a = analysis
+        self.info = info
+        self.env = env
+        self.collect = collect
+        self.returns: "set[Taint]" = set()
+        self.param_sinks: "set[tuple[int, str, tuple[TraceHop, ...]]]" = set()
+
+    @property
+    def path(self) -> str:
+        return self.info.module.path
+
+    # -- statements ----------------------------------------------------- #
+
+    def exec_stmts(self, stmts) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are their own analysis unit
+        if isinstance(stmt, ast.Assign):
+            taints = self.eval_expr(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval_expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval_expr(stmt.value) | self._read_target(stmt.target)
+            self._bind(stmt.target, taints, weak=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            self._exec_raise(stmt)
+        elif isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test)
+            self._branch([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taints = self.eval_expr(stmt.iter)
+            self._bind(stmt.target, iter_taints)
+            # Two passes pick up loop-carried one-step chains.
+            self._branch([stmt.body])
+            self._branch([stmt.body])
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test)
+            self._branch([stmt.body])
+            self._branch([stmt.body])
+            self.exec_stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.eval_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints)
+            self.exec_stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._branch([stmt.body])
+            for handler in stmt.handlers:
+                saved = {k: set(v) for k, v in self.env.items()}
+                if handler.name:
+                    self.env[handler.name] = self._exception_taint(handler)
+                self.exec_stmts(handler.body)
+                for k, v in saved.items():
+                    self.env.setdefault(k, set()).update(v)
+            self.exec_stmts(stmt.orelse)
+            self.exec_stmts(stmt.finalbody)
+        elif isinstance(stmt, (ast.Expr, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval_expr(child)
+        # Pass/Import/Global/Nonlocal/Break/Continue: nothing to do.
+
+    def _branch(self, bodies) -> None:
+        merged: "dict[str, set[Taint]]" = {
+            k: set(v) for k, v in self.env.items()
+        }
+        base = {k: set(v) for k, v in self.env.items()}
+        for body in bodies:
+            self.env = {k: set(v) for k, v in base.items()}
+            self.exec_stmts(body)
+            for k, v in self.env.items():
+                merged.setdefault(k, set()).update(v)
+        self.env = merged
+
+    def _exception_taint(self, handler: ast.ExceptHandler) -> "set[Taint]":
+        """A broadly-caught exception's text may embed raw values."""
+        types = []
+        t = handler.type
+        if isinstance(t, ast.Tuple):
+            types = list(t.elts)
+        elif t is not None:
+            types = [t]
+        broad = t is None or any(
+            isinstance(x, ast.Name) and x.id in _BROAD_EXCEPTIONS
+            for x in types
+        )
+        if not broad:
+            return set()
+        hop = TraceHop(
+            self.path, handler.lineno,
+            "broad `except Exception` binds unredacted exception text",
+        )
+        return {Taint("source", tag=TAG_EXC, trace=(hop,))}
+
+    def _exec_raise(self, stmt: ast.Raise) -> None:
+        if stmt.exc is None:
+            return  # bare re-raise keeps the original object: fine
+        if isinstance(stmt.exc, ast.Call):
+            for arg in list(stmt.exc.args) + [
+                k.value for k in stmt.exc.keywords
+            ]:
+                taints = self.eval_expr(arg)
+                self._sink("exception", stmt.exc, taints,
+                           "tainted value in a raised exception message")
+            self.eval_expr(stmt.exc)
+        else:
+            self.eval_expr(stmt.exc)
+
+    # -- binding -------------------------------------------------------- #
+
+    def _bind(self, target: ast.AST, taints: "set[Taint]",
+              weak: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if weak:
+                self.env.setdefault(target.id, set()).update(taints)
+            else:
+                self.env[target.id] = set(taints)
+        elif isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            key = f"self.{target.attr}"
+            self.env.setdefault(key, set()).update(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taints, weak=weak)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taints, weak=weak)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.env.setdefault(base.id, set()).update(taints)
+            elif isinstance(base, ast.Attribute) and \
+                    isinstance(base.value, ast.Name) and \
+                    base.value.id == "self":
+                self.env.setdefault(f"self.{base.attr}", set()).update(taints)
+
+    def _read_target(self, target: ast.AST) -> "set[Taint]":
+        if isinstance(target, ast.Name):
+            return set(self.env.get(target.id, ()))
+        if isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            return set(self.env.get(f"self.{target.attr}", ()))
+        return set()
+
+    # -- expressions ---------------------------------------------------- #
+
+    def eval_expr(self, node: ast.expr) -> "set[Taint]":
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Dict):
+            return self._eval_dict(node)
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test)
+            return self.eval_expr(node.body) | self.eval_expr(node.orelse)
+        # Generic: union over child expressions (BinOp, BoolOp, Compare,
+        # JoinedStr, Subscript, Tuple, List, Set, Starred, UnaryOp, ...).
+        out: "set[Taint]" = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.eval_expr(child)
+        return out
+
+    def _eval_attribute(self, node: ast.Attribute) -> "set[Taint]":
+        cfg = self.a.config
+        out: "set[Taint]" = set()
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            out |= self.env.get(f"self.{node.attr}", set())
+        out |= self.eval_expr(node.value)
+        if node.attr in cfg.source_attrs and cfg.source_recv_re.search(
+            _receiver_tail(node.value) or ""
+        ):
+            hop = TraceHop(
+                self.path, node.lineno,
+                f"source: {_receiver_tail(node.value)}.{node.attr}",
+            )
+            out = set(out)
+            out.add(Taint("source", trace=(hop,)))
+        return out
+
+    def _eval_comprehension(self, node) -> "set[Taint]":
+        out: "set[Taint]" = set()
+        for gen in node.generators:
+            taints = self.eval_expr(gen.iter)
+            self._bind(gen.target, taints)
+            for cond in gen.ifs:
+                self.eval_expr(cond)
+        if isinstance(node, ast.DictComp):
+            out |= self.eval_expr(node.key) | self.eval_expr(node.value)
+        else:
+            out |= self.eval_expr(node.elt)
+        return out
+
+    def _eval_dict(self, node: ast.Dict) -> "set[Taint]":
+        out: "set[Taint]" = set()
+        keys = _const_keys(node)
+        is_envelope = "status" in keys and ({"error", "result", "code"} & keys)
+        for key, value in zip(node.keys, node.values):
+            if key is not None:
+                self.eval_expr(key)
+            if value is None:
+                continue
+            taints = self.eval_expr(value)
+            out |= taints
+            if is_envelope and taints:
+                self._sink(
+                    "envelope", value, taints,
+                    "tainted value in a response/error envelope",
+                )
+        return out
+
+    # -- calls ---------------------------------------------------------- #
+
+    def _eval_call(self, node: ast.Call) -> "set[Taint]":
+        cfg = self.a.config
+        func = node.func
+        callee_name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else ""
+        )
+        arg_nodes = list(node.args) + [k.value for k in node.keywords]
+        arg_taints = [self.eval_expr(a) for a in arg_nodes]
+        union_args: "set[Taint]" = set()
+        for t in arg_taints:
+            union_args |= t
+
+        # Sinks first: a sanitizer name can never be a sink in this suite.
+        self._check_call_sinks(node, callee_name, arg_nodes, arg_taints)
+
+        # Sanitizer: the returned value is differentially private.
+        if callee_name in cfg.sanitizers:
+            return set()
+
+        # Source accessor.
+        if callee_name in cfg.source_methods and isinstance(
+            func, ast.Attribute
+        ) and cfg.source_recv_re.search(_receiver_tail(func.value) or ""):
+            hop = TraceHop(
+                self.path, node.lineno,
+                f"source: {_receiver_tail(func.value)}.{callee_name}()",
+            )
+            return {Taint("source", trace=(hop,))}
+
+        # Resolved callee: substitute its summary.
+        info = self.a.callgraph.resolve(
+            node, self.info.module, self.info.class_name
+        )
+        if info is not None:
+            return self._apply_summary(node, info, arg_nodes, arg_taints)
+
+        if callee_name in CLEAN_FUNCS:
+            return set()
+        # Unresolved: conservative pass-through of argument taint, plus the
+        # receiver's own taint for method calls (str(x), x.format(...), ...).
+        if isinstance(func, ast.Attribute):
+            union_args |= self.eval_expr(func.value)
+        return union_args
+
+    def _apply_summary(self, node: ast.Call, info: FunctionInfo,
+                       arg_nodes, arg_taints) -> "set[Taint]":
+        key = (info.module.path, info.qualname)
+        summary = self.a.summaries.get(key, FunctionSummary())
+        params = [a.arg for a in (
+            list(info.node.args.posonlyargs) + list(info.node.args.args)
+        )]
+        offset = 1 if params and params[0] in ("self", "cls") else 0
+        names = params[offset:]
+
+        def taints_of_param(i: int) -> "set[Taint]":
+            # Map the callee's param index back to this call's arguments.
+            pos = 0
+            for arg_node, taints in zip(arg_nodes, arg_taints):
+                kw = None
+                for k in node.keywords:
+                    if k.value is arg_node:
+                        kw = k.arg
+                        break
+                if kw is not None:
+                    if i < len(names) and names[i] == kw:
+                        return taints
+                else:
+                    if pos == i:
+                        return taints
+                    pos += 1
+            return set()
+
+        call_hop = TraceHop(
+            self.path, node.lineno, f"call: {info.qualname}"
+        )
+        out: "set[Taint]" = set()
+        for t in summary.returns:
+            if t.kind == "source":
+                out.add(t.with_hop(call_hop))
+            else:
+                for at in taints_of_param(t.param):
+                    out.add(at.with_hop(call_hop))
+        for param_idx, channel, hops in summary.param_sinks:
+            for at in taints_of_param(param_idx):
+                routed = at.with_hop(call_hop)
+                for hop in hops:
+                    routed = routed.with_hop(hop)
+                self._record_hit(channel, node, routed)
+        return out
+
+    # -- sinks ---------------------------------------------------------- #
+
+    def _check_call_sinks(self, node: ast.Call, callee_name: str,
+                          arg_nodes, arg_taints) -> None:
+        cfg = self.a.config
+        func = node.func
+        recv = _receiver_tail(func.value) if isinstance(func, ast.Attribute) \
+            else ""
+        channels = cfg.sink_channels
+
+        def flag(channel: str, nodes_and_taints, note: str) -> None:
+            for arg_node, taints in nodes_and_taints:
+                self._sink(channel, arg_node, taints, note)
+
+        pairs = list(zip(arg_nodes, arg_taints))
+        if callee_name in channels.get("log", ()) and (
+            recv.lower().endswith(("log", "logger", "logging"))
+            or recv in ("logging",)
+        ):
+            flag("log", pairs, "tainted value in a log call")
+        if callee_name in channels.get("metric-label", ()):
+            for k, (arg_node, taints) in zip(node.keywords, pairs[len(node.args):]):
+                if k.arg == "labels":
+                    flag("metric-label", [(arg_node, taints)],
+                         "tainted value used as a metrics label")
+        if callee_name in channels.get("journal", ()) and (
+            "journal" in recv.lower() or "store" in recv.lower()
+            or "ledger" in recv.lower()
+        ):
+            flag("journal", pairs, "tainted value in a journal record")
+        if callee_name in channels.get("frame", ()):
+            flag("frame", pairs, "tainted value in a frame/HTTP payload")
+        if callee_name in channels.get("trace", ()):
+            # attach_trace(envelope, trace_id): the trace id is the sink.
+            flag("trace", pairs[1:], "tainted value attached to a trace")
+
+    def _sink(self, channel: str, node: ast.AST, taints: "set[Taint]",
+              note: str) -> None:
+        for taint in taints:
+            hop = TraceHop(
+                self.path, getattr(node, "lineno", 1), f"sink: {note}"
+            )
+            self._record_hit(channel, node, taint.with_hop(hop))
+
+    def _record_hit(self, channel: str, node: ast.AST, taint: Taint) -> None:
+        if taint.kind == "param":
+            # Report at the caller that supplies tainted data: publish the
+            # path from our parameter to this sink in the summary.
+            self.param_sinks.add((taint.param, channel, taint.trace))
+            return
+        if self.collect is not None:
+            self.collect.append(
+                SinkHit(
+                    channel=channel,
+                    node_line=getattr(node, "lineno", 1),
+                    node_col=getattr(node, "col_offset", 0),
+                    taint=taint,
+                    hop=taint.trace[-1] if taint.trace else TraceHop(
+                        self.path, getattr(node, "lineno", 1), "sink"
+                    ),
+                )
+            )

@@ -198,18 +198,42 @@ def _run_lint(argv: Sequence[str]) -> int:
     parser.add_argument("--rule", action="append", default=None,
                         metavar="NAME",
                         help="run only this rule (repeatable)")
+    parser.add_argument("--engine", choices=("ast", "flow", "all"),
+                        default="ast",
+                        help="rule suite: 'ast' (syntactic invariants), "
+                             "'flow' (interprocedural taint + lockset), "
+                             "or 'all' (default: ast)")
+    parser.add_argument("--diff", metavar="BASE_REF", default=None,
+                        help="lint only files changed vs BASE_REF plus "
+                             "their call-graph dependents (falls back to "
+                             "the full tree without a usable git)")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="additionally write a SARIF 2.1.0 report of "
+                             "the same result to PATH")
     args = parser.parse_args(list(argv))
 
     from .analysis import format_json, format_text, lint_paths
 
+    paths = args.paths or ["src"]
     try:
+        if args.diff is not None:
+            from .analysis.diff import select_diff_paths
+
+            paths, note = select_diff_paths(paths, args.diff)
+            print(f"repro lint: {note}", file=sys.stderr)
         result = lint_paths(
-            args.paths or ["src"],
+            paths,
             only=tuple(args.rule) if args.rule else None,
+            engine=args.engine,
         )
     except (ValueError, FileNotFoundError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    if args.sarif is not None:
+        from .analysis.sarif import format_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(format_sarif(result) + "\n")
     print(format_json(result) if args.format == "json" else format_text(result))
     return 0 if result.ok else 1
 

@@ -35,7 +35,9 @@ def ward_labels(points: np.ndarray, n_clusters: int) -> np.ndarray:
     if n_clusters < 1:
         raise ValueError("n_clusters must be >= 1")
     if n < n_clusters:
-        raise ValueError(f"{n} points < {n_clusters} clusters")
+        # Row count redacted: it is raw-data-derived and the message can
+        # surface in error envelopes.
+        raise ValueError(f"fewer points than the {n_clusters} requested clusters")
 
     sq = np.einsum("ij,ij->i", points, points)
     dist = sq[:, None] + sq[None, :] - 2.0 * (points @ points.T)

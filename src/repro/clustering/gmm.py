@@ -33,7 +33,10 @@ class GaussianMixture:
         points = encoder.transform(dataset)
         n, d = points.shape
         if n < self.n_clusters:
-            raise ValueError(f"dataset has {n} rows < {self.n_clusters} clusters")
+            # Row count redacted: raw-data-derived, can reach envelopes.
+            raise ValueError(
+                f"dataset has fewer rows than {self.n_clusters} clusters"
+            )
 
         # Warm-start means with a short k-means run for stable convergence.
         means = kmeans_pp_init(points, self.n_clusters, gen)

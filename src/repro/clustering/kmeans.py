@@ -18,7 +18,8 @@ def kmeans_pp_init(
     """k-means++ seeding: iteratively sample centers ∝ squared distance."""
     n = points.shape[0]
     if n < k:
-        raise ValueError(f"cannot seed {k} centers from {n} points")
+        # Point count redacted: raw-data-derived, can reach envelopes.
+        raise ValueError(f"cannot seed {k} centers: fewer points than centers")
     centers = np.empty((k, points.shape[1]), dtype=np.float64)
     centers[0] = points[rng.integers(n)]
     closest = np.full(n, np.inf)
@@ -76,8 +77,9 @@ class KMeans:
         encoder = StandardEncoder.fit(dataset)
         points = encoder.transform(dataset)
         if points.shape[0] < self.n_clusters:
+            # Row count redacted: raw-data-derived, can reach envelopes.
             raise ValueError(
-                f"dataset has {points.shape[0]} rows < {self.n_clusters} clusters"
+                f"dataset has fewer rows than {self.n_clusters} clusters"
             )
         centers = kmeans_pp_init(points, self.n_clusters, gen)
         centers = lloyd_iterations(points, centers, self.max_iter, self.tol, gen)

@@ -36,7 +36,10 @@ class KModes:
         codes = dataset.to_matrix(names).astype(np.int64)
         n = codes.shape[0]
         if n < self.n_clusters:
-            raise ValueError(f"dataset has {n} rows < {self.n_clusters} clusters")
+            # Row count redacted: raw-data-derived, can reach envelopes.
+            raise ValueError(
+                f"dataset has fewer rows than {self.n_clusters} clusters"
+            )
         domain_sizes = [dataset.schema.attribute(nm).domain_size for nm in names]
 
         # Seed with distinct random rows (retrying to avoid duplicate modes).

@@ -331,8 +331,11 @@ class StreamingCountsBuilder:
         for j, name in enumerate(self._names):
             col = np.ascontiguousarray(columns[name], dtype=CODE_DTYPE)
             if col.shape != (k,):
+                # Chunk lengths redacted: row-count-derived, can reach
+                # envelopes.
                 raise ValueError(
-                    f"column {name!r} chunk length {col.shape} != labels {k}"
+                    f"column {name!r} chunk length does not match the "
+                    "labels chunk"
                 )
             if k and (col.min() < 0 or col.max() >= self._domain_sizes[j]):
                 raise ValueError(f"column {name!r} contains out-of-domain codes")

@@ -25,6 +25,8 @@ from .postprocess import (
     round_to_integers,
     uniformity_distance,
 )
+from . import manifest
+from .manifest import register_sanitizer, register_sink, register_source
 from .exponential import ExponentialMechanism
 from .hierarchical import HierarchicalHistogram
 from .histograms import (
@@ -67,6 +69,10 @@ __all__ = [
     "LaplaceMechanism",
     "gumbel_noise",
     "ensure_rng",
+    "manifest",
+    "register_sanitizer",
+    "register_sink",
+    "register_source",
     "spawn",
     "OneShotTopK",
     "iterated_em_topk",

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from .budget import check_epsilon
+from .manifest import register_sanitizer
 from .rng import batch_score_rows, ensure_rng, gumbel_rows
 
 
@@ -96,3 +97,9 @@ class ExponentialMechanism:
         if n_candidates < 1:
             raise ValueError("need at least one candidate")
         return (2.0 * self.sensitivity / self.epsilon) * (np.log(n_candidates) + t)
+
+
+# Self-register this backend's release surface with the taint manifest:
+# `repro lint --engine=flow` treats values returned by these as DP-safe.
+register_sanitizer("select_index")
+register_sanitizer("select_indices")

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..dataset.table import Dataset
 from .budget import check_epsilon
+from .manifest import register_sanitizer
 from .mechanisms import LaplaceMechanism
 from .rng import ensure_rng
 
@@ -157,3 +158,8 @@ class HierarchicalHistogram:
         _, height = _tree_shape(n_bins, self.branching)
         scale = height / self.epsilon
         return 2.0 * scale * scale
+
+
+# Self-register this backend's release surface with the taint manifest.
+register_sanitizer("release")
+register_sanitizer("release_column")

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..dataset.table import Dataset
 from .budget import check_epsilon
+from .manifest import register_sanitizer
 from .mechanisms import GeometricMechanism, LaplaceMechanism
 from .rng import ensure_rng
 
@@ -303,3 +304,10 @@ def epsilon_for_l1_error(
                 hi = mid
         return hi
     raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+# Self-register this backend's release surface with the taint manifest.
+register_sanitizer("release")
+register_sanitizer("release_rows")
+register_sanitizer("release_blocks")
+register_sanitizer("release_column")

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .budget import check_epsilon
+from .manifest import register_sanitizer
 from .rng import ensure_rng
 
 
@@ -132,3 +133,9 @@ def gumbel_noise(
         raise ValueError(f"gumbel scale must be positive, got {sigma!r}")
     gen = ensure_rng(rng)
     return gen.gumbel(loc=0.0, scale=sigma, size=size)
+
+
+# Self-register this backend's release surface with the taint manifest.
+register_sanitizer("randomise")
+register_sanitizer("randomize")
+register_sanitizer("gumbel_noise")

@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from .budget import check_epsilon
+from .manifest import register_sanitizer
 from .mechanisms import gumbel_noise
 from .rng import batch_score_rows, ensure_rng, gumbel_rows
 
@@ -145,3 +146,10 @@ def iterated_em_topk(
         idx = em.select_index(scores[remaining], gen)
         chosen.append(remaining.pop(idx))
     return chosen
+
+
+# Self-register this backend's release surface with the taint manifest.
+register_sanitizer("select")
+register_sanitizer("select_batch")
+register_sanitizer("noisy_scores")
+register_sanitizer("iterated_em_topk")

@@ -723,8 +723,12 @@ class ExplanationService:
             return attach_trace(self._error_envelope(exc), request.trace_id)
         except Exception as exc:  # noqa: BLE001 — fit failure must not 500 raw
             self.stats.incr("errors")
+            # Redacted: exception text can embed raw rows/counts a deep
+            # layer interpolated; tenants get the type name and a code.
             return attach_trace(
-                self._error_envelope(ServiceError(500, "internal-error", repr(exc))),
+                self._error_envelope(
+                    ServiceError(500, "internal-error", type(exc).__name__)
+                ),
                 request.trace_id,
             )
         envelope = self.explain(
@@ -909,7 +913,7 @@ class ExplanationService:
                 p.resolve(self._error_envelope(exc))
         except Exception as exc:  # noqa: BLE001 — worker must not die
             envelope = self._error_envelope(
-                ServiceError(500, "internal-error", repr(exc))
+                ServiceError(500, "internal-error", type(exc).__name__)
             )
             for p in batch:
                 p.resolve(envelope)

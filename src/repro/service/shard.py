@@ -296,7 +296,7 @@ class ShardWorker:
                     "id": rid,
                     "ok": False,
                     "envelope": _error_envelope(
-                        ServiceError(500, "internal-error", repr(exc))
+                        ServiceError(500, "internal-error", type(exc).__name__)
                     ),
                 }
             )
@@ -332,8 +332,9 @@ class ShardWorker:
             try:
                 envelope = fut.result()
             except Exception as exc:  # noqa: BLE001 — resolve, never hang the peer
+                # Redacted like the in-process path: type name only.
                 envelope = _error_envelope(
-                    ServiceError(500, "internal-error", repr(exc))
+                    ServiceError(500, "internal-error", type(exc).__name__)
                 )
             try:
                 frames.write({"id": rid, "envelope": envelope})

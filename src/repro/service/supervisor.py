@@ -247,6 +247,7 @@ class ShardSupervisor:
             ] + [frame]
             self._shared.append(shared)
         for i in range(self.n_workers):
+            # repro-lint: disable=taint-error-envelope — the registration frame carries a shared-memory descriptor and public dataset metadata, not raw counts; a worker refusal interpolates only the public op name
             self._control_request(i, dict(frame))
         return frame
 

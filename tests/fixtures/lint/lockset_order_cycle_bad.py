@@ -1,0 +1,27 @@
+"""FIXTURE (bad): two paths acquire the same locks in opposite orders.
+
+``update_meta`` takes meta → data, ``update_data`` takes data → meta: two
+threads can each hold one lock and wait forever on the other.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._meta_lock = threading.Lock()
+        self._data_lock = threading.Lock()
+        self._meta = {}
+        self._data = {}
+
+    def update_meta(self, key, value):
+        with self._meta_lock:
+            with self._data_lock:  # FIRES: meta → data ...
+                self._data[key] = value
+                self._meta[key] = value
+
+    def update_data(self, key, value):
+        with self._data_lock:
+            with self._meta_lock:  # FIRES: ... while data → meta elsewhere
+                self._meta[key] = value
+                self._data[key] = value

@@ -1,0 +1,30 @@
+"""FIXTURE (ok): one global acquisition order, meta before data.
+
+The second path routes through a helper that takes the inner lock — the
+one-hop interprocedural edge still sees meta → data, consistently.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._meta_lock = threading.Lock()
+        self._data_lock = threading.Lock()
+        self._meta = {}
+        self._data = {}
+
+    def update_meta(self, key, value):
+        with self._meta_lock:
+            with self._data_lock:
+                self._data[key] = value
+                self._meta[key] = value
+
+    def update_data(self, key, value):
+        with self._meta_lock:
+            self._meta[key] = value
+            self._set_data(key, value)
+
+    def _set_data(self, key, value):
+        with self._data_lock:
+            self._data[key] = value

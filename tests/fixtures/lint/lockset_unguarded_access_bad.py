@@ -1,0 +1,24 @@
+"""FIXTURE (bad): an ``_inflight``-style map written without its lock.
+
+The map is guarded by ``self._lock`` on the claim path, but the release
+path pops it bare — the lost-update race the serving tier's coalescer
+must never reintroduce.
+"""
+
+import threading
+
+
+class Coalescer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight = {}
+
+    def claim(self, key, fut):
+        with self._lock:
+            if key in self._inflight:
+                return self._inflight[key]
+            self._inflight[key] = fut
+        return fut
+
+    def release(self, key):
+        self._inflight.pop(key, None)  # FIRES: no lock held

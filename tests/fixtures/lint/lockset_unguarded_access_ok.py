@@ -1,0 +1,29 @@
+"""FIXTURE (ok): every ``_inflight`` access holds the lock.
+
+Includes the caller-holds-lock idiom: ``_evict`` is a private helper whose
+every call site holds ``self._lock``, verified by the lockset fixpoint —
+its bare access is sanctioned, not missed.
+"""
+
+import threading
+
+
+class Coalescer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight = {}
+
+    def claim(self, key, fut):
+        with self._lock:
+            if key in self._inflight:
+                return self._inflight[key]
+            self._inflight[key] = fut
+        return fut
+
+    def release(self, key):
+        with self._lock:
+            self._evict(key)
+
+    def _evict(self, key):
+        # Caller holds self._lock (verified, not trusted).
+        self._inflight.pop(key, None)

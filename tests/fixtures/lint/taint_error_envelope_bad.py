@@ -1,0 +1,26 @@
+"""FIXTURE (bad): raw counts leak through the error path.
+
+Two leak shapes: a raise whose message interpolates a true count, and a
+broad ``except Exception`` whose unredacted text is forwarded into a 5xx
+error envelope.
+"""
+
+
+class Service:
+    def _check(self, counts, k):
+        size = counts.cluster_size(k)  # source: true count
+        if size < 10:
+            # FIRES: tainted value in a raised exception message
+            raise ValueError(f"cluster too small: {size} rows")
+
+    def handle(self, mech, counts):
+        try:
+            self._check(counts, 3)
+            return {"status": "ok", "result": mech.release(counts.total())}
+        except Exception as exc:
+            # FIRES: unredacted broad-caught exception text in the envelope
+            return {
+                "status": "error",
+                "code": 500,
+                "error": {"reason": "internal-error", "message": str(exc)},
+            }

@@ -1,0 +1,30 @@
+"""FIXTURE (ok): error paths are redacted.
+
+Same shapes as the bad fixture: the raise carries only public config
+values, and the broad handler forwards ``type(exc).__name__`` (``type`` is
+a clean builtin) plus a stable error code instead of the exception text.
+"""
+
+
+class Service:
+    def __init__(self, min_rows):
+        self.min_rows = min_rows
+
+    def _check(self, counts, k):
+        size = counts.cluster_size(k)
+        if size < self.min_rows:
+            raise ValueError(f"cluster smaller than floor {self.min_rows}")
+
+    def handle(self, mech, counts):
+        try:
+            self._check(counts, 3)
+            return {"status": "ok", "result": mech.release(counts.total())}
+        except Exception as exc:
+            return {
+                "status": "error",
+                "code": 500,
+                "error": {
+                    "reason": "internal-error",
+                    "message": type(exc).__name__,
+                },
+            }

@@ -1,0 +1,31 @@
+"""FIXTURE (bad): raw counts reach output channels with no DP release.
+
+Reproduces the raw-count-in-envelope leak class: true cluster sizes pulled
+off a counts object flow into a response envelope, a frame payload, and a
+metrics label without ever crossing a registered mechanism release.
+"""
+
+
+def build_envelope(counts):
+    raw = counts.cluster_size(3)  # source: true (un-noised) count
+    return {"status": "ok", "result": {"size": raw}}  # FIRES: envelope sink
+
+
+def _wrap(value):
+    return {"status": "ok", "result": value}
+
+
+def release_total(counts):
+    return _wrap(counts.total())  # FIRES: envelope built by the callee
+
+
+class Handler:
+    def __init__(self, metric):
+        self.metric = metric
+
+    def push(self, dataset, frames):
+        total = dataset.count("age")  # source: raw row count
+        frames.write_frame({"total": total})  # FIRES: frame sink
+
+    def observe(self, dataset):
+        self.metric.inc(1, labels=(dataset.count("age"),))  # FIRES: label

@@ -1,0 +1,35 @@
+"""FIXTURE (ok): every released value crosses a DP mechanism first.
+
+Mirrors the bad fixture shape-for-shape; the only difference is that raw
+values pass through registered sanitizers (``release``, ``select_index``)
+before reaching any sink — and a same-named accessor on a non-counts
+receiver (``engine.histogram``) is correctly not treated as a source.
+"""
+
+
+def build_envelope(mech, counts):
+    noisy = mech.release(counts.cluster_size(3))  # sanitized
+    return {"status": "ok", "result": {"size": noisy}}
+
+
+def _wrap(value):
+    return {"status": "ok", "result": value}
+
+
+def release_total(mech, counts):
+    return _wrap(mech.release(counts.total()))
+
+
+class Handler:
+    def __init__(self, metric):
+        self.metric = metric
+
+    def push(self, engine, frames):
+        # `engine` is a query engine: histogram() here is a charged DP
+        # release, not a raw accessor (the receiver gate tells them apart).
+        noisy = engine.histogram("age")
+        frames.write_frame({"total": noisy})
+
+    def observe(self, mechanism, counts):
+        idx = mechanism.select_index(counts.sizes())  # sanitized selection
+        self.metric.inc(1, labels=(idx,))

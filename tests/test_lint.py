@@ -223,7 +223,7 @@ class TestJsonReport:
     def test_schema_fields_and_version(self):
         result = lint_paths([fixture("suppression_missing_reason.py")])
         report = json.loads(format_json(result))
-        assert report["version"] == JSON_SCHEMA_VERSION == 1
+        assert report["version"] == JSON_SCHEMA_VERSION == 2
         assert report["tool"] == "repro-lint"
         assert report["files"] == 1
         assert set(report["summary"]) == {
@@ -231,7 +231,7 @@ class TestJsonReport:
         }
         for entry in report["findings"]:
             assert set(entry) == {
-                "rule", "path", "line", "col", "severity", "message",
+                "rule", "path", "line", "col", "severity", "message", "trace",
             }
         assert report["summary"]["total"] == len(report["findings"]) > 0
 
@@ -261,7 +261,7 @@ class TestRepoIsClean:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         report = json.loads(proc.stdout)
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["summary"]["total"] == 0
         assert all(e["reason"].strip() for e in report["suppressed"])
 
